@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``figNN_*.py`` / ``tableN_*.py`` file in this directory reproduces one
+table or figure of the paper's evaluation (Section VI).  Each file exposes:
+
+* ``run_experiment(...)`` -- the parameter sweep, returning printable rows;
+* ``main()`` -- prints the paper-style table (run the file directly);
+* ``test_*`` functions -- pytest-benchmark entry points that time the
+  experiment once and assert the paper's qualitative claims (who wins, in
+  which direction a curve bends), so a regression in the reproduction fails
+  loudly.
+
+Absolute numbers are simulated seconds / tuples-per-simulated-second from
+the shared cost model; see EXPERIMENTS.md for the paper-vs-measured notes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1_000_000:
+            return f"{value / 1e6:.2f}M"
+        if abs(value) >= 10_000:
+            return f"{value / 1e3:.1f}K"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(v, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,94 @@
+"""Ablation: query-server cache size (the paper fixes 1 GB per server).
+
+Section IV-B keeps frequently accessed chunk data in a per-server LRU
+cache because DFS reads dominate subquery cost.  This sweep ingests a
+working set several times larger than the smallest cache and replays a
+Zipf-like repeating query mix, reporting steady-state latency and the
+bytes fetched per query at each cache size.
+
+Expected shape: latency falls steeply while the cache is smaller than the
+hot working set, then flattens once everything hot fits -- which is why
+the paper can simply provision 1 GB and move on.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import mean, print_table
+
+from repro import Waterwheel, small_config
+from repro.workloads import NetworkGenerator
+
+N_TUPLES = 50_000
+N_QUERIES = 60
+CACHE_SIZES_KB = (32, 64, 128, 256, 512, 1024, 4096)
+
+
+def run_experiment():
+    """Rows: (cache KB, mean latency ms, bytes/query, hit rate %)."""
+    gen = NetworkGenerator(records_per_second=500.0, seed=101)
+    key_lo, key_hi = gen.key_domain
+    data = gen.records(N_TUPLES)
+    now = max(t.ts for t in data)
+    # A repeating mix of hot query templates (Zipf-ish re-use).
+    rng = random.Random(102)
+    templates = []
+    for _ in range(10):
+        lo, hi = gen.random_ip_range(rng, selectivity=0.2)
+        t_lo = rng.uniform(0.0, now * 0.7)
+        templates.append((lo, hi, t_lo, t_lo + now * 0.3))
+
+    rows = []
+    for cache_kb in CACHE_SIZES_KB:
+        ww = Waterwheel(
+            small_config(
+                key_lo=key_lo,
+                key_hi=key_hi,
+                n_nodes=4,
+                chunk_bytes=128 * 1024,
+                tuple_size=50,
+                cache_bytes=cache_kb * 1024,
+            )
+        )
+        ww.insert_many(data)
+        ww.flush_all()
+        # Warm-up pass, then measure.
+        for i in range(N_QUERIES):
+            lo, hi, t_lo, t_hi = templates[i % len(templates)]
+            ww.query(lo, hi, t_lo, t_hi)
+        latencies, nbytes = [], []
+        for i in range(N_QUERIES):
+            lo, hi, t_lo, t_hi = templates[i % len(templates)]
+            res = ww.query(lo, hi, t_lo, t_hi)
+            latencies.append(res.latency * 1000)
+            nbytes.append(res.bytes_read)
+        rows.append((cache_kb, mean(latencies), mean(nbytes)))
+    return rows
+
+
+def main():
+    print_table(
+        "Ablation: query-server cache size (repeating query mix)",
+        ["cache (KB)", "latency (ms)", "bytes/query"],
+        run_experiment(),
+    )
+
+
+def test_ablation_cache_size(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_size = {kb: (lat, nb) for kb, lat, nb in rows}
+    smallest = by_size[CACHE_SIZES_KB[0]]
+    largest = by_size[CACHE_SIZES_KB[-1]]
+    # A big cache beats a tiny one decisively on both metrics.
+    assert largest[0] < 0.6 * smallest[0]
+    assert largest[1] < 0.2 * smallest[1]
+    # Diminishing returns: the last doubling changes latency < 25%.
+    second_largest = by_size[CACHE_SIZES_KB[-2]]
+    assert abs(largest[0] - second_largest[0]) < 0.25 * second_largest[0]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Ablation: historical chunk rollup (catalog fragmentation).
+
+Forced small flushes (shutdowns, repartitions, late buffers) fragment the
+chunk catalog; every query then pays a per-chunk subquery with its own DFS
+access.  Rolling adjacent small chunks into larger ones (an *offline* pass
+-- never merging fresh into historical data, so unlike LSM compaction it
+costs ingest nothing) cuts the subquery count.
+
+Reported: chunk count, mean subqueries per query, and cold-cache query
+latency before and after a rollup pass.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import mean, print_table
+
+from repro import Waterwheel, small_config
+from repro.core.compaction import ChunkCompactor
+from repro.workloads import QueryGenerator
+
+N_BATCHES = 14
+BATCH = 400
+N_QUERIES = 40
+
+
+def _fragmented_system():
+    ww = Waterwheel(small_config(n_nodes=4, chunk_bytes=256 * 1024))
+    rng = random.Random(111)
+    ts = 0.0
+    for _ in range(N_BATCHES):
+        for _ in range(BATCH):
+            ww.insert_record(rng.randrange(0, 10_000), ts, payload=None, size=32)
+            ts += 0.01
+        ww.flush_all()  # forced small flushes fragment the catalog
+    return ww, ts
+
+
+def _measure(ww, now):
+    qgen = QueryGenerator(0, 10_000, seed=112)
+    specs = qgen.batch(N_QUERIES, 0.3, "historic_5m", now=now)
+    latencies, subqueries, results = [], [], []
+    for spec in specs:
+        for qs in ww.query_servers:
+            qs.clear_cache()
+        res = ww.query(spec.key_lo, spec.key_hi, spec.t_lo, spec.t_hi)
+        latencies.append(res.latency * 1000)
+        subqueries.append(res.subquery_count)
+        results.append(len(res))
+    return mean(latencies), mean(subqueries), results
+
+
+def run_experiment():
+    """Rows: (state, chunks, mean subqueries/query, mean latency ms)."""
+    ww, now = _fragmented_system()
+    before_lat, before_sq, before_results = _measure(ww, now)
+    before_chunks = ww.chunk_count
+    ChunkCompactor(ww, target_bytes=1 << 20).rollup()
+    after_lat, after_sq, after_results = _measure(ww, now)
+    assert before_results == after_results, "rollup changed query results!"
+    return [
+        ("fragmented", before_chunks, before_sq, before_lat),
+        ("rolled up", ww.chunk_count, after_sq, after_lat),
+    ]
+
+
+def main():
+    print_table(
+        "Ablation: chunk rollup on a fragmented catalog (cold caches)",
+        ["state", "chunks", "subqueries/query", "latency (ms)"],
+        run_experiment(),
+    )
+
+
+def test_ablation_compaction(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    fragmented, rolled = rows
+    assert rolled[1] < fragmented[1]  # fewer chunks
+    assert rolled[2] < fragmented[2]  # fewer subqueries per query
+    assert rolled[3] < fragmented[3]  # lower cold-cache latency
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Ablation: the template-update skewness threshold (Eq. 1's trigger).
+
+DESIGN.md calls out the threshold (paper default 0.2) as a design choice:
+too eager and the tree spends its time rebuilding; too lazy and leaves
+overflow, making inserts and scans linear in the hot leaf.  A drifting key
+distribution (mean moving across the domain) is streamed into template
+trees with different thresholds; we report update counts, final skewness,
+mean insert cost and total maintenance work.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro.btree import TemplateBTree
+from repro.workloads import DriftingKeyGenerator
+
+N_TUPLES = 60_000
+THRESHOLDS = (0.05, 0.2, 1.0, 1e9)  # 1e9 = never update
+KEY_DOMAIN = 1 << 20
+
+
+def _two_phase_hotspot():
+    """Phase 1: a tight hotspot at 10% of the domain; phase 2: the hotspot
+    jumps to 90%.  Without template updates both hotspots pile into a
+    handful of leaves of the initial uniform template."""
+    half = N_TUPLES // 2
+    phase1 = DriftingKeyGenerator(
+        key_lo=0, key_hi=KEY_DOMAIN, mu=KEY_DOMAIN * 0.1,
+        sigma=KEY_DOMAIN * 0.003, drift_per_record=0.0, seed=71,
+    ).records(half)
+    phase2 = DriftingKeyGenerator(
+        key_lo=0, key_hi=KEY_DOMAIN, mu=KEY_DOMAIN * 0.9,
+        sigma=KEY_DOMAIN * 0.003, drift_per_record=0.0, seed=72,
+    ).records(half, t0=half * 0.001)
+    return phase1 + phase2
+
+
+def run_experiment():
+    """Rows: (threshold, updates, final skew, insert us/op, update ms)."""
+    data = _two_phase_hotspot()
+    rows = []
+    for threshold in THRESHOLDS:
+        tree = TemplateBTree(
+            0,
+            KEY_DOMAIN,
+            n_leaves=N_TUPLES // 256,
+            fanout=64,
+            skew_threshold=threshold,
+            check_every=2048,
+        )
+        started = time.perf_counter()
+        for t in data:
+            tree.insert(t)
+        elapsed = time.perf_counter() - started
+        insert_us = (
+            (elapsed - tree.stats.template_update_seconds) / N_TUPLES * 1e6
+        )
+        rows.append(
+            (
+                threshold if threshold < 1e9 else "never",
+                tree.stats.template_updates,
+                tree.skewness(),
+                insert_us,
+                tree.stats.template_update_seconds * 1000,
+            )
+        )
+    return rows
+
+
+def main():
+    print_table(
+        "Ablation: skew threshold under a drifting key distribution",
+        ["threshold", "updates", "final skew", "insert us/op", "update time (ms)"],
+        run_experiment(),
+    )
+
+
+def test_ablation_skew_threshold(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_threshold = {row[0]: row for row in rows}
+    # Lower thresholds update more often.
+    updates = [row[1] for row in rows]
+    assert updates == sorted(updates, reverse=True)
+    # Never updating leaves the tree badly skewed under drift ...
+    assert by_threshold["never"][2] > 5.0
+    # ... while the paper's 0.2 keeps skew bounded.
+    assert by_threshold[0.2][2] < 1.0
+    # And inserts into the never-updated (overflowing) leaves cost more
+    # than inserts under the maintained template.
+    assert by_threshold["never"][3] > by_threshold[0.2][3]
+
+
+if __name__ == "__main__":
+    main()

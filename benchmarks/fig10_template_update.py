@@ -1,0 +1,79 @@
+"""Figure 10: template update latency vs. tree fill percentage.
+
+Fill the template B+ tree to {20%, 40%, ..., 100%} of its capacity with
+skewed keys (so the rebuild has real rebalancing to do), then measure the
+wall-clock latency of one ``update_template()`` call (Eq. 2-3), on both
+datasets.
+
+Paper's claims: update latency stays in the low-millisecond range and
+grows with the number of tuples in the tree (more tuples are moved across
+leaves during the rebuild).
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import mean, print_table
+
+from repro.btree import TemplateBTree
+from repro.workloads import NetworkGenerator, TDriveGenerator
+
+CAPACITY = 50_000  # tuples at 100% fill
+FILL_LEVELS = (0.2, 0.4, 0.6, 0.8, 1.0)
+REPEATS = 3
+
+
+def _datasets():
+    return {
+        "T-Drive": TDriveGenerator(n_taxis=400, seed=5).records(CAPACITY),
+        "Network": NetworkGenerator(seed=5).records(CAPACITY),
+    }
+
+
+def run_experiment():
+    """Rows: (dataset, fill %, mean update latency in ms)."""
+    rows = []
+    for dataset, data in _datasets().items():
+        for fill in FILL_LEVELS:
+            n = int(CAPACITY * fill)
+            latencies = []
+            for repeat in range(REPEATS):
+                tree = TemplateBTree(
+                    0, 1 << 32,
+                    n_leaves=max(1, CAPACITY // 256),
+                    fanout=64,
+                    skew_threshold=1e9,  # only the explicit update below
+                )
+                for t in data[:n]:
+                    tree.insert(t)
+                latencies.append(tree.update_template() * 1000.0)
+            rows.append((dataset, int(fill * 100), mean(latencies)))
+    return rows
+
+
+def main():
+    rows = run_experiment()
+    print_table(
+        "Figure 10: template update latency vs fill percentage",
+        ["dataset", "fill %", "update latency (ms)"],
+        rows,
+    )
+
+
+def test_fig10_template_update_latency(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for dataset in ("T-Drive", "Network"):
+        series = [(fill, lat) for d, fill, lat in rows if d == dataset]
+        series.sort()
+        # Latency grows with fill level (more tuples moved).
+        assert series[-1][1] > series[0][1], dataset
+        # Updates stay cheap relative to the work they save (the paper
+        # reports <10 ms in Java; pure Python is roughly an order slower,
+        # see EXPERIMENTS.md).
+        assert all(lat < 500.0 for _fill, lat in series), dataset
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Figure 13: query latency under different subquery dispatch policies.
+
+A real (scaled-down) deployment ingests each dataset and flushes it into
+chunks; then the same batch of queries (0.1 selectivity on both the key
+and the temporal domain, as in Section VI-C2) is executed under each
+dispatch policy, with fresh query servers per policy so cache state is
+comparable.
+
+Paper's ordering reproduced: round-robin is worst (no locality, no load
+balance), the shared queue improves on it via load balance, hashing
+improves on it via cache locality, and LADA -- load balance + cache
+locality + chunk locality -- wins.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import mean, print_table
+
+from repro import Waterwheel, small_config
+from repro.core.coordinator import QueryCoordinator
+from repro.core.dispatch import (
+    HashingDispatch,
+    LadaDispatch,
+    RoundRobinDispatch,
+    SharedQueueDispatch,
+)
+from repro.core.model import KeyInterval, Query, TimeInterval
+from repro.core.query_server import QueryServer
+from repro.workloads import NetworkGenerator, QueryGenerator, TDriveGenerator
+
+N_TUPLES = 40_000
+N_QUERIES = 150
+KEY_SELECTIVITY = 0.1
+TIME_SELECTIVITY = 0.1
+
+
+def _ingest(dataset: str):
+    if dataset == "T-Drive":
+        gen = TDriveGenerator(n_taxis=400, seed=13)
+        key_lo, key_hi = gen.key_domain
+        tuple_size = 36
+    else:
+        gen = NetworkGenerator(seed=13)
+        key_lo, key_hi = gen.key_domain
+        tuple_size = 50
+    cfg = small_config(
+        key_lo=key_lo,
+        key_hi=key_hi,
+        n_nodes=4,
+        query_servers_per_node=2,
+        chunk_bytes=64 * 1024,
+        tuple_size=tuple_size,
+        cache_bytes=256 * 1024,  # small cache so locality matters
+    )
+    ww = Waterwheel(cfg)
+    data = gen.records(N_TUPLES)
+    ww.insert_many(data)
+    ww.flush_all()  # chunk-only queries isolate the dispatch effect
+    now = max(t.ts for t in data)
+    return ww, cfg, key_lo, key_hi, now
+
+
+def run_experiment():
+    """Rows: (dataset, policy, mean query latency ms)."""
+    rows = []
+    for dataset in ("T-Drive", "Network"):
+        ww, cfg, key_lo, key_hi, now = _ingest(dataset)
+        qgen = QueryGenerator(key_lo, key_hi, seed=29)
+        span = now * TIME_SELECTIVITY
+        specs = []
+        for spec in qgen.batch(N_QUERIES, KEY_SELECTIVITY, "recent_60s", now=now):
+            t_lo, t_hi = qgen.time_selectivity_window(TIME_SELECTIVITY, now)
+            specs.append((spec.key_lo, spec.key_hi, t_lo, t_hi))
+
+        policies = {
+            "round_robin": RoundRobinDispatch(),
+            "shared_queue": SharedQueueDispatch(),
+            "hashing": HashingDispatch(),
+            "lada": LadaDispatch(ww.dfs.has_local_replica),
+        }
+        for name, policy in policies.items():
+            # Fresh query servers per policy: cold, equal cache state.
+            servers = [
+                QueryServer(qs.server_id, qs.node_id, cfg, ww.dfs)
+                for qs in ww.query_servers
+            ]
+            coordinator = QueryCoordinator(
+                cfg, ww.metastore, ww.indexing_servers, servers, policy
+            )
+            latencies = [
+                coordinator.execute(
+                    Query(
+                        keys=KeyInterval.closed(k_lo, k_hi),
+                        times=TimeInterval(t_lo, t_hi),
+                    )
+                ).latency
+                * 1000.0
+                for k_lo, k_hi, t_lo, t_hi in specs
+            ]
+            coordinator.close()
+            rows.append((dataset, name, mean(latencies)))
+    return rows
+
+
+def main():
+    print_table(
+        "Figure 13: mean query latency by dispatch policy",
+        ["dataset", "policy", "latency (ms)"],
+        run_experiment(),
+    )
+
+
+def test_fig13_policy_ordering(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for dataset in ("T-Drive", "Network"):
+        lat = {policy: ms for d, policy, ms in rows if d == dataset}
+        # LADA wins outright, by a substantial margin (paper's headline).
+        assert lat["lada"] < 0.8 * lat["round_robin"], dataset
+        assert lat["lada"] < 0.8 * lat["shared_queue"], dataset
+        assert lat["lada"] < 0.8 * lat["hashing"], dataset
+        # Hashing's cache locality beats the locality-blind policies.
+        assert lat["hashing"] < lat["round_robin"], dataset
+        assert lat["hashing"] < lat["shared_queue"], dataset
+
+
+if __name__ == "__main__":
+    main()

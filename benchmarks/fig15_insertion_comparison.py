@@ -1,0 +1,96 @@
+"""Figure 15: insertion throughput vs. HBase-like and Druid-like stores.
+
+The paper reports Waterwheel sustaining >1.5 M tuples/s on 12 nodes -- an
+order of magnitude above HBase and Druid -- because its global partitioning
+isolates fresh from historical data and never re-merges anything.
+
+Here, HBase's handicap is *measured*: the real LSM stores ingest a sample
+of each dataset and their observed write amplification (every byte
+re-merged once per level it descends) feeds the shared pipeline model.
+Druid is charged its realtime segment-building CPU.  Waterwheel's shares
+come from the real adaptive partitioner against the observed key
+histogram.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro.baselines import DruidLike, HBaseLike
+from repro.core.partitioning import KeyPartition
+from repro.simulation import CostModel, PipelineTopology, system_insertion_rate
+from repro.workloads import NetworkGenerator, TDriveGenerator
+
+N_SAMPLE = 50_000
+N_NODES = 12
+
+
+def _datasets():
+    return {
+        "T-Drive": (TDriveGenerator(n_taxis=400, seed=41), 36),
+        "Network": (NetworkGenerator(seed=41), 50),
+    }
+
+
+def run_experiment():
+    """Rows: (dataset, waterwheel, hbase-like, druid-like) tuples/s."""
+    costs = CostModel()
+    topology = PipelineTopology(N_NODES)
+    rows = []
+    for dataset, (gen, tuple_size) in _datasets().items():
+        data = gen.records(N_SAMPLE)
+        key_lo, key_hi = gen.key_domain
+
+        # Waterwheel: shares from the real quantile-fitted partition.
+        partition = KeyPartition.from_sample(
+            key_lo, key_hi, topology.n_indexing, [t.key for t in data]
+        )
+        loads = [0.0] * topology.n_indexing
+        for t in data:
+            loads[partition.server_for(t.key)] += 1.0
+        shares = loads
+        ww_rate = system_insertion_rate(
+            costs, topology, tuple_size, 16 << 20, shares=shares
+        )
+
+        # HBase-like: real LSM ingestion measures write amplification.
+        hbase = HBaseLike(key_lo, key_hi, n_regions=8, memtable_bytes=64 * 1024)
+        hbase.insert_many(data)
+        hbase_rate = hbase.insertion_rate(topology, tuple_size)
+
+        druid = DruidLike()
+        druid_rate = druid.insertion_rate(topology, tuple_size)
+
+        rows.append((dataset, ww_rate, hbase_rate, druid_rate))
+    return rows
+
+
+def main():
+    rows = run_experiment()
+    print_table(
+        f"Figure 15: insertion throughput on {N_NODES} nodes (tuples/s)",
+        ["dataset", "waterwheel", "hbase-like", "druid-like"],
+        rows,
+    )
+    for dataset, ww, hb, dr in rows:
+        print(
+            f"{dataset}: waterwheel is {ww / hb:.1f}x hbase-like, "
+            f"{ww / dr:.1f}x druid-like"
+        )
+
+
+def test_fig15_insertion_comparison(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for dataset, ww, hb, dr in rows:
+        # Paper: over a million tuples/s and an order of magnitude above
+        # both baselines.
+        assert ww > 1_000_000, dataset
+        assert ww > 5 * hb, dataset
+        assert ww > 3 * dr, dataset
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Figure 17: insertion throughput as the cluster grows (16-128 nodes).
+
+The paper scales Waterwheel on EC2 from 16 to 128 nodes and observes
+near-linear growth on both datasets, because (a) the global data
+partitioning lets every indexing server work independently (no
+synchronization) and (b) adaptive key partitioning keeps them evenly
+loaded.
+
+Here each cluster size is evaluated through the shared pipeline model with
+per-server shares produced by the real quantile partitioner over each
+dataset's observed keys.  A contrast series with per-node synchronization
+overhead (what a coordination-bound design would pay) shows why
+"synchronization-free" matters.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro.core.partitioning import KeyPartition
+from repro.simulation import CostModel, PipelineTopology, system_insertion_rate
+from repro.workloads import NetworkGenerator, TDriveGenerator
+
+NODE_COUNTS = (16, 32, 64, 128)
+N_SAMPLE = 50_000
+
+
+def _datasets():
+    return {
+        "T-Drive": (TDriveGenerator(n_taxis=400, seed=43), 36),
+        "Network": (NetworkGenerator(seed=43), 50),
+    }
+
+
+def run_experiment():
+    """Rows: (nodes, tdrive tput, network tput, sync-bound contrast)."""
+    costs = CostModel()
+    samples = {}
+    for dataset, (gen, tuple_size) in _datasets().items():
+        data = gen.records(N_SAMPLE)
+        samples[dataset] = ([t.key for t in data], gen.key_domain, tuple_size)
+
+    rows = []
+    for n_nodes in NODE_COUNTS:
+        topology = PipelineTopology(n_nodes)
+        rates = {}
+        for dataset, (keys, (key_lo, key_hi), tuple_size) in samples.items():
+            partition = KeyPartition.from_sample(
+                key_lo, key_hi, topology.n_indexing, keys
+            )
+            loads = [0.0] * topology.n_indexing
+            for key in keys:
+                loads[partition.server_for(key)] += 1.0
+            rates[dataset] = system_insertion_rate(
+                costs, topology, tuple_size, 16 << 20, shares=loads
+            )
+        sync_bound = system_insertion_rate(
+            costs,
+            topology,
+            36,
+            16 << 20,
+            sync_overhead_per_node=2e-8,
+        )
+        rows.append((n_nodes, rates["T-Drive"], rates["Network"], sync_bound))
+    return rows
+
+
+def main():
+    rows = run_experiment()
+    print_table(
+        "Figure 17: insertion throughput vs cluster size (tuples/s)",
+        ["nodes", "T-Drive", "Network", "sync-bound contrast"],
+        rows,
+    )
+
+
+def test_fig17_near_linear_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_nodes = {r[0]: r for r in rows}
+    for column in (1, 2):  # T-Drive, Network
+        r16 = by_nodes[16][column]
+        r128 = by_nodes[128][column]
+        # Paper: approximately linear from 16 to 128 nodes (8x nodes).
+        assert r128 > 6.0 * r16, column
+        # Monotone increase throughout.
+        series = [by_nodes[n][column] for n in NODE_COUNTS]
+        assert all(a < b for a, b in zip(series, series[1:])), column
+    # The synchronization-bound contrast stops scaling.
+    sync = [by_nodes[n][3] for n in NODE_COUNTS]
+    assert sync[-1] < 4.0 * sync[0]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Print every paper table/figure and ablation in one run.
+
+``pytest benchmarks/ --benchmark-only`` times the harnesses and asserts
+each figure's qualitative shape; this script instead *prints the tables*
+the way the paper reports them -- handy for eyeballing or regenerating
+EXPERIMENTS.md.
+
+Run:  python benchmarks/run_all.py [--skip-slow]
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+import time
+
+HERE = pathlib.Path(__file__).parent
+
+#: Execution order: paper artifacts first, then the extra ablations.
+MODULES = [
+    "table1_capability",
+    "fig07_tree_insertion",
+    "fig08_09_mixed_workloads",
+    "fig10_template_update",
+    "fig11_chunk_size",
+    "fig12_adaptive_partitioning",
+    "fig13_dispatch_policies",
+    "fig14_16_query_comparison",
+    "fig15_insertion_comparison",
+    "fig17_scalability",
+    "ablation_bloom",
+    "ablation_skew_threshold",
+    "ablation_late_arrival",
+    "ablation_secondary",
+    "ablation_cache_size",
+    "ablation_compaction",
+    "wallclock_throughput",
+]
+
+SLOW = {"ablation_secondary", "ablation_cache_size"}
+
+
+def load(name: str):
+    """Import a benchmark module by file path (the directory is not a
+    package)."""
+    spec = importlib.util.spec_from_file_location(name, HERE / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    skip_slow = "--skip-slow" in argv
+    started = time.perf_counter()
+    for name in MODULES:
+        if skip_slow and name in SLOW:
+            print(f"\n=== {name} skipped (--skip-slow) ===")
+            continue
+        module_start = time.perf_counter()
+        load(name).main()
+        print(f"[{name} took {time.perf_counter() - module_start:.1f}s]")
+    print(f"\nall benches printed in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

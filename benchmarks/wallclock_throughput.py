@@ -1,0 +1,117 @@
+"""Wall-clock throughput of the pure-Python prototype.
+
+The figure benches report simulated rates from the cost model; this one
+reports what the *prototype itself* sustains in real time on one CPU --
+tree inserts per second, end-to-end facade inserts per second, and query
+rates -- so readers can calibrate expectations (the paper's repro band
+notes throughput goals are hard to hit in Python; this quantifies it).
+
+Unlike the figure benches, these numbers use pytest-benchmark's normal
+multi-round timing.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro import DataTuple, Waterwheel, small_config
+from repro.btree import TemplateBTree
+
+N_TUPLES = 20_000
+
+
+def _tuples(n=N_TUPLES, seed=7):
+    rng = random.Random(seed)
+    return [
+        DataTuple(rng.randrange(0, 1 << 20), i * 0.001, payload=i, size=32)
+        for i in range(n)
+    ]
+
+
+def tree_insert_run(data):
+    tree = TemplateBTree(0, 1 << 20, n_leaves=max(1, len(data) // 256), fanout=64)
+    for t in data:
+        tree.insert(t)
+    return tree
+
+
+def system_insert_run(data):
+    ww = Waterwheel(small_config(key_lo=0, key_hi=1 << 20, chunk_bytes=64 * 1024))
+    ww.insert_many(data)
+    return ww
+
+
+def query_run(ww, specs):
+    total = 0
+    for k_lo, k_hi, t_lo, t_hi in specs:
+        total += len(ww.query(k_lo, k_hi, t_lo, t_hi))
+    return total
+
+
+def main():
+    import time
+
+    data = _tuples()
+    started = time.perf_counter()
+    tree_insert_run(data)
+    tree_rate = len(data) / (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    ww = system_insert_run(data)
+    system_rate = len(data) / (time.perf_counter() - started)
+
+    rng = random.Random(9)
+    specs = [
+        (lo := rng.randrange(0, (1 << 20) - (1 << 17)), lo + (1 << 17), 0.0, 20.0)
+        for _ in range(50)
+    ]
+    started = time.perf_counter()
+    query_run(ww, specs)
+    query_rate = len(specs) / (time.perf_counter() - started)
+
+    print_table(
+        "Prototype wall-clock rates (single CPU, pure Python)",
+        ["metric", "rate"],
+        [
+            ("template tree inserts/s", tree_rate),
+            ("end-to-end facade inserts/s", system_rate),
+            ("queries/s (12.5% key selectivity)", query_rate),
+        ],
+    )
+
+
+def test_wallclock_tree_insert(benchmark):
+    data = _tuples()
+    benchmark(tree_insert_run, data)
+    per_op = benchmark.stats.stats.mean / len(data)
+    # Sanity floor: a pure-Python template tree insert stays under 50 us.
+    assert per_op < 50e-6
+
+
+def test_wallclock_system_insert(benchmark):
+    data = _tuples(5_000)
+    benchmark.pedantic(system_insert_run, args=(data,), rounds=3, iterations=1)
+    per_op = benchmark.stats.stats.mean / len(data)
+    # Full pipeline (dispatch + log + index + flush) under 150 us/tuple.
+    assert per_op < 150e-6
+
+
+def test_wallclock_query(benchmark):
+    data = _tuples()
+    ww = system_insert_run(data)
+    rng = random.Random(9)
+    specs = [
+        (lo := rng.randrange(0, (1 << 20) - (1 << 17)), lo + (1 << 17), 0.0, 20.0)
+        for _ in range(20)
+    ]
+    benchmark.pedantic(query_run, args=(ww, specs), rounds=3, iterations=1)
+    per_query = benchmark.stats.stats.mean / len(specs)
+    assert per_query < 0.5  # each query completes in under 500 ms wall
+
+
+if __name__ == "__main__":
+    main()

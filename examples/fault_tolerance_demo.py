@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fault tolerance walkthrough (paper Section V).
+
+Demonstrates the three recovery paths: an indexing server rebuilding its
+in-memory tree from the durable log, query-server failures being absorbed
+by re-dispatch, and a coordinator failover that reconstructs its region
+catalog from the metadata store.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+import random
+
+from repro import Waterwheel, small_config
+
+
+def checksum(ww, t_hi):
+    res = ww.query(0, 10_000, 0.0, t_hi)
+    return len(res), sorted(t.payload for t in res.tuples)
+
+
+def main() -> None:
+    ww = Waterwheel(small_config(n_nodes=3))
+    rng = random.Random(9)
+    print("ingesting 8,000 tuples ...")
+    for i in range(8_000):
+        ww.insert_record(key=rng.randrange(0, 10_000), ts=i * 0.01, payload=i)
+    baseline_count, baseline = checksum(ww, 80.0)
+    print(f"  -> {ww.chunk_count} chunks, {ww.in_memory_tuples} fresh tuples; "
+          f"full scan sees {baseline_count} tuples")
+
+    # --- 1. indexing server crash + log replay -----------------------------
+    victim = 0
+    unflushed = ww.indexing_servers[victim].in_memory_tuples
+    print(f"\n[1] killing indexing server {victim} "
+          f"({unflushed} unflushed in-memory tuples lost)")
+    ww.kill_indexing_server(victim)
+    degraded_count, _ = checksum(ww, 80.0)
+    print(f"    while down, queries see {degraded_count} tuples "
+          f"(flushed chunks are safe, fresh data invisible)")
+    replayed = ww.recover_indexing_server(victim)
+    recovered_count, recovered = checksum(ww, 80.0)
+    print(f"    recovered by replaying {replayed} tuples from the durable log")
+    assert recovered == baseline, "recovery lost data!"
+    print(f"    full scan again sees {recovered_count} tuples -- no data loss")
+
+    # --- 2. query server failures -------------------------------------------
+    n_qs = len(ww.query_servers)
+    print(f"\n[2] killing {n_qs - 1} of {n_qs} query servers")
+    for qs in range(n_qs - 1):
+        ww.kill_query_server(qs)
+    count, tuples = checksum(ww, 80.0)
+    assert tuples == baseline
+    print(f"    queries still complete on the survivor: {count} tuples")
+    for qs in range(n_qs - 1):
+        ww.recover_query_server(qs)
+
+    # --- 3. coordinator failover ----------------------------------------------
+    print(f"\n[3] crashing the query coordinator "
+          f"(catalog had {ww.coordinator.catalog_size} regions)")
+    ww.crash_coordinator()
+    print(f"    standby rebuilt the catalog from the metadata store: "
+          f"{ww.coordinator.catalog_size} regions")
+    count, tuples = checksum(ww, 80.0)
+    assert tuples == baseline
+    print(f"    queries correct after failover: {count} tuples")
+
+    print("\nall three recovery paths preserved query results exactly.")
+
+
+if __name__ == "__main__":
+    main()

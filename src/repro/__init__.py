@@ -1,0 +1,47 @@
+"""Waterwheel reproduction: realtime indexing and temporal range queries.
+
+Public entry points::
+
+    from repro import Waterwheel, WaterwheelConfig, small_config, DataTuple
+    from repro import AttributeSpec, ChunkCompactor, verify_system, snapshot
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.compaction import ChunkCompactor
+from repro.core.config import WaterwheelConfig, small_config
+from repro.core.geo import geo_query
+from repro.core.model import (
+    DataTuple,
+    KeyInterval,
+    Query,
+    QueryResult,
+    Region,
+    SubQuery,
+    TimeInterval,
+)
+from repro.core.stats import snapshot
+from repro.core.system import Waterwheel
+from repro.core.verify import verify_system
+from repro.secondary import AttributeSpec
+
+__all__ = [
+    "DataTuple",
+    "KeyInterval",
+    "TimeInterval",
+    "Region",
+    "Query",
+    "SubQuery",
+    "QueryResult",
+    "Waterwheel",
+    "WaterwheelConfig",
+    "small_config",
+    "AttributeSpec",
+    "ChunkCompactor",
+    "geo_query",
+    "snapshot",
+    "verify_system",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Comparison baselines: LSM storage engine, HBase-like and Druid-like."""
+
+from repro.baselines.druid_like import DruidLike
+from repro.baselines.hbase_like import HBaseLike
+from repro.baselines.lsm import LSMStats, LSMStore, SSTable
+
+__all__ = ["DruidLike", "HBaseLike", "LSMStore", "LSMStats", "SSTable"]

@@ -1,0 +1,147 @@
+"""Druid-like baseline: time-partitioned segments without a key-range index.
+
+Models the timeseries-store side of the paper's comparison (Figures 14-16):
+ingestion appends tuples to the segment covering their timestamp window;
+queries prune by segment time window, but inside a segment every row must
+be scanned and tested against the key-range criterion because only
+time (and exact-value bitmap indexes, useless for ranges) is indexed.
+Hence its latency is governed by the *temporal* selectivity and stays flat
+as key selectivity varies -- high for wide time ranges, insensitive to keys.
+
+Ingestion pays realtime-node segment building (columnarization + bitmap
+index construction), giving it the modest insertion ceiling seen in
+Figure 15.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional
+
+from repro.core.model import DataTuple, Predicate, QueryResult
+from repro.simulation.costs import DEFAULT_COSTS, CostModel
+from repro.simulation.pipeline import PipelineTopology, system_insertion_rate
+
+#: Extra per-tuple CPU at the realtime node: row parsing, dictionary
+#: encoding, column building and bitmap-index maintenance.  Druid's own
+#: published ingestion numbers (~10-25 K rows/s per realtime task) put the
+#: effective per-row cost in the tens of microseconds.
+_SEGMENT_BUILD_CPU = 18.0e-6
+
+
+class DruidLike:
+    """Segments keyed by time window; rows unindexed on key."""
+
+    def __init__(
+        self,
+        segment_duration: float = 60.0,
+        n_historicals: int = 12,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        if segment_duration <= 0:
+            raise ValueError("segment_duration must be positive")
+        if n_historicals < 1:
+            raise ValueError("need at least one historical node")
+        self.segment_duration = segment_duration
+        self.n_historicals = n_historicals
+        self.costs = costs
+        self._segments: Dict[int, List[DataTuple]] = {}
+        self._access_seed = itertools.count()
+        self.tuples_inserted = 0
+
+    def _window(self, ts: float) -> int:
+        return int(math.floor(ts / self.segment_duration))
+
+    # --- writes ---------------------------------------------------------------
+
+    def insert(self, t: DataTuple) -> None:
+        """Append the tuple to its time-window segment."""
+        self._segments.setdefault(self._window(t.ts), []).append(t)
+        self.tuples_inserted += 1
+
+    def insert_many(self, tuples) -> None:
+        """Ingest a batch."""
+        for t in tuples:
+            self.insert(t)
+
+    # --- reads -------------------------------------------------------------------
+
+    def query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float,
+        t_hi: float,
+        predicate: Optional[Predicate] = None,
+    ) -> QueryResult:
+        """Real scan plus simulated latency.
+
+        Segments overlapping the time range are fanned out across the
+        historical nodes; each segment is fully scanned (no key index) and
+        the broker's latency is the slowest node plus result transfer.
+        """
+        result = QueryResult(query_id=0)
+        first = self._window(t_lo)
+        last = self._window(t_hi)
+        node_cost = [0.0] * self.n_historicals
+        for slot, window in enumerate(range(first, last + 1)):
+            rows = self._segments.get(window)
+            if not rows:
+                continue
+            result.subquery_count += 1
+            matched_bytes = 0
+            for t in rows:
+                if (
+                    key_lo <= t.key <= key_hi
+                    and t_lo <= t.ts <= t_hi
+                    and (predicate is None or predicate(t))
+                ):
+                    result.tuples.append(t)
+                    matched_bytes += t.size
+            cost = (
+                self.costs.dfs_access_latency(next(self._access_seed))
+                + len(rows) * self.costs.scan_cpu
+            )
+            node_cost[slot % self.n_historicals] += cost
+        tuple_bytes = sum(t.size for t in result.tuples)
+        result.latency = (
+            2 * self.costs.network_latency
+            + max(node_cost)
+            + self.costs.network_transfer(tuple_bytes)
+        )
+        return result
+
+    # --- derived performance quantities ---------------------------------------------
+
+    def insertion_rate(
+        self,
+        topology: PipelineTopology,
+        tuple_size: int = 50,
+        segment_bytes: int = 64 << 20,
+    ) -> float:
+        """Sustainable ingestion under the shared pipeline model, charging
+        realtime-node segment building per tuple."""
+        return system_insertion_rate(
+            self.costs,
+            topology,
+            tuple_size,
+            chunk_bytes=segment_bytes,
+            base_insert_cpu=self.costs.index_insert_cpu,
+            extra_cpu_per_tuple=_SEGMENT_BUILD_CPU,
+            flush_bytes_per_tuple=float(tuple_size),
+        )
+
+    # --- introspection ---------------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        """Number of materialized time segments."""
+        return len(self._segments)
+
+    def all_tuples(self) -> List[DataTuple]:
+        """Every stored tuple, segment by segment."""
+        out: List[DataTuple] = []
+        for rows in self._segments.values():
+            out.extend(rows)
+        return out

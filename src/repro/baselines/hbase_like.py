@@ -1,0 +1,158 @@
+"""HBase-like baseline: a distributed sorted KV store over LSM regions.
+
+Models what the paper compares against in Figures 14-16: data tuples keyed
+by index key in a range-partitioned table of LSM region stores.  Key-range
+scans are efficient (seek + scan); the temporal criterion is *not* indexed,
+so every tuple in the key range is read and tested -- which is why its query
+latency grows with key selectivity while Waterwheel's stays flat-ish.
+
+Ingestion suffers the LSM's write amplification: the real compactions of
+:class:`repro.baselines.lsm.LSMStore` are measured, and the resulting
+amplification feeds the shared pipeline model for Figure 15's
+insertion-throughput comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.baselines.lsm import LSMStore
+from repro.core.model import DataTuple, Predicate, QueryResult
+from repro.core.partitioning import KeyPartition
+from repro.simulation.costs import DEFAULT_COSTS, CostModel
+from repro.simulation.pipeline import PipelineTopology, system_insertion_rate
+
+
+class HBaseLike:
+    """Range-partitioned table of LSM region stores."""
+
+    def __init__(
+        self,
+        key_lo: int = 0,
+        key_hi: int = 1 << 32,
+        n_regions: int = 12,
+        memtable_bytes: int = 1 << 20,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        if n_regions < 1:
+            raise ValueError("need at least one region")
+        self.partition = KeyPartition.uniform(key_lo, key_hi, n_regions)
+        self.regions: List[LSMStore] = [
+            LSMStore(memtable_bytes=memtable_bytes)
+            for _ in range(self.partition.n_intervals)
+        ]
+        self.costs = costs
+        self._access_seed = itertools.count()
+        self.tuples_inserted = 0
+
+    # --- writes ------------------------------------------------------------------
+
+    def insert(self, t: DataTuple) -> None:
+        """Route the tuple to its region's LSM store."""
+        self.regions[self.partition.server_for(t.key)].insert(t)
+        self.tuples_inserted += 1
+
+    def insert_many(self, tuples) -> None:
+        """Ingest a batch."""
+        for t in tuples:
+            self.insert(t)
+
+    def flush_all(self) -> None:
+        """Flush every region's memtable (shutdown/tests)."""
+        for region in self.regions:
+            region.flush_memtable()
+
+    # --- reads ---------------------------------------------------------------------
+
+    def query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float = float("-inf"),
+        t_hi: float = float("inf"),
+        predicate: Optional[Predicate] = None,
+    ) -> QueryResult:
+        """Real scan plus simulated latency.
+
+        Region servers execute in parallel; each pays one storefile access
+        per SSTable touched plus CPU per tuple examined.  Latency is the
+        slowest region plus result transfer.
+        """
+        result = QueryResult(query_id=0)
+        slowest = 0.0
+        for server, region in enumerate(self.regions):
+            interval = self.partition.interval(server)
+            if key_hi < interval.lo or key_lo >= interval.hi:
+                continue
+            tuples, stats = region.range_query(key_lo, key_hi, t_lo, t_hi, predicate)
+            result.tuples.extend(tuples)
+            examined = stats.tuples_examined + stats.memtable_examined
+            region_cost = examined * self.costs.scan_cpu
+            for _ in range(stats.sstables_touched):
+                region_cost += self.costs.dfs_access_latency(next(self._access_seed))
+            slowest = max(slowest, region_cost)
+            result.subquery_count += 1
+        tuple_bytes = sum(t.size for t in result.tuples)
+        result.latency = (
+            2 * self.costs.network_latency
+            + slowest
+            + self.costs.network_transfer(tuple_bytes)
+        )
+        return result
+
+    # --- derived performance quantities ------------------------------------------------
+
+    @property
+    def write_amplification(self) -> float:
+        """Measured bytes-written per byte-ingested across all regions."""
+        ingested = sum(r.stats.bytes_ingested for r in self.regions)
+        written = sum(
+            r.stats.bytes_flushed + r.stats.bytes_compacted for r in self.regions
+        )
+        if ingested == 0:
+            return 1.0
+        return written / ingested
+
+    #: Per-mutation write-path overhead outside the memtable itself: the
+    #: client RPC, WAL append and MVCC bookkeeping HBase pays per put (it
+    #: cannot batch an arbitrary external stream the way an ingest-owned
+    #: pipeline can).  ~20 us/op matches the ~100 K put/s ceiling the paper
+    #: measured on its 12-node HBase deployment.
+    WAL_RPC_CPU = 20e-6
+
+    def insertion_rate(
+        self,
+        topology: PipelineTopology,
+        tuple_size: int = 50,
+        memtable_flush_bytes: int = 1 << 20,
+    ) -> float:
+        """Sustainable ingestion rate under the shared pipeline model.
+
+        Each ingested tuple costs RPC + WAL + memtable insert CPU up front
+        and is then re-merged ``write_amp - 1`` more times by compaction,
+        paying both merge CPU and storage write bandwidth each time.  The
+        write amplification is *measured* from this store's real LSM runs.
+        """
+        amp = self.write_amplification
+        extra_cpu = (
+            self.WAL_RPC_CPU
+            + self.costs.merge_cpu * max(0.0, amp - 1.0)
+            + self.costs.serialize_cpu  # WAL serialization
+        )
+        return system_insertion_rate(
+            self.costs,
+            topology,
+            tuple_size,
+            chunk_bytes=memtable_flush_bytes,
+            base_insert_cpu=self.costs.index_insert_cpu_concurrent,
+            extra_cpu_per_tuple=extra_cpu,
+            flush_bytes_per_tuple=tuple_size * amp,
+        )
+
+    def all_tuples(self) -> List[DataTuple]:
+        """Every stored tuple across all regions."""
+        out: List[DataTuple] = []
+        for region in self.regions:
+            out.extend(region.all_tuples())
+        return out

@@ -1,0 +1,6 @@
+"""Bloom filters and the per-leaf temporal mini-range sketches."""
+
+from repro.bloom.filter import BloomFilter, optimal_parameters
+from repro.bloom.temporal import TemporalSketch, minirange_ids
+
+__all__ = ["BloomFilter", "optimal_parameters", "TemporalSketch", "minirange_ids"]

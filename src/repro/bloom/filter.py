@@ -1,0 +1,104 @@
+"""A classic bloom filter with double hashing.
+
+Used by the temporal sketches attached to B+ tree leaves (paper Section
+IV-B): membership of time *mini-ranges* lets subqueries skip leaves that
+cannot contain temporally-matching tuples.  False positives only cost an
+unnecessary leaf read; there are no false negatives, so query results stay
+correct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+
+def optimal_parameters(expected_items: int, fp_rate: float) -> "tuple[int, int]":
+    """Return (bits, hash_count) sized for ``expected_items`` at ``fp_rate``."""
+    if expected_items < 1:
+        raise ValueError("expected_items must be >= 1")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError("fp_rate must be in (0, 1)")
+    bits = math.ceil(-expected_items * math.log(fp_rate) / (math.log(2) ** 2))
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return max(8, bits), hashes
+
+
+class BloomFilter:
+    """Fixed-size bloom filter over hashable items.
+
+    The two base hashes come from Python's ``hash`` salted two ways; the
+    ``i``-th probe is ``h1 + i * h2`` (Kirsch-Mitzenmacher double hashing).
+    """
+
+    __slots__ = ("n_bits", "n_hashes", "_bits", "n_added")
+
+    def __init__(self, n_bits: int, n_hashes: int):
+        if n_bits < 8:
+            raise ValueError("n_bits must be >= 8")
+        if n_hashes < 1:
+            raise ValueError("n_hashes must be >= 1")
+        # Round up to a whole number of bytes so to_bytes()/from_bytes()
+        # reconstruct the exact same probe space.
+        self.n_bits = (n_bits + 7) // 8 * 8
+        self.n_hashes = n_hashes
+        self._bits = bytearray((n_bits + 7) // 8)
+        self.n_added = 0
+
+    @classmethod
+    def with_capacity(cls, expected_items: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """A filter sized for ``expected_items`` at the target FP rate."""
+        bits, hashes = optimal_parameters(expected_items, fp_rate)
+        return cls(bits, hashes)
+
+    def _probes(self, item: Hashable) -> Iterable[int]:
+        h1 = hash((item, 0x9E3779B9))
+        h2 = hash((item, 0x7F4A7C15)) | 1  # odd, so probes cycle the table
+        for i in range(self.n_hashes):
+            yield (h1 + i * h2) % self.n_bits
+
+    def add(self, item: Hashable) -> None:
+        """Insert one item."""
+        for bit in self._probes(item):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self.n_added += 1
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        """Insert every item."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return all(self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(item))
+
+    def might_contain_any(self, items: Iterable[Hashable]) -> bool:
+        """True when any probe hits (possible false positive)."""
+        return any(item in self for item in items)
+
+    def clear(self) -> None:
+        """Reset to the empty filter."""
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self.n_added = 0
+
+    def estimated_fp_rate(self) -> float:
+        """FP probability given the actual number of items added."""
+        if self.n_added == 0:
+            return 0.0
+        exponent = -self.n_hashes * self.n_added / self.n_bits
+        return (1.0 - math.exp(exponent)) ** self.n_hashes
+
+    def to_bytes(self) -> bytes:
+        """The raw bit array (pair with ``n_hashes`` to reconstruct)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, n_hashes: int, n_added: int = 0) -> "BloomFilter":
+        """Reconstruct a filter from :meth:`to_bytes` output."""
+        bf = cls(len(data) * 8, n_hashes)
+        bf._bits = bytearray(data)
+        bf.n_added = n_added
+        return bf
+
+    def __len__(self) -> int:
+        return self.n_added

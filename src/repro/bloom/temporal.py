@@ -1,0 +1,96 @@
+"""Temporal sketches: per-leaf bloom filters over time mini-ranges.
+
+Paper Section IV-B: tuples are indexed only on key, so a subquery must visit
+every leaf matching its key range even when the temporal criterion would
+reject all of that leaf's tuples.  To skip such leaves, the time domain is
+cut into fixed-width *mini-ranges*; each leaf carries a bloom filter of the
+mini-range ids its tuples cover, stored alongside the leaf reference in the
+last-level inner nodes.
+
+Mini-range ids are ints (``floor(ts / granularity)``), which hash stably
+across processes, so sketches survive chunk serialization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.bloom.filter import BloomFilter
+
+#: Give up probing and conservatively report "might match" when a query
+#: spans more mini-ranges than this; a very wide temporal range will almost
+#: certainly hit the leaf anyway and probing would cost more than it saves.
+_MAX_PROBES = 64
+
+
+def minirange_ids(t_lo: float, t_hi: float, granularity: float) -> Iterable[int]:
+    """Ids of all mini-ranges intersecting the closed interval [t_lo, t_hi]."""
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    first = int(t_lo // granularity)
+    last = int(t_hi // granularity)
+    return range(first, last + 1)
+
+
+class TemporalSketch:
+    """Bloom filter over the time mini-ranges covered by one leaf node."""
+
+    __slots__ = ("granularity", "_filter")
+
+    def __init__(
+        self,
+        granularity: float = 1.0,
+        expected_items: int = 256,
+        fp_rate: float = 0.01,
+        _filter: Optional[BloomFilter] = None,
+    ):
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+        self._filter = _filter or BloomFilter.with_capacity(expected_items, fp_rate)
+
+    def add_timestamp(self, ts: float) -> None:
+        """Record one tuple timestamp's mini-range."""
+        self._filter.add(int(ts // self.granularity))
+
+    def add_timestamps(self, timestamps: Iterable[float]) -> None:
+        """Record every timestamp's mini-range."""
+        for ts in timestamps:
+            self.add_timestamp(ts)
+
+    def might_overlap(self, t_lo: float, t_hi: float) -> bool:
+        """False means *no* tuple in the leaf falls within [t_lo, t_hi];
+        True means the leaf must be read (possibly a false positive)."""
+        if math.isinf(t_lo) or math.isinf(t_hi):
+            return True  # unbounded window: probing cannot help
+        ids = minirange_ids(t_lo, t_hi, self.granularity)
+        if len(ids) > _MAX_PROBES:
+            return True
+        return self._filter.might_contain_any(ids)
+
+    def clear(self) -> None:
+        """Reset the sketch (leaf emptied on flush)."""
+        self._filter.clear()
+
+    # --- serialization (chunk format) --------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The underlying bloom filter's bit array."""
+        return self._filter.to_bytes()
+
+    @property
+    def n_hashes(self) -> int:
+        return self._filter.n_hashes
+
+    @property
+    def n_added(self) -> int:
+        return self._filter.n_added
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, n_hashes: int, granularity: float, n_added: int = 0
+    ) -> "TemporalSketch":
+        """Reconstruct a sketch from :meth:`to_bytes` output."""
+        bf = BloomFilter.from_bytes(data, n_hashes, n_added)
+        return cls(granularity=granularity, _filter=bf)

@@ -1,0 +1,42 @@
+"""The B+ tree family: template-based, concurrent baseline, bulk loader."""
+
+from repro.btree.breakdown import (
+    Breakdown,
+    measure_insertion_breakdown,
+    simulated_insertion_breakdown,
+)
+from repro.btree.bulk import BulkLoadedBTree
+from repro.btree.concurrent import ConcurrentBTree
+from repro.btree.latched import LatchedTemplateBTree, RWLock
+from repro.btree.nodes import InnerNode, LeafNode, ScanStats, TreeStats
+from repro.btree.template import TemplateBTree, build_inner_template
+from repro.btree.trace import (
+    TraceCosts,
+    bulk_load_ops,
+    record_concurrent_insert_ops,
+    record_concurrent_read_ops,
+    record_template_insert_ops,
+    record_template_read_ops,
+)
+
+__all__ = [
+    "Breakdown",
+    "measure_insertion_breakdown",
+    "simulated_insertion_breakdown",
+    "BulkLoadedBTree",
+    "ConcurrentBTree",
+    "LatchedTemplateBTree",
+    "RWLock",
+    "InnerNode",
+    "LeafNode",
+    "ScanStats",
+    "TreeStats",
+    "TemplateBTree",
+    "build_inner_template",
+    "TraceCosts",
+    "bulk_load_ops",
+    "record_concurrent_insert_ops",
+    "record_concurrent_read_ops",
+    "record_template_insert_ops",
+    "record_template_read_ops",
+]

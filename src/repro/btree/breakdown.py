@@ -1,0 +1,172 @@
+"""Insertion-time breakdown (paper Figure 7b).
+
+Runs the same tuple batch through each tree variant with wall-clock
+instrumentation enabled and reports where the time went: node splits for the
+concurrent tree, data sorting for the bulk loader, template updates for the
+template tree, and plain insert work for all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.btree.bulk import BulkLoadedBTree
+from repro.btree.concurrent import ConcurrentBTree
+from repro.btree.template import TemplateBTree
+from repro.core.model import DataTuple
+
+
+@dataclass
+class Breakdown:
+    """Seconds spent per component for one tree variant."""
+
+    tree: str
+    pure_insert: float = 0.0
+    node_split: float = 0.0
+    sort: float = 0.0
+    build: float = 0.0
+    template_update: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of every component."""
+        return (
+            self.pure_insert
+            + self.node_split
+            + self.sort
+            + self.build
+            + self.template_update
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for printing."""
+        return {
+            "pure_insert": self.pure_insert,
+            "node_split": self.node_split,
+            "sort": self.sort,
+            "build": self.build,
+            "template_update": self.template_update,
+            "total": self.total,
+        }
+
+
+def measure_insertion_breakdown(
+    tuples: Iterable[DataTuple],
+    key_lo: int,
+    key_hi: int,
+    fanout: int = 64,
+    leaf_capacity: int = 64,
+    n_leaves: int = None,
+) -> List[Breakdown]:
+    """Insert the batch into each variant and return its time breakdown."""
+    data = list(tuples)
+    if n_leaves is None:
+        n_leaves = max(1, len(data) // leaf_capacity)
+
+    concurrent = ConcurrentBTree(
+        fanout=fanout, leaf_capacity=leaf_capacity, record_timings=True
+    )
+    for t in data:
+        concurrent.insert(t)
+    concurrent_breakdown = Breakdown(
+        tree="concurrent",
+        pure_insert=concurrent.stats.insert_seconds
+        - concurrent.stats.split_seconds,
+        node_split=concurrent.stats.split_seconds,
+    )
+
+    bulk = BulkLoadedBTree(data, fanout=fanout, leaf_capacity=leaf_capacity)
+    bulk_breakdown = Breakdown(
+        tree="bulk",
+        sort=bulk.stats.sort_seconds,
+        build=bulk.stats.build_seconds,
+    )
+
+    template = TemplateBTree(
+        key_lo,
+        key_hi,
+        n_leaves=n_leaves,
+        fanout=fanout,
+        record_timings=True,
+    )
+    for t in data:
+        template.insert(t)
+    template_breakdown = Breakdown(
+        tree="template",
+        pure_insert=template.stats.insert_seconds,
+        template_update=template.stats.template_update_seconds,
+    )
+
+    return [concurrent_breakdown, bulk_breakdown, template_breakdown]
+
+
+def simulated_insertion_breakdown(
+    tuples: Iterable[DataTuple],
+    key_lo: int,
+    key_hi: int,
+    costs=None,
+    fanout: int = 64,
+    leaf_capacity: int = 64,
+    n_leaves: int = None,
+    warm_template: bool = True,
+) -> List[Breakdown]:
+    """Insertion-time breakdown in the same per-operation cost units as the
+    thread-scaling simulation (Figure 7a).
+
+    Event counts come from really inserting the batch into each structure
+    (splits that actually happened, tuples actually moved by template
+    updates); each event is priced by :class:`repro.btree.trace.TraceCosts`,
+    so Figures 7a and 7b tell one consistent story.
+
+    ``warm_template`` pre-fits the template to a sample of the batch first,
+    matching steady-state operation where the template is recycled across
+    chunk flushes (Section III-B) -- without it, the one-off bootstrap
+    rebuild from the uniform initial template dominates the measurement.
+    """
+    from repro.btree.trace import TraceCosts
+
+    costs = costs or TraceCosts()
+    data = list(tuples)
+    n = len(data)
+    if n_leaves is None:
+        # Target ~256 tuples per template leaf: with much smaller leaves the
+        # skewness statistic (Eq. 1) trips on Poisson noise alone.
+        n_leaves = max(1, n // 256)
+
+    concurrent = ConcurrentBTree(fanout=fanout, leaf_capacity=leaf_capacity)
+    for t in data:
+        concurrent.insert(t)
+    per_insert = costs.traverse_per_level * max(1, concurrent.height - 1)
+    per_insert += costs.leaf_insert
+    concurrent_breakdown = Breakdown(
+        tree="concurrent",
+        pure_insert=n * per_insert,
+        node_split=concurrent.stats.splits * costs.leaf_split,
+    )
+
+    bulk_breakdown = Breakdown(
+        tree="bulk",
+        sort=n * costs.leaf_insert * 1.4,
+        build=n * costs.leaf_insert * 0.5,
+    )
+
+    template = TemplateBTree(key_lo, key_hi, n_leaves=n_leaves, fanout=fanout)
+    if warm_template and data:
+        for t in data[: max(1, n // 10)]:
+            template.insert(t)
+        template.update_template()
+        template.reset_leaves()
+        template.stats = type(template.stats)()
+    for t in data:
+        template.insert(t)
+    per_insert = costs.traverse_per_level * max(1, template.height - 1)
+    per_insert += costs.leaf_insert
+    moved = template.stats.extra.get("tuples_moved", 0)
+    template_breakdown = Breakdown(
+        tree="template",
+        pure_insert=n * per_insert,
+        template_update=moved * costs.leaf_insert * 0.25,
+    )
+
+    return [concurrent_breakdown, bulk_breakdown, template_breakdown]

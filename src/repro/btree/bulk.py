@@ -1,0 +1,118 @@
+"""Bulk-loading B+ tree baseline (paper Section VI-A).
+
+Sorts the whole batch of tuples first, then builds the index bottom-up --
+the classic textbook bulk loader.  No tuple is visible until the build
+completes, which is why the paper evaluates only its insertion cost, not
+its query latency; we keep queries implemented anyway for testing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Tuple
+
+from repro.btree.nodes import InnerNode, LeafNode, ScanStats, TreeStats, scan_leaf_run
+from repro.btree.template import build_inner_template
+from repro.bloom.temporal import TemporalSketch
+from repro.core.model import DataTuple, Predicate
+
+
+class BulkLoadedBTree:
+    """Immutable B+ tree built bottom-up from a batch of tuples."""
+
+    def __init__(
+        self,
+        tuples: Iterable[DataTuple],
+        fanout: int = 64,
+        leaf_capacity: int = 64,
+        sketch_granularity: Optional[float] = None,
+        presorted: bool = False,
+    ):
+        if fanout < 2 or leaf_capacity < 1:
+            raise ValueError("fanout must be >= 2, leaf_capacity >= 1")
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self.sketch_granularity = sketch_granularity
+        self.stats = TreeStats()
+
+        data = list(tuples)
+        started = time.perf_counter()
+        if not presorted:
+            data.sort(key=lambda t: t.key)
+        self.stats.sort_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self._leaves = self._build_leaves(data)
+        if len(self._leaves) == 1:
+            self._root: object = self._leaves[0]
+            self._height = 1
+        else:
+            separators = [leaf.keys[0] for leaf in self._leaves[1:]]
+            self._root, self._height = build_inner_template(
+                list(self._leaves), separators, fanout
+            )
+        self.stats.build_seconds = time.perf_counter() - started
+        self.stats.inserts = len(data)
+        self._size = len(data)
+
+    def _build_leaves(self, data: List[DataTuple]) -> List[LeafNode]:
+        leaves: List[LeafNode] = []
+        for start in range(0, max(1, len(data)), self.leaf_capacity):
+            run = data[start : start + self.leaf_capacity]
+            leaf = LeafNode()
+            leaf.keys = [t.key for t in run]
+            leaf.tuples = run
+            if self.sketch_granularity is not None:
+                sketch = TemporalSketch(
+                    granularity=self.sketch_granularity,
+                    expected_items=max(64, len(run)),
+                )
+                for t in run:
+                    sketch.add_timestamp(t.ts)
+                leaf.sketch = sketch
+            leaves.append(leaf)
+            if not data:
+                break
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+        return leaves
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (1 = a single leaf)."""
+        return self._height
+
+    def range_query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float = float("-inf"),
+        t_hi: float = float("inf"),
+        predicate: Optional[Predicate] = None,
+        use_sketch: bool = True,
+    ) -> Tuple[List[DataTuple], ScanStats]:
+        """All tuples in the inclusive key range and time window."""
+        stats = ScanStats()
+        node = self._root
+        while isinstance(node, InnerNode):
+            stats.inner_nodes_visited += 1
+            node = node.child_for_scan(key_lo)
+        out: List[DataTuple] = []
+        scan_leaf_run(
+            node, key_lo, key_hi, t_lo, t_hi, predicate, use_sketch, stats, out
+        )
+        return out, stats
+
+    def leaves(self) -> List[LeafNode]:
+        """Every leaf, left to right."""
+        return list(self._leaves)
+
+    def all_tuples(self) -> List[DataTuple]:
+        """Every stored tuple, key-ordered."""
+        out: List[DataTuple] = []
+        for leaf in self._leaves:
+            out.extend(leaf.tuples)
+        return out

@@ -1,0 +1,203 @@
+"""Classic concurrent B+ tree baseline (paper Section VI-A).
+
+This is a textbook B+ tree with node splits, structured exactly like the
+template tree (same leaf/inner layout) so that the only difference between
+the two is index maintenance: this tree splits nodes and -- on real hardware
+-- follows the Bayer-Schkolnick latching protocol, taking exclusive latches
+down the unsafe path for writers.
+
+In this single-process reproduction the latch *protocol* is replayed by
+``repro.simulation.threads``; the tree records, per insert, which nodes the
+insert touched and whether splits occurred (``last_insert_info``) so the
+trace builder in :mod:`repro.btree.trace` can synthesize the latch segments.
+Wall-clock split vs. insert time is accounted in ``stats`` for the Figure 7b
+breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.btree.nodes import (
+    InnerNode,
+    LeafNode,
+    ScanStats,
+    TreeStats,
+    scan_leaf_run,
+)
+from repro.bloom.temporal import TemporalSketch
+from repro.core.model import DataTuple, Predicate
+
+
+class InsertInfo:
+    """What the most recent insert did (consumed by the trace builder)."""
+
+    __slots__ = ("path_ids", "leaf_id", "split_levels")
+
+    def __init__(self, path_ids: List[int], leaf_id: int, split_levels: int):
+        self.path_ids = path_ids  # inner node ids from root to leaf parent
+        self.leaf_id = leaf_id
+        self.split_levels = split_levels  # 0 = no split, 1 = leaf split, ...
+
+
+class ConcurrentBTree:
+    """B+ tree with node splits and per-operation instrumentation."""
+
+    def __init__(
+        self,
+        fanout: int = 64,
+        leaf_capacity: int = 64,
+        sketch_granularity: Optional[float] = None,
+        record_timings: bool = False,
+    ):
+        if fanout < 4 or leaf_capacity < 4:
+            raise ValueError("fanout and leaf_capacity must be >= 4")
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self.sketch_granularity = sketch_granularity
+        self.record_timings = record_timings
+        self.stats = TreeStats()
+        self._root: object = self._new_leaf()
+        self._height = 1
+        self._size = 0
+        self.last_insert_info: Optional[InsertInfo] = None
+
+    def _new_leaf(self) -> LeafNode:
+        sketch = None
+        if self.sketch_granularity is not None:
+            sketch = TemporalSketch(granularity=self.sketch_granularity)
+        return LeafNode(sketch=sketch)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (1 = a single leaf)."""
+        return self._height
+
+    # --- insertion ----------------------------------------------------------
+
+    def insert(self, t: DataTuple) -> None:
+        """Insert one tuple, splitting overflowing nodes upward."""
+        started = time.perf_counter() if self.record_timings else 0.0
+        path: List[Tuple[InnerNode, int]] = []
+        node = self._root
+        while isinstance(node, InnerNode):
+            idx = node.child_index(t.key)
+            path.append((node, idx))
+            node = node.children[idx]
+        leaf: LeafNode = node
+        leaf.insert(t)
+        self._size += 1
+
+        split_levels = 0
+        if len(leaf) > self.leaf_capacity:
+            split_started = time.perf_counter() if self.record_timings else 0.0
+            split_levels = self._split_upwards(leaf, path)
+            if self.record_timings:
+                self.stats.split_seconds += time.perf_counter() - split_started
+            self.stats.splits += split_levels
+
+        self.stats.inserts += 1
+        if self.record_timings:
+            self.stats.insert_seconds += time.perf_counter() - started
+        self.last_insert_info = InsertInfo(
+            [inner.node_id for inner, _ in path], leaf.node_id, split_levels
+        )
+
+    def _split_upwards(self, leaf: LeafNode, path: List[Tuple[InnerNode, int]]) -> int:
+        """Split the overflowing leaf and propagate; returns levels split."""
+        separator, right = self._split_leaf(leaf)
+        levels = 1
+        new_child: object = right
+        while path:
+            parent, idx = path.pop()
+            parent.keys.insert(idx, separator)
+            parent.children.insert(idx + 1, new_child)
+            if len(parent.children) <= self.fanout:
+                return levels
+            separator, new_child = self._split_inner(parent)
+            levels += 1
+        # The root itself split: grow the tree by one level.
+        old_root = self._root
+        self._root = InnerNode(keys=[separator], children=[old_root, new_child])
+        self._height += 1
+        return levels
+
+    def _split_leaf(self, leaf: LeafNode) -> Tuple[int, LeafNode]:
+        mid = len(leaf.keys) // 2
+        right = self._new_leaf()
+        right.keys = leaf.keys[mid:]
+        right.tuples = leaf.tuples[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.tuples = leaf.tuples[:mid]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        if self.sketch_granularity is not None:
+            leaf.rebuild_sketch(self.sketch_granularity)
+            right.rebuild_sketch(self.sketch_granularity)
+        return right.keys[0], right
+
+    @staticmethod
+    def _split_inner(node: InnerNode) -> Tuple[int, InnerNode]:
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = InnerNode(keys=node.keys[mid + 1 :], children=node.children[mid + 1 :])
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return separator, right
+
+    # --- queries ------------------------------------------------------------
+
+    def range_query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float = float("-inf"),
+        t_hi: float = float("inf"),
+        predicate: Optional[Predicate] = None,
+        use_sketch: bool = True,
+    ) -> Tuple[List[DataTuple], ScanStats]:
+        """All tuples with ``key_lo <= key <= key_hi`` and ts in [t_lo, t_hi]."""
+        stats = ScanStats()
+        node = self._root
+        while isinstance(node, InnerNode):
+            stats.inner_nodes_visited += 1
+            node = node.child_for_scan(key_lo)
+        out: List[DataTuple] = []
+        scan_leaf_run(
+            node, key_lo, key_hi, t_lo, t_hi, predicate, use_sketch, stats, out
+        )
+        return out, stats
+
+    def point_read(self, key: int) -> List[DataTuple]:
+        """All tuples with exactly this key."""
+        tuples, _stats = self.range_query(key, key)
+        return tuples
+
+    # --- introspection ------------------------------------------------------
+
+    def first_leaf(self) -> LeafNode:
+        """The leftmost leaf (start of the sibling chain)."""
+        node = self._root
+        while isinstance(node, InnerNode):
+            node = node.children[0]
+        return node
+
+    def leaves(self) -> List[LeafNode]:
+        """Every leaf, left to right."""
+        out = []
+        leaf = self.first_leaf()
+        while leaf is not None:
+            out.append(leaf)
+            leaf = leaf.next_leaf
+        return out
+
+    def all_tuples(self) -> List[DataTuple]:
+        """Every stored tuple, key-ordered."""
+        out: List[DataTuple] = []
+        for leaf in self.leaves():
+            out.extend(leaf.tuples)
+        return out

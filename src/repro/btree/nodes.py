@@ -1,0 +1,185 @@
+"""Shared B+ tree node structures and range-scan helpers.
+
+Both tree variants (the classic concurrent B+ tree and the template-based
+tree of paper Section III-B) use the same leaf and inner node layout, so the
+insertion-performance comparison isolates the maintenance protocol -- exactly
+the methodology of the paper's Section VI-A ("implemented with exactly the
+same data structures").
+
+Leaves keep tuples sorted by key (parallel ``keys`` / ``tuples`` arrays,
+``bisect`` insertion) and optionally carry a :class:`TemporalSketch` so range
+scans can skip leaves with no temporally matching tuples (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.bloom.temporal import TemporalSketch
+from repro.core.model import DataTuple, Predicate
+
+_node_ids = itertools.count(1)
+
+
+class LeafNode:
+    """Sorted run of tuples plus sibling link and temporal sketch."""
+
+    __slots__ = ("node_id", "keys", "tuples", "next_leaf", "sketch")
+
+    def __init__(self, sketch: Optional[TemporalSketch] = None):
+        self.node_id = next(_node_ids)
+        self.keys: List[int] = []
+        self.tuples: List[DataTuple] = []
+        self.next_leaf: Optional["LeafNode"] = None
+        self.sketch = sketch
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def insert(self, t: DataTuple) -> None:
+        """Insert keeping key order; equal keys append after existing ones."""
+        pos = bisect_right(self.keys, t.key)
+        self.keys.insert(pos, t.key)
+        self.tuples.insert(pos, t)
+        if self.sketch is not None:
+            self.sketch.add_timestamp(t.ts)
+
+    def scan(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float,
+        t_hi: float,
+        predicate: Optional[Predicate],
+        out: list,
+    ) -> int:
+        """Append matching tuples (inclusive key bounds) to ``out``;
+        returns the number of tuples examined."""
+        start = bisect_left(self.keys, key_lo)
+        stop = bisect_right(self.keys, key_hi)
+        examined = 0
+        for i in range(start, stop):
+            t = self.tuples[i]
+            examined += 1
+            if t_lo <= t.ts <= t_hi and (predicate is None or predicate(t)):
+                out.append(t)
+        return examined
+
+    def min_key(self) -> int:
+        """Smallest key stored in the leaf."""
+        return self.keys[0]
+
+    def rebuild_sketch(self, granularity: float) -> None:
+        """Recompute the temporal sketch from current contents."""
+        self.sketch = TemporalSketch(
+            granularity=granularity, expected_items=max(64, len(self.tuples))
+        )
+        for t in self.tuples:
+            self.sketch.add_timestamp(t.ts)
+
+
+class InnerNode:
+    """Router node: ``children[i]`` holds keys < ``keys[i]``;
+    ``children[-1]`` holds the rest.  ``len(children) == len(keys) + 1``."""
+
+    __slots__ = ("node_id", "keys", "children")
+
+    def __init__(self, keys: Optional[List[int]] = None, children: Optional[list] = None):
+        self.node_id = next(_node_ids)
+        self.keys: List[int] = keys if keys is not None else []
+        self.children: list = children if children is not None else []
+
+    def child_for(self, key: int) -> object:
+        """The child subtree new inserts of ``key`` are routed to."""
+        return self.children[bisect_right(self.keys, key)]
+
+    def child_index(self, key: int) -> int:
+        """Index of the child new inserts of ``key`` go to."""
+        return bisect_right(self.keys, key)
+
+    def child_for_scan(self, key: int) -> object:
+        """The leftmost child that may still hold ``key``.
+
+        Differs from :meth:`child_for` only for duplicate keys: a leaf split
+        can leave copies of the separator key in the left sibling, so range
+        scans must start their leaf walk at the bisect-left child.
+        """
+        return self.children[bisect_left(self.keys, key)]
+
+
+@dataclass
+class ScanStats:
+    """Accounting for one range scan (drives latency simulation & tests)."""
+
+    leaves_visited: int = 0
+    leaves_skipped: int = 0
+    tuples_examined: int = 0
+    inner_nodes_visited: int = 0
+
+
+@dataclass
+class TreeStats:
+    """Cumulative maintenance accounting per tree (Figure 7b breakdown)."""
+
+    inserts: int = 0
+    splits: int = 0
+    insert_seconds: float = 0.0
+    split_seconds: float = 0.0
+    sort_seconds: float = 0.0
+    build_seconds: float = 0.0
+    template_updates: int = 0
+    template_update_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+def iter_leaves(first_leaf: Optional[LeafNode]) -> Iterator[LeafNode]:
+    """Walk the sibling chain from a leaf."""
+    leaf = first_leaf
+    while leaf is not None:
+        yield leaf
+        leaf = leaf.next_leaf
+
+
+def scan_leaf_run(
+    leaf: Optional[LeafNode],
+    key_lo: int,
+    key_hi: int,
+    t_lo: float,
+    t_hi: float,
+    predicate: Optional[Predicate],
+    use_sketch: bool,
+    stats: ScanStats,
+    out: list,
+) -> None:
+    """Walk the sibling chain from ``leaf`` while leaves can still contain
+    keys <= ``key_hi``, applying the temporal sketch to skip leaves."""
+    while leaf is not None:
+        if leaf.keys and leaf.keys[0] > key_hi:
+            return
+        skip = (
+            use_sketch
+            and leaf.sketch is not None
+            and not leaf.sketch.might_overlap(t_lo, t_hi)
+        )
+        if skip:
+            stats.leaves_skipped += 1
+        else:
+            stats.leaves_visited += 1
+            stats.tuples_examined += leaf.scan(
+                key_lo, key_hi, t_lo, t_hi, predicate, out
+            )
+        leaf = leaf.next_leaf
+
+
+__all__ = [
+    "LeafNode",
+    "InnerNode",
+    "ScanStats",
+    "TreeStats",
+    "iter_leaves",
+    "scan_leaf_run",
+    "insort",
+]

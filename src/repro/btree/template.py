@@ -1,0 +1,319 @@
+"""Template-based B+ tree (paper Sections III-B and III-C).
+
+The tree's inner-node skeleton -- the *template* -- is treated as read-only
+during normal operation: inserts traverse it to find their leaf and modify
+only that leaf, so concurrent inserts contend solely on leaf latches and the
+structure never splits.  When the tree is flushed to a chunk, the leaves are
+emptied and the template is recycled for the next chunk's data.
+
+Because leaves never split, a drifting key distribution can overload some
+leaves.  The adaptive template update (Section III-C) watches the skewness
+factor
+
+    S(P, D) = max_i (|K_i(D)| - n) / n,     n = |D| / l        (Eq. 1)
+
+and, when it exceeds a threshold, rebuilds the template with boundaries that
+re-divide the current keys evenly across the l leaves (Eq. 3), bulk-building
+the inner nodes bottom-up.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import List, Optional, Tuple
+
+from repro.btree.nodes import (
+    InnerNode,
+    LeafNode,
+    ScanStats,
+    TreeStats,
+    scan_leaf_run,
+)
+from repro.bloom.temporal import TemporalSketch
+from repro.core.model import DataTuple, Predicate
+
+
+def build_inner_template(
+    nodes: List[object], separators: List[int], fanout: int
+) -> Tuple[object, int]:
+    """Bulk-build inner levels over ``nodes`` (bottom-up).
+
+    ``separators[i]`` is the smallest key routed to ``nodes[i + 1]``.
+    Returns (root, height including the given level).
+    """
+    if len(separators) != len(nodes) - 1:
+        raise ValueError("need exactly len(nodes) - 1 separators")
+    height = 1
+    while len(nodes) > 1:
+        new_nodes: List[object] = []
+        new_separators: List[int] = []
+        i = 0
+        while i < len(nodes):
+            j = min(i + fanout, len(nodes))
+            parent = InnerNode(
+                keys=list(separators[i : j - 1]), children=list(nodes[i:j])
+            )
+            new_nodes.append(parent)
+            if j < len(nodes):
+                new_separators.append(separators[j - 1])
+            i = j
+        nodes, separators = new_nodes, new_separators
+        height += 1
+    return nodes[0], height
+
+
+class TemplateBTree:
+    """B+ tree with a reusable read-only inner-node template.
+
+    ``n_leaves`` (the paper's *l*) is sized from the chunk capacity; the
+    initial template divides ``[key_lo, key_hi)`` uniformly and subsequent
+    template updates re-fit it to the observed key distribution.
+    """
+
+    def __init__(
+        self,
+        key_lo: int,
+        key_hi: int,
+        n_leaves: int = 64,
+        fanout: int = 64,
+        sketch_granularity: Optional[float] = None,
+        skew_threshold: float = 0.2,
+        check_every: int = 4096,
+        record_timings: bool = False,
+    ):
+        if key_hi <= key_lo:
+            raise ValueError("empty key interval")
+        if n_leaves < 1:
+            raise ValueError("n_leaves must be >= 1")
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self.n_leaves = n_leaves
+        self.fanout = fanout
+        self.sketch_granularity = sketch_granularity
+        self.skew_threshold = skew_threshold
+        self.check_every = max(1, check_every)
+        self.record_timings = record_timings
+        self.stats = TreeStats()
+        self._size = 0
+        self._since_check = 0
+        self._height = 1
+        self._leaves: List[LeafNode] = []
+        self._root: object = None
+        self.last_leaf_id: Optional[int] = None
+        self._install_template(self._uniform_boundaries())
+
+    # --- template construction ----------------------------------------------
+
+    def _uniform_boundaries(self) -> List[int]:
+        """Initial separators: uniform split of the configured key interval."""
+        span = self.key_hi - self.key_lo
+        step = span / self.n_leaves
+        boundaries = []
+        for i in range(1, self.n_leaves):
+            b = self.key_lo + int(round(step * i))
+            if not boundaries or b > boundaries[-1]:
+                boundaries.append(b)
+        return boundaries
+
+    def _new_leaf(self) -> LeafNode:
+        sketch = None
+        if self.sketch_granularity is not None:
+            sketch = TemporalSketch(granularity=self.sketch_granularity)
+        return LeafNode(sketch=sketch)
+
+    def _install_template(self, separators: List[int]) -> None:
+        """Create fresh empty leaves split at ``separators`` and bulk-build
+        the inner template above them."""
+        n = len(separators) + 1
+        leaves = [self._new_leaf() for _ in range(n)]
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+        self._leaves = leaves
+        if n == 1:
+            self._root = leaves[0]
+            self._height = 1
+        else:
+            self._root, self._height = build_inner_template(
+                list(leaves), list(separators), self.fanout
+            )
+        self._separators = list(separators)
+
+    # --- basic operations -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (1 = a single leaf)."""
+        return self._height
+
+    @property
+    def separators(self) -> List[int]:
+        """Current leaf boundaries (the range partition P of Section III-C)."""
+        return list(self._separators)
+
+    def _leaf_for(self, key: int) -> LeafNode:
+        node = self._root
+        while isinstance(node, InnerNode):
+            node = node.child_for(key)
+        return node
+
+    def insert(self, t: DataTuple) -> None:
+        """Insert via the read-only template; never splits any node."""
+        started = time.perf_counter() if self.record_timings else 0.0
+        leaf = self._leaf_for(t.key)
+        leaf.insert(t)
+        self._size += 1
+        self.stats.inserts += 1
+        self.last_leaf_id = leaf.node_id
+        if self.record_timings:
+            self.stats.insert_seconds += time.perf_counter() - started
+        self._since_check += 1
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            if self.skewness() > self.skew_threshold:
+                self.update_template()
+
+    # --- skew detection & template update (Eq. 1-3) ---------------------------
+
+    def skewness(self) -> float:
+        """Distribution skewness factor S(P, D) of Eq. 1."""
+        l = len(self._leaves)
+        if self._size == 0 or l == 0:
+            return 0.0
+        mean = self._size / l
+        largest = max(len(leaf) for leaf in self._leaves)
+        return (largest - mean) / mean
+
+    def update_template(self) -> float:
+        """Rebuild the template so leaves evenly divide the current keys
+        (Eq. 2-3); returns the elapsed wall-clock seconds (Figure 10)."""
+        started = time.perf_counter()
+        tuples = self.all_tuples()  # key-ordered: leaves are ordered runs
+        keys = [t.key for t in tuples]
+        separators = self._even_separators(keys, self.n_leaves)
+        old_sketch = self.sketch_granularity
+        self._install_template(separators)
+        # Redistribute tuples into the new leaves by boundary position.
+        bounds = separators + [None]
+        start = 0
+        for leaf, bound in zip(self._leaves, bounds):
+            stop = len(keys) if bound is None else bisect_left(keys, bound, start)
+            leaf.keys = keys[start:stop]
+            leaf.tuples = tuples[start:stop]
+            if old_sketch is not None:
+                leaf.rebuild_sketch(old_sketch)
+            start = stop
+        elapsed = time.perf_counter() - started
+        self.stats.template_updates += 1
+        self.stats.template_update_seconds += elapsed
+        self.stats.extra["tuples_moved"] = (
+            self.stats.extra.get("tuples_moved", 0) + len(tuples)
+        )
+        return elapsed
+
+    @staticmethod
+    def _even_separators(sorted_keys: List[int], n_leaves: int) -> List[int]:
+        """Boundaries dividing ``sorted_keys`` into ``n_leaves`` even runs
+        (Eq. 3), deduplicated so inner-node keys stay strictly increasing."""
+        total = len(sorted_keys)
+        if total == 0 or n_leaves <= 1:
+            return []
+        per_leaf = total / n_leaves
+        separators: List[int] = []
+        for i in range(1, n_leaves):
+            boundary = sorted_keys[min(total - 1, int(i * per_leaf))]
+            if not separators or boundary > separators[-1]:
+                separators.append(boundary)
+        return separators
+
+    # --- flush support ---------------------------------------------------------
+
+    def reset_leaves(self) -> None:
+        """Empty every leaf, retaining the template (the post-flush recycle
+        of Section III-B)."""
+        for leaf in self._leaves:
+            leaf.keys = []
+            leaf.tuples = []
+            if leaf.sketch is not None:
+                leaf.sketch.clear()
+        self._size = 0
+        self._since_check = 0
+
+    # --- queries ----------------------------------------------------------------
+
+    def range_query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float = float("-inf"),
+        t_hi: float = float("inf"),
+        predicate: Optional[Predicate] = None,
+        use_sketch: bool = True,
+    ) -> Tuple[List[DataTuple], ScanStats]:
+        """All tuples in the inclusive key range and time window."""
+        stats = ScanStats()
+        node = self._root
+        while isinstance(node, InnerNode):
+            stats.inner_nodes_visited += 1
+            node = node.child_for_scan(key_lo)
+        out: List[DataTuple] = []
+        scan_leaf_run(
+            node, key_lo, key_hi, t_lo, t_hi, predicate, use_sketch, stats, out
+        )
+        return out, stats
+
+    def point_read(self, key: int) -> List[DataTuple]:
+        """All tuples with exactly this key."""
+        tuples, _stats = self.range_query(key, key)
+        return tuples
+
+    # --- introspection ------------------------------------------------------------
+
+    def leaves(self) -> List[LeafNode]:
+        """Every leaf, left to right."""
+        return list(self._leaves)
+
+    def leaf_sizes(self) -> List[int]:
+        """Tuple count per leaf (skew diagnostics)."""
+        return [len(leaf) for leaf in self._leaves]
+
+    def all_tuples(self) -> List[DataTuple]:
+        """Every stored tuple, key-ordered."""
+        out: List[DataTuple] = []
+        for leaf in self._leaves:
+            out.extend(leaf.tuples)
+        return out
+
+    def time_bounds(self) -> Optional[Tuple[float, float]]:
+        """(min_ts, max_ts) over the in-memory tuples, None when empty."""
+        lo = None
+        hi = None
+        for leaf in self._leaves:
+            for t in leaf.tuples:
+                if lo is None or t.ts < lo:
+                    lo = t.ts
+                if hi is None or t.ts > hi:
+                    hi = t.ts
+        if lo is None:
+            return None
+        return lo, hi
+
+    def key_bounds(self) -> Optional[Tuple[int, int]]:
+        """(min_key, max_key) over the in-memory tuples, None when empty."""
+        lo = None
+        hi = None
+        for leaf in self._leaves:
+            if leaf.keys:
+                first, last = leaf.keys[0], leaf.keys[-1]
+                if lo is None or first < lo:
+                    lo = first
+                if hi is None or last > hi:
+                    hi = last
+        if lo is None:
+            return None
+        return lo, hi

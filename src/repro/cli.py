@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     -- end-to-end walkthrough on a small deployment.
+* ``ingest``   -- generate a workload, stream it through the system, print
+                  ingestion statistics.
+* ``query``    -- ingest a workload, then run a query batch and print
+                  latency percentiles.
+* ``verify``   -- ingest a workload, optionally inject failures, then run
+                  the consistency checker (fsck) and print its report.
+* ``info``     -- print the library version and default configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import Waterwheel, __version__, small_config
+from repro.core.config import WaterwheelConfig
+from repro.workloads import (
+    NetworkGenerator,
+    QueryGenerator,
+    TDriveGenerator,
+    uniform_records,
+)
+
+
+def _make_workload(name: str, n: int, seed: int):
+    """Returns (records, key_lo, key_hi, tuple_size)."""
+    if name == "tdrive":
+        gen = TDriveGenerator(n_taxis=max(10, n // 200), seed=seed)
+        lo, hi = gen.key_domain
+        return gen.records(n), lo, hi, 36
+    if name == "network":
+        gen = NetworkGenerator(seed=seed)
+        lo, hi = gen.key_domain
+        return gen.records(n), lo, hi, 50
+    if name == "uniform":
+        return uniform_records(n, key_hi=1 << 20, seed=seed), 0, 1 << 20, 30
+    raise SystemExit(f"unknown workload {name!r} (tdrive | network | uniform)")
+
+
+def _build_system(args, key_lo: int, key_hi: int, tuple_size: int) -> Waterwheel:
+    return Waterwheel(
+        small_config(
+            key_lo=key_lo,
+            key_hi=key_hi,
+            n_nodes=args.nodes,
+            chunk_bytes=args.chunk_kb * 1024,
+            tuple_size=tuple_size,
+        )
+    )
+
+
+def cmd_demo(args) -> int:
+    """``demo``: ingest a workload and run a sample query."""
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    print(f"ingesting {len(records)} {args.workload} tuples ...")
+    ww.insert_many(records)
+    now = max(t.ts for t in records)
+    print(
+        f"  chunks: {ww.chunk_count}   in-memory tuples: {ww.in_memory_tuples}"
+        f"   rebalances: {ww.balancer.rebalance_count}"
+    )
+    span = key_hi - key_lo
+    res = ww.query(key_lo + span // 4, key_lo + span // 2, max(0.0, now - 60), now)
+    print(
+        f"sample query (25-50% of keys, last 60 s): {len(res)} tuples in "
+        f"{res.latency * 1000:.2f} simulated ms over {res.subquery_count} subqueries"
+    )
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """``ingest``: stream a workload and print ingestion stats."""
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    flushes = ww.insert_many(records)
+    print(f"tuples ingested : {ww.tuples_inserted}")
+    print(f"chunks flushed  : {flushes}")
+    print(f"bytes on DFS    : {ww.dfs.total_bytes_written}")
+    print(f"fresh tuples    : {ww.in_memory_tuples}")
+    print(f"rebalances      : {ww.balancer.rebalance_count}")
+    for server in ww.indexing_servers:
+        print(
+            f"  indexing server {server.server_id}: "
+            f"{server.tuples_ingested} ingested, {server.flush_count} flushes"
+        )
+    return 0
+
+
+def cmd_query(args) -> int:
+    """``query``: run a query batch and print latency percentiles."""
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    ww.insert_many(records)
+    now = max(t.ts for t in records)
+    qgen = QueryGenerator(key_lo, key_hi, seed=args.seed + 1)
+    specs = qgen.batch(args.queries, args.selectivity, args.mode, now=now)
+    latencies = []
+    total = 0
+    for spec in specs:
+        res = ww.query(spec.key_lo, spec.key_hi, spec.t_lo, spec.t_hi)
+        latencies.append(res.latency * 1000)
+        total += len(res)
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+    print(f"queries          : {len(specs)} ({args.mode}, selectivity {args.selectivity})")
+    print(f"tuples returned  : {total}")
+    print(f"latency p50      : {pct(0.50):.2f} ms")
+    print(f"latency p95      : {pct(0.95):.2f} ms")
+    print(f"latency p99      : {pct(0.99):.2f} ms")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """``verify``: run the consistency checker (exit 1 on problems)."""
+    from repro.core.verify import verify_system
+
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    ww.insert_many(records)
+    if args.inject_failure:
+        victim = 0
+        ww.kill_indexing_server(victim)
+        ww.recover_indexing_server(victim)
+        print(f"injected: killed + recovered indexing server {victim}")
+    report = verify_system(ww)
+    print(report.summary())
+    for problem in report.problems:
+        print(f"  PROBLEM: {problem}")
+    return 0 if report.ok else 1
+
+
+def cmd_info(args) -> int:  # noqa: ARG001 - uniform command signature
+    print(f"repro (Waterwheel reproduction) version {__version__}")
+    cfg = WaterwheelConfig()
+    print("default configuration:")
+    for name in (
+        "n_nodes",
+        "dispatchers_per_node",
+        "indexing_per_node",
+        "query_servers_per_node",
+        "chunk_bytes",
+        "skew_threshold",
+        "rebalance_threshold",
+        "late_delta",
+        "cache_bytes",
+        "replication",
+    ):
+        print(f"  {name:24s} = {getattr(cfg, name)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Waterwheel reproduction: streaming index + temporal range queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--workload", default="network",
+                       choices=("tdrive", "network", "uniform"))
+        p.add_argument("--records", type=int, default=20_000)
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--chunk-kb", type=int, default=64)
+        p.add_argument("--seed", type=int, default=7)
+
+    demo = sub.add_parser("demo", help="end-to-end walkthrough")
+    add_common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    ingest = sub.add_parser("ingest", help="stream a workload, print stats")
+    add_common(ingest)
+    ingest.set_defaults(func=cmd_ingest)
+
+    query = sub.add_parser("query", help="run a query batch, print latency percentiles")
+    add_common(query)
+    query.add_argument("--queries", type=int, default=100)
+    query.add_argument("--selectivity", type=float, default=0.1)
+    query.add_argument(
+        "--mode",
+        default="recent_60s",
+        choices=("recent_5s", "recent_60s", "recent_5m", "historic_5m"),
+    )
+    query.set_defaults(func=cmd_query)
+
+    verify = sub.add_parser("verify", help="run the consistency checker")
+    add_common(verify)
+    verify.add_argument("--inject-failure", action="store_true")
+    verify.set_defaults(func=cmd_verify)
+
+    info = sub.add_parser("info", help="version and default configuration")
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

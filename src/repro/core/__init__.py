@@ -1,0 +1,72 @@
+"""Core Waterwheel system: data model, servers, coordinator, facade."""
+
+from repro.core.balancer import PartitionBalancer
+from repro.core.config import WaterwheelConfig, small_config
+from repro.core.coordinator import QueryCoordinator
+from repro.core.dispatch import (
+    DispatchError,
+    DispatchOutcome,
+    DispatchPolicy,
+    HashingDispatch,
+    LadaDispatch,
+    RoundRobinDispatch,
+    SharedQueueDispatch,
+    run_dispatch,
+)
+from repro.core.dispatcher import Dispatcher, SharedPartition
+from repro.core.indexing_server import IndexingServer, ServerDownError
+from repro.core.model import (
+    DataTuple,
+    KeyInterval,
+    Query,
+    QueryResult,
+    Region,
+    SubQuery,
+    TimeInterval,
+    brute_force_query,
+)
+from repro.core.partitioning import (
+    FrequencySampler,
+    KeyPartition,
+    aggregate_histograms,
+    load_deviation,
+    partition_loads,
+)
+from repro.core.query_server import LRUCache, QueryServer, SubQueryResult
+from repro.core.system import Waterwheel
+
+__all__ = [
+    "DataTuple",
+    "KeyInterval",
+    "TimeInterval",
+    "Region",
+    "Query",
+    "SubQuery",
+    "QueryResult",
+    "brute_force_query",
+    "WaterwheelConfig",
+    "small_config",
+    "Waterwheel",
+    "QueryCoordinator",
+    "IndexingServer",
+    "QueryServer",
+    "ServerDownError",
+    "Dispatcher",
+    "SharedPartition",
+    "PartitionBalancer",
+    "KeyPartition",
+    "FrequencySampler",
+    "aggregate_histograms",
+    "load_deviation",
+    "partition_loads",
+    "LRUCache",
+    "SubQueryResult",
+    "DispatchPolicy",
+    "LadaDispatch",
+    "RoundRobinDispatch",
+    "HashingDispatch",
+    "SharedQueueDispatch",
+    "DispatchOutcome",
+    "DispatchError",
+    "run_dispatch",
+]

@@ -1,0 +1,98 @@
+"""Adaptive key partitioning balancer (paper Section III-D).
+
+A centralized process periodically aggregates the dispatchers' key-frequency
+samples into a global histogram, computes each indexing server's expected
+load under the current partition, and -- when any server deviates from the
+mean by more than the rebalance threshold (20% in the paper) -- installs a
+new partition whose boundaries equalize the observed frequency mass.
+
+The new partition is persisted to the metadata server and pushed to the
+indexing servers via :meth:`IndexingServer.reassign`; servers keep their
+in-flight data, so data regions may transiently overlap until the next
+flush (handled by the coordinator through actual-region metadata).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config import WaterwheelConfig
+from repro.core.dispatcher import Dispatcher, SharedPartition
+from repro.core.indexing_server import IndexingServer
+from repro.core.partitioning import (
+    KeyPartition,
+    aggregate_histograms,
+    load_deviation,
+    partition_loads,
+)
+from repro.metastore import MetadataStore
+
+
+class PartitionBalancer:
+    """Centralized load balancer over the indexing servers."""
+
+    def __init__(
+        self,
+        config: WaterwheelConfig,
+        shared_partition: SharedPartition,
+        dispatchers: Sequence[Dispatcher],
+        indexing_servers: Sequence[IndexingServer],
+        metastore: MetadataStore,
+        enabled: bool = True,
+    ):
+        self.config = config
+        self._shared = shared_partition
+        self._dispatchers = list(dispatchers)
+        self._indexing_servers = list(indexing_servers)
+        self._metastore = metastore
+        self.enabled = enabled
+        self.rebalance_count = 0
+
+    def global_histogram(self) -> List[float]:
+        """Aggregated key-frequency histogram across dispatchers."""
+        return aggregate_histograms(
+            [d.sampler.histogram() for d in self._dispatchers]
+        )
+
+    def current_deviation(self) -> float:
+        """Max relative load deviation under the current partition."""
+        histogram = self.global_histogram()
+        if not any(histogram):
+            return 0.0
+        loads = partition_loads(self._shared.current, histogram)
+        return load_deviation(loads)
+
+    def maybe_rebalance(self) -> Optional[KeyPartition]:
+        """Check the trigger and repartition if needed.
+
+        Returns the new partition when one was installed, else None.
+        """
+        if not self.enabled:
+            return None
+        histogram = self.global_histogram()
+        if not any(histogram):
+            return None
+        current = self._shared.current
+        if load_deviation(partition_loads(current, histogram)) <= (
+            self.config.rebalance_threshold
+        ):
+            return None
+        candidate = KeyPartition.from_frequencies(
+            self.config.key_lo,
+            self.config.key_hi,
+            len(self._indexing_servers),
+            histogram,
+        )
+        if candidate == current:
+            return None
+        self._install(candidate)
+        return candidate
+
+    def _install(self, partition: KeyPartition) -> None:
+        self._shared.update(partition)
+        for server_id, interval in enumerate(partition.intervals()):
+            self._indexing_servers[server_id].reassign(interval)
+        self._metastore.put("/partition/boundaries", list(partition.boundaries))
+        for dispatcher in self._dispatchers:
+            dispatcher.rotate_sample_window()
+        self.rebalance_count += 1

@@ -1,0 +1,169 @@
+"""Chunk rollup and retention: lifecycle management for immutable chunks.
+
+Waterwheel never merges fresh data into historical data -- that is the
+point of its partitioning -- but a long-running deployment still
+accumulates chunk *files*: small flushes (forced at shutdown, after
+repartitions, from late buffers) fragment the catalog, and data eventually
+ages past usefulness.  Two offline maintenance passes handle this without
+touching the ingest path:
+
+* **Rollup** merges an indexing server's adjacent small chunks into one
+  larger chunk (reading real bytes, merging the key-sorted runs,
+  re-serializing with fresh sketches and sidecars).  Unlike LSM
+  compaction this never re-merges *new* into *old* data -- it only
+  coalesces already-historical neighbours, so ingest throughput is
+  untouched.
+* **Retention** drops chunks whose newest tuple is older than a horizon.
+
+Both keep the metadata store, the DFS and the coordinator catalog in sync
+(the catalog follows automatically through its metadata watch).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.storage import ChunkReader, serialize_chunk
+
+
+@dataclass
+class CompactionReport:
+    """What a rollup/retention pass did."""
+    chunks_merged: int = 0
+    chunks_created: int = 0
+    chunks_expired: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    merged_groups: List[List[str]] = field(default_factory=list)
+
+
+class ChunkCompactor:
+    """Offline maintenance over a deployment's chunk set."""
+
+    def __init__(self, system, target_bytes: Optional[int] = None):
+        """``target_bytes`` is the rollup output ceiling (defaults to the
+        deployment's configured chunk size)."""
+        self.system = system
+        self.target_bytes = target_bytes or system.config.chunk_bytes
+
+    # --- rollup ----------------------------------------------------------------
+
+    def _chunks_by_server(self) -> Dict[int, List[dict]]:
+        by_server: Dict[int, List[dict]] = {}
+        for _key, info in self.system.metastore.items_prefix("/chunks/"):
+            by_server.setdefault(info["server"], []).append(info)
+        for infos in by_server.values():
+            infos.sort(key=lambda i: i["t_lo"])
+        return by_server
+
+    def rollup(self, min_group: int = 2) -> CompactionReport:
+        """Merge temporally adjacent undersized chunks per server.
+
+        Groups consecutive chunks (by time) whose combined serialized size
+        stays under ``target_bytes``; groups smaller than ``min_group`` are
+        left alone.
+        """
+        report = CompactionReport()
+        for server, infos in self._chunks_by_server().items():
+            group: List[dict] = []
+            group_bytes = 0
+            for info in infos + [None]:  # sentinel flushes the last group
+                fits = (
+                    info is not None
+                    and group_bytes + info["bytes"] <= self.target_bytes
+                    and info["bytes"] < self.target_bytes // 2
+                )
+                if fits:
+                    group.append(info)
+                    group_bytes += info["bytes"]
+                    continue
+                if len(group) >= min_group:
+                    self._merge_group(server, group, report)
+                group = []
+                group_bytes = 0
+                if (
+                    info is not None
+                    and info["bytes"] < self.target_bytes // 2
+                ):
+                    group = [info]
+                    group_bytes = info["bytes"]
+        return report
+
+    def _merge_group(
+        self, server: int, group: List[dict], report: CompactionReport
+    ) -> None:
+        runs = []
+        for info in group:
+            reader = ChunkReader(self.system.dfs.get_bytes(info["chunk_id"]))
+            runs.append(reader.all_tuples())
+            report.bytes_before += info["bytes"]
+        merged = list(heapq.merge(*runs, key=lambda t: t.key))
+
+        # Re-leaf the merged run at the configured leaf granularity.
+        leaf_size = max(1, self.system.config.leaf_target_tuples)
+        leaves = []
+        for start in range(0, len(merged), leaf_size):
+            run = merged[start : start + leaf_size]
+            leaves.append(([t.key for t in run], run))
+        blob = serialize_chunk(
+            leaves,
+            self.system.config.sketch_granularity,
+            compress=self.system.config.compress_chunks,
+        )
+
+        seq_key = f"/compaction/{server}/next_seq"
+        seq = self.system.metastore.get(seq_key, 0)
+        self.system.metastore.put(seq_key, seq + 1)
+        chunk_id = f"chunk-{server}-R{seq}"
+        self.system.dfs.put(chunk_id, blob)
+        if self.system.config.secondary_specs:
+            from repro.secondary import ChunkSecondaryIndex, sidecar_id
+
+            sidecar = ChunkSecondaryIndex.build(
+                self.system.config.secondary_specs, leaves
+            )
+            self.system.dfs.put(sidecar_id(chunk_id), sidecar.to_bytes())
+
+        # Register the new region, then retire the inputs (catalog follows
+        # through the metadata watch in both directions).
+        self.system.metastore.put(
+            f"/chunks/{chunk_id}",
+            {
+                "chunk_id": chunk_id,
+                "server": server,
+                "key_lo": min(i["key_lo"] for i in group),
+                "key_hi": max(i["key_hi"] for i in group),
+                "t_lo": min(i["t_lo"] for i in group),
+                "t_hi": max(i["t_hi"] for i in group),
+                "n_tuples": len(merged),
+                "bytes": len(blob),
+                "late": False,
+            },
+        )
+        for info in group:
+            self._drop_chunk(info["chunk_id"])
+        report.chunks_merged += len(group)
+        report.chunks_created += 1
+        report.bytes_after += len(blob)
+        report.merged_groups.append([i["chunk_id"] for i in group])
+
+    # --- retention -----------------------------------------------------------------
+
+    def expire(self, older_than_ts: float) -> CompactionReport:
+        """Drop every chunk whose newest tuple predates ``older_than_ts``."""
+        report = CompactionReport()
+        for _key, info in list(self.system.metastore.items_prefix("/chunks/")):
+            if info["t_hi"] < older_than_ts:
+                self._drop_chunk(info["chunk_id"])
+                report.chunks_expired += 1
+                report.bytes_before += info["bytes"]
+        return report
+
+    def _drop_chunk(self, chunk_id: str) -> None:
+        self.system.metastore.delete(f"/chunks/{chunk_id}")
+        self.system.dfs.delete(chunk_id)
+        sidecar = f"{chunk_id}.sidx"
+        if self.system.dfs.exists(sidecar):
+            self.system.dfs.delete(sidecar)

@@ -1,0 +1,131 @@
+"""Waterwheel deployment configuration.
+
+Defaults mirror the paper's evaluation setup (Section VI): a 12-node cluster
+running 2 dispatchers, 2 indexing servers and 4 query servers per node,
+16 MB chunks, 1 GB query-server cache, 3-way replicated chunk storage and a
+late-arrival visibility window Delta-t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.costs import DEFAULT_COSTS, CostModel
+
+
+@dataclass(frozen=True)
+class WaterwheelConfig:
+    """All knobs for one Waterwheel deployment."""
+
+    # --- key domain ---------------------------------------------------------
+    key_lo: int = 0
+    key_hi: int = 1 << 32  # z-codes / IPv4 addresses fit in 32 bits
+
+    # --- cluster layout ------------------------------------------------------
+    n_nodes: int = 12
+    dispatchers_per_node: int = 2
+    indexing_per_node: int = 2
+    query_servers_per_node: int = 4
+    replication: int = 3
+
+    # --- ingestion / chunks ---------------------------------------------------
+    chunk_bytes: int = 16 << 20  # flush threshold (paper default 16 MB)
+    tuple_size: int = 36  # logical wire size used for flush accounting
+    fanout: int = 64
+    compress_chunks: bool = False  # deflate leaf blocks at flush time
+    leaf_target_tuples: int = 512  # desired tuples per leaf at flush time
+    max_template_leaves: int = 4096
+
+    # --- adaptivity ------------------------------------------------------------
+    skew_threshold: float = 0.2  # template update trigger (Eq. 1)
+    skew_check_every: int = 4096
+    rebalance_threshold: float = 0.2  # indexing-server load deviation trigger
+    sample_every: int = 64  # dispatcher key-frequency sampling stride
+    frequency_buckets: int = 1024
+
+    # --- queries ------------------------------------------------------------------
+    sketch_granularity: float = 1.0  # temporal mini-range width (seconds)
+    use_temporal_sketch: bool = True  # ablation switch for leaf pruning
+    #: Secondary indexes on payload attributes (paper Section VIII future
+    #: work): a tuple of repro.secondary.AttributeSpec; empty = disabled.
+    secondary_specs: tuple = ()
+    late_delta: float = 5.0  # Delta-t late-arrival visibility window
+    cache_bytes: int = 1 << 30  # per query server (paper: 1 GB)
+
+    # --- durability ------------------------------------------------------------------
+    #: When set, every metadata mutation is journaled to this file so a
+    #: restarted deployment can recover its metadata (ZooKeeper-style
+    #: transaction log); None keeps metadata in memory only.
+    metastore_journal: str = None
+    #: When set, chunk bytes are spilled to files under this directory
+    #: instead of held in memory (large experiments); None keeps them in
+    #: memory.
+    dfs_spill_dir: str = None
+
+    # --- simulation -----------------------------------------------------------------
+    costs: CostModel = field(default=DEFAULT_COSTS)
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.key_hi <= self.key_lo:
+            raise ValueError("empty key domain")
+        if self.chunk_bytes < 1024:
+            raise ValueError("chunk_bytes unreasonably small")
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if not 0 < self.rebalance_threshold:
+            raise ValueError("rebalance_threshold must be positive")
+
+    # --- derived sizes ---------------------------------------------------------------
+
+    @property
+    def n_dispatchers(self) -> int:
+        """Total dispatcher count across the cluster."""
+        return self.n_nodes * self.dispatchers_per_node
+
+    @property
+    def n_indexing_servers(self) -> int:
+        """Total indexing-server count across the cluster."""
+        return self.n_nodes * self.indexing_per_node
+
+    @property
+    def n_query_servers(self) -> int:
+        """Total query-server count across the cluster."""
+        return self.n_nodes * self.query_servers_per_node
+
+    @property
+    def tuples_per_chunk(self) -> int:
+        """Logical tuples accumulated before a flush."""
+        return max(1, self.chunk_bytes // self.tuple_size)
+
+    @property
+    def template_leaves(self) -> int:
+        """The template's leaf count l, sized so leaves hit
+        ``leaf_target_tuples`` when the chunk is full."""
+        return max(1, min(self.max_template_leaves,
+                          self.tuples_per_chunk // self.leaf_target_tuples))
+
+
+#: A small configuration for unit tests and examples: tiny chunks so flushes
+#: happen quickly, a handful of servers, deterministic seed.
+def small_config(**overrides) -> WaterwheelConfig:
+    """A small test/example configuration (tiny chunks, few servers)."""
+    defaults = dict(
+        key_lo=0,
+        key_hi=10_000,
+        n_nodes=3,
+        dispatchers_per_node=1,
+        indexing_per_node=1,
+        query_servers_per_node=2,
+        chunk_bytes=8192,
+        tuple_size=32,
+        leaf_target_tuples=16,
+        skew_check_every=256,
+        sample_every=4,
+        frequency_buckets=64,
+        sketch_granularity=1.0,
+        late_delta=2.0,
+        cache_bytes=1 << 20,
+    )
+    defaults.update(overrides)
+    return WaterwheelConfig(**defaults)

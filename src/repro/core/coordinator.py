@@ -1,0 +1,268 @@
+"""Query coordinator: decomposition, dispatch, merge (paper Section IV).
+
+The coordinator keeps an R-tree over every flushed chunk's data region
+(fed by a metadata-store watch, so a re-created coordinator rebuilds the
+catalog from persistent state -- Section V's coordinator recovery).  A user
+query is decomposed into one subquery per overlapping data region: chunk
+subqueries go to query servers through the configured dispatch policy,
+fresh-data subqueries go to the indexing servers whose live regions overlap
+the query (with the Delta-t late-arrival widening applied by the servers
+themselves).  Results are merged and returned with a simulated latency:
+the slower of the fresh branch and the chunk branch plus result transfer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import WaterwheelConfig
+from repro.core.dispatch import DispatchOutcome, DispatchPolicy, run_dispatch
+from repro.core.indexing_server import IndexingServer
+from repro.core.model import (
+    KeyInterval,
+    Query,
+    QueryResult,
+    Region,
+    SubQuery,
+    TimeInterval,
+)
+from repro.core.query_server import QueryServer
+from repro.metastore import MetadataStore
+from repro.rtree import RTree, str_pack
+
+
+class QueryCoordinator:
+    """Decomposes, dispatches and merges user queries."""
+
+    def __init__(
+        self,
+        config: WaterwheelConfig,
+        metastore: MetadataStore,
+        indexing_servers: Sequence[IndexingServer],
+        query_servers: Sequence[QueryServer],
+        policy: DispatchPolicy,
+    ):
+        self.config = config
+        self.metastore = metastore
+        self.indexing_servers = list(indexing_servers)
+        self.query_servers = list(query_servers)
+        self.policy = policy
+        self._query_ids = itertools.count(1)
+        self.queries_executed = 0
+        self._catalog = RTree(max_entries=16)
+        self._catalog_regions: Dict[str, Region] = {}
+        self._bootstrap_catalog()
+        self._unwatch = metastore.watch("/chunks/", self._on_chunk_event)
+
+    # --- catalog maintenance -----------------------------------------------------
+
+    def _bootstrap_catalog(self) -> None:
+        """Load every registered chunk region (coordinator recovery path).
+
+        STR bulk loading packs the catalog bottom-up: a failover with
+        thousands of chunks rebuilds in one pass with near-full nodes.
+        """
+        entries = []
+        for _key, info in self.metastore.items_prefix("/chunks/"):
+            region = Region(
+                KeyInterval(info["key_lo"], info["key_hi"]),
+                TimeInterval(info["t_lo"], info["t_hi"]),
+            )
+            entries.append((region, info["chunk_id"]))
+            self._catalog_regions[info["chunk_id"]] = region
+        if entries:
+            self._catalog = str_pack(entries, max_entries=16)
+
+    def _on_chunk_event(self, key: str, value: Optional[dict]) -> None:
+        chunk_id = key.rsplit("/", 1)[-1]
+        if value is None:
+            region = self._catalog_regions.pop(chunk_id, None)
+            if region is not None:
+                self._catalog.delete(region, chunk_id)
+        elif chunk_id not in self._catalog_regions:
+            self._add_chunk(value)
+
+    def _add_chunk(self, info: dict) -> None:
+        region = Region(
+            KeyInterval(info["key_lo"], info["key_hi"]),
+            TimeInterval(info["t_lo"], info["t_hi"]),
+        )
+        self._catalog.insert(region, info["chunk_id"])
+        self._catalog_regions[info["chunk_id"]] = region
+
+    def close(self) -> None:
+        """Detach from the metadata store (used when failing over)."""
+        self._unwatch()
+
+    @property
+    def catalog_size(self) -> int:
+        """Number of chunk regions in the R-tree catalog."""
+        return len(self._catalog)
+
+    # --- decomposition ------------------------------------------------------------
+
+    def decompose(self, query: Query) -> Tuple[List[SubQuery], List[SubQuery]]:
+        """Split a query into (fresh subqueries, chunk subqueries)."""
+        fresh: List[SubQuery] = []
+        region = query.region()
+        for server in self.indexing_servers:
+            live = server.fresh_region()
+            if live is None or not live.overlaps(region):
+                continue
+            keys = query.keys.intersect(live.keys)
+            if keys.is_empty():
+                continue
+            fresh.append(
+                SubQuery(
+                    query_id=query.query_id,
+                    keys=keys,
+                    times=query.times,
+                    predicate=query.predicate,
+                    chunk_id=None,
+                    indexing_server=server.server_id,
+                    attr_equals=query.attr_equals,
+                    attr_ranges=query.attr_ranges,
+                )
+            )
+        chunks: List[SubQuery] = []
+        for chunk_region, chunk_id in self._catalog.search(region):
+            keys = query.keys.intersect(chunk_region.keys)
+            times = query.times.intersect(chunk_region.times)
+            if keys.is_empty() or times is None:
+                continue
+            chunks.append(
+                SubQuery(
+                    query_id=query.query_id,
+                    keys=keys,
+                    times=times,
+                    predicate=query.predicate,
+                    chunk_id=chunk_id,
+                    attr_equals=query.attr_equals,
+                    attr_ranges=query.attr_ranges,
+                )
+            )
+        return fresh, chunks
+
+    # --- explain ------------------------------------------------------------------
+
+    def explain(self, query: Query) -> dict:
+        """The decomposition plan, without executing anything.
+
+        Returns a dict suitable for printing or asserting in tests: which
+        indexing servers would be consulted for fresh data, which chunks
+        would be read (with their clipped key/time intervals and replica
+        nodes), and totals -- a database EXPLAIN for the streaming store.
+        """
+        fresh_sqs, chunk_sqs = self.decompose(query)
+        plan = {
+            "key_range": [query.keys.lo, query.keys.hi - 1],
+            "time_range": [query.times.lo, query.times.hi],
+            "attr_equals": dict(query.attr_equals) if query.attr_equals else None,
+            "fresh": [
+                {
+                    "indexing_server": sq.indexing_server,
+                    "keys": [sq.keys.lo, sq.keys.hi],
+                }
+                for sq in fresh_sqs
+            ],
+            "chunks": [],
+            "subquery_count": len(fresh_sqs) + len(chunk_sqs),
+        }
+        for sq in chunk_sqs:
+            info = self.metastore.get(f"/chunks/{sq.chunk_id}", {})
+            replicas = []
+            for server in self.query_servers:
+                dfs = getattr(server, "dfs", None)
+                if dfs is not None and dfs.exists(sq.chunk_id):
+                    replicas = dfs.live_replicas(sq.chunk_id)
+                    break
+            plan["chunks"].append(
+                {
+                    "chunk_id": sq.chunk_id,
+                    "keys": [sq.keys.lo, sq.keys.hi],
+                    "times": [sq.times.lo, sq.times.hi],
+                    "n_tuples": info.get("n_tuples"),
+                    "bytes": info.get("bytes"),
+                    "replica_nodes": replicas,
+                }
+            )
+        return plan
+
+    @staticmethod
+    def render_plan(plan: dict) -> str:
+        """Human-readable rendering of an :meth:`explain` plan."""
+        lines = [
+            f"Query keys [{plan['key_range'][0]}, {plan['key_range'][1]}] "
+            f"x time [{plan['time_range'][0]:.3f}, {plan['time_range'][1]:.3f}]"
+        ]
+        if plan["attr_equals"]:
+            lines.append(f"  attribute filters: {plan['attr_equals']}")
+        lines.append(f"  {len(plan['fresh'])} fresh subquery(ies):")
+        for item in plan["fresh"]:
+            lines.append(
+                f"    indexing server {item['indexing_server']} "
+                f"keys [{item['keys'][0]}, {item['keys'][1]})"
+            )
+        lines.append(f"  {len(plan['chunks'])} chunk subquery(ies):")
+        for item in plan["chunks"]:
+            lines.append(
+                f"    {item['chunk_id']} ({item['n_tuples']} tuples, "
+                f"{item['bytes']} bytes, replicas {item['replica_nodes']})"
+            )
+        return "\n".join(lines)
+
+    # --- execution -------------------------------------------------------------------
+
+    def execute(self, query: Query) -> QueryResult:
+        """Run the full query workflow; returns merged results + metrics."""
+        if query.query_id == 0:
+            query = Query(
+                query.keys,
+                query.times,
+                query.predicate,
+                next(self._query_ids),
+                query.attr_equals,
+                query.attr_ranges,
+            )
+        costs = self.config.costs
+        fresh_sqs, chunk_sqs = self.decompose(query)
+        result = QueryResult(query_id=query.query_id)
+        result.subquery_count = len(fresh_sqs) + len(chunk_sqs)
+
+        # Fresh branch: indexing servers scan their in-memory trees in
+        # parallel; each pays a coordinator round trip plus scan CPU.
+        fresh_latency = 0.0
+        for sq in fresh_sqs:
+            server = self.indexing_servers[sq.indexing_server]
+            tuples, examined = server.query_fresh(sq)
+            result.tuples.extend(tuples)
+            branch = (
+                2 * costs.network_latency
+                + examined * costs.scan_cpu
+                + costs.network_transfer(len(tuples) * self.config.tuple_size)
+            )
+            fresh_latency = max(fresh_latency, branch)
+
+        # Chunk branch: dispatch policy spreads subqueries over query
+        # servers; the makespan is the branch latency.
+        chunk_latency = 0.0
+        if chunk_sqs:
+            outcome: DispatchOutcome = run_dispatch(
+                chunk_sqs, self.query_servers, self.policy
+            )
+            chunk_latency = outcome.makespan
+            for sub_result in outcome.results:
+                if sub_result is None:
+                    continue
+                result.tuples.extend(sub_result.tuples)
+                result.bytes_read += sub_result.bytes_read
+                result.leaves_read += sub_result.leaves_read
+                result.leaves_skipped += sub_result.leaves_skipped
+
+        result.latency = (
+            max(fresh_latency, chunk_latency)
+            + costs.network_transfer(len(result.tuples) * self.config.tuple_size)
+        )
+        self.queries_executed += 1
+        return result

@@ -1,0 +1,290 @@
+"""Subquery dispatch policies (paper Section IV-C and Figure 13).
+
+Chunk subqueries must be assigned to query servers so that load balance,
+cache locality (the same chunk keeps going to the same server) and chunk
+locality (prefer servers co-located with a chunk replica) hold together.
+The paper's LADA builds, per query server, a preference array over the
+query's subqueries: servers co-located with a subquery's chunk come first,
+orders are shuffled with the chunk id as the random seed (so preferences
+are consistent across queries but differ between servers), and idle servers
+repeatedly bid for the pending subquery they prefer most.
+
+All four policies (LADA plus the round-robin / hashing / shared-queue
+baselines) run through the same virtual-time simulation loop: a heap of
+server free-times, each pop letting that server pick (or be assigned) a
+pending subquery whose real execution cost advances its free-time.  The
+query's makespan is the time the last subquery finishes -- which is the
+latency component Figure 13 compares.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import SubQuery
+from repro.hashing import stable_hash32
+from repro.core.query_server import QueryServer, ServerDownError, SubQueryResult
+
+
+@dataclass
+class DispatchOutcome:
+    """What a dispatch run did: per-subquery results and timing."""
+
+    results: List[Optional[SubQueryResult]]
+    makespan: float
+    assignments: Dict[int, int]  # subquery index -> query server id
+    retried: int = 0
+
+
+class DispatchPolicy:
+    """Base: subclasses pick the next subquery for an idle server."""
+
+    name = "base"
+
+    def prepare(
+        self, subqueries: Sequence[SubQuery], servers: Sequence[QueryServer]
+    ) -> None:
+        """Hook called once per query before the bidding loop."""
+
+    def pick(
+        self,
+        server_slot: int,
+        server: QueryServer,
+        pending: "set[int]",
+        subqueries: Sequence[SubQuery],
+    ) -> Optional[int]:
+        """Index of the pending subquery this server executes next, or None
+        if this server has nothing (more) to do."""
+        raise NotImplementedError
+
+    def assign(
+        self,
+        idle_slots: Sequence[int],
+        servers: Sequence[QueryServer],
+        pending: "set[int]",
+        subqueries: Sequence[SubQuery],
+    ) -> List[Tuple[int, int]]:
+        """Resolve one bidding wave: (slot, subquery index) pairs for the
+        currently idle servers.  Default: each idle slot picks greedily in
+        slot order.  At most one subquery per slot, one slot per subquery.
+        """
+        taken: "set[int]" = set()
+        out: List[Tuple[int, int]] = []
+        for slot in idle_slots:
+            remaining = pending - taken
+            if not remaining:
+                break
+            idx = self.pick(slot, servers[slot], remaining, subqueries)
+            if idx is not None:
+                taken.add(idx)
+                out.append((slot, idx))
+        return out
+
+
+class RoundRobinDispatch(DispatchPolicy):
+    """Static: subquery i goes to server i mod n, idleness ignored."""
+
+    name = "round_robin"
+
+    def prepare(self, subqueries, servers):
+        self._assigned: Dict[int, List[int]] = {}
+        for i in range(len(subqueries)):
+            self._assigned.setdefault(i % len(servers), []).append(i)
+
+    def pick(self, server_slot, server, pending, subqueries):
+        queue = self._assigned.get(server_slot, [])
+        while queue:
+            idx = queue[0]
+            if idx in pending:
+                return idx
+            queue.pop(0)
+        return None
+
+
+class HashingDispatch(DispatchPolicy):
+    """Static: subqueries hash-partitioned by chunk id.
+
+    Cache locality holds (same chunk -> same server, across queries) but
+    load balance does not.
+    """
+
+    name = "hashing"
+
+    def prepare(self, subqueries, servers):
+        self._assigned: Dict[int, List[int]] = {}
+        for i, sq in enumerate(subqueries):
+            slot = stable_hash32(sq.chunk_id or "") % len(servers)
+            self._assigned.setdefault(slot, []).append(i)
+
+    def pick(self, server_slot, server, pending, subqueries):
+        queue = self._assigned.get(server_slot, [])
+        while queue:
+            idx = queue[0]
+            if idx in pending:
+                return idx
+            queue.pop(0)
+        return None
+
+
+class SharedQueueDispatch(DispatchPolicy):
+    """Dynamic: idle servers take the next pending subquery in order.
+
+    Perfect load balance, no locality of any kind.
+    """
+
+    name = "shared_queue"
+
+    def pick(self, server_slot, server, pending, subqueries):
+        if not pending:
+            return None
+        return min(pending)
+
+
+class LadaDispatch(DispatchPolicy):
+    """The paper's locality-aware dispatch algorithm."""
+
+    name = "lada"
+
+    def __init__(self, chunk_locality: Callable[[str, int], bool]):
+        """``chunk_locality(chunk_id, node_id)`` says whether the node holds
+        a live replica of the chunk (wired to the DFS NameNode)."""
+        self._chunk_locality = chunk_locality
+
+    def prepare(self, subqueries, servers):
+        # preference[slot] = subquery indices in bidding order;
+        # rank[(slot, i)] = that subquery's position in slot's array.
+        ranked: Dict[int, List[Tuple[int, int]]] = {
+            slot: [] for slot in range(len(servers))
+        }
+        self._rank: Dict[Tuple[int, int], int] = {}
+        for i, sq in enumerate(subqueries):
+            near = [
+                slot
+                for slot, server in enumerate(servers)
+                if sq.chunk_id is not None
+                and self._chunk_locality(sq.chunk_id, server.node_id)
+            ]
+            far = [slot for slot in range(len(servers)) if slot not in near]
+            random.Random(f"near-{sq.chunk_id}").shuffle(near)
+            random.Random(f"far-{sq.chunk_id}").shuffle(far)
+            for rank, slot in enumerate(near + far):
+                ranked[slot].append((rank, i))
+                self._rank[(slot, i)] = rank
+        self._preference: Dict[int, List[int]] = {
+            slot: [i for _rank, i in sorted(entries)]
+            for slot, entries in ranked.items()
+        }
+
+    def pick(self, server_slot, server, pending, subqueries):
+        for idx in self._preference.get(server_slot, []):
+            if idx in pending:
+                return idx
+        return None
+
+    def assign(self, idle_slots, servers, pending, subqueries):
+        """Resolve a bidding wave by global preference rank: the (server,
+        subquery) pair with the best rank wins its bid first, so a chunk
+        consistently lands on the server that prefers it most (cache
+        locality survives contention between simultaneously idle servers).
+        """
+        pairs = sorted(
+            (self._rank[(slot, idx)], slot, idx)
+            for slot in idle_slots
+            for idx in pending
+        )
+        used_slots: "set[int]" = set()
+        taken: "set[int]" = set()
+        out: List[Tuple[int, int]] = []
+        for _rank, slot, idx in pairs:
+            if slot in used_slots or idx in taken:
+                continue
+            used_slots.add(slot)
+            taken.add(idx)
+            out.append((slot, idx))
+        return out
+
+
+class DispatchError(RuntimeError):
+    """No alive query server could execute some subquery."""
+
+
+def run_dispatch(
+    subqueries: Sequence[SubQuery],
+    servers: Sequence[QueryServer],
+    policy: DispatchPolicy,
+    execute: Optional[Callable[[QueryServer, SubQuery], SubQueryResult]] = None,
+) -> DispatchOutcome:
+    """Execute ``subqueries`` across ``servers`` under ``policy``.
+
+    Virtual-time loop: servers become idle at their free-time; an idle
+    server picks its next subquery per the policy and its (real) execution
+    cost advances the clock.  A server dying mid-execution gets its subquery
+    returned to the pending set and re-dispatched (Section V's query-side
+    fault tolerance); static policies fall back to any alive server for
+    orphaned work.
+    """
+    if execute is None:
+        execute = lambda server, sq: server.execute(sq)  # noqa: E731
+    results: List[Optional[SubQueryResult]] = [None] * len(subqueries)
+    if not subqueries:
+        return DispatchOutcome(results, 0.0, {})
+    if not any(s.alive for s in servers):
+        raise DispatchError("no alive query servers")
+    policy.prepare(subqueries, servers)
+
+    pending = set(range(len(subqueries)))
+    assignments: Dict[int, int] = {}
+    retried = 0
+    makespan = 0.0
+    # Completion events of busy servers: (done_time, tiebreak, slot).
+    heap: List[Tuple[float, int, int]] = []
+    idle = [slot for slot, s in enumerate(servers) if s.alive]
+    now = 0.0
+    swept = False
+
+    while pending or heap:
+        # One bidding wave: every currently idle server bids; the policy
+        # resolves contention (LADA by preference rank).
+        progressed = False
+        if pending and idle:
+            for slot, idx in policy.assign(idle, servers, pending, subqueries):
+                server = servers[slot]
+                if not server.alive or idx not in pending:
+                    continue
+                pending.discard(idx)
+                idle.remove(slot)
+                progressed = True
+                try:
+                    result = execute(server, subqueries[idx])
+                except ServerDownError:
+                    pending.add(idx)
+                    retried += 1
+                    continue
+                results[idx] = result
+                assignments[idx] = server.server_id
+                done_at = now + result.cost
+                makespan = max(makespan, done_at)
+                heapq.heappush(heap, (done_at, slot, slot))
+        if not pending and not heap:
+            break
+        if heap:
+            now, _tb, slot = heapq.heappop(heap)
+            if servers[slot].alive:
+                idle.append(slot)
+            continue
+        if progressed:
+            continue
+        # Work remains but no server is busy and the last wave assigned
+        # nothing: static policies can strand orphans of dead servers --
+        # hand the leftovers to any alive server via a shared-queue sweep.
+        idle = [slot for slot, s in enumerate(servers) if s.alive]
+        if not idle or swept:
+            raise DispatchError("subqueries remain but no server will take them")
+        policy = SharedQueueDispatch()
+        policy.prepare(subqueries, servers)
+        swept = True
+
+    return DispatchOutcome(results, makespan, assignments, retried)

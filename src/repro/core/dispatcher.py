@@ -1,0 +1,77 @@
+"""Dispatchers: route tuples to indexing servers, sample key frequencies.
+
+Dispatchers receive the raw stream, look up the target indexing server in
+the shared key partition, append the tuple to that server's durable-log
+partition (making it replayable for recovery), and keep a sliding-window
+sample of key frequencies that the balancer aggregates for adaptive key
+partitioning (Section III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.config import WaterwheelConfig
+from repro.core.model import DataTuple
+from repro.core.partitioning import FrequencySampler, KeyPartition
+from repro.messaging import DurableLog
+
+
+class SharedPartition:
+    """Mutable holder for the current global key partition.
+
+    Dispatchers read it on every tuple; the balancer swaps in a new
+    partition atomically (a single attribute assignment).
+    """
+
+    def __init__(self, partition: KeyPartition):
+        self.current = partition
+
+    def update(self, partition: KeyPartition) -> None:
+        """Atomically swap in a new partition."""
+        self.current = partition
+
+
+class Dispatcher:
+    """One dispatcher instance (the paper runs two per node)."""
+
+    def __init__(
+        self,
+        dispatcher_id: int,
+        config: WaterwheelConfig,
+        shared_partition: SharedPartition,
+        log: DurableLog,
+        topic: str,
+    ):
+        self.dispatcher_id = dispatcher_id
+        self.config = config
+        self._shared = shared_partition
+        self._log = log
+        self._topic = topic
+        self.sampler = FrequencySampler(
+            config.key_lo, config.key_hi, config.frequency_buckets
+        )
+        self._since_sample = 0
+        self.tuples_dispatched = 0
+
+    def route(self, t: DataTuple) -> int:
+        """The indexing server responsible for this tuple's key."""
+        return self._shared.current.server_for(t.key)
+
+    def dispatch(self, t: DataTuple) -> Tuple[int, int]:
+        """Route, log and sample one tuple.
+
+        Returns (indexing server id, durable-log offset).
+        """
+        server = self.route(t)
+        offset = self._log.append(self._topic, server, t)
+        self.tuples_dispatched += 1
+        self._since_sample += 1
+        if self._since_sample >= self.config.sample_every:
+            self._since_sample = 0
+            self.sampler.record(t.key, weight=float(self.config.sample_every))
+        return server, offset
+
+    def rotate_sample_window(self) -> None:
+        """Age out the older sampling window."""
+        self.sampler.rotate()

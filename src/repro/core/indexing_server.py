@@ -1,0 +1,369 @@
+"""Indexing server: in-memory template B+ tree, chunk flushes, recovery.
+
+Each indexing server owns one key interval of the global partition
+(Section III-A).  It accumulates dispatched tuples in a template B+ tree and
+flushes them as an immutable chunk once the configured chunk size is
+reached; the template survives the flush.  It answers subqueries over its
+fresh (not yet flushed) data, tracks its *actual* key interval (which can
+exceed the assigned one right after a repartition, Section III-D), buffers
+severely late tuples separately so ordinary chunks keep tight temporal
+boundaries (Section IV-D), and recovers its in-memory state after a failure
+by replaying the durable log from its last checkpointed offset (Section V).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.btree.template import TemplateBTree
+from repro.core.config import WaterwheelConfig
+from repro.core.model import DataTuple, KeyInterval, Region, SubQuery, TimeInterval
+from repro.messaging import DurableLog
+from repro.metastore import MetadataStore
+from repro.storage import SimulatedDFS, serialize_chunk
+
+#: Tuples more than this many Delta-t behind the newest timestamp go to the
+#: separate late buffer instead of the main tree.
+_SEVERELY_LATE_FACTOR = 4.0
+
+
+class ServerDownError(RuntimeError):
+    """Raised when a failed server is asked to do work."""
+
+
+class IndexingServer:
+    """One indexing server of the deployment."""
+
+    def __init__(
+        self,
+        server_id: int,
+        node_id: int,
+        config: WaterwheelConfig,
+        dfs: SimulatedDFS,
+        metastore: MetadataStore,
+        assigned: KeyInterval,
+    ):
+        self.server_id = server_id
+        self.node_id = node_id
+        self.config = config
+        self.dfs = dfs
+        self.metastore = metastore
+        self.assigned = assigned
+        self.alive = True
+        self.max_ts_seen: Optional[float] = None
+        self._last_offset: Optional[int] = None
+        self._bytes_in_memory = 0
+        self._late_bytes = 0
+        self._tree = self._new_tree(assigned)
+        self._late_tree: Optional[TemplateBTree] = None
+        self.flush_count = 0
+        self.tuples_ingested = 0
+
+    # --- construction helpers -------------------------------------------------
+
+    def _new_tree(self, interval: KeyInterval) -> TemplateBTree:
+        cfg = self.config
+        return TemplateBTree(
+            interval.lo,
+            max(interval.hi, interval.lo + 1),
+            n_leaves=cfg.template_leaves,
+            fanout=cfg.fanout,
+            sketch_granularity=cfg.sketch_granularity,
+            skew_threshold=cfg.skew_threshold,
+            check_every=cfg.skew_check_every,
+        )
+
+    @property
+    def _seq_key(self) -> str:
+        return f"/indexing/{self.server_id}/next_chunk_seq"
+
+    @property
+    def _offset_key(self) -> str:
+        return f"/indexing/{self.server_id}/offset"
+
+    # --- ingestion ---------------------------------------------------------------
+
+    def ingest(self, t: DataTuple, offset: Optional[int] = None) -> Optional[str]:
+        """Insert one tuple; returns the chunk id if this triggered a flush.
+
+        ``offset`` is the tuple's position in this server's durable log
+        partition; checkpointed at flush time for recovery.
+        """
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        if self.max_ts_seen is None or t.ts > self.max_ts_seen:
+            self.max_ts_seen = t.ts
+        self.tuples_ingested += 1
+        self._last_offset = offset
+
+        late_cutoff = (
+            None
+            if self.max_ts_seen is None
+            else self.max_ts_seen - _SEVERELY_LATE_FACTOR * self.config.late_delta
+        )
+        if late_cutoff is not None and t.ts < late_cutoff:
+            self._ingest_late(t)
+        else:
+            self._tree.insert(t)
+            self._bytes_in_memory += t.size
+        if self._bytes_in_memory >= self.config.chunk_bytes:
+            return self.flush()
+        return None
+
+    def _ingest_late(self, t: DataTuple) -> None:
+        if self._late_tree is None:
+            self._late_tree = TemplateBTree(
+                self.assigned.lo,
+                max(self.assigned.hi, self.assigned.lo + 1),
+                n_leaves=max(1, self.config.template_leaves // 8),
+                fanout=self.config.fanout,
+                sketch_granularity=self.config.sketch_granularity,
+            )
+        self._late_tree.insert(t)
+        self._late_bytes += t.size
+        if self._late_bytes >= self.config.chunk_bytes:
+            self._flush_tree(self._late_tree, late=True)
+            self._late_tree = None
+            self._late_bytes = 0
+
+    # --- flushing ------------------------------------------------------------------
+
+    def flush(self) -> Optional[str]:
+        """Serialize the main tree to a chunk; no-op when empty."""
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        chunk_id = self._flush_tree(self._tree, late=False)
+        if chunk_id is not None:
+            self._tree.reset_leaves()
+            self._bytes_in_memory = 0
+            if self._last_offset is not None:
+                self.metastore.put(self._offset_key, self._last_offset + 1)
+        return chunk_id
+
+    def flush_all(self) -> List[str]:
+        """Flush both the main tree and any late buffer (shutdown/tests)."""
+        out = []
+        main = self.flush()
+        if main:
+            out.append(main)
+        if self._late_tree is not None and len(self._late_tree) > 0:
+            late = self._flush_tree(self._late_tree, late=True)
+            if late:
+                out.append(late)
+            self._late_tree = None
+            self._late_bytes = 0
+        return out
+
+    def _flush_tree(self, tree: TemplateBTree, late: bool) -> Optional[str]:
+        if len(tree) == 0:
+            return None
+        leaves = [(leaf.keys, leaf.tuples) for leaf in tree.leaves()]
+        return self._write_chunk(
+            leaves,
+            tree.key_bounds(),
+            tree.time_bounds(),
+            len(tree),
+            late=late,
+            suffix_tag="",
+        )
+
+    def _write_chunk(
+        self,
+        leaves,
+        key_bounds,
+        time_bounds,
+        n_tuples: int,
+        late: bool,
+        suffix_tag: str,
+    ) -> str:
+        """Serialize leaf runs into a chunk, replicate it, build sidecars,
+        register the region -- shared by flushes and bulk loads."""
+        seq = self.metastore.get(self._seq_key, 0)
+        suffix = ("L" if late else "") + suffix_tag
+        chunk_id = f"chunk-{self.server_id}-{seq}{suffix}"
+        self.metastore.put(self._seq_key, seq + 1)
+
+        blob = serialize_chunk(
+            leaves,
+            self.config.sketch_granularity,
+            compress=self.config.compress_chunks,
+        )
+        self.dfs.put(chunk_id, blob)
+        if self.config.secondary_specs:
+            from repro.secondary import ChunkSecondaryIndex, sidecar_id
+
+            sidecar = ChunkSecondaryIndex.build(
+                self.config.secondary_specs, leaves
+            )
+            self.dfs.put(sidecar_id(chunk_id), sidecar.to_bytes())
+
+        self.metastore.put(
+            f"/chunks/{chunk_id}",
+            {
+                "chunk_id": chunk_id,
+                "server": self.server_id,
+                "key_lo": key_bounds[0],
+                "key_hi": key_bounds[1] + 1,  # half-open
+                "t_lo": time_bounds[0],
+                "t_hi": time_bounds[1],
+                "n_tuples": n_tuples,
+                "bytes": len(blob),
+                "late": late,
+            },
+        )
+        self.flush_count += 1
+        return chunk_id
+
+    def bulk_load_chunk(self, records: List[DataTuple]) -> Optional[str]:
+        """Write a time-contiguous batch of historical records straight to
+        a chunk, bypassing the in-memory tree (backfill ingestion).
+
+        The batch should cover a bounded time window (it becomes one data
+        region); records are re-sorted by key into leaf runs.
+        """
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        if not records:
+            return None
+        data = sorted(records, key=lambda t: t.key)
+        leaf_size = max(1, self.config.leaf_target_tuples)
+        leaves = []
+        for start in range(0, len(data), leaf_size):
+            run = data[start : start + leaf_size]
+            leaves.append(([t.key for t in run], run))
+        ts_values = [t.ts for t in records]
+        return self._write_chunk(
+            leaves,
+            (data[0].key, data[-1].key),
+            (min(ts_values), max(ts_values)),
+            len(records),
+            late=False,
+            suffix_tag="B",
+        )
+
+    # --- repartitioning --------------------------------------------------------------
+
+    def reassign(self, interval: KeyInterval) -> None:
+        """Adopt a new assigned key interval (adaptive key partitioning).
+
+        In-memory data keeps its old extent -- the *actual* interval reported
+        by :meth:`fresh_region` may overlap neighbours until the next flush,
+        which is exactly the transient the metadata server must expose for
+        query correctness (Section III-D).
+        """
+        self.assigned = interval
+
+    # --- fresh-data queries -------------------------------------------------------------
+
+    def fresh_region(self) -> Optional[Region]:
+        """The key x time region queries must consult for in-memory data.
+
+        The left temporal edge is widened by Delta-t so tuples up to
+        Delta-t late stay visible without notifying the coordinator on
+        every arrival (Section IV-D).
+        """
+        if not self.alive:
+            return None
+        bounds: List[Tuple[int, int]] = []
+        t_lo = None
+        for tree in (self._tree, self._late_tree):
+            if tree is None or len(tree) == 0:
+                continue
+            kb = tree.key_bounds()
+            tb = tree.time_bounds()
+            bounds.append(kb)
+            t_lo = tb[0] if t_lo is None else min(t_lo, tb[0])
+        if not bounds:
+            return None
+        key_lo = min(b[0] for b in bounds)
+        key_hi = max(b[1] for b in bounds)
+        return Region(
+            KeyInterval.closed(key_lo, key_hi),
+            TimeInterval(t_lo - self.config.late_delta, float("inf")),
+        )
+
+    def query_fresh(self, sq: SubQuery) -> Tuple[List[DataTuple], int]:
+        """Execute a subquery over in-memory data.
+
+        Returns (tuples, tuples_examined); the caller prices the work.
+        """
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        out: List[DataTuple] = []
+        examined = 0
+        for tree in (self._tree, self._late_tree):
+            if tree is None or len(tree) == 0:
+                continue
+            got, stats = tree.range_query(
+                sq.keys.lo,
+                sq.keys.hi - 1,
+                sq.times.lo,
+                sq.times.hi,
+                predicate=sq.predicate,
+                use_sketch=self.config.use_temporal_sketch,
+            )
+            out.extend(got)
+            examined += stats.tuples_examined
+        if sq.attr_equals or sq.attr_ranges:
+            out = [
+                t
+                for t in out
+                if self._attrs_match(t, sq.attr_equals, sq.attr_ranges)
+            ]
+        return out, examined
+
+    def _attrs_match(self, t: DataTuple, attr_equals, attr_ranges) -> bool:
+        extractors = {
+            spec.name: spec.extractor for spec in self.config.secondary_specs
+        }
+        for name, value in (attr_equals or {}).items():
+            extract = extractors.get(name)
+            if extract is None:
+                raise ValueError(f"attribute {name!r} is not configured")
+            if extract(t.payload) != value:
+                return False
+        for name, (lo, hi) in (attr_ranges or {}).items():
+            extract = extractors.get(name)
+            if extract is None:
+                raise ValueError(f"attribute {name!r} is not configured")
+            value = extract(t.payload)
+            if value is None or not (lo <= value <= hi):
+                return False
+        return True
+
+    # --- failure & recovery -------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash: all volatile state (the in-memory trees) is lost."""
+        self.alive = False
+        self._tree = self._new_tree(self.assigned)
+        self._late_tree = None
+        self._bytes_in_memory = 0
+        self._late_bytes = 0
+        self.max_ts_seen = None
+
+    def recover(self, log: DurableLog, topic: str) -> int:
+        """Relaunch and rebuild the in-memory tree by replaying the durable
+        log from the last checkpointed offset; returns tuples replayed."""
+        self.alive = True
+        start = self.metastore.get(self._offset_key, 0)
+        replayed = 0
+        for offset, t in log.replay(topic, self.server_id, start):
+            self.ingest(t, offset)
+            replayed += 1
+        return replayed
+
+    # --- introspection -----------------------------------------------------------------------
+
+    @property
+    def in_memory_tuples(self) -> int:
+        """Tuples currently buffered (main + late trees)."""
+        total = len(self._tree)
+        if self._late_tree is not None:
+            total += len(self._late_tree)
+        return total
+
+    @property
+    def bytes_in_memory(self) -> int:
+        """Logical bytes currently buffered."""
+        return self._bytes_in_memory + self._late_bytes

@@ -1,0 +1,258 @@
+"""Core data model: tuples, intervals, regions, queries.
+
+The paper (Section II-A) defines a tuple ``d = <d_k, d_t, d_e>`` of key,
+timestamp and payload, a two-dimensional key x time space ``R``, and queries
+``q = <K_q, T_q, f_q>`` selecting a rectangle of that space plus an optional
+user predicate.
+
+Conventions used throughout this reproduction:
+
+* Keys are non-negative integers (z-codes, IPv4 addresses, sensor ids all map
+  naturally onto ints).  Key intervals are half-open ``[lo, hi)`` so that a
+  partitioning of the key domain is a set of disjoint adjacent intervals.
+* Timestamps are floats (seconds).  Time intervals are closed ``[lo, hi]``,
+  matching the paper's ``T(t-, t+)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DataTuple:
+    """A single stream record.
+
+    ``key`` is the index key (not necessarily unique), ``ts`` the event
+    timestamp, and ``payload`` an opaque application value.  ``size`` is the
+    wire size in bytes used by the cost model; the default approximates the
+    paper's 30-50 byte tuples.
+    """
+
+    key: int
+    ts: float
+    payload: Any = None
+    size: int = 36
+
+    def as_row(self) -> Tuple[int, float, Any]:
+        """One (key, ts, payload) row, e.g. for CSV export."""
+        return (self.key, self.ts, self.payload)
+
+
+class KeyInterval:
+    """Half-open integer key interval ``[lo, hi)``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        if hi < lo:
+            raise ValueError(f"empty-inverted key interval [{lo}, {hi})")
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def closed(cls, lo: int, hi: int) -> "KeyInterval":
+        """Build from an inclusive pair ``[lo, hi]`` as used in queries."""
+        return cls(lo, hi + 1)
+
+    def __contains__(self, key: int) -> bool:
+        return self.lo <= key < self.hi
+
+    def __len__(self) -> int:
+        return max(0, self.hi - self.lo)
+
+    def is_empty(self) -> bool:
+        """True when the interval contains no key."""
+        return self.hi <= self.lo
+
+    def overlaps(self, other: "KeyInterval") -> bool:
+        """True when the two intervals share at least one key."""
+        if self.is_empty() or other.is_empty():
+            return False
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersect(self, other: "KeyInterval") -> "KeyInterval":
+        """The overlap of two intervals; may be empty (lo == hi)."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return KeyInterval(lo, max(lo, hi))
+
+    def union_hull(self, other: "KeyInterval") -> "KeyInterval":
+        """The smallest interval containing both inputs."""
+        return KeyInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, KeyInterval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"KeyInterval({self.lo}, {self.hi})"
+
+
+class TimeInterval:
+    """Closed time interval ``[lo, hi]`` in seconds."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float):
+        if hi < lo:
+            raise ValueError(f"inverted time interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def __contains__(self, ts: float) -> bool:
+        return self.lo <= ts <= self.hi
+
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.hi - self.lo
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True when the two intervals share at least one instant."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersect(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """The overlap of the two intervals, or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi < lo:
+            return None
+        return TimeInterval(lo, hi)
+
+    def union_hull(self, other: "TimeInterval") -> "TimeInterval":
+        """The smallest interval containing both inputs."""
+        return TimeInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def extend_left(self, delta: float) -> "TimeInterval":
+        """Widen the left boundary by ``delta`` (the paper's late-arrival
+        visibility adjustment, Section IV-D)."""
+        return TimeInterval(self.lo - delta, self.hi)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TimeInterval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"TimeInterval({self.lo}, {self.hi})"
+
+
+class Region:
+    """A rectangle in key x time space (the paper's *data region*)."""
+
+    __slots__ = ("keys", "times")
+
+    def __init__(self, keys: KeyInterval, times: TimeInterval):
+        self.keys = keys
+        self.times = times
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the rectangles intersect in both domains."""
+        return self.keys.overlaps(other.keys) and self.times.overlaps(other.times)
+
+    def contains(self, key: int, ts: float) -> bool:
+        """True when the point (key, ts) lies inside the region."""
+        return key in self.keys and ts in self.times
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Region)
+            and self.keys == other.keys
+            and self.times == other.times
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.keys, self.times))
+
+    def __repr__(self) -> str:
+        return f"Region({self.keys!r}, {self.times!r})"
+
+
+Predicate = Callable[[DataTuple], bool]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A user query ``q = <K_q, T_q, f_q>``.
+
+    ``keys`` uses inclusive bounds at the API surface (``KeyInterval.closed``
+    is applied by callers); ``predicate`` defaults to accepting everything.
+    """
+
+    keys: KeyInterval
+    times: TimeInterval
+    predicate: Optional[Predicate] = None
+    query_id: int = 0
+    #: Equality predicates on secondary (payload) attributes, served by the
+    #: bitmap/bloom sidecar indexes when configured.  Transported to the
+    #: servers; exact filtering uses the configured attribute extractors.
+    attr_equals: Optional[Dict[str, Any]] = None
+    #: Inclusive (lo, hi) range predicates on numeric secondary attributes
+    #: (zone maps).
+    attr_ranges: Optional[Dict[str, Tuple[Any, Any]]] = None
+
+    def region(self) -> Region:
+        """The query's rectangle in key x time space."""
+        return Region(self.keys, self.times)
+
+    def matches(self, t: DataTuple) -> bool:
+        """True when the tuple satisfies key, time and predicate criteria."""
+        if t.key not in self.keys or t.ts not in self.times:
+            return False
+        return self.predicate is None or self.predicate(t)
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """One unit of decomposed query work bound to a single data region.
+
+    ``chunk_id`` is None when the subquery targets an indexing server's
+    in-memory tree (fresh data) rather than a flushed chunk.
+    """
+
+    query_id: int
+    keys: KeyInterval
+    times: TimeInterval
+    predicate: Optional[Predicate]
+    chunk_id: Optional[str]
+    indexing_server: Optional[int] = None
+    attr_equals: Optional[Dict[str, Any]] = None
+    attr_ranges: Optional[Dict[str, Tuple[Any, Any]]] = None
+
+    @property
+    def on_fresh_data(self) -> bool:
+        """True when this subquery targets an in-memory tree, not a chunk."""
+        return self.chunk_id is None
+
+
+@dataclass
+class QueryResult:
+    """Merged result of a query: matching tuples plus execution metrics."""
+
+    query_id: int
+    tuples: list = field(default_factory=list)
+    subquery_count: int = 0
+    latency: float = 0.0
+    bytes_read: int = 0
+    leaves_read: int = 0
+    leaves_skipped: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+def brute_force_query(tuples: Iterable[DataTuple], query: Query) -> list:
+    """Reference oracle: linear scan used by tests to validate the system."""
+    return [t for t in tuples if query.matches(t)]

@@ -1,0 +1,223 @@
+"""Global key partitioning (paper Sections III-A and III-D).
+
+The key domain is range-partitioned across indexing servers; dispatchers
+route each tuple by its key.  The partition is *adaptive*: dispatchers
+sample key frequencies, a central balancer aggregates them, and when any
+server's expected load deviates from the mean by more than the rebalance
+threshold, new boundaries are computed that equalize the observed frequency
+mass per server.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence
+
+from repro.core.model import KeyInterval
+
+
+class KeyPartition:
+    """An ordered range partition of ``[key_lo, key_hi)`` into n intervals.
+
+    ``boundaries`` are the n-1 separators; server i owns
+    ``[boundaries[i-1], boundaries[i])`` with the domain edges at the ends.
+    """
+
+    def __init__(self, key_lo: int, key_hi: int, boundaries: Sequence[int]):
+        if key_hi <= key_lo:
+            raise ValueError("empty key domain")
+        boundaries = list(boundaries)
+        if boundaries != sorted(boundaries):
+            raise ValueError("boundaries must be sorted")
+        if len(set(boundaries)) != len(boundaries):
+            raise ValueError("boundaries must be distinct")
+        if boundaries and (boundaries[0] <= key_lo or boundaries[-1] >= key_hi):
+            raise ValueError("boundaries must lie strictly inside the domain")
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self.boundaries = boundaries
+
+    @classmethod
+    def uniform(cls, key_lo: int, key_hi: int, n_servers: int) -> "KeyPartition":
+        """Evenly spaced boundaries (the bootstrap partition)."""
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        span = key_hi - key_lo
+        boundaries = []
+        for i in range(1, n_servers):
+            b = key_lo + round(span * i / n_servers)
+            if key_lo < b < key_hi and (not boundaries or b > boundaries[-1]):
+                boundaries.append(b)
+        return cls(key_lo, key_hi, boundaries)
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        key_lo: int,
+        key_hi: int,
+        n_servers: int,
+        bucket_counts: Sequence[float],
+    ) -> "KeyPartition":
+        """Boundaries equalizing observed frequency mass per server.
+
+        ``bucket_counts[i]`` is the observed frequency of keys falling in the
+        i-th of ``len(bucket_counts)`` equal-width buckets over the domain.
+        """
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        total = float(sum(bucket_counts))
+        if total <= 0:
+            return cls.uniform(key_lo, key_hi, n_servers)
+        n_buckets = len(bucket_counts)
+        span = key_hi - key_lo
+        target = total / n_servers
+        boundaries: List[int] = []
+        acc = 0.0
+        next_cut = target
+        for i, count in enumerate(bucket_counts):
+            acc += count
+            while acc >= next_cut and len(boundaries) < n_servers - 1:
+                # Cut at this bucket's right edge.
+                b = key_lo + round(span * (i + 1) / n_buckets)
+                if key_lo < b < key_hi and (not boundaries or b > boundaries[-1]):
+                    boundaries.append(b)
+                next_cut += target
+        return cls(key_lo, key_hi, boundaries)
+
+    @classmethod
+    def from_sample(
+        cls, key_lo: int, key_hi: int, n_servers: int, sample: Sequence[int]
+    ) -> "KeyPartition":
+        """Boundaries at the quantiles of a key sample.
+
+        Finer-grained than bucket histograms: a hot key range narrower than
+        any bucket still gets split at individual-key granularity, bounded
+        only by duplicate keys (a single hot *key* cannot be split by any
+        range partitioning).
+        """
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        keys = sorted(sample)
+        if not keys:
+            return cls.uniform(key_lo, key_hi, n_servers)
+        boundaries: List[int] = []
+        for i in range(1, n_servers):
+            b = keys[min(len(keys) - 1, i * len(keys) // n_servers)]
+            if key_lo < b < key_hi and (not boundaries or b > boundaries[-1]):
+                boundaries.append(b)
+        return cls(key_lo, key_hi, boundaries)
+
+    # --- routing ---------------------------------------------------------------
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of key intervals (boundaries + 1)."""
+        return len(self.boundaries) + 1
+
+    def server_for(self, key: int) -> int:
+        """The indexing server owning this key."""
+        return bisect_right(self.boundaries, key)
+
+    def interval(self, server: int) -> KeyInterval:
+        """The key interval assigned to one server."""
+        lo = self.key_lo if server == 0 else self.boundaries[server - 1]
+        hi = (
+            self.key_hi
+            if server == len(self.boundaries)
+            else self.boundaries[server]
+        )
+        return KeyInterval(lo, hi)
+
+    def intervals(self) -> List[KeyInterval]:
+        """All per-server key intervals, in server order."""
+        return [self.interval(i) for i in range(self.n_intervals)]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, KeyPartition)
+            and self.key_lo == other.key_lo
+            and self.key_hi == other.key_hi
+            and self.boundaries == other.boundaries
+        )
+
+    def __repr__(self) -> str:
+        return f"KeyPartition({self.key_lo}, {self.key_hi}, {self.boundaries})"
+
+
+class FrequencySampler:
+    """Sliding-window key-frequency histogram kept by each dispatcher.
+
+    Keys are hashed into ``n_buckets`` equal-width buckets over the domain;
+    ``rotate()`` starts a new window (called once per aggregation period) so
+    stale traffic ages out after two windows.
+    """
+
+    def __init__(self, key_lo: int, key_hi: int, n_buckets: int = 1024):
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self.n_buckets = n_buckets
+        self._current = [0.0] * n_buckets
+        self._previous = [0.0] * n_buckets
+
+    def bucket_of(self, key: int) -> int:
+        """Histogram bucket index for a key (clamped to the domain)."""
+        span = self.key_hi - self.key_lo
+        clamped = min(max(key, self.key_lo), self.key_hi - 1)
+        return min(
+            self.n_buckets - 1,
+            (clamped - self.key_lo) * self.n_buckets // span,
+        )
+
+    def record(self, key: int, weight: float = 1.0) -> None:
+        """Count one sampled key."""
+        self._current[self.bucket_of(key)] += weight
+
+    def rotate(self) -> None:
+        """Start a new sampling window (old one ages out next rotate)."""
+        self._previous = self._current
+        self._current = [0.0] * self.n_buckets
+
+    def histogram(self) -> List[float]:
+        """Combined current + previous window counts."""
+        return [c + p for c, p in zip(self._current, self._previous)]
+
+
+def aggregate_histograms(histograms: Sequence[Sequence[float]]) -> List[float]:
+    """Sum per-dispatcher histograms into the global key-frequency view."""
+    if not histograms:
+        return []
+    n = len(histograms[0])
+    if any(len(h) != n for h in histograms):
+        raise ValueError("histograms must share bucket count")
+    out = [0.0] * n
+    for hist in histograms:
+        for i, value in enumerate(hist):
+            out[i] += value
+    return out
+
+
+def load_deviation(loads: Sequence[float]) -> float:
+    """Max relative deviation of any server's load from the mean; the
+    rebalance trigger compares this against the threshold (e.g. 0.2)."""
+    if not loads:
+        return 0.0
+    mean = sum(loads) / len(loads)
+    if mean <= 0:
+        return 0.0
+    return max(abs(load - mean) for load in loads) / mean
+
+
+def partition_loads(partition: KeyPartition, histogram: Sequence[float]) -> List[float]:
+    """Expected per-server load under ``partition`` given a bucket histogram."""
+    loads = [0.0] * partition.n_intervals
+    n_buckets = len(histogram)
+    span = partition.key_hi - partition.key_lo
+    for i, count in enumerate(histogram):
+        if count == 0:
+            continue
+        # Attribute the bucket to the server owning its midpoint key.
+        mid = partition.key_lo + span * (2 * i + 1) // (2 * n_buckets)
+        loads[partition.server_for(mid)] += count
+    return loads

@@ -1,0 +1,294 @@
+"""Query servers: chunk subquery execution with an LRU cache.
+
+A query server executes subqueries against flushed chunks (Section IV-B).
+Reading from the DFS dominates subquery cost, so frequently used data stays
+in a bounded LRU cache whose units are the chunk *prefix* (header +
+directory + temporal sketches -- the on-disk analogue of the template) and
+individual leaf blocks, mirroring the paper's "template or leaf node as the
+basic caching unit".
+
+Execution is real (bytes decoded, tuples filtered); the returned cost is
+simulated seconds computed from the cost model: DFS accesses for cache
+misses plus CPU proportional to tuples examined.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.config import WaterwheelConfig
+from repro.core.model import DataTuple, SubQuery
+from repro.storage import ChunkReader, SimulatedDFS
+
+
+class ServerDownError(RuntimeError):
+    """Raised when a failed query server is asked to execute a subquery."""
+
+
+@dataclass
+class SubQueryResult:
+    """One subquery's tuples plus its simulated cost and I/O metrics."""
+    tuples: List[DataTuple] = field(default_factory=list)
+    cost: float = 0.0
+    bytes_read: int = 0
+    leaves_read: int = 0
+    leaves_skipped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class LRUCache:
+    """Byte-bounded LRU over opaque unit keys."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity_bytes
+        self._units: "OrderedDict[object, int]" = OrderedDict()
+        self._bytes = 0
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._units
+
+    def touch(self, key: object) -> bool:
+        """Mark a unit used; returns True on hit."""
+        if key in self._units:
+            self._units.move_to_end(key)
+            return True
+        return False
+
+    def add(self, key: object, size: int) -> List[object]:
+        """Insert a unit, evicting LRU units to fit; returns evicted keys."""
+        evicted = []
+        if key in self._units:
+            self._bytes -= self._units.pop(key)
+        while self._units and self._bytes + size > self.capacity:
+            old_key, old_size = self._units.popitem(last=False)
+            self._bytes -= old_size
+            evicted.append(old_key)
+        if size <= self.capacity:
+            self._units[key] = size
+            self._bytes += size
+        return evicted
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+
+class QueryServer:
+    """One query server of the deployment."""
+
+    def __init__(
+        self,
+        server_id: int,
+        node_id: int,
+        config: WaterwheelConfig,
+        dfs: SimulatedDFS,
+    ):
+        self.server_id = server_id
+        self.node_id = node_id
+        self.config = config
+        self.dfs = dfs
+        self.alive = True
+        self.cache = LRUCache(config.cache_bytes)
+        self._readers: Dict[str, ChunkReader] = {}
+        self._sidecars: Dict[str, object] = {}
+        self._extractors = {
+            spec.name: spec.extractor for spec in config.secondary_specs
+        }
+        self.subqueries_executed = 0
+
+    # --- cache plumbing ---------------------------------------------------------
+
+    def _prefix_key(self, chunk_id: str) -> Tuple[str, str]:
+        return ("prefix", chunk_id)
+
+    def _leaf_key(self, chunk_id: str, leaf_index: int) -> Tuple[str, str, int]:
+        return ("leaf", chunk_id, leaf_index)
+
+    def _evict(self, keys: List[object]) -> None:
+        for key in keys:
+            if key[0] == "prefix":
+                self._readers.pop(key[1], None)
+            elif key[0] == "sidecar":
+                self._sidecars.pop(key[1], None)
+
+    def _sidecar_for(
+        self, chunk_id: str, result: SubQueryResult, piggyback: bool = False
+    ):
+        """Load (or reuse) the chunk's secondary-index sidecar, if any.
+
+        ``piggyback=True`` means the chunk prefix was fetched by this same
+        subquery, so the sidecar rides along in that ranged read (footer
+        co-location) and pays only transfer bytes, not another access floor.
+        """
+        from repro.secondary import ChunkSecondaryIndex, sidecar_id
+
+        name = sidecar_id(chunk_id)
+        if not self.dfs.exists(name):
+            return None
+        cache_key = ("sidecar", chunk_id)
+        if self.cache.touch(cache_key) and chunk_id in self._sidecars:
+            result.cache_hits += 1
+            return self._sidecars[chunk_id]
+        result.cache_misses += 1
+        data = self.dfs.get_bytes(name)
+        if piggyback:
+            result.cost += len(data) / self.config.costs.dfs_read_bandwidth
+        else:
+            result.cost += self.dfs.read_cost(name, len(data), self.node_id)
+        result.bytes_read += len(data)
+        sidecar = ChunkSecondaryIndex.from_bytes(
+            data, self.config.secondary_specs or None
+        )
+        self._sidecars[chunk_id] = sidecar
+        self._evict(self.cache.add(cache_key, len(data)))
+        return sidecar
+
+    def _attrs_match(self, payload, attr_equals, attr_ranges) -> bool:
+        for name, value in (attr_equals or {}).items():
+            extract = self._extractors.get(name)
+            if extract is None:
+                raise ValueError(f"attribute {name!r} is not configured")
+            if extract(payload) != value:
+                return False
+        for name, (lo, hi) in (attr_ranges or {}).items():
+            extract = self._extractors.get(name)
+            if extract is None:
+                raise ValueError(f"attribute {name!r} is not configured")
+            value = extract(payload)
+            if value is None or not (lo <= value <= hi):
+                return False
+        return True
+
+    def _reader_for(self, chunk_id: str, result: SubQueryResult) -> ChunkReader:
+        """Parse (or reuse) the chunk prefix, charging a DFS access on miss."""
+        prefix_key = self._prefix_key(chunk_id)
+        if self.cache.touch(prefix_key) and chunk_id in self._readers:
+            result.cache_hits += 1
+            return self._readers[chunk_id]
+        result.cache_misses += 1
+        data = self.dfs.get_bytes(chunk_id)
+        reader = ChunkReader(data)
+        result.cost += self.dfs.read_cost(
+            chunk_id, reader.prefix_bytes, self.node_id
+        )
+        result.bytes_read += reader.prefix_bytes
+        self._readers[chunk_id] = reader
+        self._evict(self.cache.add(prefix_key, reader.prefix_bytes))
+        return reader
+
+    def prefetch_prefix(self, chunk_id: str) -> float:
+        """Warm the chunk's prefix (header + directory + sketches) into the
+        cache -- the on-disk template, which real deployments keep hot.
+        Returns the simulated cost of the fetch (0.0 on a cache hit)."""
+        result = SubQueryResult()
+        self._reader_for(chunk_id, result)
+        return result.cost
+
+    # --- execution -----------------------------------------------------------------
+
+    def execute(self, sq: SubQuery) -> SubQueryResult:
+        """Run a chunk subquery; returns tuples plus simulated cost."""
+        if not self.alive:
+            raise ServerDownError(f"query server {self.server_id} is down")
+        if sq.chunk_id is None:
+            raise ValueError("query servers only handle chunk subqueries")
+        result = SubQueryResult()
+        # Coordinator round trip: subquery dispatch + completion message.
+        result.cost += 2 * self.config.costs.network_latency
+        misses_before = result.cache_misses
+        reader = self._reader_for(sq.chunk_id, result)
+        prefix_was_cold = result.cache_misses > misses_before
+        key_lo, key_hi = sq.keys.lo, sq.keys.hi - 1
+
+        # Secondary-index pushdown: restrict to leaves whose bitmap/bloom
+        # sidecar says may contain the requested attribute values.
+        allowed_leaves = None
+        if sq.attr_equals or sq.attr_ranges:
+            sidecar = self._sidecar_for(
+                sq.chunk_id, result, piggyback=prefix_was_cold
+            )
+            if sidecar is not None:
+                allowed_leaves = sidecar.candidate_leaves(
+                    sq.attr_equals, sq.attr_ranges
+                )
+
+        to_fetch = []
+        fetch_bytes = 0
+        hits = []
+        for entry in reader.candidate_leaves(key_lo, key_hi):
+            if allowed_leaves is not None and entry.index not in allowed_leaves:
+                result.leaves_skipped += 1
+                continue
+            if self.config.use_temporal_sketch:
+                sketch = reader.sketch_for(entry)
+                if not sketch.might_overlap(sq.times.lo, sq.times.hi):
+                    result.leaves_skipped += 1
+                    continue
+            leaf_key = self._leaf_key(sq.chunk_id, entry.index)
+            if self.cache.touch(leaf_key):
+                result.cache_hits += 1
+                hits.append(entry)
+            else:
+                result.cache_misses += 1
+                to_fetch.append(entry)
+                fetch_bytes += entry.block_length
+
+        if to_fetch:
+            # One ranged DFS access covering every missing block.
+            result.cost += self.dfs.read_cost(sq.chunk_id, fetch_bytes, self.node_id)
+            result.bytes_read += fetch_bytes
+            for entry in to_fetch:
+                self._evict(
+                    self.cache.add(
+                        self._leaf_key(sq.chunk_id, entry.index), entry.block_length
+                    )
+                )
+
+        examined = 0
+        for entry in hits + to_fetch:
+            result.leaves_read += 1
+            for t in reader.read_leaf(entry):
+                examined += 1
+                if (
+                    key_lo <= t.key <= key_hi
+                    and sq.times.lo <= t.ts <= sq.times.hi
+                    and (sq.predicate is None or sq.predicate(t))
+                    and (
+                        not (sq.attr_equals or sq.attr_ranges)
+                        or self._attrs_match(
+                            t.payload, sq.attr_equals, sq.attr_ranges
+                        )
+                    )
+                ):
+                    result.tuples.append(t)
+        result.cost += examined * self.config.costs.scan_cpu
+        self.subqueries_executed += 1
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop all cached units (benchmarks use this for cold-cache runs)."""
+        self.cache = LRUCache(self.config.cache_bytes)
+        self._readers.clear()
+        self._sidecars.clear()
+
+    # --- failure ----------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash: the cache (volatile state) is lost."""
+        self.alive = False
+        self.cache = LRUCache(self.config.cache_bytes)
+        self._readers.clear()
+        self._sidecars.clear()
+
+    def recover(self) -> None:
+        """Bring the server back (with a cold cache)."""
+        self.alive = True

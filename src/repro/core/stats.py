@@ -1,0 +1,118 @@
+"""Deployment statistics: one structured snapshot of every component.
+
+Production stores expose counters for dashboards and alerting; this module
+gathers Waterwheel's into a single nested snapshot -- per-server ingest and
+flush counts, query-server cache occupancy, DFS volume, balancer activity --
+without touching any component's hot path (all values are already tracked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class IndexingServerStats:
+    """Snapshot row for one indexing server."""
+    server_id: int
+    node_id: int
+    alive: bool
+    tuples_ingested: int
+    in_memory_tuples: int
+    bytes_in_memory: int
+    flush_count: int
+    assigned_lo: int
+    assigned_hi: int
+
+
+@dataclass
+class QueryServerStats:
+    """Snapshot row for one query server."""
+    server_id: int
+    node_id: int
+    alive: bool
+    subqueries_executed: int
+    cache_units: int
+    cache_bytes: int
+
+
+@dataclass
+class SystemSnapshot:
+    """A point-in-time view of the whole deployment."""
+
+    tuples_inserted: int
+    in_memory_tuples: int
+    chunk_count: int
+    dfs_bytes_written: int
+    dfs_bytes_read: int
+    rebalance_count: int
+    queries_executed: int
+    catalog_regions: int
+    log_backlog: int
+    indexing: List[IndexingServerStats] = field(default_factory=list)
+    query: List[QueryServerStats] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        """Nested-dict view (JSON-friendly)."""
+        return {
+            "tuples_inserted": self.tuples_inserted,
+            "in_memory_tuples": self.in_memory_tuples,
+            "chunk_count": self.chunk_count,
+            "dfs_bytes_written": self.dfs_bytes_written,
+            "dfs_bytes_read": self.dfs_bytes_read,
+            "rebalance_count": self.rebalance_count,
+            "queries_executed": self.queries_executed,
+            "catalog_regions": self.catalog_regions,
+            "log_backlog": self.log_backlog,
+            "indexing": [vars(s) for s in self.indexing],
+            "query": [vars(s) for s in self.query],
+        }
+
+
+def snapshot(system) -> SystemSnapshot:
+    """Collect a :class:`SystemSnapshot` from a running Waterwheel."""
+    log_backlog = 0
+    for server in system.indexing_servers:
+        topic = "tuples"
+        latest = system.log.latest_offset(topic, server.server_id)
+        base = system.log.base_offset(topic, server.server_id)
+        log_backlog += latest - base
+
+    snap = SystemSnapshot(
+        tuples_inserted=system.tuples_inserted,
+        in_memory_tuples=system.in_memory_tuples,
+        chunk_count=system.chunk_count,
+        dfs_bytes_written=system.dfs.total_bytes_written,
+        dfs_bytes_read=system.dfs.total_bytes_read,
+        rebalance_count=system.balancer.rebalance_count,
+        queries_executed=system.coordinator.queries_executed,
+        catalog_regions=system.coordinator.catalog_size,
+        log_backlog=log_backlog,
+    )
+    for server in system.indexing_servers:
+        snap.indexing.append(
+            IndexingServerStats(
+                server_id=server.server_id,
+                node_id=server.node_id,
+                alive=server.alive,
+                tuples_ingested=server.tuples_ingested,
+                in_memory_tuples=server.in_memory_tuples if server.alive else 0,
+                bytes_in_memory=server.bytes_in_memory if server.alive else 0,
+                flush_count=server.flush_count,
+                assigned_lo=server.assigned.lo,
+                assigned_hi=server.assigned.hi,
+            )
+        )
+    for server in system.query_servers:
+        snap.query.append(
+            QueryServerStats(
+                server_id=server.server_id,
+                node_id=server.node_id,
+                alive=server.alive,
+                subqueries_executed=server.subqueries_executed,
+                cache_units=len(server.cache),
+                cache_bytes=server.cache.used_bytes,
+            )
+        )
+    return snap

@@ -1,0 +1,290 @@
+"""The Waterwheel facade: wires every component into one runnable system.
+
+This is the public entry point::
+
+    from repro import Waterwheel, small_config
+
+    ww = Waterwheel(small_config())
+    ww.insert_record(key=42, ts=0.5, payload="hello")
+    result = ww.query(key_lo=0, key_hi=100, t_lo=0.0, t_hi=1.0)
+
+Everything runs in one process: dispatchers, indexing servers, query
+servers, the metadata store, the durable input log and the simulated DFS.
+The data path is real (tuples are routed, indexed, serialized into binary
+chunks, replicated, decoded and filtered); time-like metrics (query
+latency) are simulated seconds from the cost model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.core.balancer import PartitionBalancer
+from repro.core.config import WaterwheelConfig
+from repro.core.coordinator import QueryCoordinator
+from repro.core.dispatch import DispatchPolicy, LadaDispatch
+from repro.core.dispatcher import Dispatcher, SharedPartition
+from repro.core.indexing_server import IndexingServer
+from repro.core.model import DataTuple, KeyInterval, Predicate, Query, QueryResult, TimeInterval
+from repro.core.partitioning import KeyPartition
+from repro.core.query_server import QueryServer
+from repro.messaging import DurableLog
+from repro.metastore import MetadataStore
+from repro.simulation import Cluster
+from repro.storage import SimulatedDFS
+
+_TOPIC = "tuples"
+
+#: How many inserts between balancer trigger checks.
+_BALANCE_CHECK_EVERY = 10_000
+
+
+class Waterwheel:
+    """A complete single-process Waterwheel deployment."""
+
+    def __init__(
+        self,
+        config: Optional[WaterwheelConfig] = None,
+        dispatch_policy: Optional[DispatchPolicy] = None,
+        adaptive_partitioning: bool = True,
+    ):
+        self.config = config or WaterwheelConfig()
+        cfg = self.config
+
+        self.cluster = Cluster(cfg.n_nodes, seed=cfg.seed)
+        self.metastore = MetadataStore(journal_path=cfg.metastore_journal)
+        self.dfs = SimulatedDFS(
+            self.cluster, cfg.costs, cfg.replication,
+            spill_dir=cfg.dfs_spill_dir,
+        )
+        self.log = DurableLog()
+        self.log.create_topic(_TOPIC, cfg.n_indexing_servers)
+
+        partition = KeyPartition.uniform(
+            cfg.key_lo, cfg.key_hi, cfg.n_indexing_servers
+        )
+        self.shared_partition = SharedPartition(partition)
+        self.metastore.put("/partition/boundaries", list(partition.boundaries))
+
+        indexing_placement = self.cluster.place_round_robin(
+            "indexing", cfg.n_indexing_servers
+        )
+        self.indexing_servers: List[IndexingServer] = [
+            IndexingServer(
+                server_id,
+                indexing_placement[server_id],
+                cfg,
+                self.dfs,
+                self.metastore,
+                partition.interval(server_id)
+                if server_id < partition.n_intervals
+                else KeyInterval(cfg.key_hi, cfg.key_hi),
+            )
+            for server_id in range(cfg.n_indexing_servers)
+        ]
+
+        query_placement = self.cluster.place_round_robin(
+            "query", cfg.n_query_servers
+        )
+        self.query_servers: List[QueryServer] = [
+            QueryServer(server_id, query_placement[server_id], cfg, self.dfs)
+            for server_id in range(cfg.n_query_servers)
+        ]
+
+        self.cluster.place_round_robin("dispatcher", cfg.n_dispatchers)
+        self.dispatchers: List[Dispatcher] = [
+            Dispatcher(d, cfg, self.shared_partition, self.log, _TOPIC)
+            for d in range(cfg.n_dispatchers)
+        ]
+        self._dispatcher_rr = itertools.cycle(range(cfg.n_dispatchers))
+
+        self.balancer = PartitionBalancer(
+            cfg,
+            self.shared_partition,
+            self.dispatchers,
+            self.indexing_servers,
+            self.metastore,
+            enabled=adaptive_partitioning,
+        )
+
+        if dispatch_policy is None:
+            dispatch_policy = LadaDispatch(self.dfs.has_local_replica)
+        self.coordinator = QueryCoordinator(
+            cfg,
+            self.metastore,
+            self.indexing_servers,
+            self.query_servers,
+            dispatch_policy,
+        )
+
+        self.tuples_inserted = 0
+        self._since_balance_check = 0
+
+    # --- ingestion ---------------------------------------------------------------
+
+    def insert(self, t: DataTuple) -> Optional[str]:
+        """Ingest one tuple end-to-end; returns a chunk id on flush."""
+        dispatcher = self.dispatchers[next(self._dispatcher_rr)]
+        server_id, offset = dispatcher.dispatch(t)
+        chunk_id = self.indexing_servers[server_id].ingest(t, offset)
+        self.tuples_inserted += 1
+        self._since_balance_check += 1
+        if self._since_balance_check >= _BALANCE_CHECK_EVERY:
+            self._since_balance_check = 0
+            self.balancer.maybe_rebalance()
+        return chunk_id
+
+    def insert_record(self, key: int, ts: float, payload=None, size: int = None) -> Optional[str]:
+        """Convenience wrapper building the :class:`DataTuple` for you."""
+        if size is None:
+            size = self.config.tuple_size
+        return self.insert(DataTuple(key, ts, payload, size))
+
+    def insert_many(self, tuples) -> int:
+        """Bulk ingest; returns the number of chunk flushes triggered."""
+        flushes = 0
+        for t in tuples:
+            if self.insert(t) is not None:
+                flushes += 1
+        return flushes
+
+    def compact_log(self) -> int:
+        """Truncate each durable-log partition below its flush checkpoint.
+
+        Everything before a checkpoint is already durable in chunks
+        (Section V), so retention only needs the unflushed suffix.  Returns
+        the number of records dropped across all partitions.
+        """
+        dropped = 0
+        for server in self.indexing_servers:
+            checkpoint = self.metastore.get(
+                f"/indexing/{server.server_id}/offset", 0
+            )
+            dropped += self.log.truncate(_TOPIC, server.server_id, checkpoint)
+        return dropped
+
+    def flush_all(self) -> List[str]:
+        """Force-flush every indexing server (tests / shutdown)."""
+        out: List[str] = []
+        for server in self.indexing_servers:
+            if server.alive:
+                out.extend(server.flush_all())
+        return out
+
+    def bulk_load(self, records) -> List[str]:
+        """Backfill historical records straight into chunks.
+
+        Bypasses the dispatcher/log path entirely (the batch is already
+        durable at its source): records are routed by the current key
+        partition, split per server into chunk-sized time-contiguous
+        batches, and written as regular data regions.  Returns the chunk
+        ids created.  Use :meth:`insert` for live streams -- bulk-loaded
+        data is never replayable from the durable log.
+        """
+        per_server: dict = {}
+        for t in records:
+            server_id = self.shared_partition.current.server_for(t.key)
+            per_server.setdefault(server_id, []).append(t)
+        chunk_ids: List[str] = []
+        per_chunk = self.config.tuples_per_chunk
+        for server_id, batch in sorted(per_server.items()):
+            batch.sort(key=lambda t: t.ts)  # time-contiguous regions
+            server = self.indexing_servers[server_id]
+            for start in range(0, len(batch), per_chunk):
+                chunk_id = server.bulk_load_chunk(batch[start : start + per_chunk])
+                if chunk_id is not None:
+                    chunk_ids.append(chunk_id)
+        return chunk_ids
+
+    # --- queries --------------------------------------------------------------------
+
+    def query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float,
+        t_hi: float,
+        predicate: Optional[Predicate] = None,
+        attr_equals: Optional[dict] = None,
+        attr_ranges: Optional[dict] = None,
+    ) -> QueryResult:
+        """Temporal range query: keys in [key_lo, key_hi] (inclusive),
+        timestamps in [t_lo, t_hi].
+
+        ``attr_equals`` adds equality predicates on payload attributes; when
+        the deployment configures ``secondary_specs`` for those attributes,
+        the bitmap/bloom sidecar indexes prune leaf reads (Section VIII's
+        future-work secondary indexes).  ``attr_ranges`` adds inclusive
+        (lo, hi) range predicates on numeric attributes, pruned by the
+        sidecars' zone maps.
+        """
+        q = Query(
+            keys=KeyInterval.closed(key_lo, key_hi),
+            times=TimeInterval(t_lo, t_hi),
+            predicate=predicate,
+            attr_equals=attr_equals,
+            attr_ranges=attr_ranges,
+        )
+        return self.coordinator.execute(q)
+
+    def explain(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float,
+        t_hi: float,
+        attr_equals: Optional[dict] = None,
+        attr_ranges: Optional[dict] = None,
+    ) -> dict:
+        """The decomposition plan the coordinator would run (no execution)."""
+        q = Query(
+            keys=KeyInterval.closed(key_lo, key_hi),
+            times=TimeInterval(t_lo, t_hi),
+            attr_equals=attr_equals,
+            attr_ranges=attr_ranges,
+        )
+        return self.coordinator.explain(q)
+
+    # --- failure injection & recovery (Section V) --------------------------------------
+
+    def kill_indexing_server(self, server_id: int) -> None:
+        """Crash an indexing server (volatile state lost)."""
+        self.indexing_servers[server_id].fail()
+
+    def recover_indexing_server(self, server_id: int) -> int:
+        """Replays the durable log; returns tuples replayed."""
+        return self.indexing_servers[server_id].recover(self.log, _TOPIC)
+
+    def kill_query_server(self, server_id: int) -> None:
+        """Crash a query server (cache lost)."""
+        self.query_servers[server_id].fail()
+
+    def recover_query_server(self, server_id: int) -> None:
+        """Bring a query server back (cold cache)."""
+        self.query_servers[server_id].recover()
+
+    def crash_coordinator(self) -> None:
+        """Drop the coordinator; a standby takes over from the metadata
+        store (running queries would be cancelled and re-issued)."""
+        policy = self.coordinator.policy
+        self.coordinator.close()
+        self.coordinator = QueryCoordinator(
+            self.config,
+            self.metastore,
+            self.indexing_servers,
+            self.query_servers,
+            policy,
+        )
+
+    # --- introspection --------------------------------------------------------------------
+
+    @property
+    def chunk_count(self) -> int:
+        """Registered data chunks (excludes secondary-index sidecars)."""
+        return len(self.metastore.list_prefix("/chunks/"))
+
+    @property
+    def in_memory_tuples(self) -> int:
+        """Unflushed tuples across alive indexing servers."""
+        return sum(s.in_memory_tuples for s in self.indexing_servers if s.alive)

@@ -1,0 +1,155 @@
+"""Consistency checker: an fsck for a Waterwheel deployment.
+
+Audits the invariants the design relies on:
+
+1. **No loss, no duplication** -- every ingested tuple is present exactly
+   once across the flushed chunks plus the indexing servers' in-memory
+   trees (checked against the durable log, the source of truth).
+2. **Region metadata is honest** -- each chunk's registered key/time region
+   in the metadata store bounds exactly what the chunk contains (a region
+   narrower than the data would make the coordinator skip results).
+3. **Chunk integrity** -- every chunk and sidecar decodes and passes its
+   CRCs; every chunk has at least one live replica.
+4. **Catalog completeness** -- the coordinator's R-tree has exactly one
+   entry per registered chunk.
+
+Used by tests and exposed as ``python -m repro`` users' post-incident
+sanity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.storage import ChunkReader
+from repro.storage.dfs import ChunkUnavailable
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a full audit: empty ``problems`` means healthy."""
+
+    tuples_in_log: int = 0
+    tuples_in_chunks: int = 0
+    tuples_in_memory: int = 0
+    chunks_checked: int = 0
+    sidecars_checked: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the audit found no problems."""
+        return not self.problems
+
+    def summary(self) -> str:
+        """One-line report for logs/CLIs."""
+        status = "OK" if self.ok else f"{len(self.problems)} PROBLEM(S)"
+        return (
+            f"[{status}] log={self.tuples_in_log} "
+            f"chunks={self.tuples_in_chunks} (over {self.chunks_checked} chunks) "
+            f"memory={self.tuples_in_memory}"
+        )
+
+
+def verify_system(system) -> VerificationReport:
+    """Run the full audit against a live :class:`Waterwheel`."""
+    report = VerificationReport()
+    problems = report.problems
+
+    # --- 1. gather the ground truth from the durable log -------------------
+    log_rows = []
+    for server in system.indexing_servers:
+        base = system.log.base_offset("tuples", server.server_id)
+        for _offset, t in system.log.replay("tuples", server.server_id, base):
+            log_rows.append((t.key, t.ts))
+    report.tuples_in_log = len(log_rows)
+
+    # --- 2. decode every chunk, check CRCs, regions, replicas --------------
+    chunk_rows = []
+    registered = dict(system.metastore.items_prefix("/chunks/"))
+    for key, info in registered.items():
+        chunk_id = info["chunk_id"]
+        report.chunks_checked += 1
+        try:
+            if not system.dfs.live_replicas(chunk_id):
+                problems.append(f"{chunk_id}: no live replica")
+                continue
+            reader = ChunkReader(system.dfs.get_bytes(chunk_id))
+            rows = reader.all_tuples()
+        except ChunkUnavailable:
+            problems.append(f"{chunk_id}: unavailable")
+            continue
+        except ValueError as exc:
+            problems.append(f"{chunk_id}: failed to decode ({exc})")
+            continue
+        if len(rows) != info["n_tuples"]:
+            problems.append(
+                f"{chunk_id}: metadata says {info['n_tuples']} tuples, "
+                f"chunk holds {len(rows)}"
+            )
+        for t in rows:
+            if not (info["key_lo"] <= t.key < info["key_hi"]):
+                problems.append(
+                    f"{chunk_id}: tuple key {t.key} outside registered "
+                    f"key region [{info['key_lo']}, {info['key_hi']})"
+                )
+                break
+        for t in rows:
+            if not (info["t_lo"] <= t.ts <= info["t_hi"]):
+                problems.append(
+                    f"{chunk_id}: tuple ts {t.ts} outside registered "
+                    f"time region [{info['t_lo']}, {info['t_hi']}]"
+                )
+                break
+        chunk_rows.extend((t.key, t.ts) for t in rows)
+
+        sidecar_name = f"{chunk_id}.sidx"
+        if system.dfs.exists(sidecar_name):
+            from repro.secondary import ChunkSecondaryIndex
+
+            try:
+                ChunkSecondaryIndex.from_bytes(
+                    system.dfs.get_bytes(sidecar_name)
+                )
+                report.sidecars_checked += 1
+            except ValueError as exc:
+                problems.append(f"{sidecar_name}: corrupt ({exc})")
+    report.tuples_in_chunks = len(chunk_rows)
+
+    # --- 3. in-memory data -------------------------------------------------
+    memory_rows = []
+    for server in system.indexing_servers:
+        if not server.alive:
+            continue
+        for tree in (server._tree, server._late_tree):
+            if tree is not None:
+                memory_rows.extend((t.key, t.ts) for t in tree.all_tuples())
+    report.tuples_in_memory = len(memory_rows)
+
+    # --- 4. conservation: log == chunks + memory ---------------------------
+    # (Only checkable when the log has not been truncated past flushed data
+    # and no indexing server is down with unrecovered state.)
+    all_alive = all(s.alive for s in system.indexing_servers)
+    untruncated = all(
+        system.log.base_offset("tuples", s.server_id) == 0
+        for s in system.indexing_servers
+    )
+    if all_alive and untruncated:
+        stored = sorted(chunk_rows + memory_rows)
+        logged = sorted(log_rows)
+        if stored != logged:
+            missing = len(logged) - len(stored)
+            problems.append(
+                f"conservation violated: log has {len(logged)} tuples, "
+                f"chunks+memory hold {len(stored)} ({missing:+d})"
+            )
+
+    # --- 5. catalog mirrors the metadata store ------------------------------
+    catalog = system.coordinator.catalog_size
+    if catalog != len(registered):
+        problems.append(
+            f"catalog has {catalog} regions, metadata registers "
+            f"{len(registered)} chunks"
+        )
+    return report

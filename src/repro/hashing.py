@@ -1,0 +1,22 @@
+"""Process-stable hashing.
+
+Python's built-in ``hash`` over strings is salted per process
+(PYTHONHASHSEED), so anything that derives placement or dispatch decisions
+from ``hash(chunk_id)`` would differ from run to run.  Everything in this
+package that needs a deterministic hash of a string uses these helpers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash64(value: str) -> int:
+    """A 64-bit hash of ``value`` that is identical in every process."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def stable_hash32(value: str) -> int:
+    """A 32-bit variant for modulo-style bucketing."""
+    return stable_hash64(value) & 0xFFFFFFFF

@@ -1,0 +1,5 @@
+"""Durable log for replayable input streams (Kafka substrate)."""
+
+from repro.messaging.log import DurableLog
+
+__all__ = ["DurableLog"]

@@ -1,0 +1,98 @@
+"""Durable, offset-addressable message log (the paper's Kafka substrate).
+
+Fault tolerance of the insertion workflow (paper Section V) relies on the
+input stream being replayable: each indexing server's input lives on one
+partition of a topic; records get monotonically increasing offsets; after a
+flush the server checkpoints its read offset to the metadata server, and a
+restarted server replays from that offset to rebuild its in-memory tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass
+class _Partition:
+    records: List[Any] = field(default_factory=list)
+    base_offset: int = 0  # offset of records[0]; grows with truncation
+
+    @property
+    def latest_offset(self) -> int:
+        """The offset the next appended record will receive."""
+        return self.base_offset + len(self.records)
+
+
+class DurableLog:
+    """Topics -> numbered partitions -> append-only record lists."""
+
+    def __init__(self):
+        self._topics: Dict[str, Dict[int, _Partition]] = {}
+
+    def create_topic(self, topic: str, partitions: int) -> None:
+        """Create a topic with numbered partitions."""
+        if partitions < 1:
+            raise ValueError("a topic needs at least one partition")
+        if topic in self._topics:
+            raise ValueError(f"topic {topic!r} already exists")
+        self._topics[topic] = {i: _Partition() for i in range(partitions)}
+
+    def _partition(self, topic: str, partition: int) -> _Partition:
+        try:
+            parts = self._topics[topic]
+        except KeyError:
+            raise KeyError(f"unknown topic {topic!r}") from None
+        try:
+            return parts[partition]
+        except KeyError:
+            raise KeyError(f"topic {topic!r} has no partition {partition}") from None
+
+    def append(self, topic: str, partition: int, record: Any) -> int:
+        """Append a record; returns its offset."""
+        part = self._partition(topic, partition)
+        part.records.append(record)
+        return part.latest_offset - 1
+
+    def latest_offset(self, topic: str, partition: int) -> int:
+        """The offset the *next* record will receive."""
+        return self._partition(topic, partition).latest_offset
+
+    def replay(
+        self, topic: str, partition: int, from_offset: int = 0
+    ) -> List[Tuple[int, Any]]:
+        """Records from ``from_offset`` onward as (offset, record) pairs."""
+        part = self._partition(topic, partition)
+        if from_offset < 0:
+            raise ValueError("offset must be >= 0")
+        if from_offset < part.base_offset:
+            raise KeyError(
+                f"offset {from_offset} was truncated "
+                f"(log starts at {part.base_offset})"
+            )
+        start = from_offset - part.base_offset
+        return list(enumerate(part.records[start:], start=from_offset))
+
+    def truncate(self, topic: str, partition: int, upto_offset: int) -> int:
+        """Discard records below ``upto_offset`` (retention after a flush
+        checkpoint -- everything older is already durable in chunks).
+        Returns the number of records dropped.  Offsets stay stable."""
+        part = self._partition(topic, partition)
+        if upto_offset <= part.base_offset:
+            return 0
+        drop = min(upto_offset, part.latest_offset) - part.base_offset
+        del part.records[:drop]
+        part.base_offset += drop
+        return drop
+
+    def base_offset(self, topic: str, partition: int) -> int:
+        """The oldest offset still retained."""
+        return self._partition(topic, partition).base_offset
+
+    def partitions(self, topic: str) -> List[int]:
+        """Partition numbers of a topic."""
+        return sorted(self._topics.get(topic, {}))
+
+    def topics(self) -> List[str]:
+        """All topic names."""
+        return sorted(self._topics)

@@ -1,0 +1,5 @@
+"""Versioned metadata store with watches (ZooKeeper substrate)."""
+
+from repro.metastore.store import Entry, MetadataStore
+
+__all__ = ["Entry", "MetadataStore"]

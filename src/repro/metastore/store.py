@@ -1,0 +1,172 @@
+"""Versioned metadata store with watches (the paper's ZooKeeper substrate).
+
+The metadata server (paper Section II-B) persists the global key
+partitioning, each indexing server's *actual* key interval (which may
+transiently overlap others after a repartition, Section III-D), chunk data
+regions, and the per-server log read offsets used for recovery (Section V).
+
+This store gives those consumers a tiny coordination kernel: a hierarchical
+key space (``/`` separated), per-key versions bumped on every write, and
+prefix watches fired synchronously on mutation.
+
+Durability (ZooKeeper writes its transaction log to disk): pass
+``journal_path`` and every mutation is appended as a JSON line;
+:meth:`recover` replays the journal into a fresh store after a restart.
+Values must be JSON-representable (everything this system stores is).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A stored value plus its monotonically increasing version."""
+    value: Any
+    version: int
+
+
+WatchCallback = Callable[[str, Optional[Any]], None]
+
+
+class MetadataStore:
+    """In-process versioned KV store with prefix watches."""
+
+    def __init__(self, journal_path: Optional[str] = None):
+        self._entries: Dict[str, Entry] = {}
+        self._watches: List[Tuple[str, WatchCallback]] = []
+        self._journal: Optional[TextIO] = None
+        if journal_path is not None:
+            self._journal = open(journal_path, "a", encoding="utf-8")
+
+    # --- durability -------------------------------------------------------------
+
+    def _log(self, op: str, key: str, value: Any = None) -> None:
+        if self._journal is None:
+            return
+        self._journal.write(
+            json.dumps({"op": op, "key": key, "value": value},
+                       separators=(",", ":"))
+        )
+        self._journal.write("\n")
+        self._journal.flush()
+
+    @classmethod
+    def recover(
+        cls, journal_path: str, continue_journaling: bool = True
+    ) -> "MetadataStore":
+        """Rebuild a store by replaying a journal; optionally keep
+        appending to the same journal afterwards."""
+        store = cls()
+        if os.path.exists(journal_path):
+            with open(journal_path, "r", encoding="utf-8") as fh:
+                for line_no, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError as exc:
+                        raise ValueError(
+                            f"{journal_path}:{line_no}: corrupt journal "
+                            f"entry ({exc})"
+                        ) from exc
+                    if record["op"] == "put":
+                        store.put(record["key"], record["value"])
+                    elif record["op"] == "delete":
+                        store.delete(record["key"])
+        if continue_journaling:
+            store._journal = open(journal_path, "a", encoding="utf-8")
+        return store
+
+    def close(self) -> None:
+        """Flush and close the journal file (no-op when unjournaled)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # --- basic KV -------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> int:
+        """Create or replace; returns the new version (1 for a fresh key)."""
+        current = self._entries.get(key)
+        version = 1 if current is None else current.version + 1
+        self._entries[key] = Entry(value, version)
+        self._log("put", key, value)
+        self._notify(key, value)
+        return version
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The key's current value, or ``default`` when absent."""
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    def get_entry(self, key: str) -> Optional[Entry]:
+        """The (value, version) entry, or None when absent."""
+        return self._entries.get(key)
+
+    def exists(self, key: str) -> bool:
+        """True when the key is present."""
+        return key in self._entries
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; returns False when it was absent."""
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._log("delete", key)
+        self._notify(key, None)
+        return True
+
+    def compare_and_put(self, key: str, expected_version: int, value: Any) -> bool:
+        """Write only if the key's current version matches (0 = must not
+        exist); the primitive behind single-writer coordination."""
+        entry = self._entries.get(key)
+        current = 0 if entry is None else entry.version
+        if current != expected_version:
+            return False
+        self.put(key, value)
+        return True
+
+    # --- hierarchy --------------------------------------------------------------
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        """Sorted keys under ``prefix``."""
+        return sorted(k for k in self._entries if k.startswith(prefix))
+
+    def items_prefix(self, prefix: str) -> List[Tuple[str, Any]]:
+        """Sorted (key, value) pairs under ``prefix``."""
+        return [(k, self._entries[k].value) for k in self.list_prefix(prefix)]
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Remove every key under ``prefix``; returns the count."""
+        doomed = self.list_prefix(prefix)
+        for key in doomed:
+            self.delete(key)
+        return len(doomed)
+
+    # --- watches -------------------------------------------------------------------
+
+    def watch(self, prefix: str, callback: WatchCallback) -> Callable[[], None]:
+        """Register a callback fired on any mutation under ``prefix``;
+        returns an unsubscribe function."""
+        token = (prefix, callback)
+        self._watches.append(token)
+
+        def unsubscribe() -> None:
+            if token in self._watches:
+                self._watches.remove(token)
+
+        return unsubscribe
+
+    def _notify(self, key: str, value: Optional[Any]) -> None:
+        for prefix, callback in list(self._watches):
+            if key.startswith(prefix):
+                callback(key, value)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,6 @@
+"""Guttman R-tree over key x time regions (coordinator region catalog)."""
+
+from repro.rtree.bulk import str_pack
+from repro.rtree.rtree import RTree
+
+__all__ = ["RTree", "str_pack"]

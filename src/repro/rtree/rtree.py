@@ -1,0 +1,245 @@
+"""R-tree over key x time regions.
+
+The query coordinator (paper Section IV-A) keeps the metadata of every data
+region in an R-tree so a query region can be matched against overlapping
+data regions efficiently.  This is a textbook Guttman R-tree with quadratic
+split; regions are :class:`repro.core.model.Region` rectangles and each entry
+carries an opaque value (chunk id or indexing-server id).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.model import KeyInterval, Region, TimeInterval
+
+
+def _area(region: Region) -> float:
+    return float(len(region.keys)) * max(region.times.duration(), 1e-9)
+
+
+def _hull(a: Region, b: Region) -> Region:
+    return Region(a.keys.union_hull(b.keys), a.times.union_hull(b.times))
+
+
+def _enlargement(current: Region, addition: Region) -> float:
+    return _area(_hull(current, addition)) - _area(current)
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "parent")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # Leaf entries: (region, value).  Inner entries: (region, _Node).
+        self.entries: List[Tuple[Region, Any]] = []
+        self.parent: Optional["_Node"] = None
+
+    def mbr(self) -> Region:
+        """Minimum bounding region over this node's entries."""
+        region = self.entries[0][0]
+        for other, _child in self.entries[1:]:
+            region = _hull(region, other)
+        return region
+
+
+class RTree:
+    """Dynamic R-tree with quadratic node split.
+
+    ``max_entries`` is the node fanout M; ``min_entries`` defaults to M // 2.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 2)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # --- search -------------------------------------------------------------
+
+    def search(self, region: Region) -> List[Tuple[Region, Any]]:
+        """All (region, value) entries whose region overlaps ``region``."""
+        out: List[Tuple[Region, Any]] = []
+        self._search(self._root, region, out)
+        return out
+
+    def search_values(self, region: Region) -> List[Any]:
+        """Just the values of :meth:`search` hits."""
+        return [value for _region, value in self.search(region)]
+
+    def all_entries(self) -> List[Tuple[Region, Any]]:
+        """Every stored (region, value) pair (test/debug helper)."""
+        everything = Region(
+            KeyInterval(-(2**62), 2**62), TimeInterval(float("-inf"), float("inf"))
+        )
+        return self.search(everything)
+
+    def _search(self, node: _Node, region: Region, out: list) -> None:
+        for entry_region, child in node.entries:
+            if not entry_region.overlaps(region):
+                continue
+            if node.leaf:
+                out.append((entry_region, child))
+            else:
+                self._search(child, region, out)
+
+    # --- insert -------------------------------------------------------------
+
+    def insert(self, region: Region, value: Any) -> None:
+        """Add one (region, value) entry, splitting as needed."""
+        leaf = self._choose_leaf(self._root, region)
+        leaf.entries.append((region, value))
+        self._size += 1
+        self._handle_overflow(leaf)
+
+    def _choose_leaf(self, node: _Node, region: Region) -> _Node:
+        while not node.leaf:
+            best = None
+            best_cost = None
+            for entry_region, child in node.entries:
+                cost = (_enlargement(entry_region, region), _area(entry_region))
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best = child
+            node = best
+        return node
+
+    def _handle_overflow(self, node: _Node) -> None:
+        while len(node.entries) > self.max_entries:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(leaf=False)
+                for child in (node, sibling):
+                    child.parent = new_root
+                    new_root.entries.append((child.mbr(), child))
+                self._root = new_root
+                return
+            self._refresh_entry(parent, node)
+            sibling.parent = parent
+            parent.entries.append((sibling.mbr(), sibling))
+            node = parent
+        self._refresh_upwards(node)
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: seed with the most wasteful pair, then greedily
+        assign remaining entries by enlargement preference."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        mbr_a = group_a[0][0]
+        mbr_b = group_b[0][0]
+        while rest:
+            # Force-assign if one group must absorb everything to reach the
+            # minimum fill.
+            if len(group_a) + len(rest) <= self.min_entries:
+                group_a.extend(rest)
+                rest = []
+                break
+            if len(group_b) + len(rest) <= self.min_entries:
+                group_b.extend(rest)
+                rest = []
+                break
+            entry = rest.pop()
+            grow_a = _enlargement(mbr_a, entry[0])
+            grow_b = _enlargement(mbr_b, entry[0])
+            if (grow_a, _area(mbr_a)) <= (grow_b, _area(mbr_b)):
+                group_a.append(entry)
+                mbr_a = _hull(mbr_a, entry[0])
+            else:
+                group_b.append(entry)
+                mbr_b = _hull(mbr_b, entry[0])
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        if not node.leaf:
+            for _region, child in group_b:
+                child.parent = sibling
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: List[Tuple[Region, Any]]) -> Tuple[int, int]:
+        worst = (0, 1)
+        worst_waste = float("-inf")
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    _area(_hull(entries[i][0], entries[j][0]))
+                    - _area(entries[i][0])
+                    - _area(entries[j][0])
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst = (i, j)
+        return worst
+
+    def _refresh_entry(self, parent: _Node, child: _Node) -> None:
+        for i, (_region, node) in enumerate(parent.entries):
+            if node is child:
+                parent.entries[i] = (child.mbr(), child)
+                return
+        raise RuntimeError("child not found in parent")
+
+    def _refresh_upwards(self, node: _Node) -> None:
+        while node.parent is not None:
+            self._refresh_entry(node.parent, node)
+            node = node.parent
+
+    # --- delete -------------------------------------------------------------
+
+    def delete(self, region: Region, value: Any) -> bool:
+        """Remove one entry matching (region, value); returns success."""
+        leaf = self._find_leaf(self._root, region, value)
+        if leaf is None:
+            return False
+        leaf.entries = [
+            (r, v) for r, v in leaf.entries if not (r == region and v == value)
+        ]
+        self._size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(self, node: _Node, region: Region, value: Any) -> Optional[_Node]:
+        for entry_region, child in node.entries:
+            if node.leaf:
+                if entry_region == region and child == value:
+                    return node
+            elif entry_region.overlaps(region):
+                found = self._find_leaf(child, region, value)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        orphans: List[Tuple[Region, Any]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent.entries = [(r, c) for r, c in parent.entries if c is not node]
+                self._collect_leaf_entries(node, orphans)
+            else:
+                self._refresh_entry(parent, node)
+            node = parent
+        # Shrink the root if it has a single inner child.
+        while not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0][1]
+            self._root.parent = None
+        if not self._root.leaf and not self._root.entries:
+            self._root = _Node(leaf=True)
+        for region, value in orphans:
+            self._size -= 1  # insert() re-increments
+            self.insert(region, value)
+
+    def _collect_leaf_entries(self, node: _Node, out: list) -> None:
+        if node.leaf:
+            out.extend(node.entries)
+            return
+        for _region, child in node.entries:
+            self._collect_leaf_entries(child, out)

@@ -1,0 +1,39 @@
+"""Miniature Storm-like dataflow runtime (the paper's execution substrate)."""
+
+from repro.runtime.topology import (
+    AllGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    LocalRuntime,
+    Operator,
+    OperatorContext,
+    ShuffleGrouping,
+    Spout,
+    Topology,
+    TopologyError,
+)
+from repro.runtime.waterwheel_topology import (
+    DispatcherBolt,
+    IndexingBolt,
+    StreamSpout,
+    build_insertion_topology,
+    run_insertion_topology,
+)
+
+__all__ = [
+    "Operator",
+    "Spout",
+    "OperatorContext",
+    "Topology",
+    "TopologyError",
+    "LocalRuntime",
+    "ShuffleGrouping",
+    "FieldsGrouping",
+    "AllGrouping",
+    "DirectGrouping",
+    "StreamSpout",
+    "DispatcherBolt",
+    "IndexingBolt",
+    "build_insertion_topology",
+    "run_insertion_topology",
+]

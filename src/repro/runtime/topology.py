@@ -1,0 +1,302 @@
+"""A miniature Storm-like dataflow runtime.
+
+The paper implements Waterwheel "on top of Apache Storm as an
+application-level topology" (Section VI): servers are operators, data
+routing rules connect them, and Storm supplies scheduling and transport.
+This module provides that substrate in-process: spouts produce messages,
+bolts consume and emit them, stream *groupings* decide which downstream
+instance gets each message, and a deterministic local runtime drives the
+whole graph to completion.
+
+Groupings mirror Storm's:
+
+* :class:`ShuffleGrouping` -- round-robin across downstream instances;
+* :class:`FieldsGrouping`  -- instance chosen by a key function (same key,
+  same instance -- Waterwheel's dispatcher->indexing-server routing);
+* :class:`AllGrouping`     -- broadcast to every instance;
+* :class:`DirectGrouping`  -- the *emitter* names the target instance
+  (``ctx.emit_direct``), used when routing is computed upstream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class Operator:
+    """Base bolt: override :meth:`process`; optionally open/close."""
+
+    def open(self, ctx: "OperatorContext") -> None:  # noqa: ARG002
+        """Called once before any message is processed."""
+
+    def process(self, message: Any, ctx: "OperatorContext") -> None:
+        raise NotImplementedError
+
+    def close(self, ctx: "OperatorContext") -> None:  # noqa: ARG002
+        """Called once after the topology drains."""
+
+
+class Spout:
+    """Base source: override :meth:`next_batch` to emit via the context;
+    return False when exhausted."""
+
+    def open(self, ctx: "OperatorContext") -> None:  # noqa: ARG002
+        pass
+
+    def next_batch(self, ctx: "OperatorContext") -> bool:
+        raise NotImplementedError
+
+    def close(self, ctx: "OperatorContext") -> None:  # noqa: ARG002
+        pass
+
+
+class Grouping:
+    """Decides the downstream instance for a message."""
+
+    def choose(self, message: Any, n_instances: int, emitter_instance: int) -> int:
+        raise NotImplementedError
+
+    broadcast = False
+    direct = False
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin across downstream instances."""
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, message, n_instances, emitter_instance):  # noqa: ARG002
+        chosen = self._next % n_instances
+        self._next += 1
+        return chosen
+
+
+class FieldsGrouping(Grouping):
+    """Instance chosen by a key function (same key, same instance)."""
+    def __init__(self, key_fn: Callable[[Any], int]):
+        self.key_fn = key_fn
+
+    def choose(self, message, n_instances, emitter_instance):  # noqa: ARG002
+        return self.key_fn(message) % n_instances
+
+
+class AllGrouping(Grouping):
+    """Broadcast to every downstream instance."""
+    broadcast = True
+
+    def choose(self, message, n_instances, emitter_instance):  # noqa: ARG002
+        raise RuntimeError("broadcast groupings fan out; choose() is unused")
+
+
+class DirectGrouping(Grouping):
+    """The emitter names the target instance via ``emit_direct``."""
+    direct = True
+
+    def choose(self, message, n_instances, emitter_instance):  # noqa: ARG002
+        raise RuntimeError("direct groupings route via emit_direct()")
+
+
+@dataclass
+class _Component:
+    name: str
+    instances: List[Any]  # Operator or Spout instances
+    is_spout: bool
+    #: (upstream name, grouping) pairs feeding this component.
+    inputs: List[Tuple[str, Grouping]] = field(default_factory=list)
+
+
+class TopologyError(ValueError):
+    """Malformed topology (unknown component, cycle of spouts, ...)."""
+
+
+class OperatorContext:
+    """Handed to operators: emit messages, inspect identity, count."""
+
+    def __init__(self, runtime: "LocalRuntime", component: str, instance: int):
+        self._runtime = runtime
+        self.component = component
+        self.instance = instance
+        self.emitted = 0
+        self.processed = 0
+
+    def emit(self, message: Any) -> None:
+        """Send downstream through each consumer's configured grouping."""
+        self.emitted += 1
+        self._runtime._route(self.component, self.instance, message)
+
+    def emit_direct(self, target_instance: int, message: Any) -> None:
+        """Send to a specific instance of every direct-grouped consumer."""
+        self.emitted += 1
+        self._runtime._route_direct(
+            self.component, target_instance, message
+        )
+
+
+class Topology:
+    """Builder for a dataflow graph."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._components: Dict[str, _Component] = {}
+
+    def add_spout(self, name: str, instances: List[Spout]) -> "Topology":
+        """Register a source component."""
+        self._add(name, list(instances), is_spout=True)
+        return self
+
+    def add_bolt(
+        self,
+        name: str,
+        instances: List[Operator],
+        inputs: List[Tuple[str, Grouping]],
+    ) -> "Topology":
+        """Register a processing component and its input groupings."""
+        component = self._add(name, list(instances), is_spout=False)
+        for upstream, grouping in inputs:
+            if upstream not in self._components:
+                raise TopologyError(f"unknown upstream component {upstream!r}")
+            if self._components[upstream] is component:
+                raise TopologyError("a bolt cannot consume itself")
+            component.inputs.append((upstream, grouping))
+        return self
+
+    def _add(self, name: str, instances: list, is_spout: bool) -> _Component:
+        if name in self._components:
+            raise TopologyError(f"duplicate component name {name!r}")
+        if not instances:
+            raise TopologyError(f"component {name!r} needs >= 1 instance")
+        component = _Component(name, instances, is_spout)
+        self._components[name] = component
+        return component
+
+    @property
+    def components(self) -> Dict[str, _Component]:
+        """Name -> component mapping (read-only view)."""
+        return dict(self._components)
+
+
+class LocalRuntime:
+    """Deterministic single-process executor for a :class:`Topology`.
+
+    Messages flow through per-instance FIFO queues; the scheduler drains
+    bolts between spout batches so delivery order is reproducible.  This is
+    the "local mode" a Storm developer tests with, which is exactly the
+    fidelity the reproduction needs (resource allocation and transport,
+    not distribution).
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._queues: Dict[Tuple[str, int], deque] = {}
+        self._contexts: Dict[Tuple[str, int], OperatorContext] = {}
+        self._consumers: Dict[str, List[Tuple[str, Grouping]]] = {}
+        for name, component in topology.components.items():
+            for upstream, grouping in component.inputs:
+                self._consumers.setdefault(upstream, []).append((name, grouping))
+            for instance in range(len(component.instances)):
+                self._queues[(name, instance)] = deque()
+                self._contexts[(name, instance)] = OperatorContext(
+                    self, name, instance
+                )
+        self._opened = False
+
+    # --- routing (called by OperatorContext) --------------------------------------
+
+    def _route(self, emitter: str, emitter_instance: int, message: Any) -> None:
+        for consumer, grouping in self._consumers.get(emitter, []):
+            n = len(self.topology.components[consumer].instances)
+            if grouping.broadcast:
+                for instance in range(n):
+                    self._queues[(consumer, instance)].append(message)
+            elif grouping.direct:
+                raise TopologyError(
+                    f"{emitter!r}->{consumer!r} is direct-grouped; "
+                    "use emit_direct()"
+                )
+            else:
+                instance = grouping.choose(message, n, emitter_instance)
+                self._queues[(consumer, instance)].append(message)
+
+    def _route_direct(self, emitter: str, target_instance: int, message: Any) -> None:
+        routed = False
+        for consumer, grouping in self._consumers.get(emitter, []):
+            if not grouping.direct:
+                continue
+            n = len(self.topology.components[consumer].instances)
+            if not 0 <= target_instance < n:
+                raise TopologyError(
+                    f"direct target {target_instance} out of range for "
+                    f"{consumer!r} ({n} instances)"
+                )
+            self._queues[(consumer, target_instance)].append(message)
+            routed = True
+        if not routed:
+            raise TopologyError(
+                f"{emitter!r} has no direct-grouped consumer"
+            )
+
+    # --- execution --------------------------------------------------------------------
+
+    def _open_all(self) -> None:
+        for name, component in self.topology.components.items():
+            for instance, op in enumerate(component.instances):
+                op.open(self._contexts[(name, instance)])
+        self._opened = True
+
+    def _drain_bolts(self) -> None:
+        """Process queued messages until every bolt queue is empty."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for name, component in self.topology.components.items():
+                if component.is_spout:
+                    continue
+                for instance, op in enumerate(component.instances):
+                    queue = self._queues[(name, instance)]
+                    ctx = self._contexts[(name, instance)]
+                    while queue:
+                        message = queue.popleft()
+                        ctx.processed += 1
+                        op.process(message, ctx)
+                        progressed = True
+
+    def run(self, max_batches: Optional[int] = None) -> Dict[str, Dict[str, int]]:
+        """Run spouts to exhaustion (or ``max_batches``), draining bolts
+        between batches; returns per-component processed/emitted counts."""
+        if not self._opened:
+            self._open_all()
+        active = {
+            name: list(range(len(c.instances)))
+            for name, c in self.topology.components.items()
+            if c.is_spout
+        }
+        batches = 0
+        while any(active.values()):
+            if max_batches is not None and batches >= max_batches:
+                break
+            for name, instances in active.items():
+                component = self.topology.components[name]
+                still = []
+                for instance in instances:
+                    ctx = self._contexts[(name, instance)]
+                    if component.instances[instance].next_batch(ctx):
+                        still.append(instance)
+                active[name] = still
+            self._drain_bolts()
+            batches += 1
+        self._drain_bolts()
+        for name, component in self.topology.components.items():
+            for instance, op in enumerate(component.instances):
+                op.close(self._contexts[(name, instance)])
+        return self.metrics()
+
+    def metrics(self) -> Dict[str, Dict[str, int]]:
+        """Per-component processed/emitted counters."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (name, _instance), ctx in self._contexts.items():
+            entry = out.setdefault(name, {"processed": 0, "emitted": 0})
+            entry["processed"] += ctx.processed
+            entry["emitted"] += ctx.emitted
+        return out

@@ -1,0 +1,6 @@
+"""Secondary indexes on non-key attributes (paper Section VIII future work)."""
+
+from repro.secondary.bitmap import Bitmap
+from repro.secondary.index import AttributeSpec, ChunkSecondaryIndex, sidecar_id
+
+__all__ = ["Bitmap", "AttributeSpec", "ChunkSecondaryIndex", "sidecar_id"]

@@ -1,0 +1,103 @@
+"""Bitmaps over leaf positions, backed by arbitrary-precision ints.
+
+The secondary indexes (paper Section VIII future work) need compact sets of
+leaf indices per attribute value.  A Python int *is* an arbitrary-length
+bit array with O(words) boolean algebra in C, which makes it an excellent
+little bitmap: these wrap one with the usual index-engine operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Bitmap:
+    """A growable bitmap with set algebra."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: int = 0):
+        if bits < 0:
+            raise ValueError("bitmap cannot be negative")
+        self._bits = bits
+
+    @classmethod
+    def from_positions(cls, positions: Iterable[int]) -> "Bitmap":
+        """A bitmap with exactly the given positions set."""
+        bits = 0
+        for pos in positions:
+            if pos < 0:
+                raise ValueError("positions must be >= 0")
+            bits |= 1 << pos
+        return cls(bits)
+
+    def set(self, pos: int) -> None:
+        """Set one bit."""
+        if pos < 0:
+            raise ValueError("positions must be >= 0")
+        self._bits |= 1 << pos
+
+    def get(self, pos: int) -> bool:
+        """True when the bit at ``pos`` is set."""
+        return bool((self._bits >> pos) & 1)
+
+    def __contains__(self, pos: int) -> bool:
+        return self.get(pos)
+
+    # --- algebra -------------------------------------------------------------
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        return Bitmap(self._bits & other._bits)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        return Bitmap(self._bits | other._bits)
+
+    def __sub__(self, other: "Bitmap") -> "Bitmap":
+        return Bitmap(self._bits & ~other._bits)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bitmap) and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def is_empty(self) -> bool:
+        """True when no bit is set."""
+        return self._bits == 0
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    # --- inspection --------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return bin(self._bits).count("1")
+
+    def positions(self) -> Iterator[int]:
+        """Yield set positions in ascending order."""
+        bits = self._bits
+        pos = 0
+        while bits:
+            if bits & 1:
+                yield pos
+            bits >>= 1
+            pos += 1
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        return f"Bitmap({{{', '.join(map(str, self.positions()))}}})"
+
+    # --- serialization ---------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Little-endian byte serialization (at least one byte)."""
+        length = (self._bits.bit_length() + 7) // 8
+        return self._bits.to_bytes(max(1, length), "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitmap":
+        """Inverse of :meth:`to_bytes`."""
+        return cls(int.from_bytes(data, "little"))

@@ -1,0 +1,309 @@
+"""Secondary indexes on non-key, non-temporal attributes.
+
+The paper's stated future work (Section VIII): "add secondary index
+structure by bitmap and bloom filters, to enable index retrieval on non-key
+and non-temporal attributes".  This module implements that design at leaf
+granularity:
+
+* For each indexed attribute, a **bitmap index** maps each observed value
+  to the set of leaves containing at least one tuple with that value --
+  exact, ideal for low-cardinality attributes (URL, sensor type, status).
+* When an attribute's cardinality exceeds a threshold, the per-value
+  bitmaps are replaced by one **bloom filter of values per leaf** --
+  constant space, still no false negatives.
+
+A :class:`ChunkSecondaryIndex` is built at flush time and serialized as a
+*sidecar* blob next to the chunk; query servers load it (it participates in
+the LRU cache) and intersect its leaf sets with the primary key-range
+candidates, so a selective attribute predicate skips most leaf reads.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bloom.filter import BloomFilter
+from repro.core.model import DataTuple
+from repro.secondary.bitmap import Bitmap
+
+_MAGIC = b"WWSX"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHqI")  # magic, version, reserved, n_leaves, crc32
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute to index: a name plus an extractor over the payload.
+
+    The extractor must return a hashable value (or None to skip the tuple).
+    ``numeric=True`` builds per-leaf min/max *zone maps* instead of value
+    bitmaps, enabling range predicates (``attr_ranges``) on the attribute.
+    """
+
+    name: str
+    extractor: Callable[[Any], Any]
+    #: Above this many distinct values the index degrades gracefully from
+    #: exact per-value bitmaps to per-leaf bloom filters.
+    max_exact_values: int = 1024
+    #: Zone-map mode for ordered attributes (temperatures, amounts, ...).
+    numeric: bool = False
+
+
+class _AttributeIndex:
+    """Index for one attribute: exact bitmaps, per-leaf blooms, or a
+    zone map (per-leaf min/max) for numeric attributes."""
+
+    def __init__(self, spec_name: str, max_exact_values: int, numeric: bool = False):
+        self.name = spec_name
+        self.max_exact_values = max_exact_values
+        self.numeric = numeric
+        self.exact: Optional[Dict[Any, Bitmap]] = None if numeric else {}
+        self.blooms: Optional[List[BloomFilter]] = None
+        self.zones: Optional[List[Optional[Tuple[Any, Any]]]] = [] if numeric else None
+        self._values_per_leaf: List[Set[Any]] = []
+
+    def observe_leaf(self, values: Set[Any]) -> None:
+        """Fold one leaf's distinct attribute values into the index."""
+        leaf_index = len(self._values_per_leaf)
+        self._values_per_leaf.append(values)
+        if self.numeric:
+            self.zones.append((min(values), max(values)) if values else None)
+            return
+        if self.exact is not None:
+            for value in values:
+                self.exact.setdefault(value, Bitmap()).set(leaf_index)
+            if len(self.exact) > self.max_exact_values:
+                self._degrade_to_blooms()
+
+    def _degrade_to_blooms(self) -> None:
+        self.exact = None
+        self.blooms = []
+        for values in self._values_per_leaf:
+            bloom = BloomFilter.with_capacity(max(8, len(values)), 0.01)
+            bloom.update(values)
+            self.blooms.append(bloom)
+
+    def finish(self) -> None:
+        """Seal the index; blooms (if degraded) cover all observed leaves."""
+        if self.exact is None and self.blooms is not None:
+            # _degrade_to_blooms may have run before later leaves arrived.
+            while len(self.blooms) < len(self._values_per_leaf):
+                values = self._values_per_leaf[len(self.blooms)]
+                bloom = BloomFilter.with_capacity(max(8, len(values)), 0.01)
+                bloom.update(values)
+                self.blooms.append(bloom)
+        self._values_per_leaf = []
+
+    def leaves_for(self, value: Any, n_leaves: int) -> Bitmap:
+        """Leaves that *may* contain the value (never a false negative)."""
+        if self.numeric:
+            return self.leaves_for_range(value, value)
+        if self.exact is not None:
+            return self.exact.get(value, Bitmap())
+        candidates = Bitmap()
+        for leaf_index, bloom in enumerate(self.blooms or []):
+            if value in bloom:
+                candidates.set(leaf_index)
+        return candidates
+
+    def leaves_for_range(self, lo: Any, hi: Any) -> Bitmap:
+        """Zone-map pruning: leaves whose [min, max] overlaps [lo, hi]."""
+        if not self.numeric:
+            raise ValueError(
+                f"attribute {self.name!r} is not numeric; range predicates "
+                "need AttributeSpec(numeric=True)"
+            )
+        candidates = Bitmap()
+        for leaf_index, zone in enumerate(self.zones or []):
+            if zone is None:
+                continue
+            z_lo, z_hi = zone
+            if z_lo <= hi and lo <= z_hi:
+                candidates.set(leaf_index)
+        return candidates
+
+    # --- serialization -------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Pickle-friendly representation of this attribute's index."""
+        if self.numeric:
+            return {"kind": "zonemap", "zones": list(self.zones or [])}
+        if self.exact is not None:
+            return {
+                "kind": "exact",
+                "values": {v: b.to_bytes() for v, b in self.exact.items()},
+            }
+        return {
+            "kind": "bloom",
+            "blooms": [
+                (b.to_bytes(), b.n_hashes, b.n_added) for b in self.blooms or []
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, name: str, payload: dict, max_exact_values: int
+    ) -> "_AttributeIndex":
+        if payload["kind"] == "zonemap":
+            index = cls(name, max_exact_values, numeric=True)
+            index.zones = [
+                tuple(zone) if zone is not None else None
+                for zone in payload["zones"]
+            ]
+            return index
+        index = cls(name, max_exact_values)
+        if payload["kind"] == "exact":
+            index.exact = {
+                v: Bitmap.from_bytes(raw) for v, raw in payload["values"].items()
+            }
+        else:
+            index.exact = None
+            index.blooms = [
+                BloomFilter.from_bytes(raw, hashes, added)
+                for raw, hashes, added in payload["blooms"]
+            ]
+        return index
+
+
+class ChunkSecondaryIndex:
+    """Sidecar index over one chunk's leaves for a set of attributes."""
+
+    def __init__(self, specs: Sequence[AttributeSpec]):
+        self.specs = list(specs)
+        self.n_leaves = 0
+        self._indexes: Dict[str, _AttributeIndex] = {
+            spec.name: _AttributeIndex(
+                spec.name, spec.max_exact_values, numeric=spec.numeric
+            )
+            for spec in specs
+        }
+
+    @classmethod
+    def build(
+        cls,
+        specs: Sequence[AttributeSpec],
+        leaves: Sequence[Tuple[List[int], List[DataTuple]]],
+    ) -> "ChunkSecondaryIndex":
+        """Build from the same leaf runs the chunk serializer consumes
+        (empty leaves dropped, matching the chunk's leaf numbering)."""
+        index = cls(specs)
+        extractors = {spec.name: spec.extractor for spec in specs}
+        for keys, tuples in leaves:
+            if not keys:
+                continue
+            per_attr: Dict[str, Set[Any]] = {name: set() for name in extractors}
+            for t in tuples:
+                for name, extract in extractors.items():
+                    value = extract(t.payload)
+                    if value is not None:
+                        per_attr[name].add(value)
+            for name, values in per_attr.items():
+                index._indexes[name].observe_leaf(values)
+            index.n_leaves += 1
+        for attr_index in index._indexes.values():
+            attr_index.finish()
+        return index
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of the indexed attributes."""
+        return [spec.name for spec in self.specs]
+
+    def candidate_leaves(
+        self,
+        attr_equals: Optional[Dict[str, Any]] = None,
+        attr_ranges: Optional[Dict[str, Tuple[Any, Any]]] = None,
+    ) -> Optional[Bitmap]:
+        """Leaves that may satisfy *all* attribute predicates.
+
+        ``attr_equals`` are equality predicates (bitmap/bloom indexes);
+        ``attr_ranges`` are inclusive (lo, hi) ranges over numeric
+        attributes (zone maps).  Returns None when no predicate touches an
+        indexed attribute; otherwise the AND of per-attribute leaf sets.
+        """
+        result: Optional[Bitmap] = None
+        for name, value in (attr_equals or {}).items():
+            attr_index = self._indexes.get(name)
+            if attr_index is None:
+                continue
+            leaves = attr_index.leaves_for(value, self.n_leaves)
+            result = leaves if result is None else (result & leaves)
+        for name, (lo, hi) in (attr_ranges or {}).items():
+            attr_index = self._indexes.get(name)
+            if attr_index is None or not attr_index.numeric:
+                continue
+            leaves = attr_index.leaves_for_range(lo, hi)
+            result = leaves if result is None else (result & leaves)
+        return result
+
+    # --- serialization -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the sidecar (header + CRC + pickled indexes)."""
+        payload = pickle.dumps(
+            {
+                "n_leaves": self.n_leaves,
+                "specs": [
+                    {
+                        "name": spec.name,
+                        "max_exact_values": spec.max_exact_values,
+                        "numeric": spec.numeric,
+                    }
+                    for spec in self.specs
+                ],
+                "indexes": {
+                    name: index.to_payload()
+                    for name, index in self._indexes.items()
+                },
+            },
+            protocol=4,
+        )
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, 0, self.n_leaves, zlib.crc32(payload)
+        )
+        return header + payload
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, specs: Optional[Sequence[AttributeSpec]] = None
+    ) -> "ChunkSecondaryIndex":
+        magic, version, _reserved, n_leaves, crc = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a secondary-index sidecar: bad magic")
+        if version != _VERSION:
+            raise ValueError(f"unsupported sidecar version {version}")
+        payload = data[_HEADER.size :]
+        if zlib.crc32(payload) != crc:
+            raise ValueError("secondary-index sidecar failed its CRC check")
+        decoded = pickle.loads(payload)
+        max_exact_by_name = {
+            s["name"]: s["max_exact_values"] for s in decoded["specs"]
+        }
+        if specs is None:
+            specs = [
+                AttributeSpec(
+                    s["name"],
+                    extractor=lambda payload: None,
+                    max_exact_values=s["max_exact_values"],
+                    numeric=s["numeric"],
+                )
+                for s in decoded["specs"]
+            ]
+        index = cls(specs)
+        index.n_leaves = decoded["n_leaves"]
+        index._indexes = {
+            name: _AttributeIndex.from_payload(
+                name, payload, max_exact_by_name.get(name, 1024)
+            )
+            for name, payload in decoded["indexes"].items()
+        }
+        return index
+
+
+def sidecar_id(chunk_id: str) -> str:
+    """DFS object name for a chunk's secondary-index sidecar."""
+    return f"{chunk_id}.sidx"

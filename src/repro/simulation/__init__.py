@@ -1,0 +1,39 @@
+"""Cluster simulation substrate: clocks, cost model, nodes, virtual threads.
+
+The performance experiments execute the real data path but charge time to a
+:class:`VirtualClock` according to :class:`CostModel`, which is what makes a
+128-node scalability experiment runnable in-process.
+"""
+
+from repro.simulation.clock import Clock, VirtualClock, WallClock
+from repro.simulation.cluster import Cluster, Node
+from repro.simulation.costs import DEFAULT_COSTS, CostModel
+from repro.simulation.pipeline import (
+    PipelineTopology,
+    dispatch_rate,
+    indexing_server_rate,
+    insert_cpu_per_tuple,
+    network_rate,
+    system_insertion_rate,
+)
+from repro.simulation.threads import LockSimulator, Operation, Segment, SimResult
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "Cluster",
+    "Node",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "PipelineTopology",
+    "dispatch_rate",
+    "indexing_server_rate",
+    "insert_cpu_per_tuple",
+    "network_rate",
+    "system_insertion_rate",
+    "LockSimulator",
+    "Operation",
+    "Segment",
+    "SimResult",
+]

@@ -1,0 +1,51 @@
+"""Clocks: wall time for microbenchmarks, virtual time for cluster runs.
+
+All system components take a :class:`Clock` so the same code path can run
+under real time (examples, correctness tests) or simulated time (the
+distributed performance experiments, where I/O costs are charged explicitly
+by the cost model instead of actually sleeping).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: ``now()`` returns seconds, ``advance()`` charges cost."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def advance(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real monotonic time; ``advance`` is a no-op (time passes by itself)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def advance(self, seconds: float) -> None:  # noqa: ARG002 - interface
+        return None
+
+
+class VirtualClock(Clock):
+    """Manually advanced clock for deterministic simulation."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+
+    def advance_to(self, t: float) -> None:
+        """Jump forward to absolute time ``t`` (no-op if already past it)."""
+        if t > self._now:
+            self._now = t

@@ -1,0 +1,97 @@
+"""Simulated cluster: nodes, role placement, failure injection.
+
+The paper's deployment (Section VI) runs, per node: 2 indexing servers,
+4 query servers, 2 dispatchers, plus a co-located HDFS DataNode.  We model a
+node as a named container for server roles; servers themselves live in
+``repro.core`` and are plain objects -- the cluster only tracks which node
+hosts what, which nodes are alive, and provides deterministic randomness for
+replica placement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class Node:
+    """One cluster machine: liveness plus hosted server roles."""
+    node_id: int
+    alive: bool = True
+    roles: Dict[str, List[int]] = field(default_factory=dict)
+
+    def add_role(self, role: str, server_id: int) -> None:
+        """Record that this node hosts the given server."""
+        self.roles.setdefault(role, []).append(server_id)
+
+    def servers(self, role: str) -> List[int]:
+        """Server ids of ``role`` hosted on this node."""
+        return self.roles.get(role, [])
+
+
+class Cluster:
+    """A set of nodes with placement helpers and failure injection."""
+
+    def __init__(self, n_nodes: int, seed: int = 7):
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.nodes: List[Node] = [Node(i) for i in range(n_nodes)]
+        self._rng = random.Random(seed)
+        self._failed: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # --- placement ---------------------------------------------------------
+
+    def place_round_robin(self, role: str, count: int) -> Dict[int, int]:
+        """Spread ``count`` servers of ``role`` across nodes round-robin.
+
+        Returns a mapping of server id -> node id.
+        """
+        placement = {}
+        for server_id in range(count):
+            node = self.nodes[server_id % len(self.nodes)]
+            node.add_role(role, server_id)
+            placement[server_id] = node.node_id
+        return placement
+
+    def pick_replica_nodes(self, n_replicas: int, seed: int) -> List[int]:
+        """Deterministic HDFS-style replica placement: ``n_replicas``
+        distinct alive nodes chosen by a seeded shuffle."""
+        alive = [n.node_id for n in self.nodes if n.alive]
+        if not alive:
+            raise RuntimeError("no alive node available for replica placement")
+        rng = random.Random((seed, len(alive)).__hash__())
+        rng.shuffle(alive)
+        return alive[: max(1, min(n_replicas, len(alive)))]
+
+    def node_of(self, role: str, server_id: int) -> int:
+        """The node hosting a given server."""
+        for node in self.nodes:
+            if server_id in node.servers(role):
+                return node.node_id
+        raise KeyError(f"no node hosts {role} server {server_id}")
+
+    # --- failures ----------------------------------------------------------
+
+    def kill(self, node_id: int) -> None:
+        """Mark a node failed (its replicas become unreadable)."""
+        self.nodes[node_id].alive = False
+        self._failed.add(node_id)
+
+    def revive(self, node_id: int) -> None:
+        """Bring a failed node back."""
+        self.nodes[node_id].alive = True
+        self._failed.discard(node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        """Liveness of one node."""
+        return self.nodes[node_id].alive
+
+    @property
+    def failed_nodes(self) -> Set[int]:
+        """Ids of currently failed nodes."""
+        return set(self._failed)

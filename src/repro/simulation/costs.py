@@ -1,0 +1,86 @@
+"""Cost model for the simulated cluster.
+
+Every constant is expressed in seconds (or bytes/second) and was chosen to
+match the paper's testbed: 12 commodity nodes, 1 Gbps Ethernet, HDFS with a
+2-50 ms per-file-access delay (Section VI-B), and per-tuple CPU costs in the
+low microseconds as implied by the reported throughput (~1.5 M tuples/s over
+24 indexing servers is roughly 16 us/tuple of total per-tuple work).
+
+The absolute values matter less than the *ratios*: network transfer scales
+with bytes, DFS access pays a latency floor regardless of bytes, CPU work
+scales with tuples touched.  Those ratios are what produce the shapes in
+Figures 11-17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable cost constants shared by Waterwheel and the baselines."""
+
+    # --- network -----------------------------------------------------------
+    network_latency: float = 0.0002  # per-message one-way latency (LAN RTT/2)
+    network_bandwidth: float = 125_000_000.0  # 1 Gbps in bytes/s, per node
+
+    # --- distributed file system ------------------------------------------
+    dfs_access_latency_min: float = 0.002  # per-file-open floor (paper: 2 ms)
+    dfs_access_latency_max: float = 0.050  # worst case (paper: 50 ms)
+    dfs_read_bandwidth: float = 100_000_000.0  # sequential read bytes/s
+    dfs_write_bandwidth: float = 80_000_000.0  # replicated write bytes/s
+
+    # --- per-tuple CPU work ------------------------------------------------
+    dispatch_cpu: float = 0.8e-6  # route one tuple at a dispatcher
+    index_insert_cpu: float = 2.0e-6  # template B+ tree insert
+    index_insert_cpu_concurrent: float = 5.0e-6  # concurrent B+ tree insert
+    scan_cpu: float = 0.25e-6  # test one tuple against query criteria
+    serialize_cpu: float = 0.15e-6  # serialize one tuple during flush
+    merge_cpu: float = 0.5e-6  # merge one tuple during LSM compaction
+
+    # --- control-plane -----------------------------------------------------
+    metadata_update: float = 0.001  # register a chunk / update an interval
+    flush_fixed: float = 0.030  # fixed cost per flush (file create, swap)
+
+    def network_transfer(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` through one node's NIC plus latency."""
+        return self.network_latency + nbytes / self.network_bandwidth
+
+    def dfs_access_latency(self, seed: int) -> float:
+        """Deterministic per-access latency in [min, max], keyed by ``seed``.
+
+        HDFS file-open delay varies per access (the paper observes 2-50 ms);
+        most accesses are near the floor with a heavy tail, so the jitter
+        fraction is cubed.  Derived from a hash of the (chunk, access) seed
+        so runs are reproducible.
+        """
+        span = self.dfs_access_latency_max - self.dfs_access_latency_min
+        frac = (seed * 2654435761 % 4294967296) / 4294967296.0
+        return self.dfs_access_latency_min + frac**3 * span
+
+    def dfs_read(self, nbytes: int, seed: int, local: bool = False) -> float:
+        """Time to read ``nbytes`` from a chunk replica.
+
+        Local reads (chunk locality, Section IV-C) short-circuit the
+        DataNode RPC path, paying only a fifth of the access-latency floor
+        and no network transfer; remote reads pay both in full.
+        """
+        access = self.dfs_access_latency(seed)
+        t = nbytes / self.dfs_read_bandwidth
+        if local:
+            t += 0.2 * access
+        else:
+            t += access + self.network_transfer(nbytes)
+        return t
+
+    def dfs_write(self, nbytes: int) -> float:
+        """Time to write a chunk (pipeline-replicated, bandwidth-bound)."""
+        return self.flush_fixed + nbytes / self.dfs_write_bandwidth
+
+    def scaled(self, **overrides) -> "CostModel":
+        """A copy with some constants replaced (used by ablation benches)."""
+        return replace(self, **overrides)
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,161 @@
+"""Fluid model of the ingestion pipeline.
+
+The distributed insertion-throughput experiments (paper Figures 11a, 12a, 15
+and 17) depend on which pipeline stage saturates first:
+
+* dispatchers (CPU: route + sample each tuple),
+* the network between dispatchers and indexing servers,
+* the indexing servers themselves (tree insert CPU, flush stalls, flush
+  transfer bandwidth), and
+* skew: the most-loaded indexing server saturates first, so the achievable
+  system rate is ``per-server capacity / max share``.
+
+This module computes sustainable rates from the :class:`CostModel` plus the
+key-share vector produced by the (real) partitioning code.  Per-tuple insert
+CPU grows with the log of the in-memory tree size -- deeper trees cost more
+per traversal -- which is what makes very large chunk sizes counterproductive
+(Figure 11a's decline past 32 MB).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.simulation.costs import CostModel
+
+
+@dataclass(frozen=True)
+class PipelineTopology:
+    """How many of each server role the deployment runs (paper Section VI:
+    per node 2 dispatchers, 2 indexing servers, 4 query servers)."""
+
+    n_nodes: int
+    dispatchers_per_node: int = 2
+    indexing_per_node: int = 2
+
+    @property
+    def n_dispatchers(self) -> int:
+        """Total dispatcher count."""
+        return self.n_nodes * self.dispatchers_per_node
+
+    @property
+    def n_indexing(self) -> int:
+        """Total indexing-server count."""
+        return self.n_nodes * self.indexing_per_node
+
+
+# Tree-depth CPU penalty: traversal work grows once the in-memory tree
+# outgrows roughly this many tuples (extra levels / worse cache locality).
+_DEPTH_KNEE_TUPLES = 262_144
+_DEPTH_PENALTY_PER_LEVEL = 0.35
+
+
+def insert_cpu_per_tuple(base_cpu: float, tuples_per_chunk: int) -> float:
+    """Per-insert CPU cost as a function of in-memory tree size."""
+    if tuples_per_chunk <= _DEPTH_KNEE_TUPLES:
+        return base_cpu
+    extra_levels = math.log2(tuples_per_chunk / _DEPTH_KNEE_TUPLES) / math.log2(64)
+    return base_cpu * (1.0 + _DEPTH_PENALTY_PER_LEVEL * extra_levels)
+
+
+def indexing_server_rate(
+    costs: CostModel,
+    chunk_bytes: int,
+    tuple_size: int,
+    base_insert_cpu: float = None,
+    extra_cpu_per_tuple: float = 0.0,
+    flush_bytes_per_tuple: float = None,
+) -> float:
+    """Max sustainable tuples/second for one indexing server.
+
+    A server cycles through: fill the in-memory tree (CPU-bound), swap/flush
+    (fixed stall), while the previous chunk streams to the DFS.  If the chunk
+    transfer outlasts the next fill, transfers back up and bound the cycle:
+    ``cycle = max(fill_cpu, transfer) + fixed stall``.
+
+    ``extra_cpu_per_tuple`` and ``flush_bytes_per_tuple`` let baselines model
+    additional work (e.g. LSM compaction re-merges each tuple several times,
+    inflating both CPU and write bandwidth per ingested tuple).
+    """
+    if base_insert_cpu is None:
+        base_insert_cpu = costs.index_insert_cpu
+    if flush_bytes_per_tuple is None:
+        flush_bytes_per_tuple = float(tuple_size)
+    m = max(1, chunk_bytes // tuple_size)  # tuples per chunk
+    cpu = insert_cpu_per_tuple(base_insert_cpu, m) + costs.serialize_cpu
+    cpu += extra_cpu_per_tuple
+    fill = m * cpu
+    transfer = (m * flush_bytes_per_tuple) / costs.dfs_write_bandwidth
+    stall = costs.flush_fixed + costs.metadata_update
+    cycle = max(fill, transfer) + stall
+    return m / cycle
+
+
+def dispatch_rate(costs: CostModel, topology: PipelineTopology) -> float:
+    """Aggregate dispatcher capacity (tuples/second)."""
+    return topology.n_dispatchers / costs.dispatch_cpu
+
+
+def network_rate(
+    costs: CostModel, topology: PipelineTopology, tuple_size: int
+) -> float:
+    """Aggregate dispatcher->indexing network capacity.
+
+    Each tuple leaves one node's NIC and enters another's, so the cluster's
+    aggregate NIC budget covers every tuple twice.
+    """
+    aggregate = topology.n_nodes * costs.network_bandwidth
+    return aggregate / (2.0 * tuple_size)
+
+
+def system_insertion_rate(
+    costs: CostModel,
+    topology: PipelineTopology,
+    tuple_size: int,
+    chunk_bytes: int,
+    shares: Sequence[float] = None,
+    base_insert_cpu: float = None,
+    extra_cpu_per_tuple: float = 0.0,
+    flush_bytes_per_tuple: float = None,
+    sync_overhead_per_node: float = 0.0,
+) -> float:
+    """System-wide sustainable insertion rate (tuples/second).
+
+    ``shares`` is the fraction of the stream each indexing server receives
+    (from the real partitioner against the real key distribution); the
+    most-loaded server saturates first.  ``sync_overhead_per_node`` models
+    per-tuple coordination work that grows with cluster size, used to
+    contrast Waterwheel's synchronization-free design in Figure 17.
+    """
+    if shares is None:
+        shares = [1.0 / topology.n_indexing] * topology.n_indexing
+    if len(shares) != topology.n_indexing:
+        raise ValueError(
+            f"expected {topology.n_indexing} shares, got {len(shares)}"
+        )
+    total = sum(shares)
+    if total <= 0:
+        raise ValueError("shares must sum to a positive value")
+    max_share = max(shares) / total
+    per_server = indexing_server_rate(
+        costs,
+        chunk_bytes,
+        tuple_size,
+        base_insert_cpu=base_insert_cpu,
+        extra_cpu_per_tuple=extra_cpu_per_tuple,
+        flush_bytes_per_tuple=flush_bytes_per_tuple,
+    )
+    indexing_bound = per_server / max_share if max_share > 0 else math.inf
+    bounds = [
+        dispatch_rate(costs, topology),
+        network_rate(costs, topology, tuple_size),
+        indexing_bound,
+    ]
+    rate = min(bounds)
+    if sync_overhead_per_node > 0.0:
+        # Coordination work serialized at a central point: each tuple costs
+        # sync_overhead_per_node * n_nodes somewhere in the pipeline.
+        rate = min(rate, 1.0 / (sync_overhead_per_node * topology.n_nodes))
+    return rate

@@ -1,0 +1,228 @@
+"""Virtual-thread latch-contention simulator.
+
+CPython's GIL makes it impossible to demonstrate multi-core index scaling
+with real threads, so the thread-scaling experiments (paper Figure 7a) replay
+*traces* of real insert operations -- which latches each insert takes, in
+which mode, for how much CPU work -- over N virtual threads with
+reader-writer lock semantics and a discrete-event clock.
+
+An operation is a sequence of :class:`Segment` s executed in order.  A
+segment optionally holds one lock (shared or exclusive) for its duration;
+the lock is acquired at segment start (waiting in FIFO order if unavailable)
+and released at segment end.  This matches latch crabbing closely enough to
+reproduce the contention structure of the two B+ tree variants: the
+concurrent tree write-locks inner nodes during splits (serializing other
+traversals through them), while the template tree only ever latches leaves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One phase of an operation: hold ``lock`` (None = lock-free) in
+    ``exclusive`` or shared mode while doing ``duration`` seconds of work."""
+
+    lock: Optional[int]
+    exclusive: bool
+    duration: float
+
+
+Operation = Sequence[Segment]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one replay: makespan, waits, per-op latencies."""
+    makespan: float
+    n_ops: int
+    n_threads: int
+    total_wait: float
+    total_work: float
+    #: Per-operation service time (pull from queue -> last segment done),
+    #: indexed like the input operations; includes lock-wait time.
+    op_latencies: Optional[List[float]] = None
+
+    def mean_latency(self, indices: Optional[Sequence[int]] = None) -> float:
+        """Mean service time over all ops or a subset (e.g. just reads)."""
+        if not self.op_latencies:
+            return 0.0
+        if indices is None:
+            values = self.op_latencies
+        else:
+            values = [self.op_latencies[i] for i in indices]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.n_ops / self.makespan
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of thread-time spent doing work rather than waiting."""
+        budget = self.makespan * self.n_threads
+        if budget <= 0:
+            return 0.0
+        return self.total_work / budget
+
+
+class _RWLock:
+    """Reader-writer lock with FIFO wait queue for the event simulator."""
+
+    __slots__ = ("readers", "writer", "queue")
+
+    def __init__(self):
+        self.readers: int = 0
+        self.writer: Optional[int] = None
+        self.queue: deque = deque()  # (thread_id, exclusive)
+
+    def try_acquire(self, thread_id: int, exclusive: bool) -> bool:
+        """Immediate acquisition; honors FIFO (no barging past waiters)."""
+        if self.queue:
+            return False
+        if exclusive:
+            if self.readers == 0 and self.writer is None:
+                self.writer = thread_id
+                return True
+            return False
+        if self.writer is None:
+            self.readers += 1
+            return True
+        return False
+
+    def release(self, thread_id: int, exclusive: bool) -> List[Tuple[int, bool]]:
+        """Release and return the list of (thread, exclusive) now granted."""
+        if exclusive:
+            if self.writer != thread_id:
+                raise RuntimeError("releasing a writer lock not held")
+            self.writer = None
+        else:
+            if self.readers <= 0:
+                raise RuntimeError("releasing a reader lock not held")
+            self.readers -= 1
+        granted: List[Tuple[int, bool]] = []
+        while self.queue:
+            waiter, wants_excl = self.queue[0]
+            if wants_excl:
+                if self.readers == 0 and self.writer is None:
+                    self.queue.popleft()
+                    self.writer = waiter
+                    granted.append((waiter, True))
+                break
+            # Shared request: grant as long as no writer holds the lock, and
+            # keep draining consecutive shared waiters.
+            if self.writer is not None:
+                break
+            self.queue.popleft()
+            self.readers += 1
+            granted.append((waiter, False))
+        return granted
+
+
+class LockSimulator:
+    """Replay a workload of operations over ``n_threads`` virtual threads.
+
+    Threads pull operations from a single shared queue (the same
+    work-stealing structure a real insert pool uses) and execute their
+    segments under simulated reader-writer locks.
+    """
+
+    def run(self, operations: Sequence[Operation], n_threads: int) -> SimResult:
+        """Replay ``operations`` over ``n_threads`` virtual threads."""
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        ops = list(operations)
+        if not ops:
+            return SimResult(0.0, 0, n_threads, 0.0, 0.0, [])
+
+        locks: Dict[int, _RWLock] = {}
+        next_op = 0
+        # Per-thread cursor: (op_index, segment_index)
+        cursor: List[Optional[Tuple[int, int]]] = [None] * n_threads
+        wait_since: List[float] = [0.0] * n_threads
+        pulled_at: List[float] = [0.0] * len(ops)
+        op_latencies: List[float] = [0.0] * len(ops)
+        total_wait = 0.0
+        total_work = 0.0
+        makespan = 0.0
+
+        counter = itertools.count()
+        # Event = (time, seq, thread_id, kind); kind: 0 = ready to start the
+        # segment at ``cursor``; 1 = segment finished (release its lock).
+        events: List[Tuple[float, int, int, int]] = []
+
+        def push(time: float, thread: int, kind: int) -> None:
+            heapq.heappush(events, (time, next(counter), thread, kind))
+
+        def take_next_op(thread: int, now: float) -> bool:
+            nonlocal next_op
+            if next_op >= len(ops):
+                cursor[thread] = None
+                return False
+            cursor[thread] = (next_op, 0)
+            pulled_at[next_op] = now
+            next_op += 1
+            push(now, thread, 0)
+            return True
+
+        def lock_of(segment: Segment) -> Optional[_RWLock]:
+            if segment.lock is None:
+                return None
+            lock = locks.get(segment.lock)
+            if lock is None:
+                lock = locks[segment.lock] = _RWLock()
+            return lock
+
+        for thread in range(n_threads):
+            take_next_op(thread, 0.0)
+
+        while events:
+            now, _seq, thread, kind = heapq.heappop(events)
+            makespan = max(makespan, now)
+            position = cursor[thread]
+            if position is None:
+                continue
+            op_idx, seg_idx = position
+            segment = ops[op_idx][seg_idx]
+
+            if kind == 0:  # try to start (or resume after a lock grant)
+                lock = lock_of(segment)
+                if lock is not None:
+                    if not lock.try_acquire(thread, segment.exclusive):
+                        lock.queue.append((thread, segment.exclusive))
+                        wait_since[thread] = now
+                        continue  # blocked; a future release re-schedules us
+                total_work += segment.duration
+                push(now + segment.duration, thread, 1)
+            else:  # segment finished
+                lock = lock_of(segment)
+                if lock is not None:
+                    for granted, _excl in lock.release(thread, segment.exclusive):
+                        total_wait += now - wait_since[granted]
+                        # The granted thread holds the lock already; charge
+                        # its segment work directly.
+                        g_op, g_seg = cursor[granted]  # type: ignore[misc]
+                        g_segment = ops[g_op][g_seg]
+                        total_work += g_segment.duration
+                        push(now + g_segment.duration, granted, 1)
+                if seg_idx + 1 < len(ops[op_idx]):
+                    cursor[thread] = (op_idx, seg_idx + 1)
+                    push(now, thread, 0)
+                else:
+                    op_latencies[op_idx] = now - pulled_at[op_idx]
+                    take_next_op(thread, now)
+
+        return SimResult(
+            makespan, len(ops), n_threads, total_wait, total_work, op_latencies
+        )

@@ -1,0 +1,27 @@
+"""Chunk serialization format and the simulated distributed file system."""
+
+from repro.storage.chunk import (
+    ChunkCorruption,
+    ChunkMeta,
+    ChunkReader,
+    LeafEntry,
+    serialize_chunk,
+)
+from repro.storage.dfs import (
+    ChunkLocation,
+    ChunkNotFound,
+    ChunkUnavailable,
+    SimulatedDFS,
+)
+
+__all__ = [
+    "ChunkCorruption",
+    "ChunkMeta",
+    "ChunkReader",
+    "LeafEntry",
+    "serialize_chunk",
+    "ChunkLocation",
+    "ChunkNotFound",
+    "ChunkUnavailable",
+    "SimulatedDFS",
+]

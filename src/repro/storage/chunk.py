@@ -1,0 +1,311 @@
+"""Immutable data-chunk format.
+
+When an indexing server's in-memory template B+ tree reaches the chunk-size
+threshold it is serialized into one immutable blob and written to the
+distributed file system (paper Section III-A).  The layout keeps a leaf
+directory up front so a subquery can read *only* the leaf blocks whose key
+range and temporal sketch match -- the property behind Figure 11b, where
+bytes read (and hence latency) scale with chunk size for a fixed key
+selectivity.
+
+Layout (little-endian)::
+
+    [header]     magic, version, n_leaves, n_tuples,
+                 key_lo, key_hi, t_lo, t_hi, sketch granularity/hashes
+    [directory]  per leaf: first_key, last_key, n_tuples, block_offset,
+                 block_length, sketch_offset, sketch_length, block_crc32
+    [sketches]   per leaf: temporal bloom filter bit arrays
+    [blocks]     per leaf: packed (key, ts) pairs + pickled payload list
+
+Offsets are absolute so readers can fetch (header + directory + sketches)
+first and then exactly the blocks they need.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bloom.temporal import TemporalSketch
+from repro.core.model import DataTuple, KeyInterval, Predicate, Region, TimeInterval
+
+_MAGIC = b"WWCK"
+_VERSION = 2
+_HEADER = struct.Struct("<4sHHqqqqddfHI")
+# header fields: magic, version, reserved, n_leaves, n_tuples, key_lo,
+#                key_hi, t_lo, t_hi, sketch_granularity, sketch_hashes,
+#                prefix_crc32 (over header-with-zeroed-crc + directory +
+#                sketches, so bounds/sketch corruption is detected loudly)
+_DIR_ENTRY = struct.Struct("<qqqqqqqQ")
+# first_key, last_key, n_tuples, block_off, block_len, sketch_off,
+# sketch_len, block_crc32
+_PAIR = struct.Struct("<qd")
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Decoded header: the chunk's data region and size facts."""
+
+    n_leaves: int
+    n_tuples: int
+    keys: KeyInterval
+    times: TimeInterval
+    sketch_granularity: float
+    sketch_hashes: int
+
+    @property
+    def region(self) -> Region:
+        """The chunk's data region (key x time rectangle)."""
+        return Region(self.keys, self.times)
+
+
+def serialize_chunk(
+    leaves: Sequence[Tuple[List[int], List[DataTuple]]],
+    sketch_granularity: float = 1.0,
+    compress: bool = False,
+) -> bytes:
+    """Serialize leaf runs (parallel ``keys``/``tuples`` arrays, key-ordered
+    across leaves) into a chunk blob.  Empty leaves are dropped.
+
+    ``compress=True`` deflates each leaf block independently (leaves stay
+    individually addressable, the property selective reads depend on);
+    block CRCs cover the stored -- compressed -- bytes.
+    """
+    runs = [(keys, tuples) for keys, tuples in leaves if keys]
+    n_tuples = sum(len(keys) for keys, _ in runs)
+    key_lo = runs[0][0][0] if runs else 0
+    key_hi = runs[-1][0][-1] if runs else 0
+    t_lo = float("inf")
+    t_hi = float("-inf")
+
+    sketches: List[bytes] = []
+    blocks: List[bytes] = []
+    sketch_hashes = 1
+    for keys, tuples in runs:
+        sketch = TemporalSketch(
+            granularity=sketch_granularity, expected_items=max(64, len(tuples))
+        )
+        payloads = []
+        for t in tuples:
+            sketch.add_timestamp(t.ts)
+            payloads.append(t.payload)
+            if t.ts < t_lo:
+                t_lo = t.ts
+            if t.ts > t_hi:
+                t_hi = t.ts
+        sketch_hashes = sketch.n_hashes
+        sketches.append(sketch.to_bytes())
+        pairs = b"".join(_PAIR.pack(t.key, t.ts) for t in tuples)
+        block = pairs + pickle.dumps(payloads, protocol=4)
+        if compress:
+            block = zlib.compress(block, level=1)
+        blocks.append(block)
+    if not runs:
+        t_lo = t_hi = 0.0
+
+    flags = 1 if compress else 0
+
+    def pack_header(prefix_crc: int) -> bytes:
+        return _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            flags,
+            len(runs),
+            n_tuples,
+            key_lo,
+            key_hi,
+            t_lo,
+            t_hi,
+            sketch_granularity,
+            sketch_hashes,
+            prefix_crc,
+        )
+
+    header = pack_header(0)
+    dir_size = _DIR_ENTRY.size * len(runs)
+    sketch_base = len(header) + dir_size
+    block_base = sketch_base + sum(len(s) for s in sketches)
+
+    directory = bytearray()
+    sketch_off = sketch_base
+    block_off = block_base
+    for (keys, tuples), sketch_bytes, block in zip(runs, sketches, blocks):
+        directory += _DIR_ENTRY.pack(
+            keys[0],
+            keys[-1],
+            len(keys),
+            block_off,
+            len(block),
+            sketch_off,
+            len(sketch_bytes),
+            zlib.crc32(block),
+        )
+        sketch_off += len(sketch_bytes)
+        block_off += len(block)
+
+    prefix_crc = zlib.crc32(b"".join([header, bytes(directory), *sketches]))
+    return b"".join([pack_header(prefix_crc), bytes(directory), *sketches, *blocks])
+
+
+class ChunkCorruption(ValueError):
+    """A leaf block failed its CRC check (bit rot / truncated replica)."""
+
+
+@dataclass
+class LeafEntry:
+    """One decoded directory row (offsets, key fence, CRC)."""
+    index: int
+    first_key: int
+    last_key: int
+    n_tuples: int
+    block_offset: int
+    block_length: int
+    sketch_offset: int
+    sketch_length: int
+    block_crc32: int
+
+
+class ChunkReader:
+    """Random-access reader over a serialized chunk.
+
+    Tracks ``bytes_read`` as it goes: the header+directory+sketch prefix is
+    charged once, then each leaf block charged when actually decoded --
+    exactly the I/O a real reader doing ranged DFS reads would issue.
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+        (
+            magic,
+            version,
+            flags,
+            n_leaves,
+            n_tuples,
+            key_lo,
+            key_hi,
+            t_lo,
+            t_hi,
+            granularity,
+            sketch_hashes,
+            prefix_crc,
+        ) = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a chunk: bad magic")
+        if version != _VERSION:
+            raise ValueError(f"unsupported chunk version {version}")
+        self.compressed = bool(flags & 1)
+        self.meta = ChunkMeta(
+            n_leaves=n_leaves,
+            n_tuples=n_tuples,
+            keys=KeyInterval(key_lo, key_hi + 1) if n_tuples else KeyInterval(0, 0),
+            times=TimeInterval(t_lo, t_hi),
+            sketch_granularity=granularity,
+            sketch_hashes=sketch_hashes,
+        )
+        self._entries: List[LeafEntry] = []
+        offset = _HEADER.size
+        for i in range(n_leaves):
+            fields = _DIR_ENTRY.unpack_from(data, offset)
+            self._entries.append(LeafEntry(i, *fields))
+            offset += _DIR_ENTRY.size
+        sketch_bytes = sum(e.sketch_length for e in self._entries)
+        self.prefix_bytes = _HEADER.size + n_leaves * _DIR_ENTRY.size + sketch_bytes
+        # Verify the prefix (header + directory + sketches) against the
+        # stored CRC: corrupted key bounds or sketch bits would otherwise
+        # silently drop results.
+        zeroed = bytearray(data[: self.prefix_bytes])
+        zeroed[_HEADER.size - 4 : _HEADER.size] = b"\x00\x00\x00\x00"
+        if zlib.crc32(bytes(zeroed)) != prefix_crc:
+            raise ChunkCorruption("chunk prefix failed its CRC check")
+        self.bytes_read = self.prefix_bytes
+        self.leaves_read = 0
+        self.leaves_skipped = 0
+
+    # --- directory-level pruning --------------------------------------------
+
+    def candidate_leaves(self, key_lo: int, key_hi: int) -> List[LeafEntry]:
+        """Directory entries whose key span intersects [key_lo, key_hi]."""
+        firsts = [e.first_key for e in self._entries]
+        start = bisect_left(firsts, key_lo)
+        # The previous leaf may still span key_lo.
+        if start > 0 and self._entries[start - 1].last_key >= key_lo:
+            start -= 1
+        out = []
+        for entry in self._entries[start:]:
+            if entry.first_key > key_hi:
+                break
+            if entry.last_key >= key_lo:
+                out.append(entry)
+        return out
+
+    def sketch_for(self, entry: LeafEntry) -> TemporalSketch:
+        """Deserialize the leaf's temporal sketch from the prefix."""
+        raw = self._data[entry.sketch_offset : entry.sketch_offset + entry.sketch_length]
+        return TemporalSketch.from_bytes(
+            raw,
+            self.meta.sketch_hashes,
+            self.meta.sketch_granularity,
+            n_added=entry.n_tuples,
+        )
+
+    def read_leaf(self, entry: LeafEntry) -> List[DataTuple]:
+        """Decode one leaf block (charges its bytes; verifies its CRC)."""
+        self.bytes_read += entry.block_length
+        self.leaves_read += 1
+        start = entry.block_offset
+        block = self._data[start : start + entry.block_length]
+        if zlib.crc32(block) != entry.block_crc32:
+            raise ChunkCorruption(
+                f"leaf {entry.index}: CRC mismatch (corrupted block)"
+            )
+        if self.compressed:
+            try:
+                block = zlib.decompress(block)
+            except zlib.error as exc:
+                raise ChunkCorruption(
+                    f"leaf {entry.index}: failed to decompress ({exc})"
+                ) from exc
+        pair_bytes = _PAIR.size * entry.n_tuples
+        tuples: List[DataTuple] = []
+        payloads = pickle.loads(block[pair_bytes:])
+        for i in range(entry.n_tuples):
+            key, ts = _PAIR.unpack_from(block, i * _PAIR.size)
+            tuples.append(DataTuple(key, ts, payloads[i]))
+        return tuples
+
+    # --- subquery execution ---------------------------------------------------
+
+    def query(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float = float("-inf"),
+        t_hi: float = float("inf"),
+        predicate: Optional[Predicate] = None,
+        use_sketch: bool = True,
+    ) -> List[DataTuple]:
+        """All matching tuples; temporal sketches prune leaf reads."""
+        out: List[DataTuple] = []
+        for entry in self.candidate_leaves(key_lo, key_hi):
+            if use_sketch and not self.sketch_for(entry).might_overlap(t_lo, t_hi):
+                self.leaves_skipped += 1
+                continue
+            for t in self.read_leaf(entry):
+                if (
+                    key_lo <= t.key <= key_hi
+                    and t_lo <= t.ts <= t_hi
+                    and (predicate is None or predicate(t))
+                ):
+                    out.append(t)
+        return out
+
+    def all_tuples(self) -> List[DataTuple]:
+        """Decode every leaf (integrity-checked)."""
+        out: List[DataTuple] = []
+        for entry in self._entries:
+            out.extend(self.read_leaf(entry))
+        return out

@@ -1,0 +1,167 @@
+"""Simulated distributed file system (the paper's HDFS substrate).
+
+Holds immutable chunk blobs with HDFS-style 3-way replication across the
+simulated cluster, and prices every access with the cost model: a per-file
+access-latency floor (the paper observes 2-50 ms per HDFS access regardless
+of bytes) plus bandwidth-proportional transfer, cheaper when the reader is
+co-located with a replica (chunk locality, Section IV-C).
+
+Data-plane reads return real bytes (query correctness is exercised on real
+chunk decoding); the *cost* of an access is returned separately so callers
+charge their virtual clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hashing import stable_hash64
+from repro.simulation.cluster import Cluster
+from repro.simulation.costs import CostModel
+
+
+class ChunkNotFound(KeyError):
+    """The requested chunk id is unknown to the NameNode."""
+
+
+class ChunkUnavailable(RuntimeError):
+    """All replicas of the chunk live on failed nodes."""
+
+
+@dataclass
+class ChunkLocation:
+    """NameNode record: object size and replica node ids."""
+    chunk_id: str
+    size: int
+    replicas: List[int]
+
+
+class SimulatedDFS:
+    """NameNode metadata plus in-memory DataNode block storage."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        costs: Optional[CostModel] = None,
+        replication: int = 3,
+        spill_dir: Optional[str] = None,
+    ):
+        """``spill_dir`` (optional) keeps chunk bytes on the local disk
+        instead of in memory -- useful for experiments whose total chunk
+        volume would not fit in RAM.  The NameNode metadata stays in
+        memory either way."""
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self._cluster = cluster
+        self._costs = costs or CostModel()
+        self._replication = replication
+        self._blocks: Dict[str, bytes] = {}
+        self._locations: Dict[str, ChunkLocation] = {}
+        self._access_counter = itertools.count()
+        self._spill_dir = None
+        if spill_dir is not None:
+            import os
+
+            os.makedirs(spill_dir, exist_ok=True)
+            self._spill_dir = spill_dir
+        self.total_bytes_written = 0
+        self.total_bytes_read = 0
+
+    def _spill_path(self, chunk_id: str) -> str:
+        import os
+
+        from repro.hashing import stable_hash32
+
+        safe = f"{stable_hash32(chunk_id):08x}-{chunk_id.replace('/', '_')}"
+        return os.path.join(self._spill_dir, safe)
+
+    # --- write path ----------------------------------------------------------
+
+    def put(self, chunk_id: str, data: bytes) -> "tuple[ChunkLocation, float]":
+        """Store a chunk; returns its location and the write cost in seconds."""
+        if chunk_id in self._locations:
+            raise ValueError(f"chunk {chunk_id!r} already exists (immutable store)")
+        replicas = self._cluster.pick_replica_nodes(
+            self._replication, seed=stable_hash64(chunk_id)
+        )
+        location = ChunkLocation(chunk_id, len(data), replicas)
+        if self._spill_dir is not None:
+            with open(self._spill_path(chunk_id), "wb") as fh:
+                fh.write(data)
+        else:
+            self._blocks[chunk_id] = bytes(data)
+        self._locations[chunk_id] = location
+        self.total_bytes_written += len(data)
+        return location, self._costs.dfs_write(len(data))
+
+    def delete(self, chunk_id: str) -> None:
+        """Remove a chunk (metadata, bytes and spill file)."""
+        if self._spill_dir is not None and chunk_id in self._locations:
+            import os
+
+            try:
+                os.unlink(self._spill_path(chunk_id))
+            except FileNotFoundError:
+                pass
+        self._blocks.pop(chunk_id, None)
+        self._locations.pop(chunk_id, None)
+
+    # --- read path -------------------------------------------------------------
+
+    def exists(self, chunk_id: str) -> bool:
+        """True when the chunk is registered."""
+        return chunk_id in self._locations
+
+    def location(self, chunk_id: str) -> ChunkLocation:
+        """NameNode record: size and replica placement."""
+        try:
+            return self._locations[chunk_id]
+        except KeyError:
+            raise ChunkNotFound(chunk_id) from None
+
+    def live_replicas(self, chunk_id: str) -> List[int]:
+        """Replica nodes that are currently alive."""
+        return [
+            node
+            for node in self.location(chunk_id).replicas
+            if self._cluster.is_alive(node)
+        ]
+
+    def has_local_replica(self, chunk_id: str, node: int) -> bool:
+        """True when ``node`` holds a live replica."""
+        return node in self.live_replicas(chunk_id)
+
+    def get_bytes(self, chunk_id: str) -> bytes:
+        """Data plane: the chunk's raw bytes (no cost accounting)."""
+        replicas = self.live_replicas(chunk_id)
+        if not replicas:
+            raise ChunkUnavailable(
+                f"all replicas of {chunk_id!r} are on failed nodes"
+            )
+        if self._spill_dir is not None:
+            with open(self._spill_path(chunk_id), "rb") as fh:
+                return fh.read()
+        return self._blocks[chunk_id]
+
+    def read_cost(self, chunk_id: str, nbytes: int, reader_node: int) -> float:
+        """Seconds to read ``nbytes`` of the chunk from ``reader_node``.
+
+        Each call models one file access: latency floor (deterministic but
+        varying per access) plus transfer, with the network hop waived when
+        a live replica is local.
+        """
+        local = self.has_local_replica(chunk_id, reader_node)
+        seed = stable_hash64(chunk_id) ^ next(self._access_counter)
+        self.total_bytes_read += nbytes
+        return self._costs.dfs_read(nbytes, seed=seed, local=local)
+
+    # --- introspection -----------------------------------------------------------
+
+    def chunk_ids(self) -> List[str]:
+        """Every registered object name (chunks and sidecars)."""
+        return list(self._locations)
+
+    def __len__(self) -> int:
+        return len(self._locations)

@@ -1,0 +1,68 @@
+"""Workload generators: T-Drive-like, Network-like, synthetic, queries."""
+
+from repro.workloads.io import (
+    load_csv,
+    load_jsonl,
+    load_sorted_check,
+    save_csv,
+    save_jsonl,
+)
+from repro.workloads.network import (
+    NETWORK_TUPLE_BYTES,
+    AccessRecord,
+    NetworkGenerator,
+    int_to_ip,
+    ip_to_int,
+)
+from repro.workloads.queries import (
+    TEMPORAL_MODES,
+    QueryGenerator,
+    QuerySpec,
+    random_key_range,
+    temporal_window,
+)
+from repro.workloads.replay import max_observed_lateness, with_lateness
+from repro.workloads.synthetic import (
+    SYNTHETIC_TUPLE_BYTES,
+    DriftingKeyGenerator,
+    NormalKeyGenerator,
+    uniform_records,
+)
+from repro.workloads.tdrive import (
+    BEIJING_LAT,
+    BEIJING_LON,
+    TDRIVE_TUPLE_BYTES,
+    TaxiRecord,
+    TDriveGenerator,
+    beijing_curve,
+)
+
+__all__ = [
+    "AccessRecord",
+    "save_jsonl",
+    "load_jsonl",
+    "save_csv",
+    "load_csv",
+    "load_sorted_check",
+    "NetworkGenerator",
+    "NETWORK_TUPLE_BYTES",
+    "ip_to_int",
+    "int_to_ip",
+    "QueryGenerator",
+    "QuerySpec",
+    "TEMPORAL_MODES",
+    "random_key_range",
+    "temporal_window",
+    "with_lateness",
+    "max_observed_lateness",
+    "NormalKeyGenerator",
+    "DriftingKeyGenerator",
+    "uniform_records",
+    "SYNTHETIC_TUPLE_BYTES",
+    "TDriveGenerator",
+    "TaxiRecord",
+    "beijing_curve",
+    "BEIJING_LAT",
+    "BEIJING_LON",
+    "TDRIVE_TUPLE_BYTES",
+]

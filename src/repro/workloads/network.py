@@ -1,0 +1,111 @@
+"""Synthetic Network-like workload: website access records keyed by IP.
+
+The paper's Network dataset (6 M anonymized access records from a telecom
+backbone: user id, source IP, destination IP, URL, timestamp; ~50-byte
+tuples keyed by source IP) is proprietary, so this generator reproduces its
+shape: source IPs drawn from a set of active /24 subnets with Zipf-like
+popularity (a few hot subnets, a long tail), steady arrival rate, keys =
+source IP as a 32-bit integer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.model import DataTuple
+
+NETWORK_TUPLE_BYTES = 50
+
+
+def ip_to_int(ip: str) -> int:
+    """Dotted-quad to 32-bit int (the indexing key)."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {ip!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad IPv4 octet in {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """32-bit int to dotted-quad."""
+    if not 0 <= value < 1 << 32:
+        raise ValueError("IPv4 int out of range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass
+class AccessRecord:
+    """Payload of one website access record."""
+    user_id: int
+    src_ip: int
+    dst_ip: int
+    url: str
+
+
+class NetworkGenerator:
+    """Website access records with Zipf-ish subnet popularity."""
+
+    def __init__(
+        self,
+        n_subnets: int = 256,
+        n_users: int = 10_000,
+        records_per_second: float = 1000.0,
+        zipf_s: float = 1.1,
+        seed: int = 13,
+    ):
+        if n_subnets < 1:
+            raise ValueError("need at least one subnet")
+        self.records_per_second = records_per_second
+        self._rng = random.Random(seed)
+        self.n_users = n_users
+        # Active /24 subnets scattered over the address space, weighted by a
+        # Zipf-like law so some subnets are much hotter than others.
+        self._subnets = sorted(
+            self._rng.randrange(0, 1 << 24) << 8 for _ in range(n_subnets)
+        )
+        weights = [1.0 / (rank + 1) ** zipf_s for rank in range(n_subnets)]
+        order = list(range(n_subnets))
+        self._rng.shuffle(order)  # hot subnets are not spatially adjacent
+        self._weights = [weights[order[i]] for i in range(n_subnets)]
+        self._urls = [f"/page/{i}" for i in range(50)]
+
+    def generate(self, n_records: int, t0: float = 0.0) -> Iterator[DataTuple]:
+        """Yield ``n_records`` tuples in timestamp order."""
+        dt = 1.0 / self.records_per_second
+        for i in range(n_records):
+            subnet = self._rng.choices(self._subnets, weights=self._weights)[0]
+            src_ip = subnet | self._rng.randrange(0, 256)
+            record = AccessRecord(
+                user_id=self._rng.randrange(0, self.n_users),
+                src_ip=src_ip,
+                dst_ip=self._rng.randrange(0, 1 << 32),
+                url=self._rng.choice(self._urls),
+            )
+            yield DataTuple(src_ip, t0 + i * dt, record, size=NETWORK_TUPLE_BYTES)
+
+    def records(self, n_records: int, t0: float = 0.0) -> List[DataTuple]:
+        """Materialized list form of :meth:`generate`."""
+        return list(self.generate(n_records, t0))
+
+    def random_ip_range(
+        self, rng: random.Random, selectivity: float
+    ) -> Tuple[int, int]:
+        """A key range covering ``selectivity`` of the *active* subnets
+        (queries over dead address space would be trivially empty)."""
+        span = max(1, int(len(self._subnets) * selectivity))
+        start = rng.randrange(0, max(1, len(self._subnets) - span + 1))
+        lo = self._subnets[start]
+        hi = self._subnets[min(start + span, len(self._subnets)) - 1] | 0xFF
+        return lo, hi
+
+    @property
+    def key_domain(self) -> Tuple[int, int]:
+        """(key_lo, key_hi) for configuring a deployment."""
+        return (0, 1 << 32)

@@ -1,0 +1,103 @@
+"""Query workload generators with controlled selectivity.
+
+The paper's query mixes (Sections VI-B and VI-D) combine key ranges of
+selectivity {0.01, 0.05, 0.1} with four representative temporal windows:
+recent 5 seconds, recent 60 seconds, recent 5 minutes, and a *historic*
+5-minute window placed uniformly at random between stream start and now.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+#: The paper's four temporal query classes.
+TEMPORAL_MODES = ("recent_5s", "recent_60s", "recent_5m", "historic_5m")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query: inclusive key bounds plus a time window."""
+
+    key_lo: int
+    key_hi: int
+    t_lo: float
+    t_hi: float
+    mode: str = "custom"
+
+
+def random_key_range(
+    rng: random.Random, key_lo: int, key_hi: int, selectivity: float
+) -> Tuple[int, int]:
+    """An inclusive key range covering ``selectivity`` of the domain."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    span = key_hi - key_lo
+    width = max(1, int(span * selectivity))
+    lo = rng.randrange(key_lo, max(key_lo + 1, key_hi - width + 1))
+    return lo, min(key_hi - 1, lo + width - 1)
+
+
+def temporal_window(
+    rng: random.Random, mode: str, now: float, start: float = 0.0
+) -> Tuple[float, float]:
+    """The paper's temporal windows, anchored at stream time ``now``."""
+    if mode == "recent_5s":
+        return max(start, now - 5.0), now
+    if mode == "recent_60s":
+        return max(start, now - 60.0), now
+    if mode == "recent_5m":
+        return max(start, now - 300.0), now
+    if mode == "historic_5m":
+        horizon = max(start, now - 300.0)
+        t_lo = rng.uniform(start, horizon) if horizon > start else start
+        return t_lo, min(now, t_lo + 300.0)
+    raise ValueError(f"unknown temporal mode {mode!r}")
+
+
+class QueryGenerator:
+    """Streams of :class:`QuerySpec` over a key domain and a time horizon."""
+
+    def __init__(self, key_lo: int, key_hi: int, seed: int = 23):
+        if key_hi <= key_lo:
+            raise ValueError("empty key domain")
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self._rng = random.Random(seed)
+
+    def generate(
+        self,
+        n_queries: int,
+        key_selectivity: float,
+        mode: str,
+        now: float,
+        start: float = 0.0,
+    ) -> Iterator[QuerySpec]:
+        """Yield ``n_queries`` specs with the given selectivities."""
+        for _ in range(n_queries):
+            k_lo, k_hi = random_key_range(
+                self._rng, self.key_lo, self.key_hi, key_selectivity
+            )
+            t_lo, t_hi = temporal_window(self._rng, mode, now, start)
+            yield QuerySpec(k_lo, k_hi, t_lo, t_hi, mode)
+
+    def batch(
+        self,
+        n_queries: int,
+        key_selectivity: float,
+        mode: str,
+        now: float,
+        start: float = 0.0,
+    ) -> List[QuerySpec]:
+        """Materialized list form of :meth:`generate`."""
+        return list(self.generate(n_queries, key_selectivity, mode, now, start))
+
+    def time_selectivity_window(
+        self, selectivity: float, now: float, start: float = 0.0
+    ) -> Tuple[float, float]:
+        """A window covering ``selectivity`` of [start, now], placed
+        uniformly (used by experiments that sweep temporal selectivity)."""
+        span = (now - start) * selectivity
+        t_lo = self._rng.uniform(start, max(start, now - span))
+        return t_lo, t_lo + span

@@ -1,0 +1,61 @@
+"""Stream replay helpers: arrival-order perturbation.
+
+The paper assumes *almost* ordered arrival: tuples reach the system roughly
+in timestamp order, with occasional delays from device failures or network
+congestion (Section IV-D).  These helpers perturb a timestamp-ordered
+stream to emulate that: a fraction of tuples arrive ``max_delay`` seconds
+of stream-time later than they should, i.e. they are displaced forward in
+the arrival sequence while keeping their original (event) timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterable, Iterator, List
+
+from repro.core.model import DataTuple
+
+
+def with_lateness(
+    stream: Iterable[DataTuple],
+    late_fraction: float = 0.01,
+    max_delay: float = 3.0,
+    seed: int = 29,
+) -> Iterator[DataTuple]:
+    """Yield the stream with a fraction of tuples arriving late.
+
+    A delayed tuple is held back until the stream's event time passes its
+    original timestamp plus a random delay in (0, max_delay].
+    """
+    if not 0.0 <= late_fraction <= 1.0:
+        raise ValueError("late_fraction must be in [0, 1]")
+    if max_delay < 0:
+        raise ValueError("max_delay must be >= 0")
+    rng = random.Random(seed)
+    held: List = []  # heap of (release_ts, seq, tuple)
+    seq = 0
+    for t in stream:
+        while held and held[0][0] <= t.ts:
+            yield heapq.heappop(held)[2]
+        if late_fraction > 0 and rng.random() < late_fraction:
+            release = t.ts + rng.uniform(0.0, max_delay)
+            heapq.heappush(held, (release, seq, t))
+            seq += 1
+        else:
+            yield t
+    while held:
+        yield heapq.heappop(held)[2]
+
+
+def max_observed_lateness(arrivals: Iterable[DataTuple]) -> float:
+    """How far behind the running max timestamp any tuple arrived --
+    useful for choosing the Delta-t visibility window."""
+    worst = 0.0
+    running_max = float("-inf")
+    for t in arrivals:
+        if t.ts > running_max:
+            running_max = t.ts
+        else:
+            worst = max(worst, running_max - t.ts)
+    return worst

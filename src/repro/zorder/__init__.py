@@ -1,0 +1,10 @@
+"""Z-order curve encoding and query-rectangle decomposition."""
+
+from repro.zorder.curve import (
+    ZCurve,
+    deinterleave,
+    interleave,
+    zranges_for_grid_rect,
+)
+
+__all__ = ["ZCurve", "interleave", "deinterleave", "zranges_for_grid_rect"]

@@ -1,0 +1,165 @@
+"""Z-order (Morton) curve: 2-D points to 1-D keys and back.
+
+The T-Drive workload (paper Section VI) z-orders (latitude, longitude) into
+one-dimensional keys before dispatch, and converts a geographical query
+rectangle into one or more z-code intervals, each of which becomes a key
+range query against the B+ trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def _part1by1(value: int, bits: int) -> int:
+    """Spread ``bits`` low bits of ``value`` so each lands at an even slot."""
+    result = 0
+    for i in range(bits):
+        result |= ((value >> i) & 1) << (2 * i)
+    return result
+
+
+def _compact1by1(value: int, bits: int) -> int:
+    result = 0
+    for i in range(bits):
+        result |= ((value >> (2 * i)) & 1) << i
+    return result
+
+
+def interleave(x: int, y: int, bits: int = 16) -> int:
+    """Morton-encode integer coordinates: x in even bit slots, y in odd."""
+    limit = 1 << bits
+    if not (0 <= x < limit and 0 <= y < limit):
+        raise ValueError(f"coordinates must be in [0, {limit})")
+    return _part1by1(x, bits) | (_part1by1(y, bits) << 1)
+
+
+def deinterleave(z: int, bits: int = 16) -> Tuple[int, int]:
+    """Inverse of :func:`interleave`."""
+    if z < 0 or z >= 1 << (2 * bits):
+        raise ValueError("z-code out of range")
+    return _compact1by1(z, bits), _compact1by1(z >> 1, bits)
+
+
+class ZCurve:
+    """Quantizes a geographic bounding box onto a 2^bits x 2^bits grid and
+    maps points to z-codes.
+
+    ``bits=16`` yields 32-bit keys with ~1e-4 degree resolution over a city
+    bounding box -- comparable to GPS noise, matching the paper's setup.
+    """
+
+    def __init__(
+        self,
+        lat_range: Tuple[float, float],
+        lon_range: Tuple[float, float],
+        bits: int = 16,
+    ):
+        if lat_range[1] <= lat_range[0] or lon_range[1] <= lon_range[0]:
+            raise ValueError("empty bounding box")
+        if not 1 <= bits <= 31:
+            raise ValueError("bits must be in [1, 31]")
+        self.lat_lo, self.lat_hi = lat_range
+        self.lon_lo, self.lon_hi = lon_range
+        self.bits = bits
+        self._cells = 1 << bits
+
+    # --- quantization -------------------------------------------------------
+
+    def _quantize(self, value: float, lo: float, hi: float) -> int:
+        if not lo <= value <= hi:
+            raise ValueError(f"{value} outside [{lo}, {hi}]")
+        cell = int((value - lo) / (hi - lo) * self._cells)
+        return min(cell, self._cells - 1)
+
+    def encode(self, lat: float, lon: float) -> int:
+        """Map a (lat, lon) point to its z-code key."""
+        x = self._quantize(lat, self.lat_lo, self.lat_hi)
+        y = self._quantize(lon, self.lon_lo, self.lon_hi)
+        return interleave(x, y, self.bits)
+
+    def decode_cell(self, z: int) -> Tuple[float, float]:
+        """Center point of the grid cell addressed by ``z``."""
+        x, y = deinterleave(z, self.bits)
+        lat = self.lat_lo + (x + 0.5) / self._cells * (self.lat_hi - self.lat_lo)
+        lon = self.lon_lo + (y + 0.5) / self._cells * (self.lon_hi - self.lon_lo)
+        return lat, lon
+
+    # --- rectangle decomposition --------------------------------------------
+
+    def query_ranges(
+        self,
+        lat_lo: float,
+        lat_hi: float,
+        lon_lo: float,
+        lon_hi: float,
+        max_ranges: int = 16,
+    ) -> List[Tuple[int, int]]:
+        """Decompose a geographic rectangle into inclusive z-code intervals.
+
+        Recursively splits z-space quadrants: a quadrant fully inside the
+        query emits its whole contiguous z interval; a disjoint quadrant is
+        pruned; partial overlaps recurse until the range budget is spent,
+        after which partially-overlapping quadrants are emitted whole (a
+        superset -- callers post-filter, so results stay correct).
+        """
+        x_lo = self._quantize(lat_lo, self.lat_lo, self.lat_hi)
+        x_hi = self._quantize(lat_hi, self.lat_lo, self.lat_hi)
+        y_lo = self._quantize(lon_lo, self.lon_lo, self.lon_hi)
+        y_hi = self._quantize(lon_hi, self.lon_lo, self.lon_hi)
+        ranges = zranges_for_grid_rect(
+            x_lo, x_hi, y_lo, y_hi, self.bits, max_ranges
+        )
+        return ranges
+
+
+def zranges_for_grid_rect(
+    x_lo: int, x_hi: int, y_lo: int, y_hi: int, bits: int, max_ranges: int = 16
+) -> List[Tuple[int, int]]:
+    """Cover an inclusive grid rectangle with z-code intervals.
+
+    Returns a sorted list of inclusive (z_lo, z_hi) pairs whose union is a
+    superset of the rectangle's cells; with enough budget it is exact.
+    """
+    if x_hi < x_lo or y_hi < y_lo:
+        return []
+    out: List[Tuple[int, int]] = []
+    # Work queue of quadrants: (x0, y0, size, z_base).  A quadrant of side
+    # ``size`` aligned at (x0, y0) covers the contiguous z interval
+    # [z_base, z_base + size*size - 1].
+    stack = [(0, 0, 1 << bits, 0)]
+    budget = max(1, max_ranges)
+    while stack:
+        x0, y0, size, z_base = stack.pop()
+        x1, y1 = x0 + size - 1, y0 + size - 1
+        if x1 < x_lo or x0 > x_hi or y1 < y_lo or y0 > y_hi:
+            continue
+        fully_inside = x0 >= x_lo and x1 <= x_hi and y0 >= y_lo and y1 <= y_hi
+        if fully_inside or size == 1 or len(out) + len(stack) >= budget:
+            out.append((z_base, z_base + size * size - 1))
+            continue
+        half = size // 2
+        quarter = half * half
+        # Z-order of children: (x0,y0), (x0+h,y0), (x0,y0+h), (x0+h,y0+h) --
+        # x occupies even bit slots, so the x-split toggles the low quadrant
+        # bit.  Push in reverse so they pop in ascending z order.
+        children = (
+            (x0, y0, half, z_base),
+            (x0 + half, y0, half, z_base + quarter),
+            (x0, y0 + half, half, z_base + 2 * quarter),
+            (x0 + half, y0 + half, half, z_base + 3 * quarter),
+        )
+        for child in reversed(children):
+            stack.append(child)
+    out.sort()
+    return _merge_adjacent(out)
+
+
+def _merge_adjacent(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in ranges:
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,35 @@
+"""Shared test fixtures and tuple generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.model import DataTuple
+
+
+def make_tuples(
+    n: int,
+    key_lo: int = 0,
+    key_hi: int = 10_000,
+    t0: float = 0.0,
+    dt: float = 0.001,
+    seed: int = 42,
+):
+    """``n`` tuples with uniform random keys and increasing timestamps."""
+    rng = random.Random(seed)
+    return [
+        DataTuple(key=rng.randrange(key_lo, key_hi), ts=t0 + i * dt, payload=i)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def small_batch():
+    return make_tuples(500)
+
+
+@pytest.fixture
+def medium_batch():
+    return make_tuples(5_000)

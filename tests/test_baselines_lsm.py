@@ -1,0 +1,122 @@
+"""Tests for the LSM store."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LSMStore
+from repro.core.model import DataTuple
+
+
+def make_tuples(n, key_hi=10_000, seed=0, size=50):
+    rng = random.Random(seed)
+    return [
+        DataTuple(rng.randrange(0, key_hi), float(i), payload=i, size=size)
+        for i in range(n)
+    ]
+
+
+class TestBasics:
+    def test_insert_and_query(self):
+        store = LSMStore(memtable_bytes=2048)
+        data = make_tuples(500)
+        for t in data:
+            store.insert(t)
+        got, _stats = store.range_query(1000, 5000, 100.0, 400.0)
+        expected = [
+            t for t in data if 1000 <= t.key <= 5000 and 100.0 <= t.ts <= 400.0
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+
+    def test_memtable_flush_at_threshold(self):
+        store = LSMStore(memtable_bytes=1000)
+        for t in make_tuples(100, size=50):  # 5000 bytes -> several flushes
+            store.insert(t)
+        assert store.stats.memtable_flushes >= 4
+        assert store.n_sstables >= 1
+
+    def test_duplicates_preserved(self):
+        store = LSMStore(memtable_bytes=512)
+        for i in range(100):
+            store.insert(DataTuple(7, float(i), payload=i, size=50))
+        got, _stats = store.range_query(7, 7)
+        assert sorted(t.payload for t in got) == list(range(100))
+
+    def test_all_tuples_complete(self):
+        store = LSMStore(memtable_bytes=1024)
+        data = make_tuples(400)
+        for t in data:
+            store.insert(t)
+        assert sorted(t.payload for t in store.all_tuples()) == list(range(400))
+
+    def test_predicate(self):
+        store = LSMStore()
+        for t in make_tuples(100):
+            store.insert(t)
+        got, _stats = store.range_query(0, 10_000, predicate=lambda t: t.payload < 5)
+        assert sorted(t.payload for t in got) == [0, 1, 2, 3, 4]
+
+
+class TestCompaction:
+    def test_compaction_triggers_and_preserves_data(self):
+        store = LSMStore(memtable_bytes=512, level0_tables=2, level_ratio=4)
+        data = make_tuples(2000, size=50)
+        for t in data:
+            store.insert(t)
+        assert store.stats.compactions >= 1
+        assert store.n_levels >= 2
+        assert sorted(t.payload for t in store.all_tuples()) == list(range(2000))
+
+    def test_lower_levels_key_disjoint(self):
+        store = LSMStore(memtable_bytes=512, level0_tables=2, level_ratio=4)
+        for t in make_tuples(3000, size=50, seed=3):
+            store.insert(t)
+        for level in store._levels[1:]:
+            spans = sorted((t.min_key, t.max_key) for t in level)
+            for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+                assert hi1 <= lo2  # duplicates may share the boundary key
+
+    def test_write_amplification_grows_with_data(self):
+        small = LSMStore(memtable_bytes=512, level0_tables=2, level_ratio=4)
+        for t in make_tuples(300, size=50):
+            small.insert(t)
+        big = LSMStore(memtable_bytes=512, level0_tables=2, level_ratio=4)
+        for t in make_tuples(5000, size=50, seed=5):
+            big.insert(t)
+        assert big.stats.write_amplification > small.stats.write_amplification
+        assert big.stats.write_amplification > 1.5
+
+    def test_query_correct_after_compactions(self):
+        store = LSMStore(memtable_bytes=512, level0_tables=2, level_ratio=4)
+        data = make_tuples(3000, size=50, seed=7)
+        for t in data:
+            store.insert(t)
+        got, stats = store.range_query(2000, 4000, 500.0, 2500.0)
+        expected = [
+            t for t in data if 2000 <= t.key <= 4000 and 500.0 <= t.ts <= 2500.0
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+        assert stats.sstables_touched > 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.floats(0, 100, allow_nan=False)),
+            min_size=0,
+            max_size=400,
+        ),
+        st.integers(0, 300),
+        st.integers(0, 300),
+    )
+    def test_range_query_equals_reference(self, rows, k1, k2):
+        k_lo, k_hi = min(k1, k2), max(k1, k2)
+        store = LSMStore(memtable_bytes=256, level0_tables=2, level_ratio=3)
+        data = [DataTuple(k, ts, payload=i, size=20) for i, (k, ts) in enumerate(rows)]
+        for t in data:
+            store.insert(t)
+        got, _stats = store.range_query(k_lo, k_hi)
+        expected = [t for t in data if k_lo <= t.key <= k_hi]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)

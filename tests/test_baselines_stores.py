@@ -1,0 +1,113 @@
+"""Tests for the HBase-like and Druid-like comparison stores."""
+
+import random
+
+from repro.baselines import DruidLike, HBaseLike
+from repro.core.model import DataTuple
+from repro.simulation import PipelineTopology
+
+
+def make_tuples(n, key_hi=100_000, seed=0):
+    rng = random.Random(seed)
+    return [
+        DataTuple(rng.randrange(0, key_hi), i * 0.01, payload=i, size=50)
+        for i in range(n)
+    ]
+
+
+class TestHBaseLike:
+    def test_query_matches_reference(self):
+        store = HBaseLike(0, 100_000, n_regions=4, memtable_bytes=2048)
+        data = make_tuples(3000)
+        store.insert_many(data)
+        res = store.query(10_000, 60_000, 5.0, 20.0)
+        expected = [
+            t for t in data if 10_000 <= t.key <= 60_000 and 5.0 <= t.ts <= 20.0
+        ]
+        assert sorted(t.payload for t in res.tuples) == sorted(
+            t.payload for t in expected
+        )
+        assert res.latency > 0
+
+    def test_latency_grows_with_key_selectivity(self):
+        store = HBaseLike(0, 100_000, n_regions=4, memtable_bytes=2048)
+        store.insert_many(make_tuples(10_000, seed=1))
+        narrow = store.query(0, 1000, 0.0, 1000.0)
+        wide = store.query(0, 50_000, 0.0, 1000.0)
+        assert wide.latency > narrow.latency
+
+    def test_latency_insensitive_to_time_selectivity(self):
+        """No time index: the same key range costs the same regardless of
+        the time filter (every key-matching tuple is read)."""
+        store = HBaseLike(0, 100_000, n_regions=4, memtable_bytes=2048)
+        store.insert_many(make_tuples(10_000, seed=2))
+        short = store.query(0, 50_000, 0.0, 1.0)
+        long = store.query(0, 50_000, 0.0, 1000.0)
+        assert abs(short.latency - long.latency) / long.latency < 0.5
+
+    def test_write_amplification_measured(self):
+        store = HBaseLike(0, 100_000, n_regions=2, memtable_bytes=1024)
+        store.insert_many(make_tuples(8000, seed=3))
+        assert store.write_amplification > 1.2
+
+    def test_insertion_rate_below_waterwheel_style(self):
+        from repro.simulation import CostModel, system_insertion_rate
+
+        store = HBaseLike(0, 100_000, n_regions=2, memtable_bytes=1024)
+        store.insert_many(make_tuples(8000, seed=3))
+        topology = PipelineTopology(12)
+        hbase_rate = store.insertion_rate(topology, tuple_size=50)
+        ww_rate = system_insertion_rate(
+            CostModel(), topology, 50, chunk_bytes=16 << 20
+        )
+        assert hbase_rate < ww_rate
+
+    def test_only_overlapping_regions_consulted(self):
+        store = HBaseLike(0, 100_000, n_regions=4, memtable_bytes=2048)
+        store.insert_many(make_tuples(1000, seed=4))
+        res = store.query(0, 10_000, 0.0, 100.0)  # one region only
+        assert res.subquery_count == 1
+
+
+class TestDruidLike:
+    def test_query_matches_reference(self):
+        store = DruidLike(segment_duration=10.0, n_historicals=4)
+        data = make_tuples(3000)
+        store.insert_many(data)
+        res = store.query(10_000, 60_000, 5.0, 20.0)
+        expected = [
+            t for t in data if 10_000 <= t.key <= 60_000 and 5.0 <= t.ts <= 20.0
+        ]
+        assert sorted(t.payload for t in res.tuples) == sorted(
+            t.payload for t in expected
+        )
+
+    def test_segments_partition_by_time(self):
+        store = DruidLike(segment_duration=10.0)
+        store.insert_many(make_tuples(3000))  # timestamps span 30 s
+        assert store.n_segments == 3
+
+    def test_latency_flat_across_key_selectivity(self):
+        store = DruidLike(segment_duration=10.0, n_historicals=4)
+        store.insert_many(make_tuples(10_000, seed=1))
+        narrow = store.query(0, 1000, 0.0, 50.0)
+        wide = store.query(0, 90_000, 0.0, 50.0)
+        # No key index: both scan the same rows; only result transfer grows.
+        assert abs(wide.latency - narrow.latency) / wide.latency < 0.5
+
+    def test_latency_grows_with_time_range(self):
+        store = DruidLike(segment_duration=1.0, n_historicals=2)
+        store.insert_many(make_tuples(20_000, seed=2))  # spans 200 s
+        short = store.query(0, 100_000, 0.0, 5.0)
+        long = store.query(0, 100_000, 0.0, 150.0)
+        assert long.latency > short.latency
+
+    def test_time_pruning_skips_segments(self):
+        store = DruidLike(segment_duration=10.0)
+        store.insert_many(make_tuples(3000))
+        res = store.query(0, 100_000, 0.0, 9.0)
+        assert res.subquery_count == 1
+
+    def test_insertion_rate_positive(self):
+        store = DruidLike()
+        assert store.insertion_rate(PipelineTopology(12)) > 0

@@ -1,0 +1,124 @@
+"""Tests for bloom filters and temporal sketches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bloom import BloomFilter, TemporalSketch, minirange_ids, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_reasonable_sizing(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        assert 8000 <= bits <= 11000  # ~9.6 bits/item at 1% FP
+        assert 5 <= hashes <= 9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(10, 1.5)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter.with_capacity(500, 0.01)
+        items = list(range(0, 1000, 2))
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter.with_capacity(1000, 0.01)
+        bf.update(range(1000))
+        false_hits = sum(1 for i in range(10_000, 30_000) if i in bf)
+        assert false_hits / 20_000 < 0.05  # generous bound over 1% target
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter.with_capacity(100)
+        assert 42 not in bf
+        assert bf.estimated_fp_rate() == 0.0
+
+    def test_clear(self):
+        bf = BloomFilter.with_capacity(100)
+        bf.add(7)
+        assert 7 in bf
+        bf.clear()
+        assert 7 not in bf
+        assert len(bf) == 0
+
+    def test_serialization_roundtrip(self):
+        bf = BloomFilter.with_capacity(200, 0.01)
+        bf.update(range(100))
+        clone = BloomFilter.from_bytes(bf.to_bytes(), bf.n_hashes, bf.n_added)
+        assert all(i in clone for i in range(100))
+        assert clone.n_bits == bf.n_bits
+
+    def test_might_contain_any(self):
+        bf = BloomFilter.with_capacity(100)
+        bf.add(5)
+        assert bf.might_contain_any([1, 2, 5])
+        assert not bf.might_contain_any([100, 200])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200))
+    def test_property_no_false_negatives(self, items):
+        bf = BloomFilter.with_capacity(max(1, len(items)), 0.01)
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+
+class TestMinirangeIds:
+    def test_single_range(self):
+        assert list(minirange_ids(0.5, 0.9, 1.0)) == [0]
+
+    def test_spanning_ranges(self):
+        assert list(minirange_ids(0.5, 2.5, 1.0)) == [0, 1, 2]
+
+    def test_boundary_inclusive(self):
+        assert list(minirange_ids(1.0, 2.0, 1.0)) == [1, 2]
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError):
+            list(minirange_ids(0, 1, 0))
+
+
+class TestTemporalSketch:
+    def test_detects_overlap(self):
+        sketch = TemporalSketch(granularity=1.0)
+        sketch.add_timestamps([10.2, 10.7, 11.3])
+        assert sketch.might_overlap(10.0, 10.5)
+        assert sketch.might_overlap(11.0, 12.0)
+
+    def test_skips_disjoint_window(self):
+        sketch = TemporalSketch(granularity=1.0, expected_items=512)
+        sketch.add_timestamps(float(i) + 0.5 for i in range(100))
+        # A window far beyond the covered time span should (almost surely)
+        # report no overlap.
+        assert not sketch.might_overlap(10_000.0, 10_002.0)
+
+    def test_wide_query_conservatively_matches(self):
+        sketch = TemporalSketch(granularity=1.0)
+        sketch.add_timestamp(5.0)
+        # Over the probe budget: must answer True even without probing.
+        assert sketch.might_overlap(0.0, 1_000_000.0)
+
+    def test_serialization_roundtrip(self):
+        sketch = TemporalSketch(granularity=2.0)
+        sketch.add_timestamps([1.0, 3.0, 9.0])
+        clone = TemporalSketch.from_bytes(
+            sketch.to_bytes(), sketch.n_hashes, sketch.granularity, sketch.n_added
+        )
+        assert clone.might_overlap(0.5, 1.5)
+        assert clone.might_overlap(8.5, 9.5)
+
+    def test_clear(self):
+        sketch = TemporalSketch(granularity=1.0)
+        sketch.add_timestamp(4.2)
+        sketch.clear()
+        assert not sketch.might_overlap(4.0, 4.9)
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_property_no_false_negatives(self, timestamps):
+        sketch = TemporalSketch(granularity=10.0, expected_items=128)
+        sketch.add_timestamps(timestamps)
+        for ts in timestamps:
+            assert sketch.might_overlap(ts, ts)

@@ -1,0 +1,71 @@
+"""Tests for the bulk-loading B+ tree and the insertion-time breakdown."""
+
+from repro.btree import BulkLoadedBTree, measure_insertion_breakdown
+from repro.core.model import DataTuple
+
+from conftest import make_tuples
+
+
+class TestBulkLoadedBTree:
+    def test_builds_from_unsorted_input(self, small_batch):
+        tree = BulkLoadedBTree(small_batch, fanout=8, leaf_capacity=8)
+        assert len(tree) == len(small_batch)
+        keys = [k for leaf in tree.leaves() for k in leaf.keys]
+        assert keys == sorted(keys)
+
+    def test_query_matches_reference(self, small_batch):
+        tree = BulkLoadedBTree(small_batch, fanout=8, leaf_capacity=8)
+        got, _stats = tree.range_query(100, 900, 0.0, 0.3)
+        expected = [
+            t for t in small_batch if 100 <= t.key <= 900 and t.ts <= 0.3
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+
+    def test_empty_input(self):
+        tree = BulkLoadedBTree([])
+        assert len(tree) == 0
+        got, _stats = tree.range_query(0, 10)
+        assert got == []
+
+    def test_presorted_skips_sort(self, small_batch):
+        data = sorted(small_batch, key=lambda t: t.key)
+        tree = BulkLoadedBTree(data, presorted=True)
+        assert len(tree) == len(data)
+        keys = [k for leaf in tree.leaves() for k in leaf.keys]
+        assert keys == sorted(keys)
+
+    def test_records_sort_and_build_time(self, medium_batch):
+        tree = BulkLoadedBTree(medium_batch)
+        assert tree.stats.sort_seconds > 0.0
+        assert tree.stats.build_seconds > 0.0
+
+    def test_single_leaf_case(self):
+        tree = BulkLoadedBTree([DataTuple(5, 1.0, "a")], leaf_capacity=64)
+        assert tree.height == 1
+        assert [t.payload for t in tree.all_tuples()] == ["a"]
+
+    def test_sketches_built_when_requested(self):
+        data = [DataTuple(i, float(i), payload=i) for i in range(200)]
+        tree = BulkLoadedBTree(data, leaf_capacity=16, sketch_granularity=10.0)
+        _got, stats = tree.range_query(0, 199, 1e6, 1e6 + 1)
+        assert stats.leaves_skipped > 0
+
+
+class TestBreakdown:
+    def test_breakdown_accounts_components(self, medium_batch):
+        rows = measure_insertion_breakdown(medium_batch, 0, 10_000, fanout=16, leaf_capacity=16)
+        by_name = {row.tree: row for row in rows}
+        assert set(by_name) == {"concurrent", "bulk", "template"}
+        assert by_name["concurrent"].node_split > 0.0
+        assert by_name["concurrent"].pure_insert > 0.0
+        assert by_name["bulk"].sort > 0.0
+        assert by_name["bulk"].build > 0.0
+        assert by_name["template"].pure_insert > 0.0
+        # Template maintenance should be a small share of its total time --
+        # the paper's core claim in Figure 7b.
+        template = by_name["template"]
+        assert template.template_update <= template.total * 0.5
+
+    def test_breakdown_totals_positive(self, small_batch):
+        rows = measure_insertion_breakdown(small_batch, 0, 10_000)
+        assert all(row.total > 0.0 for row in rows)

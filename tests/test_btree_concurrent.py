@@ -1,0 +1,142 @@
+"""Tests for the classic concurrent B+ tree baseline."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import ConcurrentBTree
+from repro.core.model import DataTuple
+
+from conftest import make_tuples
+
+
+class TestInsertAndStructure:
+    def test_inserts_preserve_all_tuples(self, small_batch):
+        tree = ConcurrentBTree(fanout=8, leaf_capacity=8)
+        for t in small_batch:
+            tree.insert(t)
+        assert len(tree) == len(small_batch)
+        recovered = tree.all_tuples()
+        assert sorted(t.payload for t in recovered) == sorted(
+            t.payload for t in small_batch
+        )
+
+    def test_leaves_are_key_sorted_runs(self, small_batch):
+        tree = ConcurrentBTree(fanout=8, leaf_capacity=8)
+        for t in small_batch:
+            tree.insert(t)
+        keys = [k for leaf in tree.leaves() for k in leaf.keys]
+        assert keys == sorted(keys)
+
+    def test_leaf_capacity_respected(self, small_batch):
+        tree = ConcurrentBTree(fanout=8, leaf_capacity=8)
+        for t in small_batch:
+            tree.insert(t)
+        assert all(len(leaf) <= 8 for leaf in tree.leaves())
+
+    def test_height_grows(self):
+        tree = ConcurrentBTree(fanout=4, leaf_capacity=4)
+        for i in range(200):
+            tree.insert(DataTuple(i, float(i)))
+        assert tree.height >= 3
+
+    def test_splits_counted(self):
+        tree = ConcurrentBTree(fanout=4, leaf_capacity=4)
+        for i in range(100):
+            tree.insert(DataTuple(i, float(i)))
+        assert tree.stats.splits > 10
+
+    def test_duplicate_keys(self):
+        tree = ConcurrentBTree(fanout=4, leaf_capacity=4)
+        for i in range(50):
+            tree.insert(DataTuple(7, float(i), payload=i))
+        found = tree.point_read(7)
+        assert sorted(t.payload for t in found) == list(range(50))
+
+    def test_insert_info_reports_splits(self):
+        tree = ConcurrentBTree(fanout=4, leaf_capacity=4)
+        saw_split = False
+        for i in range(100):
+            tree.insert(DataTuple(i, float(i)))
+            if tree.last_insert_info.split_levels > 0:
+                saw_split = True
+        assert saw_split
+
+
+class TestRangeQuery:
+    def test_range_query_matches_brute_force(self, small_batch):
+        tree = ConcurrentBTree(fanout=8, leaf_capacity=8)
+        for t in small_batch:
+            tree.insert(t)
+        got, _stats = tree.range_query(1000, 5000, 0.0, 0.25)
+        expected = [
+            t for t in small_batch if 1000 <= t.key <= 5000 and 0.0 <= t.ts <= 0.25
+        ]
+        assert sorted(x.payload for x in got) == sorted(x.payload for x in expected)
+
+    def test_predicate_applied(self, small_batch):
+        tree = ConcurrentBTree()
+        for t in small_batch:
+            tree.insert(t)
+        got, _stats = tree.range_query(
+            0, 10_000, predicate=lambda t: t.payload % 2 == 0
+        )
+        assert all(t.payload % 2 == 0 for t in got)
+
+    def test_empty_tree_query(self):
+        tree = ConcurrentBTree()
+        got, stats = tree.range_query(0, 100)
+        assert got == []
+        assert stats.tuples_examined == 0
+
+    def test_sketch_skips_leaves(self):
+        tree = ConcurrentBTree(fanout=8, leaf_capacity=8, sketch_granularity=1.0)
+        # Two temporal clusters landing on disjoint key ranges, so different
+        # leaves hold different time windows.
+        for i in range(300):
+            tree.insert(DataTuple(i, float(i % 3)))
+        for i in range(300, 600):
+            tree.insert(DataTuple(i, 1000.0 + (i % 3)))
+        _got, stats = tree.range_query(0, 599, 1000.0, 1001.0)
+        assert stats.leaves_skipped > 0
+
+    def test_sketch_never_loses_results(self):
+        rng = random.Random(3)
+        tuples = [
+            DataTuple(rng.randrange(0, 1000), rng.uniform(0, 100), payload=i)
+            for i in range(2000)
+        ]
+        with_sketch = ConcurrentBTree(fanout=8, leaf_capacity=16, sketch_granularity=5.0)
+        without = ConcurrentBTree(fanout=8, leaf_capacity=16)
+        for t in tuples:
+            with_sketch.insert(t)
+            without.insert(t)
+        for _ in range(20):
+            k = rng.randrange(0, 900)
+            t0 = rng.uniform(0, 90)
+            a, _s1 = with_sketch.range_query(k, k + 100, t0, t0 + 10)
+            b, _s2 = without.range_query(k, k + 100, t0, t0 + 10)
+            assert sorted(x.payload for x in a) == sorted(x.payload for x in b)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200), st.floats(0, 100, allow_nan=False)),
+            min_size=0,
+            max_size=300,
+        ),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    )
+    def test_range_query_equals_reference(self, rows, k1, k2):
+        k_lo, k_hi = min(k1, k2), max(k1, k2)
+        tree = ConcurrentBTree(fanout=4, leaf_capacity=4)
+        data = [DataTuple(k, ts, payload=i) for i, (k, ts) in enumerate(rows)]
+        for t in data:
+            tree.insert(t)
+        got, _stats = tree.range_query(k_lo, k_hi)
+        expected = [t for t in data if k_lo <= t.key <= k_hi]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)

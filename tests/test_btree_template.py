@@ -1,0 +1,199 @@
+"""Tests for the template-based B+ tree (skew detection, template update)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import TemplateBTree
+from repro.core.model import DataTuple
+
+from conftest import make_tuples
+
+
+class TestBasicOperation:
+    def test_insert_and_query(self, small_batch):
+        tree = TemplateBTree(0, 10_000, n_leaves=32, fanout=8)
+        for t in small_batch:
+            tree.insert(t)
+        got, _stats = tree.range_query(2000, 4000)
+        expected = [t for t in small_batch if 2000 <= t.key <= 4000]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+
+    def test_no_structure_change_without_skew(self):
+        tree = TemplateBTree(
+            0, 1000, n_leaves=16, fanout=8, skew_threshold=10.0, check_every=10
+        )
+        before = tree.separators
+        rng = random.Random(1)
+        for i in range(2000):
+            tree.insert(DataTuple(rng.randrange(0, 1000), float(i)))
+        assert tree.separators == before
+        assert tree.stats.template_updates == 0
+
+    def test_accepts_keys_outside_declared_interval(self):
+        # After adaptive repartitioning an indexing server can receive keys
+        # outside its original interval (Section III-D); routing clamps.
+        tree = TemplateBTree(100, 200, n_leaves=8, fanout=4)
+        tree.insert(DataTuple(5, 0.0, "low"))
+        tree.insert(DataTuple(10_000, 1.0, "high"))
+        assert [t.payload for t in tree.point_read(5)] == ["low"]
+        assert [t.payload for t in tree.point_read(10_000)] == ["high"]
+
+    def test_duplicate_keys(self):
+        tree = TemplateBTree(0, 100, n_leaves=8, fanout=4)
+        for i in range(30):
+            tree.insert(DataTuple(42, float(i), payload=i))
+        assert sorted(t.payload for t in tree.point_read(42)) == list(range(30))
+
+    def test_time_and_key_bounds(self):
+        tree = TemplateBTree(0, 1000, n_leaves=8, fanout=4)
+        assert tree.time_bounds() is None
+        assert tree.key_bounds() is None
+        tree.insert(DataTuple(10, 5.0))
+        tree.insert(DataTuple(900, 2.0))
+        assert tree.time_bounds() == (2.0, 5.0)
+        assert tree.key_bounds() == (10, 900)
+
+
+class TestSkewnessAndTemplateUpdate:
+    def test_skewness_zero_when_uniform(self):
+        tree = TemplateBTree(0, 160, n_leaves=16, fanout=4)
+        for k in range(160):
+            tree.insert(DataTuple(k, float(k)))
+        assert tree.skewness() < 0.2
+
+    def test_skewness_high_when_hotspot(self):
+        tree = TemplateBTree(
+            0, 1600, n_leaves=16, fanout=4, skew_threshold=100.0
+        )
+        for i in range(320):
+            tree.insert(DataTuple(5, float(i)))  # everything in one leaf
+        assert tree.skewness() > 5.0
+
+    def test_update_template_balances_leaves(self):
+        tree = TemplateBTree(
+            0, 100_000, n_leaves=16, fanout=4, skew_threshold=100.0
+        )
+        rng = random.Random(2)
+        # Keys concentrated in a narrow hotspot of the interval.
+        for i in range(1600):
+            tree.insert(DataTuple(rng.randrange(0, 100), float(i), payload=i))
+        assert tree.skewness() > 1.0
+        tree.update_template()
+        assert tree.skewness() < 0.5
+        # Data survives the rebuild.
+        assert len(tree) == 1600
+        got, _stats = tree.range_query(0, 100_000)
+        assert sorted(t.payload for t in got) == list(range(1600))
+
+    def test_automatic_update_on_drift(self):
+        tree = TemplateBTree(
+            0,
+            1000,
+            n_leaves=16,
+            fanout=4,
+            skew_threshold=0.5,
+            check_every=100,
+        )
+        rng = random.Random(3)
+        for i in range(500):
+            tree.insert(DataTuple(rng.randrange(0, 1000), float(i)))
+        # Shift the distribution into a hotspot; detector should fire.
+        for i in range(3000):
+            tree.insert(DataTuple(rng.randrange(0, 50), float(i)))
+        assert tree.stats.template_updates >= 1
+        assert tree.skewness() < 1.5
+
+    def test_update_returns_elapsed_seconds(self):
+        tree = TemplateBTree(0, 1000, n_leaves=8, fanout=4)
+        for i in range(100):
+            tree.insert(DataTuple(i % 50, float(i)))
+        elapsed = tree.update_template()
+        assert elapsed >= 0.0
+
+    def test_update_on_empty_tree(self):
+        tree = TemplateBTree(0, 1000, n_leaves=8, fanout=4)
+        tree.update_template()
+        assert len(tree) == 0
+        tree.insert(DataTuple(5, 1.0, "x"))
+        assert [t.payload for t in tree.point_read(5)] == ["x"]
+
+    def test_queries_correct_after_many_updates(self):
+        tree = TemplateBTree(0, 10_000, n_leaves=16, fanout=4)
+        rng = random.Random(4)
+        data = []
+        for i in range(2000):
+            t = DataTuple(rng.randrange(0, 10_000), rng.uniform(0, 100), payload=i)
+            tree.insert(t)
+            data.append(t)
+            if i % 500 == 499:
+                tree.update_template()
+        for _ in range(10):
+            k = rng.randrange(0, 9000)
+            got, _stats = tree.range_query(k, k + 1000)
+            expected = [t for t in data if k <= t.key <= k + 1000]
+            assert sorted(t.payload for t in got) == sorted(
+                t.payload for t in expected
+            )
+
+
+class TestResetLeaves:
+    def test_reset_retains_template(self):
+        tree = TemplateBTree(0, 1000, n_leaves=16, fanout=4)
+        rng = random.Random(5)
+        for i in range(500):
+            tree.insert(DataTuple(rng.randrange(0, 1000), float(i)))
+        separators = tree.separators
+        tree.reset_leaves()
+        assert len(tree) == 0
+        assert tree.separators == separators
+        assert tree.all_tuples() == []
+        # Tree remains usable after reset (the template recycle).
+        tree.insert(DataTuple(500, 0.0, "fresh"))
+        assert [t.payload for t in tree.point_read(500)] == ["fresh"]
+
+    def test_reset_clears_sketches(self):
+        tree = TemplateBTree(0, 100, n_leaves=4, fanout=4, sketch_granularity=1.0)
+        tree.insert(DataTuple(50, 10.0))
+        tree.reset_leaves()
+        leaf = tree._leaf_for(50)
+        assert not leaf.sketch.might_overlap(10.0, 10.0)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 500), st.floats(0, 100, allow_nan=False)),
+            min_size=0,
+            max_size=400,
+        ),
+        st.integers(0, 500),
+        st.integers(0, 500),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    )
+    def test_range_query_equals_reference(self, rows, k1, k2, ts1, ts2):
+        k_lo, k_hi = min(k1, k2), max(k1, k2)
+        t_lo, t_hi = min(ts1, ts2), max(ts1, ts2)
+        tree = TemplateBTree(0, 500, n_leaves=8, fanout=4, check_every=50)
+        data = [DataTuple(k, ts, payload=i) for i, (k, ts) in enumerate(rows)]
+        for t in data:
+            tree.insert(t)
+        got, _stats = tree.range_query(k_lo, k_hi, t_lo, t_hi)
+        expected = [
+            t for t in data if k_lo <= t.key <= k_hi and t_lo <= t.ts <= t_hi
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    def test_template_update_preserves_content_and_order(self, keys):
+        tree = TemplateBTree(0, 1000, n_leaves=8, fanout=4)
+        for i, k in enumerate(keys):
+            tree.insert(DataTuple(k, float(i), payload=i))
+        tree.update_template()
+        flat = [k for leaf in tree.leaves() for k in leaf.keys]
+        assert flat == sorted(keys)
+        assert len(tree) == len(keys)

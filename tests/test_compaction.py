@@ -1,0 +1,115 @@
+"""Tests for chunk rollup and retention."""
+
+import random
+
+from repro import Waterwheel, small_config
+from repro.core.compaction import ChunkCompactor
+from repro.core.verify import verify_system
+
+
+def fragmented_system(n_batches=8, batch=300, seed=1, **overrides):
+    """Many forced small flushes -> a fragmented chunk set."""
+    ww = Waterwheel(small_config(chunk_bytes=64 * 1024, **overrides))
+    rng = random.Random(seed)
+    ts = 0.0
+    data = []
+    for _batch_no in range(n_batches):
+        for _ in range(batch):
+            t_key = rng.randrange(0, 10_000)
+            ww.insert_record(t_key, ts, payload=len(data), size=32)
+            data.append((t_key, ts))
+            ts += 0.01
+        ww.flush_all()  # forced small flushes fragment the catalog
+    return ww, data
+
+
+class TestRollup:
+    def test_rollup_reduces_chunk_count(self):
+        ww, _data = fragmented_system()
+        before = ww.chunk_count
+        report = ChunkCompactor(ww).rollup()
+        assert report.chunks_merged > report.chunks_created > 0
+        assert ww.chunk_count < before
+
+    def test_rollup_preserves_query_results(self):
+        ww, data = fragmented_system(seed=2)
+        expected = ww.query(1000, 6000, 3.0, 18.0)
+        ChunkCompactor(ww).rollup()
+        after = ww.query(1000, 6000, 3.0, 18.0)
+        assert sorted(t.payload for t in after.tuples) == sorted(
+            t.payload for t in expected.tuples
+        )
+
+    def test_rollup_passes_fsck(self):
+        ww, _data = fragmented_system(seed=3)
+        ChunkCompactor(ww).rollup()
+        # Conservation against the log no longer holds chunk-for-chunk, but
+        # decode/region/catalog checks all must.
+        report = verify_system(ww)
+        region_problems = [p for p in report.problems if "conservation" not in p]
+        assert not region_problems, region_problems
+
+    def test_rollup_keeps_large_chunks_alone(self):
+        ww, _data = fragmented_system(seed=4)
+        compactor = ChunkCompactor(ww, target_bytes=1)  # everything "large"
+        report = compactor.rollup()
+        assert report.chunks_merged == 0
+
+    def test_rolled_chunks_removed_from_dfs(self):
+        ww, _data = fragmented_system(seed=5)
+        report = ChunkCompactor(ww).rollup()
+        for group in report.merged_groups:
+            for chunk_id in group:
+                assert not ww.dfs.exists(chunk_id)
+                assert not ww.metastore.exists(f"/chunks/{chunk_id}")
+
+    def test_catalog_tracks_rollup(self):
+        ww, _data = fragmented_system(seed=6)
+        ChunkCompactor(ww).rollup()
+        assert ww.coordinator.catalog_size == ww.chunk_count
+
+    def test_rollup_with_secondary_indexes(self):
+        from repro.secondary import AttributeSpec
+
+        ww, _data = fragmented_system(
+            seed=7,
+            secondary_specs=(AttributeSpec("mod", lambda p: p % 3),),
+        )
+        report = ChunkCompactor(ww).rollup()
+        assert report.chunks_created > 0
+        # New rollup chunks carry sidecars; attribute queries still work.
+        res = ww.query(0, 10_000, 0.0, 10.0, attr_equals={"mod": 1})
+        assert res.tuples
+        assert all(t.payload % 3 == 1 for t in res.tuples)
+
+
+class TestRetention:
+    def test_expire_drops_old_chunks_only(self):
+        ww, data = fragmented_system(seed=8)
+        horizon = 12.0
+        old_chunks = [
+            info["chunk_id"]
+            for _k, info in ww.metastore.items_prefix("/chunks/")
+            if info["t_hi"] < horizon
+        ]
+        assert old_chunks
+        report = ChunkCompactor(ww).expire(horizon)
+        assert report.chunks_expired == len(old_chunks)
+        for chunk_id in old_chunks:
+            assert not ww.dfs.exists(chunk_id)
+
+    def test_expired_data_invisible_recent_data_intact(self):
+        ww, data = fragmented_system(seed=9)
+        ChunkCompactor(ww).expire(12.0)
+        old = ww.query(0, 10_000, 0.0, 5.0)
+        assert len(old) == 0
+        recent = ww.query(0, 10_000, 15.0, 20.0)
+        expected = [1 for _key, ts in data if 15.0 <= ts <= 20.0]
+        assert len(recent) == len(expected)
+
+    def test_expire_nothing(self):
+        ww, _data = fragmented_system(seed=10)
+        before = ww.chunk_count
+        report = ChunkCompactor(ww).expire(-1.0)
+        assert report.chunks_expired == 0
+        assert ww.chunk_count == before

@@ -1,0 +1,116 @@
+"""Unit tests for query decomposition and the coordinator's catalog."""
+
+import random
+
+from repro import Waterwheel, small_config
+from repro.core.model import KeyInterval, Query, TimeInterval
+
+
+def build_loaded_system(n=3000, seed=1, **overrides):
+    ww = Waterwheel(small_config(**overrides))
+    rng = random.Random(seed)
+    for i in range(n):
+        ww.insert_record(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+    return ww
+
+
+def make_query(k_lo, k_hi, t_lo, t_hi):
+    return Query(KeyInterval.closed(k_lo, k_hi), TimeInterval(t_lo, t_hi))
+
+
+class TestDecomposition:
+    def test_covers_fresh_and_chunks(self):
+        ww = build_loaded_system()
+        fresh, chunks = ww.coordinator.decompose(make_query(0, 10_000, 0.0, 30.0))
+        assert fresh  # in-memory data overlaps
+        assert chunks  # flushed regions overlap
+
+    def test_historical_query_skips_fresh(self):
+        ww = build_loaded_system()
+        # Window far before any in-memory data (fresh trees hold the tail
+        # of the stream; Delta-t extends them only slightly leftward).
+        fresh, chunks = ww.coordinator.decompose(make_query(0, 10_000, 0.0, 1.0))
+        assert chunks
+        assert not fresh
+
+    def test_future_window_consults_only_fresh(self):
+        ww = build_loaded_system()
+        fresh, chunks = ww.coordinator.decompose(
+            make_query(0, 10_000, 1_000.0, 2_000.0)
+        )
+        assert not chunks
+        # Fresh regions extend to +inf on the right (new data keeps coming),
+        # so the live servers are consulted.
+        assert fresh
+
+    def test_key_pruning(self):
+        ww = build_loaded_system()
+        all_fresh, all_chunks = ww.coordinator.decompose(
+            make_query(0, 10_000, 0.0, 30.0)
+        )
+        narrow_fresh, narrow_chunks = ww.coordinator.decompose(
+            make_query(0, 500, 0.0, 30.0)
+        )
+        assert len(narrow_chunks) < len(all_chunks)
+
+    def test_subquery_intervals_clipped_to_query(self):
+        ww = build_loaded_system()
+        query = make_query(2_000, 4_000, 5.0, 12.0)
+        fresh, chunks = ww.coordinator.decompose(query)
+        for sq in fresh + chunks:
+            assert sq.keys.lo >= 2_000
+            assert sq.keys.hi <= 4_001
+            assert sq.times.lo >= 5.0 or sq.on_fresh_data
+            assert sq.times.hi <= 12.0 or sq.on_fresh_data
+
+    def test_empty_domain_overlap(self):
+        ww = build_loaded_system()
+        fresh, chunks = ww.coordinator.decompose(
+            make_query(50_000, 60_000, 0.0, 30.0)
+        )
+        assert not fresh and not chunks
+
+
+class TestCatalogMaintenance:
+    def test_catalog_grows_with_flushes(self):
+        ww = Waterwheel(small_config())
+        assert ww.coordinator.catalog_size == 0
+        rng = random.Random(2)
+        for i in range(2000):
+            ww.insert_record(rng.randrange(0, 10_000), i * 0.01, size=32)
+        ww.flush_all()
+        assert ww.coordinator.catalog_size == len(
+            [c for c in ww.dfs.chunk_ids() if not c.endswith(".sidx")]
+        )
+
+    def test_closed_coordinator_stops_watching(self):
+        ww = build_loaded_system()
+        old = ww.coordinator
+        size_before = old.catalog_size
+        ww.crash_coordinator()  # closes the old watch
+        ww.flush_all()
+        assert old.catalog_size == size_before  # detached
+        assert ww.coordinator.catalog_size >= size_before
+
+    def test_chunk_delete_removes_region(self):
+        ww = build_loaded_system()
+        chunk_id = next(
+            c for c in ww.dfs.chunk_ids() if not c.endswith(".sidx")
+        )
+        before = ww.coordinator.catalog_size
+        ww.metastore.delete(f"/chunks/{chunk_id}")
+        assert ww.coordinator.catalog_size == before - 1
+
+
+class TestLatencyModel:
+    def test_latency_includes_result_transfer(self):
+        ww = build_loaded_system()
+        small = ww.query(0, 100, 0.0, 30.0)
+        big = ww.query(0, 10_000, 0.0, 30.0)
+        assert big.latency > small.latency
+
+    def test_query_ids_assigned(self):
+        ww = build_loaded_system(n=100)
+        a = ww.query(0, 10_000, 0.0, 1.0)
+        b = ww.query(0, 10_000, 0.0, 1.0)
+        assert a.query_id != b.query_id

@@ -1,0 +1,180 @@
+"""Tests for the subquery dispatch policies (LADA and baselines)."""
+
+import pytest
+
+from repro.core.dispatch import (
+    DispatchError,
+    HashingDispatch,
+    LadaDispatch,
+    RoundRobinDispatch,
+    SharedQueueDispatch,
+    run_dispatch,
+)
+from repro.core.model import KeyInterval, SubQuery, TimeInterval
+from repro.core.query_server import SubQueryResult
+
+
+class FakeServer:
+    """Stands in for a QueryServer: fixed cost per subquery, no I/O."""
+
+    def __init__(self, server_id, node_id, cost=1.0):
+        self.server_id = server_id
+        self.node_id = node_id
+        self.cost = cost
+        self.alive = True
+        self.executed = []
+
+    def execute(self, sq):
+        self.executed.append(sq.chunk_id)
+        return SubQueryResult(tuples=[], cost=self.cost)
+
+
+def make_sqs(chunk_ids):
+    return [
+        SubQuery(
+            query_id=1,
+            keys=KeyInterval(0, 10),
+            times=TimeInterval(0, 1),
+            predicate=None,
+            chunk_id=cid,
+        )
+        for cid in chunk_ids
+    ]
+
+
+def make_servers(n, cost=1.0):
+    return [FakeServer(i, node_id=i, cost=cost) for i in range(n)]
+
+
+class TestRunDispatchBasics:
+    def test_all_subqueries_execute_exactly_once(self):
+        servers = make_servers(3)
+        outcome = run_dispatch(make_sqs([f"c{i}" for i in range(10)]), servers, SharedQueueDispatch())
+        assert all(r is not None for r in outcome.results)
+        total = sum(len(s.executed) for s in servers)
+        assert total == 10
+
+    def test_empty_subquery_list(self):
+        outcome = run_dispatch([], make_servers(2), SharedQueueDispatch())
+        assert outcome.makespan == 0.0
+        assert outcome.results == []
+
+    def test_no_alive_servers_raises(self):
+        servers = make_servers(2)
+        for s in servers:
+            s.alive = False
+        with pytest.raises(DispatchError):
+            run_dispatch(make_sqs(["c1"]), servers, SharedQueueDispatch())
+
+    def test_makespan_shared_queue_balanced(self):
+        servers = make_servers(4, cost=1.0)
+        outcome = run_dispatch(make_sqs([f"c{i}" for i in range(8)]), servers, SharedQueueDispatch())
+        assert outcome.makespan == pytest.approx(2.0)
+
+    def test_dead_server_skipped(self):
+        servers = make_servers(3)
+        servers[1].alive = False
+        outcome = run_dispatch(make_sqs([f"c{i}" for i in range(6)]), servers, SharedQueueDispatch())
+        assert servers[1].executed == []
+        assert all(r is not None for r in outcome.results)
+
+
+class TestRoundRobin:
+    def test_static_assignment_ignores_idleness(self):
+        # Server 0 is slow; round-robin still gives it half the work.
+        servers = [FakeServer(0, 0, cost=10.0), FakeServer(1, 1, cost=1.0)]
+        outcome = run_dispatch(make_sqs([f"c{i}" for i in range(6)]), servers, RoundRobinDispatch())
+        assert len(servers[0].executed) == 3
+        assert outcome.makespan == pytest.approx(30.0)
+
+    def test_shared_queue_beats_round_robin_with_slow_server(self):
+        def run(policy):
+            servers = [FakeServer(0, 0, cost=10.0), FakeServer(1, 1, cost=1.0)]
+            return run_dispatch(
+                make_sqs([f"c{i}" for i in range(6)]), servers, policy
+            ).makespan
+
+        assert run(SharedQueueDispatch()) < run(RoundRobinDispatch())
+
+
+class TestHashing:
+    def test_same_chunk_same_server(self):
+        servers = make_servers(4)
+        sqs = make_sqs(["cA", "cB", "cA", "cA", "cB"])
+        outcome = run_dispatch(sqs, servers, HashingDispatch())
+        by_chunk = {}
+        for idx, server_id in outcome.assignments.items():
+            chunk = sqs[idx].chunk_id
+            by_chunk.setdefault(chunk, set()).add(server_id)
+        assert all(len(s) == 1 for s in by_chunk.values())
+
+    def test_consistent_across_queries(self):
+        servers = make_servers(4)
+        a = run_dispatch(make_sqs(["cA"]), servers, HashingDispatch())
+        b = run_dispatch(make_sqs(["cA"]), servers, HashingDispatch())
+        assert a.assignments[0] == b.assignments[0]
+
+
+class TestLada:
+    def locality(self, chunk_id, node_id):
+        # chunk "cN" lives on node N (single replica).
+        return node_id == int(chunk_id[1:]) % 4
+
+    def test_prefers_colocated_server(self):
+        servers = make_servers(4)
+        outcome = run_dispatch(
+            make_sqs(["c0", "c1", "c2", "c3"]),
+            servers,
+            LadaDispatch(self.locality),
+        )
+        for idx, server_id in outcome.assignments.items():
+            assert server_id == idx  # each server takes its local chunk
+
+    def test_consistent_preferences_across_queries(self):
+        servers = make_servers(4)
+        policy = LadaDispatch(lambda c, n: False)  # no locality: pure cache
+        first = run_dispatch(make_sqs(["cX", "cY"]), servers, policy)
+        second = run_dispatch(make_sqs(["cX", "cY"]), servers, policy)
+        assert first.assignments == second.assignments
+
+    def test_load_balance_with_many_subqueries(self):
+        servers = make_servers(4)
+        outcome = run_dispatch(
+            make_sqs([f"c{i}" for i in range(16)]),
+            servers,
+            LadaDispatch(self.locality),
+        )
+        counts = [len(s.executed) for s in servers]
+        assert max(counts) - min(counts) <= 1
+        assert outcome.makespan == pytest.approx(4.0)
+
+    def test_all_work_done_when_local_server_busy(self):
+        # Every chunk local to node 0 only; other servers must still help.
+        servers = make_servers(4)
+        outcome = run_dispatch(
+            make_sqs([f"c{i * 4}" for i in range(8)]),  # all map to node 0
+            servers,
+            LadaDispatch(self.locality),
+        )
+        assert all(r is not None for r in outcome.results)
+        assert len(servers[0].executed) < 8  # others stole work
+
+
+class TestFailureMidQuery:
+    def test_mid_run_death_requeues(self):
+        class DyingServer(FakeServer):
+            def execute(self, sq):
+                if len(self.executed) >= 1:
+                    self.alive = False
+                    from repro.core.query_server import ServerDownError
+
+                    raise ServerDownError("boom")
+                return super().execute(sq)
+
+        servers = [DyingServer(0, 0), FakeServer(1, 1)]
+        outcome = run_dispatch(
+            make_sqs([f"c{i}" for i in range(6)]), servers, SharedQueueDispatch()
+        )
+        assert all(r is not None for r in outcome.results)
+        assert outcome.retried >= 1
+        assert len(servers[1].executed) >= 5

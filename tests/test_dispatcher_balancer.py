@@ -1,0 +1,133 @@
+"""Unit tests for the dispatcher, shared partition and balancer."""
+
+import random
+
+from repro.core.balancer import PartitionBalancer
+from repro.core.config import small_config
+from repro.core.dispatcher import Dispatcher, SharedPartition
+from repro.core.indexing_server import IndexingServer
+from repro.core.model import DataTuple, KeyInterval
+from repro.core.partitioning import KeyPartition
+from repro.messaging import DurableLog
+from repro.metastore import MetadataStore
+from repro.simulation import Cluster
+from repro.storage import SimulatedDFS
+
+
+def build_stack(n_servers=4, **config_overrides):
+    cfg = small_config(n_nodes=n_servers, **config_overrides)
+    cluster = Cluster(cfg.n_nodes, seed=1)
+    dfs = SimulatedDFS(cluster, cfg.costs, cfg.replication)
+    metastore = MetadataStore()
+    log = DurableLog()
+    log.create_topic("tuples", cfg.n_indexing_servers)
+    partition = KeyPartition.uniform(cfg.key_lo, cfg.key_hi, cfg.n_indexing_servers)
+    shared = SharedPartition(partition)
+    servers = [
+        IndexingServer(i, i % cfg.n_nodes, cfg, dfs, metastore, partition.interval(i))
+        for i in range(cfg.n_indexing_servers)
+    ]
+    dispatchers = [
+        Dispatcher(d, cfg, shared, log, "tuples") for d in range(cfg.n_dispatchers)
+    ]
+    balancer = PartitionBalancer(cfg, shared, dispatchers, servers, metastore)
+    return cfg, shared, servers, dispatchers, balancer, log, metastore
+
+
+class TestDispatcher:
+    def test_routes_by_partition(self):
+        cfg, shared, servers, dispatchers, *_ = build_stack()
+        d = dispatchers[0]
+        for key in range(0, 10_000, 500):
+            server, _offset = d.dispatch(DataTuple(key, 0.0))
+            assert key in shared.current.interval(server)
+
+    def test_appends_to_correct_log_partition(self):
+        cfg, shared, servers, dispatchers, balancer, log, _ms = build_stack()
+        d = dispatchers[0]
+        t = DataTuple(100, 1.0, payload="x")
+        server, offset = d.dispatch(t)
+        replayed = log.replay("tuples", server, offset)
+        assert replayed == [(offset, t)]
+
+    def test_sampling_stride(self):
+        cfg, shared, servers, dispatchers, *_ = build_stack(sample_every=4)
+        d = dispatchers[0]
+        for i in range(16):
+            d.dispatch(DataTuple(5, float(i)))
+        # 16 tuples at stride 4 -> 4 samples, each weighted by the stride.
+        assert sum(d.sampler.histogram()) == 16.0
+
+    def test_partition_swap_changes_routing(self):
+        cfg, shared, servers, dispatchers, *_ = build_stack()
+        d = dispatchers[0]
+        before, _ = d.dispatch(DataTuple(9_999, 0.0))
+        shared.update(KeyPartition(cfg.key_lo, cfg.key_hi, [9_990]))
+        after, _ = d.dispatch(DataTuple(9_999, 0.0))
+        assert before != after
+        assert after == 1
+
+
+class TestBalancer:
+    def _feed(self, dispatchers, keys):
+        rr = 0
+        for key in keys:
+            dispatchers[rr % len(dispatchers)].dispatch(DataTuple(key, 0.0))
+            rr += 1
+
+    def test_no_rebalance_when_uniform(self):
+        cfg, shared, servers, dispatchers, balancer, *_ = build_stack(sample_every=1)
+        rng = random.Random(1)
+        self._feed(dispatchers, (rng.randrange(0, 10_000) for _ in range(4000)))
+        assert balancer.maybe_rebalance() is None
+        assert balancer.rebalance_count == 0
+
+    def test_rebalances_on_hotspot(self):
+        cfg, shared, servers, dispatchers, balancer, *_ = build_stack(sample_every=1)
+        rng = random.Random(2)
+        self._feed(dispatchers, (rng.randrange(0, 400) for _ in range(4000)))
+        new_partition = balancer.maybe_rebalance()
+        assert new_partition is not None
+        assert balancer.rebalance_count == 1
+        # Servers adopted the new intervals.
+        for i, interval in enumerate(new_partition.intervals()):
+            assert servers[i].assigned == interval
+
+    def test_rebalance_persists_boundaries(self):
+        cfg, shared, servers, dispatchers, balancer, log, metastore = build_stack(
+            sample_every=1
+        )
+        rng = random.Random(3)
+        self._feed(dispatchers, (rng.randrange(0, 300) for _ in range(4000)))
+        new_partition = balancer.maybe_rebalance()
+        assert metastore.get("/partition/boundaries") == list(
+            new_partition.boundaries
+        )
+
+    def test_rebalance_rotates_sample_windows(self):
+        cfg, shared, servers, dispatchers, balancer, *_ = build_stack(sample_every=1)
+        rng = random.Random(4)
+        self._feed(dispatchers, (rng.randrange(0, 300) for _ in range(4000)))
+        balancer.maybe_rebalance()
+        # After two further rotations the old window has aged out entirely.
+        for d in dispatchers:
+            d.rotate_sample_window()
+            d.rotate_sample_window()
+        assert balancer.current_deviation() == 0.0
+
+    def test_disabled_balancer(self):
+        cfg, shared, servers, dispatchers, balancer, *_ = build_stack(sample_every=1)
+        balancer.enabled = False
+        rng = random.Random(5)
+        self._feed(dispatchers, (rng.randrange(0, 100) for _ in range(4000)))
+        assert balancer.maybe_rebalance() is None
+
+    def test_deviation_improves_after_rebalance(self):
+        cfg, shared, servers, dispatchers, balancer, *_ = build_stack(sample_every=1)
+        rng = random.Random(6)
+        keys = [int(abs(rng.gauss(2000, 150))) % 10_000 for _ in range(6000)]
+        self._feed(dispatchers, keys)
+        before = balancer.current_deviation()
+        assert balancer.maybe_rebalance() is not None
+        after = balancer.current_deviation()
+        assert after < before

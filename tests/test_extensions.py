@@ -1,0 +1,239 @@
+"""Tests for the extensions: log truncation, geo queries, stats, CLI,
+chunk integrity."""
+
+import random
+
+import pytest
+
+from repro import DataTuple, Waterwheel, small_config
+from repro.cli import main as cli_main
+from repro.core.geo import geo_query
+from repro.core.stats import snapshot
+from repro.messaging import DurableLog
+from repro.storage import ChunkCorruption, ChunkReader, serialize_chunk
+from repro.workloads import TDriveGenerator
+
+
+class TestLogTruncation:
+    def _log(self):
+        log = DurableLog()
+        log.create_topic("t", 1)
+        for i in range(100):
+            log.append("t", 0, i)
+        return log
+
+    def test_truncate_drops_prefix(self):
+        log = self._log()
+        assert log.truncate("t", 0, 40) == 40
+        assert log.base_offset("t", 0) == 40
+        assert log.replay("t", 0, 40) == [(i, i) for i in range(40, 100)]
+
+    def test_offsets_stable_after_truncation(self):
+        log = self._log()
+        log.truncate("t", 0, 30)
+        assert log.append("t", 0, "new") == 100
+        assert log.replay("t", 0, 99) == [(99, 99), (100, "new")]
+
+    def test_replay_below_base_raises(self):
+        log = self._log()
+        log.truncate("t", 0, 50)
+        with pytest.raises(KeyError):
+            log.replay("t", 0, 10)
+
+    def test_truncate_idempotent(self):
+        log = self._log()
+        log.truncate("t", 0, 50)
+        assert log.truncate("t", 0, 50) == 0
+        assert log.truncate("t", 0, 30) == 0
+
+    def test_truncate_beyond_end_clamps(self):
+        log = self._log()
+        assert log.truncate("t", 0, 1_000) == 100
+        assert log.replay("t", 0, 100) == []
+
+    def test_system_compact_log_then_recover(self):
+        ww = Waterwheel(small_config())
+        rng = random.Random(1)
+        for i in range(3000):
+            ww.insert_record(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+        dropped = ww.compact_log()
+        assert dropped > 0
+        # Recovery must still work from the retained suffix.
+        ww.kill_indexing_server(0)
+        ww.recover_indexing_server(0)
+        res = ww.query(0, 10_000, 0.0, 30.0)
+        assert len(res) == 3000
+
+
+class TestGeoQuery:
+    def test_geo_query_matches_brute_force(self):
+        gen = TDriveGenerator(n_taxis=50, seed=5)
+        key_lo, key_hi = gen.key_domain
+        ww = Waterwheel(
+            small_config(key_lo=key_lo, key_hi=key_hi, chunk_bytes=32_768, tuple_size=36)
+        )
+        records = gen.records(5000)
+        ww.insert_many(records)
+        now = max(t.ts for t in records)
+        rng = random.Random(6)
+        lat_lo, lat_hi, lon_lo, lon_hi = gen.random_rect(rng, frac=0.3)
+        res = geo_query(
+            ww, gen.curve, lat_lo, lat_hi, lon_lo, lon_hi, now - 30.0, now
+        )
+        expected = [
+            t
+            for t in records
+            if lat_lo <= t.payload.lat <= lat_hi
+            and lon_lo <= t.payload.lon <= lon_hi
+            and now - 30.0 <= t.ts <= now
+        ]
+        assert sorted((t.key, t.ts) for t in res.tuples) == sorted(
+            (t.key, t.ts) for t in expected
+        )
+        assert res.latency > 0
+
+    def test_geo_query_rejects_inverted_rect(self):
+        gen = TDriveGenerator(n_taxis=5, seed=7)
+        ww = Waterwheel(small_config(key_lo=0, key_hi=1 << 32))
+        with pytest.raises(ValueError):
+            geo_query(ww, gen.curve, 40.0, 39.0, 116.0, 117.0, 0.0, 1.0)
+
+    def test_geo_query_extra_predicate(self):
+        gen = TDriveGenerator(n_taxis=20, seed=8)
+        key_lo, key_hi = gen.key_domain
+        ww = Waterwheel(small_config(key_lo=key_lo, key_hi=key_hi, tuple_size=36))
+        records = gen.records(1000)
+        ww.insert_many(records)
+        now = max(t.ts for t in records)
+        from repro.workloads import BEIJING_LAT, BEIJING_LON
+
+        res = geo_query(
+            ww,
+            gen.curve,
+            BEIJING_LAT[0],
+            BEIJING_LAT[1],
+            BEIJING_LON[0],
+            BEIJING_LON[1],
+            0.0,
+            now,
+            predicate=lambda t: t.payload.taxi_id == 3,
+        )
+        assert res.tuples
+        assert all(t.payload.taxi_id == 3 for t in res.tuples)
+
+
+class TestStatsSnapshot:
+    def test_snapshot_consistency(self):
+        ww = Waterwheel(small_config())
+        rng = random.Random(2)
+        for i in range(2000):
+            ww.insert_record(rng.randrange(0, 10_000), i * 0.01, size=32)
+        ww.query(0, 10_000, 0.0, 10.0)
+        snap = snapshot(ww)
+        assert snap.tuples_inserted == 2000
+        assert snap.queries_executed == 1
+        assert snap.chunk_count == ww.chunk_count
+        assert sum(s.tuples_ingested for s in snap.indexing) == 2000
+        assert snap.log_backlog == 2000
+        assert len(snap.query) == len(ww.query_servers)
+        assert snap.catalog_regions == ww.coordinator.catalog_size
+
+    def test_snapshot_reflects_compaction_and_failure(self):
+        ww = Waterwheel(small_config())
+        for i in range(1000):
+            ww.insert_record(i % 10_000, i * 0.01, size=32)
+        ww.compact_log()
+        ww.kill_indexing_server(0)
+        snap = snapshot(ww)
+        assert snap.log_backlog < 1000
+        assert not snap.indexing[0].alive
+        assert snap.indexing[0].in_memory_tuples == 0
+
+    def test_as_dict_round(self):
+        ww = Waterwheel(small_config())
+        ww.insert_record(1, 1.0)
+        d = snapshot(ww).as_dict()
+        assert d["tuples_inserted"] == 1
+        assert isinstance(d["indexing"], list)
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "version" in out
+        assert "chunk_bytes" in out
+
+    def test_demo(self, capsys):
+        assert cli_main(["demo", "--records", "2000", "--workload", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "sample query" in out
+
+    def test_ingest(self, capsys):
+        assert cli_main(["ingest", "--records", "1500", "--workload", "network"]) == 0
+        out = capsys.readouterr().out
+        assert "tuples ingested : 1500" in out
+
+    def test_query(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "query",
+                    "--records",
+                    "2000",
+                    "--queries",
+                    "10",
+                    "--workload",
+                    "tdrive",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "latency p95" in out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["demo", "--workload", "bogus"])
+
+
+class TestChunkIntegrity:
+    def test_corrupted_leaf_block_detected(self):
+        data = [DataTuple(i, float(i), payload=i) for i in range(100)]
+        leaves = [([t.key for t in data[i : i + 20]], data[i : i + 20]) for i in range(0, 100, 20)]
+        blob = bytearray(serialize_chunk(leaves))
+        reader = ChunkReader(bytes(blob))
+        entry = reader.candidate_leaves(0, 99)[2]
+        blob[entry.block_offset] ^= 0xFF  # flip a byte inside leaf 2
+        corrupted = ChunkReader(bytes(blob))
+        with pytest.raises(ChunkCorruption):
+            corrupted.query(0, 99)
+
+    def test_untouched_leaves_still_readable(self):
+        data = [DataTuple(i, float(i), payload=i) for i in range(100)]
+        leaves = [([t.key for t in data[i : i + 20]], data[i : i + 20]) for i in range(0, 100, 20)]
+        blob = bytearray(serialize_chunk(leaves))
+        reader = ChunkReader(bytes(blob))
+        entry = reader.candidate_leaves(80, 99)[0]
+        blob[entry.block_offset] ^= 0xFF  # corrupt only the last leaf
+        corrupted = ChunkReader(bytes(blob))
+        got = corrupted.query(0, 59)  # untouched leaves decode fine
+        assert sorted(t.payload for t in got) == list(range(60))
+
+
+class TestSpillThroughConfig:
+    def test_system_with_spilled_dfs(self, tmp_path):
+        ww = Waterwheel(
+            small_config(dfs_spill_dir=str(tmp_path / "blocks"))
+        )
+        rng = random.Random(7)
+        data = [
+            DataTuple(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+            for i in range(2000)
+        ]
+        for t in data:
+            ww.insert(t)
+        ww.flush_all()
+        assert list((tmp_path / "blocks").iterdir())  # bytes on disk
+        res = ww.query(0, 10_000, 0.0, 20.0)
+        assert len(res) == 2000

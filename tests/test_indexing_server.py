@@ -1,0 +1,230 @@
+"""Tests for the indexing server: ingest, flush, late buffer, recovery."""
+
+import pytest
+
+from repro.core.config import small_config
+from repro.core.indexing_server import IndexingServer, ServerDownError
+from repro.core.model import DataTuple, KeyInterval, SubQuery, TimeInterval
+from repro.messaging import DurableLog
+from repro.metastore import MetadataStore
+from repro.simulation import Cluster
+from repro.storage import ChunkReader, SimulatedDFS
+
+
+def build_server(**config_overrides):
+    cfg = small_config(**config_overrides)
+    cluster = Cluster(cfg.n_nodes, seed=cfg.seed)
+    dfs = SimulatedDFS(cluster, cfg.costs, cfg.replication)
+    metastore = MetadataStore()
+    server = IndexingServer(0, 0, cfg, dfs, metastore, KeyInterval(0, 10_000))
+    return server, dfs, metastore, cfg
+
+
+def sq(key_lo, key_hi, t_lo, t_hi):
+    return SubQuery(
+        query_id=1,
+        keys=KeyInterval.closed(key_lo, key_hi),
+        times=TimeInterval(t_lo, t_hi),
+        predicate=None,
+        chunk_id=None,
+        indexing_server=0,
+    )
+
+
+class TestIngestAndFlush:
+    def test_flush_triggered_at_chunk_size(self):
+        server, dfs, metastore, cfg = build_server()
+        per_chunk = cfg.chunk_bytes // 32
+        chunk_id = None
+        for i in range(per_chunk + 5):
+            got = server.ingest(DataTuple(i % 10_000, float(i), payload=i, size=32), offset=i)
+            if got:
+                chunk_id = got
+        assert chunk_id is not None
+        assert dfs.exists(chunk_id)
+        assert metastore.exists(f"/chunks/{chunk_id}")
+
+    def test_flushed_chunk_contains_the_data(self):
+        server, dfs, metastore, cfg = build_server()
+        n = cfg.chunk_bytes // 32
+        for i in range(n):
+            server.ingest(DataTuple(i % 10_000, float(i), payload=i, size=32), offset=i)
+        server.flush()
+        chunk_ids = dfs.chunk_ids()
+        recovered = []
+        for cid in chunk_ids:
+            recovered.extend(ChunkReader(dfs.get_bytes(cid)).all_tuples())
+        assert sorted(t.payload for t in recovered) == list(range(n))
+
+    def test_chunk_region_matches_data_extent(self):
+        server, dfs, metastore, cfg = build_server()
+        for i in range(50):
+            server.ingest(DataTuple(100 + i, 10.0 + i, payload=i, size=32), offset=i)
+        chunk_id = server.flush()
+        info = metastore.get(f"/chunks/{chunk_id}")
+        assert info["key_lo"] == 100
+        assert info["key_hi"] == 150  # half-open
+        assert info["t_lo"] == 10.0
+        assert info["t_hi"] == 59.0
+
+    def test_flush_empty_is_noop(self):
+        server, dfs, _metastore, _cfg = build_server()
+        assert server.flush() is None
+        assert len(dfs) == 0
+
+    def test_template_recycled_across_flushes(self):
+        server, _dfs, _metastore, cfg = build_server()
+        for i in range(200):
+            server.ingest(DataTuple(i * 50 % 10_000, float(i), size=32), offset=i)
+        template_before = server._tree.separators
+        server.flush()
+        assert server._tree.separators == template_before
+        assert server.in_memory_tuples == 0
+
+    def test_offset_checkpointed_on_flush(self):
+        server, _dfs, metastore, cfg = build_server()
+        for i in range(100):
+            server.ingest(DataTuple(i, float(i), size=32), offset=i)
+        server.flush()
+        assert metastore.get("/indexing/0/offset") == 100
+
+    def test_chunk_ids_unique_across_flushes(self):
+        server, dfs, _metastore, cfg = build_server()
+        ids = set()
+        for round_ in range(3):
+            for i in range(50):
+                server.ingest(DataTuple(i, float(round_ * 100 + i), size=32), offset=i)
+            ids.add(server.flush())
+        assert len(ids) == 3
+
+
+class TestFreshQueries:
+    def test_query_fresh_matches_reference(self):
+        server, _dfs, _metastore, _cfg = build_server()
+        # Keep the batch below the flush threshold (256 tuples at 32 bytes)
+        # so everything stays in memory.
+        data = [DataTuple(i * 7 % 10_000, float(i), payload=i, size=32) for i in range(200)]
+        for i, t in enumerate(data):
+            server.ingest(t, offset=i)
+        got, examined = server.query_fresh(sq(1000, 5000, 50.0, 150.0))
+        expected = [
+            t for t in data if 1000 <= t.key <= 5000 and 50.0 <= t.ts <= 150.0
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+        assert examined >= len(expected)
+
+    def test_fresh_region_none_when_empty(self):
+        server, _dfs, _metastore, _cfg = build_server()
+        assert server.fresh_region() is None
+
+    def test_fresh_region_extends_left_by_delta(self):
+        server, _dfs, _metastore, cfg = build_server()
+        server.ingest(DataTuple(500, 100.0, size=32), offset=0)
+        region = server.fresh_region()
+        assert region.times.lo == 100.0 - cfg.late_delta
+        assert 500 in region.keys
+
+    def test_immediate_visibility(self):
+        """A tuple is queryable the moment ingest() returns (no batching)."""
+        server, _dfs, _metastore, _cfg = build_server()
+        server.ingest(DataTuple(42, 1.0, payload="now", size=32), offset=0)
+        got, _examined = server.query_fresh(sq(42, 42, 0.0, 2.0))
+        assert [t.payload for t in got] == ["now"]
+
+
+class TestLateArrivals:
+    def test_severely_late_tuples_go_to_side_buffer(self):
+        server, _dfs, _metastore, cfg = build_server()
+        server.ingest(DataTuple(1, 1000.0, size=32), offset=0)
+        # Way older than max_ts - 4 * late_delta.
+        server.ingest(DataTuple(2, 10.0, payload="late", size=32), offset=1)
+        assert server._late_tree is not None
+        assert len(server._late_tree) == 1
+
+    def test_late_tuples_still_visible_to_queries(self):
+        server, _dfs, _metastore, _cfg = build_server()
+        server.ingest(DataTuple(1, 1000.0, size=32), offset=0)
+        server.ingest(DataTuple(2, 10.0, payload="late", size=32), offset=1)
+        got, _examined = server.query_fresh(sq(0, 100, 0.0, 20.0))
+        assert [t.payload for t in got] == ["late"]
+        # The fresh region's left edge accounts for the late tuple.
+        assert server.fresh_region().times.lo <= 10.0
+
+    def test_flush_all_writes_late_chunk_separately(self):
+        server, dfs, metastore, _cfg = build_server()
+        server.ingest(DataTuple(1, 1000.0, size=32), offset=0)
+        server.ingest(DataTuple(2, 10.0, size=32), offset=1)
+        chunk_ids = server.flush_all()
+        assert len(chunk_ids) == 2
+        infos = [metastore.get(f"/chunks/{cid}") for cid in chunk_ids]
+        lates = [info["late"] for info in infos]
+        assert sorted(lates) == [False, True]
+        # The ordinary chunk keeps a tight temporal boundary.
+        main = next(info for info in infos if not info["late"])
+        assert main["t_lo"] == 1000.0
+
+    def test_slightly_late_tuple_stays_in_main_tree(self):
+        server, _dfs, _metastore, cfg = build_server()
+        server.ingest(DataTuple(1, 100.0, size=32), offset=0)
+        server.ingest(DataTuple(2, 100.0 - cfg.late_delta, size=32), offset=1)
+        assert server._late_tree is None
+        assert server.in_memory_tuples == 2
+
+
+class TestReassign:
+    def test_actual_interval_can_exceed_assigned(self):
+        server, _dfs, _metastore, _cfg = build_server()
+        server.ingest(DataTuple(9000, 1.0, size=32), offset=0)
+        server.reassign(KeyInterval(0, 100))
+        server.ingest(DataTuple(50, 2.0, size=32), offset=1)
+        region = server.fresh_region()
+        assert 50 in region.keys and 9000 in region.keys
+
+
+class TestFailureRecovery:
+    def test_failed_server_rejects_work(self):
+        server, _dfs, _metastore, _cfg = build_server()
+        server.fail()
+        with pytest.raises(ServerDownError):
+            server.ingest(DataTuple(1, 1.0, size=32), offset=0)
+        with pytest.raises(ServerDownError):
+            server.query_fresh(sq(0, 10, 0, 10))
+        assert server.fresh_region() is None
+
+    def test_recovery_replays_unflushed_tuples(self):
+        server, _dfs, metastore, cfg = build_server()
+        log = DurableLog()
+        log.create_topic("tuples", 1)
+        data = [DataTuple(i, float(i), payload=i, size=32) for i in range(100)]
+        for i, t in enumerate(data):
+            offset = log.append("tuples", 0, t)
+            server.ingest(t, offset)
+        server.fail()
+        replayed = server.recover(log, "tuples")
+        assert replayed == 100
+        got, _examined = server.query_fresh(sq(0, 100, 0.0, 100.0))
+        assert sorted(t.payload for t in got) == list(range(100))
+
+    def test_recovery_skips_flushed_prefix(self):
+        server, dfs, metastore, cfg = build_server()
+        log = DurableLog()
+        log.create_topic("tuples", 1)
+        n = cfg.chunk_bytes // 32
+        for i in range(n + 10):
+            t = DataTuple(i % 10_000, float(i), payload=i, size=32)
+            offset = log.append("tuples", 0, t)
+            server.ingest(t, offset)
+        flushed_before = server.flush_count
+        assert flushed_before >= 1
+        server.fail()
+        replayed = server.recover(log, "tuples")
+        # Only the unflushed suffix is replayed.
+        assert replayed < n + 10
+        # No data is lost: chunks + fresh data together hold everything.
+        fresh, _ = server.query_fresh(sq(0, 10_000, 0.0, float(n + 10)))
+        chunk_tuples = []
+        for cid in dfs.chunk_ids():
+            chunk_tuples.extend(ChunkReader(dfs.get_bytes(cid)).all_tuples())
+        assert sorted(
+            [t.payload for t in fresh] + [t.payload for t in chunk_tuples]
+        ) == list(range(n + 10))

@@ -1,0 +1,69 @@
+"""Tests for the durable log (replayable input streams)."""
+
+import pytest
+
+from repro.messaging import DurableLog
+
+
+@pytest.fixture
+def log():
+    log = DurableLog()
+    log.create_topic("tuples", partitions=3)
+    return log
+
+
+class TestTopics:
+    def test_create_duplicate_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.create_topic("tuples", 1)
+
+    def test_zero_partitions_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.create_topic("other", 0)
+
+    def test_unknown_topic(self, log):
+        with pytest.raises(KeyError):
+            log.append("nope", 0, "x")
+
+    def test_unknown_partition(self, log):
+        with pytest.raises(KeyError):
+            log.append("tuples", 99, "x")
+
+    def test_listing(self, log):
+        assert log.topics() == ["tuples"]
+        assert log.partitions("tuples") == [0, 1, 2]
+
+
+class TestAppendReplay:
+    def test_offsets_monotonic(self, log):
+        assert log.append("tuples", 0, "a") == 0
+        assert log.append("tuples", 0, "b") == 1
+        assert log.append("tuples", 1, "c") == 0  # independent per partition
+
+    def test_latest_offset(self, log):
+        assert log.latest_offset("tuples", 0) == 0
+        log.append("tuples", 0, "a")
+        assert log.latest_offset("tuples", 0) == 1
+
+    def test_replay_from_zero(self, log):
+        for item in "abc":
+            log.append("tuples", 2, item)
+        assert log.replay("tuples", 2) == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_replay_from_offset(self, log):
+        for item in "abcde":
+            log.append("tuples", 0, item)
+        assert log.replay("tuples", 0, from_offset=3) == [(3, "d"), (4, "e")]
+
+    def test_replay_past_end_is_empty(self, log):
+        log.append("tuples", 0, "a")
+        assert log.replay("tuples", 0, from_offset=5) == []
+
+    def test_negative_offset_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.replay("tuples", 0, from_offset=-1)
+
+    def test_replay_is_deterministic(self, log):
+        for i in range(100):
+            log.append("tuples", 1, i)
+        assert log.replay("tuples", 1) == log.replay("tuples", 1)

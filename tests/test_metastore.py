@@ -1,0 +1,97 @@
+"""Tests for the versioned metadata store."""
+
+from repro.metastore import MetadataStore
+
+
+class TestBasicKV:
+    def test_put_get(self):
+        store = MetadataStore()
+        assert store.put("/a", 1) == 1
+        assert store.get("/a") == 1
+
+    def test_versions_bump(self):
+        store = MetadataStore()
+        store.put("/a", 1)
+        assert store.put("/a", 2) == 2
+        assert store.get_entry("/a").version == 2
+
+    def test_get_default(self):
+        store = MetadataStore()
+        assert store.get("/missing", default="d") == "d"
+
+    def test_delete(self):
+        store = MetadataStore()
+        store.put("/a", 1)
+        assert store.delete("/a")
+        assert not store.exists("/a")
+        assert not store.delete("/a")
+
+    def test_len(self):
+        store = MetadataStore()
+        store.put("/a", 1)
+        store.put("/b", 2)
+        assert len(store) == 2
+
+
+class TestCompareAndPut:
+    def test_create_when_absent(self):
+        store = MetadataStore()
+        assert store.compare_and_put("/lock", 0, "owner-1")
+        assert not store.compare_and_put("/lock", 0, "owner-2")
+        assert store.get("/lock") == "owner-1"
+
+    def test_conditional_update(self):
+        store = MetadataStore()
+        store.put("/a", "v1")
+        assert store.compare_and_put("/a", 1, "v2")
+        assert not store.compare_and_put("/a", 1, "v3")  # stale version
+        assert store.get("/a") == "v2"
+
+
+class TestPrefix:
+    def test_list_and_items(self):
+        store = MetadataStore()
+        store.put("/regions/c1", "r1")
+        store.put("/regions/c2", "r2")
+        store.put("/offsets/0", 10)
+        assert store.list_prefix("/regions/") == ["/regions/c1", "/regions/c2"]
+        assert dict(store.items_prefix("/regions/")) == {
+            "/regions/c1": "r1",
+            "/regions/c2": "r2",
+        }
+
+    def test_delete_prefix(self):
+        store = MetadataStore()
+        store.put("/regions/c1", 1)
+        store.put("/regions/c2", 2)
+        store.put("/other", 3)
+        assert store.delete_prefix("/regions/") == 2
+        assert len(store) == 1
+
+
+class TestWatches:
+    def test_watch_fires_on_put_and_delete(self):
+        store = MetadataStore()
+        events = []
+        store.watch("/regions/", lambda k, v: events.append((k, v)))
+        store.put("/regions/c1", "r1")
+        store.put("/elsewhere", "x")
+        store.delete("/regions/c1")
+        assert events == [("/regions/c1", "r1"), ("/regions/c1", None)]
+
+    def test_unsubscribe(self):
+        store = MetadataStore()
+        events = []
+        unsubscribe = store.watch("/", lambda k, v: events.append(k))
+        store.put("/a", 1)
+        unsubscribe()
+        store.put("/b", 2)
+        assert events == ["/a"]
+
+    def test_multiple_watchers(self):
+        store = MetadataStore()
+        hits = {"a": 0, "b": 0}
+        store.watch("/x", lambda k, v: hits.__setitem__("a", hits["a"] + 1))
+        store.watch("/x", lambda k, v: hits.__setitem__("b", hits["b"] + 1))
+        store.put("/x/1", 1)
+        assert hits == {"a": 1, "b": 1}

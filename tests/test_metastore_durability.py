@@ -1,0 +1,114 @@
+"""Tests for metadata-store journaling and the query explain facility."""
+
+import random
+
+import pytest
+
+from repro import Waterwheel, small_config
+from repro.metastore import MetadataStore
+
+
+class TestJournal:
+    def test_recover_replays_mutations(self, tmp_path):
+        path = str(tmp_path / "meta.journal")
+        store = MetadataStore(journal_path=path)
+        store.put("/a", {"x": 1})
+        store.put("/b", [1, 2, 3])
+        store.put("/a", {"x": 2})
+        store.delete("/b")
+        store.close()
+
+        recovered = MetadataStore.recover(path, continue_journaling=False)
+        assert recovered.get("/a") == {"x": 2}
+        assert not recovered.exists("/b")
+        assert recovered.get_entry("/a").version == 2
+
+    def test_recover_continues_journaling(self, tmp_path):
+        path = str(tmp_path / "meta.journal")
+        store = MetadataStore(journal_path=path)
+        store.put("/a", 1)
+        store.close()
+        second = MetadataStore.recover(path)
+        second.put("/c", 3)
+        second.close()
+        third = MetadataStore.recover(path, continue_journaling=False)
+        assert third.get("/a") == 1
+        assert third.get("/c") == 3
+
+    def test_recover_missing_file_yields_empty(self, tmp_path):
+        store = MetadataStore.recover(
+            str(tmp_path / "nothing.journal"), continue_journaling=False
+        )
+        assert len(store) == 0
+
+    def test_corrupt_journal_raises(self, tmp_path):
+        path = tmp_path / "bad.journal"
+        path.write_text('{"op":"put","key":"/a","value":1}\ngarbage\n')
+        with pytest.raises(ValueError, match="bad.journal:2"):
+            MetadataStore.recover(str(path), continue_journaling=False)
+
+    def test_unjournaled_store_never_writes(self, tmp_path):
+        store = MetadataStore()
+        store.put("/a", 1)
+        store.close()  # no-op
+        assert list(tmp_path.iterdir()) == []
+
+    def test_full_system_metadata_survives_restart(self, tmp_path):
+        path = str(tmp_path / "system.journal")
+        ww = Waterwheel(small_config(metastore_journal=path))
+        rng = random.Random(1)
+        for i in range(2000):
+            ww.insert_record(rng.randrange(0, 10_000), i * 0.01, size=32)
+        ww.flush_all()
+        chunk_keys = ww.metastore.list_prefix("/chunks/")
+        offsets = ww.metastore.items_prefix("/indexing/")
+        ww.metastore.close()
+
+        recovered = MetadataStore.recover(path, continue_journaling=False)
+        assert recovered.list_prefix("/chunks/") == chunk_keys
+        assert recovered.items_prefix("/indexing/") == offsets
+
+
+class TestExplain:
+    def _system(self):
+        ww = Waterwheel(small_config())
+        rng = random.Random(2)
+        for i in range(3000):
+            ww.insert_record(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+        return ww
+
+    def test_plan_matches_execution_targets(self):
+        ww = self._system()
+        plan = ww.explain(1000, 6000, 5.0, 25.0)
+        res = ww.query(1000, 6000, 5.0, 25.0)
+        assert plan["subquery_count"] == res.subquery_count
+        assert plan["chunks"]  # historical regions involved
+        assert plan["fresh"]  # and live trees
+
+    def test_plan_metadata_fields(self):
+        ww = self._system()
+        plan = ww.explain(0, 10_000, 0.0, 30.0)
+        for chunk in plan["chunks"]:
+            assert chunk["n_tuples"] > 0
+            assert chunk["bytes"] > 0
+            assert chunk["replica_nodes"]
+
+    def test_plan_prunes_by_key_and_time(self):
+        ww = self._system()
+        everything = ww.explain(0, 10_000, 0.0, 30.0)
+        narrow = ww.explain(0, 200, 0.0, 2.0)
+        assert len(narrow["chunks"]) < len(everything["chunks"])
+
+    def test_render_plan(self):
+        ww = self._system()
+        plan = ww.explain(0, 500, 0.0, 10.0)
+        text = ww.coordinator.render_plan(plan)
+        assert "Query keys [0, 500]" in text
+        assert "chunk subquery" in text
+
+    def test_explain_has_no_side_effects(self):
+        ww = self._system()
+        executed_before = ww.coordinator.queries_executed
+        ww.explain(0, 10_000, 0.0, 30.0)
+        assert ww.coordinator.queries_executed == executed_before
+        assert all(qs.subqueries_executed == 0 for qs in ww.query_servers)

@@ -1,0 +1,123 @@
+"""Unit tests for the core data model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    DataTuple,
+    KeyInterval,
+    Query,
+    Region,
+    TimeInterval,
+    brute_force_query,
+)
+
+
+class TestKeyInterval:
+    def test_membership_half_open(self):
+        ki = KeyInterval(10, 20)
+        assert 10 in ki
+        assert 19 in ki
+        assert 20 not in ki
+        assert 9 not in ki
+
+    def test_closed_constructor_includes_upper_bound(self):
+        ki = KeyInterval.closed(10, 20)
+        assert 20 in ki
+        assert 21 not in ki
+
+    def test_len(self):
+        assert len(KeyInterval(3, 8)) == 5
+        assert len(KeyInterval(3, 3)) == 0
+
+    def test_empty(self):
+        assert KeyInterval(5, 5).is_empty()
+        assert not KeyInterval(5, 6).is_empty()
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            KeyInterval(10, 5)
+
+    def test_overlap_symmetry(self):
+        a = KeyInterval(0, 10)
+        b = KeyInterval(9, 20)
+        c = KeyInterval(10, 20)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # half-open adjacency does not overlap
+
+    def test_intersect(self):
+        a = KeyInterval(0, 10)
+        b = KeyInterval(5, 20)
+        assert a.intersect(b) == KeyInterval(5, 10)
+        assert a.intersect(KeyInterval(50, 60)).is_empty()
+
+    def test_union_hull(self):
+        assert KeyInterval(0, 5).union_hull(KeyInterval(8, 10)) == KeyInterval(0, 10)
+
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(0, 100),
+        st.integers(-1000, 1000),
+        st.integers(0, 100),
+    )
+    def test_overlap_iff_nonempty_intersection(self, lo1, len1, lo2, len2):
+        a = KeyInterval(lo1, lo1 + len1)
+        b = KeyInterval(lo2, lo2 + len2)
+        assert a.overlaps(b) == (not a.intersect(b).is_empty())
+
+
+class TestTimeInterval:
+    def test_membership_closed(self):
+        ti = TimeInterval(1.0, 2.0)
+        assert 1.0 in ti and 2.0 in ti and 1.5 in ti
+        assert 0.999 not in ti and 2.001 not in ti
+
+    def test_overlap_at_boundary(self):
+        assert TimeInterval(0, 1).overlaps(TimeInterval(1, 2))
+
+    def test_intersect_none_when_disjoint(self):
+        assert TimeInterval(0, 1).intersect(TimeInterval(2, 3)) is None
+
+    def test_extend_left(self):
+        assert TimeInterval(10, 20).extend_left(5) == TimeInterval(5, 20)
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            TimeInterval(2.0, 1.0)
+
+
+class TestRegion:
+    def test_overlap_requires_both_domains(self):
+        a = Region(KeyInterval(0, 10), TimeInterval(0, 10))
+        b = Region(KeyInterval(5, 15), TimeInterval(20, 30))  # keys only
+        c = Region(KeyInterval(50, 60), TimeInterval(5, 6))  # time only
+        d = Region(KeyInterval(5, 15), TimeInterval(5, 15))  # both
+        assert not a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.overlaps(d)
+
+    def test_contains(self):
+        r = Region(KeyInterval(0, 10), TimeInterval(0.0, 1.0))
+        assert r.contains(5, 0.5)
+        assert not r.contains(10, 0.5)
+        assert not r.contains(5, 1.5)
+
+
+class TestQuery:
+    def test_matches_applies_all_criteria(self):
+        q = Query(
+            keys=KeyInterval.closed(0, 100),
+            times=TimeInterval(0.0, 10.0),
+            predicate=lambda t: t.payload == "yes",
+        )
+        assert q.matches(DataTuple(50, 5.0, "yes"))
+        assert not q.matches(DataTuple(500, 5.0, "yes"))
+        assert not q.matches(DataTuple(50, 50.0, "yes"))
+        assert not q.matches(DataTuple(50, 5.0, "no"))
+
+    def test_brute_force_query(self):
+        data = [DataTuple(k, float(k), None) for k in range(100)]
+        q = Query(KeyInterval.closed(10, 20), TimeInterval(0.0, 15.0))
+        result = brute_force_query(data, q)
+        assert [t.key for t in result] == list(range(10, 16))

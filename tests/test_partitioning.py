@@ -1,0 +1,131 @@
+"""Tests for key partitioning, frequency sampling and load math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import (
+    FrequencySampler,
+    KeyPartition,
+    aggregate_histograms,
+    load_deviation,
+    partition_loads,
+)
+
+
+class TestKeyPartition:
+    def test_uniform_covers_domain(self):
+        p = KeyPartition.uniform(0, 1000, 4)
+        intervals = p.intervals()
+        assert intervals[0].lo == 0
+        assert intervals[-1].hi == 1000
+        for left, right in zip(intervals, intervals[1:]):
+            assert left.hi == right.lo
+
+    def test_server_for_consistent_with_intervals(self):
+        p = KeyPartition.uniform(0, 1000, 7)
+        for key in range(0, 1000, 13):
+            server = p.server_for(key)
+            assert key in p.interval(server)
+
+    def test_single_server(self):
+        p = KeyPartition.uniform(0, 100, 1)
+        assert p.n_intervals == 1
+        assert p.server_for(50) == 0
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            KeyPartition(0, 100, [50, 20])  # unsorted
+        with pytest.raises(ValueError):
+            KeyPartition(0, 100, [50, 50])  # duplicate
+        with pytest.raises(ValueError):
+            KeyPartition(0, 100, [0])  # on the edge
+        with pytest.raises(ValueError):
+            KeyPartition(100, 100, [])  # empty domain
+
+    def test_from_frequencies_balances_skewed_load(self):
+        # All traffic in the first 10% of the domain.
+        histogram = [100.0] * 10 + [0.0] * 90
+        p = KeyPartition.from_frequencies(0, 1000, 4, histogram)
+        loads = partition_loads(p, histogram)
+        assert load_deviation(loads) < 0.6  # far better than uniform
+        uniform_loads = partition_loads(KeyPartition.uniform(0, 1000, 4), histogram)
+        assert load_deviation(loads) < load_deviation(uniform_loads)
+
+    def test_from_frequencies_uniform_traffic_stays_uniform(self):
+        histogram = [10.0] * 100
+        p = KeyPartition.from_frequencies(0, 1000, 5, histogram)
+        widths = [len(iv) for iv in p.intervals()]
+        assert max(widths) - min(widths) <= 2 * (1000 // 100)
+
+    def test_from_frequencies_empty_histogram_falls_back(self):
+        p = KeyPartition.from_frequencies(0, 1000, 4, [0.0] * 10)
+        assert p == KeyPartition.uniform(0, 1000, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=8, max_size=64),
+        st.integers(1, 8),
+    )
+    def test_property_every_key_routed_to_valid_server(self, histogram, n):
+        p = KeyPartition.from_frequencies(0, 10_000, n, histogram)
+        for key in range(0, 10_000, 997):
+            server = p.server_for(key)
+            assert 0 <= server < p.n_intervals
+            assert key in p.interval(server)
+
+
+class TestFrequencySampler:
+    def test_records_into_buckets(self):
+        sampler = FrequencySampler(0, 100, n_buckets=10)
+        sampler.record(5)
+        sampler.record(95)
+        hist = sampler.histogram()
+        assert hist[0] == 1.0
+        assert hist[9] == 1.0
+
+    def test_out_of_domain_keys_clamped(self):
+        sampler = FrequencySampler(0, 100, n_buckets=10)
+        sampler.record(-5)
+        sampler.record(200)
+        hist = sampler.histogram()
+        assert hist[0] == 1.0 and hist[9] == 1.0
+
+    def test_rotation_ages_out_after_two_windows(self):
+        sampler = FrequencySampler(0, 100, n_buckets=10)
+        sampler.record(5)
+        sampler.rotate()
+        assert sampler.histogram()[0] == 1.0  # previous window still counts
+        sampler.rotate()
+        assert sampler.histogram()[0] == 0.0
+
+    def test_weighted_samples(self):
+        sampler = FrequencySampler(0, 100, n_buckets=10)
+        sampler.record(5, weight=64.0)
+        assert sampler.histogram()[0] == 64.0
+
+
+class TestLoadMath:
+    def test_aggregate_histograms(self):
+        assert aggregate_histograms([[1, 2], [3, 4]]) == [4, 6]
+
+    def test_aggregate_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            aggregate_histograms([[1], [1, 2]])
+
+    def test_aggregate_empty(self):
+        assert aggregate_histograms([]) == []
+
+    def test_load_deviation_balanced(self):
+        assert load_deviation([10, 10, 10]) == 0.0
+
+    def test_load_deviation_skewed(self):
+        assert load_deviation([30, 0, 0]) == pytest.approx(2.0)
+
+    def test_load_deviation_empty(self):
+        assert load_deviation([]) == 0.0
+
+    def test_partition_loads_attributes_buckets(self):
+        p = KeyPartition(0, 100, [50])
+        loads = partition_loads(p, [10.0, 0.0, 0.0, 30.0])
+        assert loads == [10.0, 30.0]

@@ -1,0 +1,167 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import DataTuple
+from repro.core.partitioning import KeyPartition
+from repro.simulation import (
+    CostModel,
+    LockSimulator,
+    PipelineTopology,
+    Segment,
+    system_insertion_rate,
+)
+from repro.storage import ChunkReader, serialize_chunk
+
+# --- LockSimulator invariants -------------------------------------------------
+
+segment_strategy = st.builds(
+    Segment,
+    lock=st.one_of(st.none(), st.integers(0, 5)),
+    exclusive=st.booleans(),
+    duration=st.floats(0.001, 1.0),
+)
+operation_strategy = st.lists(segment_strategy, min_size=1, max_size=3)
+
+
+class TestLockSimulatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(operation_strategy, min_size=1, max_size=30), st.integers(1, 6))
+    def test_makespan_bounds(self, ops, n_threads):
+        """work/threads <= makespan <= total work (+epsilon)."""
+        result = LockSimulator().run(ops, n_threads)
+        total_work = sum(seg.duration for op in ops for seg in op)
+        assert result.makespan <= total_work + 1e-9
+        assert result.makespan >= total_work / n_threads - 1e-9
+        # The longest single operation lower-bounds the makespan too.
+        longest = max(sum(seg.duration for seg in op) for op in ops)
+        assert result.makespan >= longest - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(operation_strategy, min_size=1, max_size=30), st.integers(1, 6))
+    def test_every_operation_completes(self, ops, n_threads):
+        result = LockSimulator().run(ops, n_threads)
+        assert result.n_ops == len(ops)
+        assert result.op_latencies is not None
+        assert len(result.op_latencies) == len(ops)
+        for op, latency in zip(ops, result.op_latencies):
+            # Service time is at least the op's own work.
+            assert latency >= sum(seg.duration for seg in op) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(operation_strategy, min_size=1, max_size=20))
+    def test_single_thread_is_serial(self, ops):
+        result = LockSimulator().run(ops, 1)
+        total_work = sum(seg.duration for op in ops for seg in op)
+        assert abs(result.makespan - total_work) < 1e-9
+        assert result.total_wait == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(operation_strategy, min_size=2, max_size=20))
+    def test_exclusive_everything_never_scales(self, ops):
+        """If every segment takes the same exclusive lock, more threads
+        cannot reduce the makespan."""
+        serialized = [
+            [Segment(0, True, seg.duration) for seg in op] for op in ops
+        ]
+        t1 = LockSimulator().run(serialized, 1).makespan
+        t4 = LockSimulator().run(serialized, 4).makespan
+        assert t4 >= t1 - 1e-9
+
+
+# --- pipeline model invariants ----------------------------------------------------
+
+
+class TestPipelineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_monotone_in_nodes(self, a, b):
+        costs = CostModel()
+        lo, hi = sorted((a, b))
+        r_lo = system_insertion_rate(costs, PipelineTopology(lo), 50, 16 << 20)
+        r_hi = system_insertion_rate(costs, PipelineTopology(hi), 50, 16 << 20)
+        assert r_hi >= r_lo - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=24, max_size=24),
+    )
+    def test_balanced_shares_are_optimal(self, shares):
+        costs = CostModel()
+        topology = PipelineTopology(12)
+        balanced = [1.0] * topology.n_indexing
+        r_any = system_insertion_rate(costs, topology, 50, 16 << 20, shares=shares)
+        r_balanced = system_insertion_rate(
+            costs, topology, 50, 16 << 20, shares=balanced
+        )
+        assert r_balanced >= r_any - 1e-9
+
+
+# --- partitioning invariants ---------------------------------------------------------
+
+
+class TestFromSampleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(1, 2**20 - 2), min_size=0, max_size=300),
+        st.integers(1, 16),
+    )
+    def test_partition_is_valid_and_total(self, sample, n_servers):
+        p = KeyPartition.from_sample(0, 1 << 20, n_servers, sample)
+        assert p.n_intervals <= n_servers
+        # Every key routes to exactly the interval containing it.
+        for key in list(sample)[:50] + [0, (1 << 20) - 1]:
+            assert key in p.interval(p.server_for(key))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 16))
+    def test_balances_duplicated_hotspot(self, seed, n_servers):
+        rng = random.Random(seed)
+        hot = rng.randrange(1, (1 << 20) - 1)
+        sample = [hot] * 50 + [rng.randrange(0, 1 << 20) for _ in range(500)]
+        p = KeyPartition.from_sample(0, 1 << 20, n_servers, sample)
+        loads = [0] * p.n_intervals
+        for key in sample:
+            loads[p.server_for(key)] += 1
+        # No server holds more than the hot key's mass plus ~2 fair shares.
+        assert max(loads) <= 50 + 2 * (len(sample) // n_servers) + 1
+
+
+# --- chunk format fuzz ------------------------------------------------------------------
+
+
+class TestChunkFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_random_corruption_never_silently_wrong(self, seed):
+        """Flipping any single byte either leaves results intact (header
+        padding / unread region), raises a loud error, or at worst changes
+        a sketch (over-pruning is impossible: sketches only over-approximate
+        in the safe direction, so we also accept supersets)."""
+        rng = random.Random(seed)
+        data = [DataTuple(i, float(i), payload=i) for i in range(64)]
+        leaves = [
+            ([t.key for t in data[i : i + 16]], data[i : i + 16])
+            for i in range(0, 64, 16)
+        ]
+        blob = bytearray(serialize_chunk(leaves))
+        clean = sorted(t.payload for t in ChunkReader(bytes(blob)).query(0, 63))
+        position = rng.randrange(0, len(blob))
+        blob[position] ^= 1 << rng.randrange(8)
+        try:
+            got = sorted(
+                t.payload
+                for t in ChunkReader(bytes(blob)).query(
+                    0, 63, use_sketch=False
+                )
+            )
+        except Exception:
+            return  # loud failure is acceptable
+        # Flips in unread regions (sketch bits, padding) leave results
+        # intact; any flip that touches decoded data must have tripped the
+        # CRC above.  Directory corruption may re-slice blocks, but then the
+        # CRC fires too.  So surviving reads must be exactly correct.
+        assert got == clean

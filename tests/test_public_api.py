@@ -1,0 +1,77 @@
+"""Tests for the top-level public API surface and CLI verify command."""
+
+import random
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_matches_pyproject_style(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_end_to_end_via_public_names_only(self):
+        ww = repro.Waterwheel(
+            repro.small_config(
+                secondary_specs=(
+                    repro.AttributeSpec("mod", lambda p: p % 7),
+                ),
+                chunk_bytes=4096,
+            )
+        )
+        rng = random.Random(1)
+        for i in range(2000):
+            ww.insert_record(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+        ww.flush_all()
+
+        res = ww.query(0, 10_000, 0.0, 20.0, attr_equals={"mod": 3})
+        assert res.tuples and all(t.payload % 7 == 3 for t in res.tuples)
+
+        report = repro.verify_system(ww)
+        assert report.ok, report.problems
+
+        snap = repro.snapshot(ww)
+        assert snap.tuples_inserted == 2000
+
+        compactor = repro.ChunkCompactor(ww, target_bytes=1 << 20)
+        rollup = compactor.rollup()
+        assert rollup.chunks_created >= 0  # runs without error
+
+    def test_geo_query_export(self):
+        from repro.workloads import TDriveGenerator
+
+        gen = TDriveGenerator(n_taxis=10, seed=1)
+        lo, hi = gen.key_domain
+        ww = repro.Waterwheel(repro.small_config(key_lo=lo, key_hi=hi, tuple_size=36))
+        ww.insert_many(gen.records(500))
+        res = repro.geo_query(
+            ww, gen.curve, 39.6, 40.4, 116.0, 116.8, 0.0, 100.0
+        )
+        assert len(res) == 500
+
+
+class TestCLIVerify:
+    def test_verify_command_ok(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--records", "2000", "--workload", "uniform"]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_verify_with_injected_failure_recovers(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["verify", "--records", "2000", "--workload", "uniform",
+             "--inject-failure"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected" in out
+        assert "[OK]" in out

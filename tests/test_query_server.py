@@ -1,0 +1,154 @@
+"""Tests for query servers and the LRU cache."""
+
+import random
+
+import pytest
+
+from repro.core.config import small_config
+from repro.core.model import DataTuple, KeyInterval, SubQuery, TimeInterval
+from repro.core.query_server import LRUCache, QueryServer, ServerDownError
+from repro.simulation import Cluster
+from repro.storage import SimulatedDFS, serialize_chunk
+
+
+class TestLRUCache:
+    def test_add_and_hit(self):
+        cache = LRUCache(100)
+        cache.add("a", 40)
+        assert cache.touch("a")
+        assert not cache.touch("b")
+
+    def test_eviction_order(self):
+        cache = LRUCache(100)
+        cache.add("a", 40)
+        cache.add("b", 40)
+        evicted = cache.add("c", 40)  # must evict "a" (least recent)
+        assert evicted == ["a"]
+        assert "b" in cache and "c" in cache
+
+    def test_touch_refreshes_recency(self):
+        cache = LRUCache(100)
+        cache.add("a", 40)
+        cache.add("b", 40)
+        cache.touch("a")
+        evicted = cache.add("c", 40)
+        assert evicted == ["b"]
+
+    def test_oversized_unit_not_cached(self):
+        cache = LRUCache(10)
+        cache.add("big", 100)
+        assert "big" not in cache
+        assert cache.used_bytes == 0
+
+    def test_replacing_unit_updates_bytes(self):
+        cache = LRUCache(100)
+        cache.add("a", 40)
+        cache.add("a", 60)
+        assert cache.used_bytes == 60
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+def build_query_setup(n_tuples=2000, cache_bytes=1 << 20):
+    cfg = small_config(cache_bytes=cache_bytes)
+    cluster = Cluster(cfg.n_nodes, seed=1)
+    dfs = SimulatedDFS(cluster, cfg.costs, cfg.replication)
+    rng = random.Random(5)
+    data = sorted(
+        (DataTuple(rng.randrange(0, 10_000), rng.uniform(0, 100), payload=i) for i in range(n_tuples)),
+        key=lambda t: t.key,
+    )
+    leaves = []
+    for start in range(0, len(data), 32):
+        run = data[start : start + 32]
+        leaves.append(([t.key for t in run], run))
+    blob = serialize_chunk(leaves, cfg.sketch_granularity)
+    dfs.put("chunk-x", blob)
+    server = QueryServer(0, 0, cfg, dfs)
+    return server, data, cfg
+
+
+def make_sq(key_lo, key_hi, t_lo=0.0, t_hi=100.0, chunk_id="chunk-x"):
+    return SubQuery(
+        query_id=1,
+        keys=KeyInterval.closed(key_lo, key_hi),
+        times=TimeInterval(t_lo, t_hi),
+        predicate=None,
+        chunk_id=chunk_id,
+    )
+
+
+class TestExecution:
+    def test_results_match_reference(self):
+        server, data, _cfg = build_query_setup()
+        result = server.execute(make_sq(1000, 4000, 20.0, 70.0))
+        expected = [
+            t for t in data if 1000 <= t.key <= 4000 and 20.0 <= t.ts <= 70.0
+        ]
+        assert sorted(t.payload for t in result.tuples) == sorted(
+            t.payload for t in expected
+        )
+        assert result.cost > 0
+        assert result.bytes_read > 0
+
+    def test_rejects_fresh_subqueries(self):
+        server, _data, _cfg = build_query_setup()
+        with pytest.raises(ValueError):
+            server.execute(make_sq(0, 10, chunk_id=None))
+
+    def test_cache_makes_repeat_cheaper(self):
+        server, _data, _cfg = build_query_setup()
+        cold = server.execute(make_sq(1000, 4000))
+        warm = server.execute(make_sq(1000, 4000))
+        assert warm.cost < cold.cost
+        assert warm.bytes_read == 0
+        assert warm.cache_misses == 0
+        assert warm.tuples == cold.tuples
+
+    def test_narrow_query_reads_fewer_bytes(self):
+        server, _data, _cfg = build_query_setup()
+        wide = server.execute(make_sq(0, 9999))
+        server2, _data2, _cfg2 = build_query_setup()
+        narrow = server2.execute(make_sq(0, 500))
+        assert narrow.bytes_read < wide.bytes_read
+
+    def test_tiny_cache_keeps_working(self):
+        server, data, _cfg = build_query_setup(cache_bytes=1024)
+        for _ in range(3):
+            result = server.execute(make_sq(0, 9999))
+            expected = [t for t in data]
+            assert len(result.tuples) == len(expected)
+
+    def test_failed_server_raises(self):
+        server, _data, _cfg = build_query_setup()
+        server.fail()
+        with pytest.raises(ServerDownError):
+            server.execute(make_sq(0, 10))
+        server.recover()
+        assert server.execute(make_sq(0, 10)).cost >= 0
+
+    def test_failure_clears_cache(self):
+        server, _data, _cfg = build_query_setup()
+        server.execute(make_sq(0, 9999))
+        assert len(server.cache) > 0
+        server.fail()
+        assert len(server.cache) == 0
+
+    def test_temporal_sketch_reduces_cost(self):
+        # Build a chunk where key order correlates with time, so sketches
+        # can prune most leaves for a narrow time window.
+        cfg = small_config()
+        cluster = Cluster(cfg.n_nodes, seed=1)
+        dfs = SimulatedDFS(cluster, cfg.costs, cfg.replication)
+        data = [DataTuple(i, float(i), payload=i) for i in range(2000)]
+        leaves = []
+        for start in range(0, len(data), 32):
+            run = data[start : start + 32]
+            leaves.append(([t.key for t in run], run))
+        dfs.put("chunk-x", serialize_chunk(leaves, cfg.sketch_granularity))
+        server = QueryServer(0, 0, cfg, dfs)
+        result = server.execute(make_sq(0, 1999, 500.0, 520.0))
+        assert sorted(t.payload for t in result.tuples) == list(range(500, 521))
+        assert result.leaves_skipped > result.leaves_read

@@ -1,0 +1,189 @@
+"""Tests for the R-tree region catalog."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import KeyInterval, Region, TimeInterval
+from repro.rtree import RTree
+
+
+def region(k_lo, k_hi, t_lo, t_hi):
+    return Region(KeyInterval(k_lo, k_hi), TimeInterval(t_lo, t_hi))
+
+
+class TestRTreeBasics:
+    def test_empty_search(self):
+        tree = RTree()
+        assert tree.search(region(0, 100, 0, 100)) == []
+        assert len(tree) == 0
+
+    def test_insert_and_find(self):
+        tree = RTree()
+        r = region(0, 10, 0.0, 5.0)
+        tree.insert(r, "chunk-1")
+        hits = tree.search(region(5, 20, 1.0, 2.0))
+        assert hits == [(r, "chunk-1")]
+
+    def test_non_overlapping_not_returned(self):
+        tree = RTree()
+        tree.insert(region(0, 10, 0.0, 5.0), "a")
+        assert tree.search(region(20, 30, 0.0, 5.0)) == []
+        assert tree.search(region(0, 10, 10.0, 20.0)) == []
+
+    def test_duplicate_regions_allowed(self):
+        tree = RTree()
+        r = region(0, 10, 0, 1)
+        tree.insert(r, "a")
+        tree.insert(r, "b")
+        values = set(tree.search_values(r))
+        assert values == {"a", "b"}
+
+    def test_split_preserves_entries(self):
+        tree = RTree(max_entries=4)
+        for i in range(50):
+            tree.insert(region(i * 10, i * 10 + 5, float(i), float(i) + 1), i)
+        assert len(tree) == 50
+        everything = tree.search(region(0, 1000, 0.0, 100.0))
+        assert sorted(v for _r, v in everything) == list(range(50))
+
+    def test_delete(self):
+        tree = RTree(max_entries=4)
+        regions = [region(i, i + 1, float(i), float(i) + 1) for i in range(30)]
+        for i, r in enumerate(regions):
+            tree.insert(r, i)
+        assert tree.delete(regions[7], 7)
+        assert len(tree) == 29
+        assert 7 not in tree.search_values(region(0, 100, 0, 100))
+        assert not tree.delete(regions[7], 7)  # already gone
+
+    def test_delete_underflow_reinserts_orphans(self):
+        tree = RTree(max_entries=4)
+        regions = [region(i * 3, i * 3 + 2, 0.0, 1.0) for i in range(25)]
+        for i, r in enumerate(regions):
+            tree.insert(r, i)
+        removed = set()
+        for i in range(0, 25, 2):
+            assert tree.delete(regions[i], i)
+            removed.add(i)
+        remaining = set(tree.search_values(region(0, 1000, 0, 10)))
+        assert remaining == set(range(25)) - removed
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+
+class TestRTreeAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_randomized_search_matches_linear_scan(self, seed):
+        rng = random.Random(seed)
+        tree = RTree(max_entries=6)
+        entries = []
+        for i in range(rng.randrange(1, 120)):
+            k_lo = rng.randrange(0, 500)
+            t_lo = rng.uniform(0, 500)
+            r = region(k_lo, k_lo + rng.randrange(1, 50), t_lo, t_lo + rng.uniform(0, 50))
+            tree.insert(r, i)
+            entries.append((r, i))
+        for _ in range(10):
+            k_lo = rng.randrange(0, 500)
+            t_lo = rng.uniform(0, 500)
+            probe = region(
+                k_lo, k_lo + rng.randrange(1, 100), t_lo, t_lo + rng.uniform(0, 100)
+            )
+            expected = sorted(i for r, i in entries if r.overlaps(probe))
+            got = sorted(tree.search_values(probe))
+            assert got == expected
+
+    def test_interleaved_insert_delete_search(self):
+        rng = random.Random(7)
+        tree = RTree(max_entries=5)
+        live = {}
+        for step in range(400):
+            action = rng.random()
+            if action < 0.6 or not live:
+                k_lo = rng.randrange(0, 300)
+                r = region(k_lo, k_lo + 10, float(step), float(step) + 5)
+                tree.insert(r, step)
+                live[step] = r
+            else:
+                victim = rng.choice(list(live))
+                assert tree.delete(live[victim], victim)
+                del live[victim]
+        probe = region(0, 400, 0.0, 500.0)
+        assert sorted(tree.search_values(probe)) == sorted(live)
+        assert len(tree) == len(live)
+
+
+class TestSTRBulkLoad:
+    def _entries(self, n, seed=0):
+        rng = random.Random(seed)
+        out = []
+        for i in range(n):
+            k_lo = rng.randrange(0, 10_000)
+            t_lo = rng.uniform(0, 10_000)
+            out.append(
+                (
+                    region(k_lo, k_lo + rng.randrange(1, 200), t_lo, t_lo + rng.uniform(1, 200)),
+                    i,
+                )
+            )
+        return out
+
+    def test_pack_preserves_all_entries(self):
+        from repro.rtree import str_pack
+
+        entries = self._entries(500)
+        tree = str_pack(entries, max_entries=8)
+        assert len(tree) == 500
+        got = sorted(tree.search_values(region(0, 20_000, 0, 20_000)))
+        assert got == list(range(500))
+
+    def test_pack_search_matches_linear_scan(self):
+        from repro.rtree import str_pack
+
+        rng = random.Random(3)
+        entries = self._entries(300, seed=3)
+        tree = str_pack(entries, max_entries=6)
+        for _ in range(20):
+            k_lo = rng.randrange(0, 10_000)
+            t_lo = rng.uniform(0, 10_000)
+            probe = region(k_lo, k_lo + 500, t_lo, t_lo + 500)
+            expected = sorted(i for r, i in entries if r.overlaps(probe))
+            assert sorted(tree.search_values(probe)) == expected
+
+    def test_packed_tree_supports_mutation(self):
+        from repro.rtree import str_pack
+
+        entries = self._entries(100, seed=5)
+        tree = str_pack(entries, max_entries=6)
+        extra = region(50_000, 50_010, 0, 1)
+        tree.insert(extra, "new")
+        assert "new" in tree.search_values(extra)
+        victim_region, victim_value = entries[10]
+        assert tree.delete(victim_region, victim_value)
+        assert len(tree) == 100  # 100 packed + 1 insert - 1 delete
+
+    def test_pack_empty(self):
+        from repro.rtree import str_pack
+
+        tree = str_pack([], max_entries=8)
+        assert len(tree) == 0
+        assert tree.search(region(0, 10, 0, 10)) == []
+
+    def test_pack_single_entry(self):
+        from repro.rtree import str_pack
+
+        r = region(1, 2, 1.0, 2.0)
+        tree = str_pack([(r, "only")], max_entries=8)
+        assert tree.search_values(r) == ["only"]
+
+    def test_pack_rejects_small_fanout(self):
+        from repro.rtree import str_pack
+
+        with pytest.raises(ValueError):
+            str_pack([], max_entries=2)

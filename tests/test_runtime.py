@@ -1,0 +1,219 @@
+"""Tests for the Storm-like dataflow runtime."""
+
+import random
+
+import pytest
+
+from repro import DataTuple, Waterwheel, small_config
+from repro.runtime import (
+    AllGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    LocalRuntime,
+    Operator,
+    ShuffleGrouping,
+    Spout,
+    Topology,
+    TopologyError,
+    run_insertion_topology,
+)
+
+
+class ListSpout(Spout):
+    def __init__(self, items, batch_size=3):
+        self.items = list(items)
+        self.batch_size = batch_size
+        self._pos = 0
+
+    def next_batch(self, ctx):
+        end = min(len(self.items), self._pos + self.batch_size)
+        for item in self.items[self._pos : end]:
+            ctx.emit(item)
+        self._pos = end
+        return self._pos < len(self.items)
+
+
+class Collector(Operator):
+    def __init__(self):
+        self.seen = []
+
+    def process(self, message, ctx):
+        self.seen.append(message)
+
+
+class Doubler(Operator):
+    def process(self, message, ctx):
+        ctx.emit(message * 2)
+
+
+class TestGroupings:
+    def test_shuffle_round_robins(self):
+        collectors = [Collector(), Collector(), Collector()]
+        topo = Topology().add_spout("s", [ListSpout(range(9))]).add_bolt(
+            "c", collectors, [("s", ShuffleGrouping())]
+        )
+        LocalRuntime(topo).run()
+        assert sorted(len(c.seen) for c in collectors) == [3, 3, 3]
+        assert sorted(x for c in collectors for x in c.seen) == list(range(9))
+
+    def test_fields_grouping_is_sticky(self):
+        collectors = [Collector(), Collector()]
+        topo = Topology().add_spout("s", [ListSpout(range(20))]).add_bolt(
+            "c", collectors, [("s", FieldsGrouping(lambda m: m % 5))]
+        )
+        LocalRuntime(topo).run()
+        # Every value with the same key (mod 5) lands on one instance.
+        for key in range(5):
+            holders = [
+                i for i, c in enumerate(collectors)
+                if any(m % 5 == key for m in c.seen)
+            ]
+            assert len(holders) == 1
+
+    def test_all_grouping_broadcasts(self):
+        collectors = [Collector(), Collector(), Collector()]
+        topo = Topology().add_spout("s", [ListSpout(range(4))]).add_bolt(
+            "c", collectors, [("s", AllGrouping())]
+        )
+        LocalRuntime(topo).run()
+        for c in collectors:
+            assert c.seen == list(range(4))
+
+    def test_direct_grouping_routes_to_named_instance(self):
+        class Router(Operator):
+            def process(self, message, ctx):
+                ctx.emit_direct(message % 2, message)
+
+        collectors = [Collector(), Collector()]
+        topo = (
+            Topology()
+            .add_spout("s", [ListSpout(range(10))])
+            .add_bolt("r", [Router()], [("s", ShuffleGrouping())])
+            .add_bolt("c", collectors, [("r", DirectGrouping())])
+        )
+        LocalRuntime(topo).run()
+        assert all(m % 2 == 0 for m in collectors[0].seen)
+        assert all(m % 2 == 1 for m in collectors[1].seen)
+
+    def test_emit_to_direct_consumer_via_emit_raises(self):
+        class BadRouter(Operator):
+            def process(self, message, ctx):
+                ctx.emit(message)
+
+        topo = (
+            Topology()
+            .add_spout("s", [ListSpout([1])])
+            .add_bolt("r", [BadRouter()], [("s", ShuffleGrouping())])
+            .add_bolt("c", [Collector()], [("r", DirectGrouping())])
+        )
+        with pytest.raises(TopologyError):
+            LocalRuntime(topo).run()
+
+    def test_direct_out_of_range(self):
+        class WildRouter(Operator):
+            def process(self, message, ctx):
+                ctx.emit_direct(99, message)
+
+        topo = (
+            Topology()
+            .add_spout("s", [ListSpout([1])])
+            .add_bolt("r", [WildRouter()], [("s", ShuffleGrouping())])
+            .add_bolt("c", [Collector()], [("r", DirectGrouping())])
+        )
+        with pytest.raises(TopologyError):
+            LocalRuntime(topo).run()
+
+
+class TestTopologyValidation:
+    def test_duplicate_name(self):
+        topo = Topology().add_spout("s", [ListSpout([])])
+        with pytest.raises(TopologyError):
+            topo.add_spout("s", [ListSpout([])])
+
+    def test_unknown_upstream(self):
+        with pytest.raises(TopologyError):
+            Topology().add_bolt("c", [Collector()], [("ghost", ShuffleGrouping())])
+
+    def test_empty_instances(self):
+        with pytest.raises(TopologyError):
+            Topology().add_spout("s", [])
+
+
+class TestPipelines:
+    def test_chained_bolts(self):
+        sink = Collector()
+        topo = (
+            Topology()
+            .add_spout("s", [ListSpout(range(5))])
+            .add_bolt("double", [Doubler(), Doubler()], [("s", ShuffleGrouping())])
+            .add_bolt("sink", [sink], [("double", ShuffleGrouping())])
+        )
+        metrics = LocalRuntime(topo).run()
+        assert sorted(sink.seen) == [0, 2, 4, 6, 8]
+        assert metrics["double"]["processed"] == 5
+        assert metrics["sink"]["processed"] == 5
+
+    def test_multiple_inputs(self):
+        sink = Collector()
+        topo = (
+            Topology()
+            .add_spout("a", [ListSpout([1, 2])])
+            .add_spout("b", [ListSpout([10, 20])])
+            .add_bolt(
+                "sink", [sink], [("a", ShuffleGrouping()), ("b", ShuffleGrouping())]
+            )
+        )
+        LocalRuntime(topo).run()
+        assert sorted(sink.seen) == [1, 2, 10, 20]
+
+    def test_max_batches_limit(self):
+        sink = Collector()
+        topo = (
+            Topology()
+            .add_spout("s", [ListSpout(range(100), batch_size=10)])
+            .add_bolt("sink", [sink], [("s", ShuffleGrouping())])
+        )
+        LocalRuntime(topo).run(max_batches=3)
+        assert len(sink.seen) == 30
+
+
+class TestWaterwheelTopology:
+    def _records(self, n, seed=1):
+        rng = random.Random(seed)
+        return [
+            DataTuple(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+            for i in range(n)
+        ]
+
+    def test_topology_ingestion_equals_direct_facade(self):
+        records = self._records(3000)
+        direct = Waterwheel(small_config())
+        direct.insert_many(records)
+
+        via_topology = Waterwheel(small_config())
+        metrics = run_insertion_topology(via_topology, records)
+        assert metrics["indexing"]["processed"] == 3000
+        assert via_topology.tuples_inserted == 3000
+
+        a = direct.query(0, 10_000, 0.0, 30.0)
+        b = via_topology.query(0, 10_000, 0.0, 30.0)
+        assert sorted(t.payload for t in a.tuples) == sorted(
+            t.payload for t in b.tuples
+        )
+
+    def test_topology_recovery_still_works(self):
+        ww = Waterwheel(small_config())
+        run_insertion_topology(ww, self._records(2000, seed=2))
+        ww.kill_indexing_server(0)
+        ww.recover_indexing_server(0)
+        res = ww.query(0, 10_000, 0.0, 20.0)
+        assert len(res) == 2000
+
+    def test_flush_on_close(self):
+        ww = Waterwheel(small_config())
+        run_insertion_topology(
+            ww, self._records(500, seed=3), flush_on_close=True
+        )
+        assert ww.in_memory_tuples == 0
+        res = ww.query(0, 10_000, 0.0, 5.0)
+        assert len(res) == 500

@@ -1,0 +1,410 @@
+"""Tests for the secondary bitmap/bloom indexes (paper future work)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Waterwheel, small_config
+from repro.core.model import DataTuple
+from repro.secondary import AttributeSpec, Bitmap, ChunkSecondaryIndex, sidecar_id
+
+
+class TestBitmap:
+    def test_set_get(self):
+        bm = Bitmap()
+        bm.set(3)
+        bm.set(70)
+        assert bm.get(3) and 70 in bm
+        assert not bm.get(4)
+
+    def test_from_positions_and_iter(self):
+        bm = Bitmap.from_positions([5, 1, 9])
+        assert list(bm.positions()) == [1, 5, 9]
+        assert len(bm) == 3
+
+    def test_algebra(self):
+        a = Bitmap.from_positions([1, 2, 3])
+        b = Bitmap.from_positions([2, 3, 4])
+        assert list((a & b).positions()) == [2, 3]
+        assert list((a | b).positions()) == [1, 2, 3, 4]
+        assert list((a - b).positions()) == [1]
+
+    def test_empty(self):
+        assert Bitmap().is_empty()
+        assert not Bitmap.from_positions([0]).is_empty()
+        assert bool(Bitmap.from_positions([0]))
+
+    def test_serialization_roundtrip(self):
+        bm = Bitmap.from_positions([0, 63, 64, 200])
+        clone = Bitmap.from_bytes(bm.to_bytes())
+        assert clone == bm
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_positions([-1])
+        with pytest.raises(ValueError):
+            Bitmap(-5)
+
+    @given(st.lists(st.integers(0, 500), max_size=60), st.lists(st.integers(0, 500), max_size=60))
+    def test_property_algebra_matches_sets(self, xs, ys):
+        a, b = Bitmap.from_positions(xs), Bitmap.from_positions(ys)
+        sa, sb = set(xs), set(ys)
+        assert set((a & b).positions()) == sa & sb
+        assert set((a | b).positions()) == sa | sb
+        assert set((a - b).positions()) == sa - sb
+
+
+def _leaves(rows, leaf_size=8):
+    data = sorted(rows, key=lambda t: t.key)
+    out = []
+    for start in range(0, len(data), leaf_size):
+        run = data[start : start + leaf_size]
+        out.append(([t.key for t in run], run))
+    return out
+
+
+def _specs(max_exact=1024):
+    return (
+        AttributeSpec("color", lambda p: p.get("color"), max_exact_values=max_exact),
+        AttributeSpec("user", lambda p: p.get("user"), max_exact_values=max_exact),
+    )
+
+
+def make_rows(n, n_colors=4, n_users=1000, seed=0):
+    rng = random.Random(seed)
+    return [
+        DataTuple(
+            rng.randrange(0, 10_000),
+            float(i),
+            {"color": f"c{rng.randrange(n_colors)}", "user": rng.randrange(n_users)},
+        )
+        for i in range(n)
+    ]
+
+
+class TestChunkSecondaryIndex:
+    def test_exact_bitmaps_no_false_negatives(self):
+        rows = make_rows(200)
+        leaves = _leaves(rows)
+        index = ChunkSecondaryIndex.build(_specs(), leaves)
+        for target in ("c0", "c1", "c2", "c3"):
+            allowed = index.candidate_leaves({"color": target})
+            for leaf_idx, (_keys, tuples) in enumerate(leaves):
+                if any(t.payload["color"] == target for t in tuples):
+                    assert leaf_idx in allowed
+
+    def test_exact_bitmaps_prune(self):
+        # One rare color confined to a single leaf.
+        rows = [DataTuple(i, float(i), {"color": "common", "user": 0}) for i in range(100)]
+        rows[50] = DataTuple(50, 50.0, {"color": "rare", "user": 0})
+        leaves = _leaves(rows)
+        index = ChunkSecondaryIndex.build(_specs(), leaves)
+        allowed = index.candidate_leaves({"color": "rare"})
+        assert len(allowed) == 1
+
+    def test_missing_value_empty(self):
+        index = ChunkSecondaryIndex.build(_specs(), _leaves(make_rows(50)))
+        assert index.candidate_leaves({"color": "nope"}).is_empty()
+
+    def test_unindexed_attribute_returns_none(self):
+        index = ChunkSecondaryIndex.build(_specs(), _leaves(make_rows(50)))
+        assert index.candidate_leaves({"unknown": 1}) is None
+
+    def test_multiple_attrs_intersect(self):
+        rows = make_rows(300, n_colors=3, n_users=5, seed=2)
+        leaves = _leaves(rows)
+        index = ChunkSecondaryIndex.build(_specs(), leaves)
+        allowed = index.candidate_leaves({"color": "c1", "user": 3})
+        both = index.candidate_leaves({"color": "c1"}) & index.candidate_leaves(
+            {"user": 3}
+        )
+        assert allowed == both
+
+    def test_degrades_to_blooms_at_high_cardinality(self):
+        rows = make_rows(400, n_users=10_000, seed=3)
+        leaves = _leaves(rows)
+        index = ChunkSecondaryIndex.build(_specs(max_exact=16), leaves)
+        attr = index._indexes["user"]
+        assert attr.exact is None and attr.blooms is not None
+        # Still no false negatives after degradation.
+        for leaf_idx, (_keys, tuples) in enumerate(leaves):
+            for t in tuples[:2]:
+                allowed = index.candidate_leaves({"user": t.payload["user"]})
+                assert leaf_idx in allowed
+
+    def test_serialization_roundtrip_exact(self):
+        rows = make_rows(150, seed=4)
+        leaves = _leaves(rows)
+        index = ChunkSecondaryIndex.build(_specs(), leaves)
+        clone = ChunkSecondaryIndex.from_bytes(index.to_bytes(), _specs())
+        for color in ("c0", "c3"):
+            assert clone.candidate_leaves({"color": color}) == index.candidate_leaves(
+                {"color": color}
+            )
+
+    def test_serialization_roundtrip_bloom(self):
+        rows = make_rows(150, n_users=10_000, seed=5)
+        index = ChunkSecondaryIndex.build(_specs(max_exact=8), _leaves(rows))
+        clone = ChunkSecondaryIndex.from_bytes(index.to_bytes(), _specs(max_exact=8))
+        user = rows[0].payload["user"]
+        assert clone.candidate_leaves({"user": user}) == index.candidate_leaves(
+            {"user": user}
+        )
+
+    def test_corrupted_sidecar_rejected(self):
+        index = ChunkSecondaryIndex.build(_specs(), _leaves(make_rows(50)))
+        blob = bytearray(index.to_bytes())
+        blob[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            ChunkSecondaryIndex.from_bytes(bytes(blob))
+
+    def test_sidecar_id(self):
+        assert sidecar_id("chunk-1-2") == "chunk-1-2.sidx"
+
+
+def _system(specs=None):
+    cfg = small_config(
+        secondary_specs=specs if specs is not None else _specs(),
+        chunk_bytes=4096,
+    )
+    return Waterwheel(cfg)
+
+
+def stream(n, seed=1):
+    rng = random.Random(seed)
+    return [
+        DataTuple(
+            rng.randrange(0, 10_000),
+            i * 0.01,
+            {"color": f"c{rng.randrange(8)}", "user": rng.randrange(50)},
+            size=32,
+        )
+        for i in range(n)
+    ]
+
+
+class TestSystemIntegration:
+    def test_attr_query_matches_reference(self):
+        ww = _system()
+        data = stream(3000)
+        ww.insert_many(data)
+        res = ww.query(0, 10_000, 0.0, 30.0, attr_equals={"color": "c3"})
+        expected = [
+            t for t in data if t.ts <= 30.0 and t.payload["color"] == "c3"
+        ]
+        assert sorted(t.ts for t in res.tuples) == sorted(t.ts for t in expected)
+
+    def test_attr_query_on_fresh_data(self):
+        ww = _system()
+        ww.insert_record(5, 1.0, {"color": "c1", "user": 2}, size=32)
+        ww.insert_record(6, 1.1, {"color": "c2", "user": 2}, size=32)
+        res = ww.query(0, 100, 0.0, 2.0, attr_equals={"color": "c1"})
+        assert len(res) == 1
+        assert res.tuples[0].payload["color"] == "c1"
+
+    def test_sidecars_written_at_flush(self):
+        ww = _system()
+        ww.insert_many(stream(2000))
+        ww.flush_all()
+        chunk_ids = [c for c in ww.dfs.chunk_ids() if not c.endswith(".sidx")]
+        assert chunk_ids
+        for cid in chunk_ids:
+            assert ww.dfs.exists(sidecar_id(cid))
+
+    def test_index_prunes_leaves_for_rare_value(self):
+        ww = _system()
+        data = stream(4000, seed=7)
+        # One rare color at a single point in the stream.
+        data[2000] = DataTuple(
+            500, 20.0, {"color": "needle", "user": 1}, size=32
+        )
+        ww.insert_many(data)
+        ww.flush_all()
+        res = ww.query(0, 10_000, 0.0, 40.0, attr_equals={"color": "needle"})
+        assert len(res) == 1
+        no_index = ww.query(0, 10_000, 0.0, 40.0)
+        assert res.leaves_read < no_index.leaves_read
+
+    def test_multiple_attr_filters(self):
+        ww = _system()
+        data = stream(3000, seed=8)
+        ww.insert_many(data)
+        res = ww.query(
+            0, 10_000, 0.0, 30.0, attr_equals={"color": "c1", "user": 7}
+        )
+        expected = [
+            t
+            for t in data
+            if t.payload["color"] == "c1" and t.payload["user"] == 7
+        ]
+        assert len(res) == len(expected)
+
+    def test_unknown_attribute_raises(self):
+        ww = _system()
+        ww.insert_many(stream(500, seed=9))
+        ww.flush_all()
+        with pytest.raises(ValueError):
+            ww.query(0, 10_000, 0.0, 10.0, attr_equals={"nope": 1})
+
+    def test_attr_query_without_configured_index_post_filters(self):
+        # System without secondary specs: attr filter on fresh data raises
+        # (unknown attribute), because no extractor exists.
+        ww = Waterwheel(small_config())
+        ww.insert_record(1, 1.0, {"color": "c1"})
+        with pytest.raises(ValueError):
+            ww.query(0, 100, 0.0, 2.0, attr_equals={"color": "c1"})
+
+    def test_attr_combined_with_predicate(self):
+        ww = _system()
+        data = stream(2000, seed=10)
+        ww.insert_many(data)
+        res = ww.query(
+            0,
+            10_000,
+            0.0,
+            20.0,
+            predicate=lambda t: t.key < 5000,
+            attr_equals={"color": "c0"},
+        )
+        assert all(
+            t.key < 5000 and t.payload["color"] == "c0" for t in res.tuples
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 7), st.integers(0, 2**30))
+    def test_property_attr_queries_correct(self, color_idx, seed):
+        ww = _system()
+        data = stream(800, seed=seed % 1000)
+        ww.insert_many(data)
+        if seed % 2:
+            ww.flush_all()
+        res = ww.query(
+            0, 10_000, 0.0, 8.0, attr_equals={"color": f"c{color_idx}"}
+        )
+        expected = [
+            t
+            for t in data
+            if t.ts <= 8.0 and t.payload["color"] == f"c{color_idx}"
+        ]
+        assert sorted(t.ts for t in res.tuples) == sorted(t.ts for t in expected)
+
+
+class TestZoneMaps:
+    def _zone_specs(self):
+        return (
+            AttributeSpec("temp", lambda p: p.get("temp"), numeric=True),
+        )
+
+    def _rows(self, n=400, seed=21):
+        rng = random.Random(seed)
+        # Temperature drifts with time, so key-ordered leaves hold varied
+        # temperature zones.
+        return [
+            DataTuple(
+                rng.randrange(0, 10_000),
+                float(i),
+                {"temp": 20.0 + (i / n) * 60.0 + rng.uniform(-1, 1)},
+            )
+            for i in range(n)
+        ]
+
+    def test_zone_map_never_misses(self):
+        rows = self._rows()
+        # Leaf runs ordered by TIME here (as an indexing server flush over a
+        # temperature-drifting stream would produce per chunk epoch).
+        leaves = [
+            ([t.key for t in sorted(rows[i : i + 16], key=lambda x: x.key)],
+             sorted(rows[i : i + 16], key=lambda x: x.key))
+            for i in range(0, len(rows), 16)
+        ]
+        index = ChunkSecondaryIndex.build(self._zone_specs(), leaves)
+        allowed = index.candidate_leaves(attr_ranges={"temp": (30.0, 40.0)})
+        for leaf_idx, (_keys, tuples) in enumerate(leaves):
+            if any(30.0 <= t.payload["temp"] <= 40.0 for t in tuples):
+                assert leaf_idx in allowed
+
+    def test_zone_map_prunes(self):
+        rows = self._rows()
+        leaves = [
+            ([t.key for t in rows[i : i + 16]], rows[i : i + 16])
+            for i in range(0, len(rows), 16)
+        ]
+        index = ChunkSecondaryIndex.build(self._zone_specs(), leaves)
+        allowed = index.candidate_leaves(attr_ranges={"temp": (30.0, 34.0)})
+        assert 0 < len(allowed) < len(leaves)
+
+    def test_zone_map_serialization_roundtrip(self):
+        rows = self._rows(100)
+        leaves = [([t.key for t in rows[i:i+10]], rows[i:i+10]) for i in range(0, 100, 10)]
+        index = ChunkSecondaryIndex.build(self._zone_specs(), leaves)
+        clone = ChunkSecondaryIndex.from_bytes(index.to_bytes())
+        probe = {"temp": (25.0, 45.0)}
+        assert clone.candidate_leaves(attr_ranges=probe) == index.candidate_leaves(
+            attr_ranges=probe
+        )
+
+    def test_range_on_non_numeric_attr_ignored_by_index(self):
+        rows = make_rows(50)
+        index = ChunkSecondaryIndex.build(_specs(), _leaves(rows))
+        # 'color' is not numeric: the range predicate can't use the index.
+        assert index.candidate_leaves(attr_ranges={"color": ("a", "z")}) is None
+
+    def test_system_range_query_matches_reference(self):
+        cfg = small_config(
+            secondary_specs=(
+                AttributeSpec("temp", lambda p: p["temp"], numeric=True),
+            ),
+            chunk_bytes=4096,
+        )
+        ww = Waterwheel(cfg)
+        rng = random.Random(22)
+        data = [
+            DataTuple(
+                rng.randrange(0, 10_000),
+                i * 0.01,
+                {"temp": 20.0 + (i / 3000) * 60.0},
+                size=32,
+            )
+            for i in range(3000)
+        ]
+        ww.insert_many(data)
+        ww.flush_all()
+        res = ww.query(0, 10_000, 0.0, 30.0, attr_ranges={"temp": (40.0, 50.0)})
+        expected = [t for t in data if 40.0 <= t.payload["temp"] <= 50.0]
+        assert len(res) == len(expected)
+        # Temperature correlates with time -> zone maps prune leaves.
+        baseline = ww.query(0, 10_000, 0.0, 30.0)
+        assert res.leaves_read < baseline.leaves_read
+
+    def test_combined_equality_and_range(self):
+        cfg = small_config(
+            secondary_specs=(
+                AttributeSpec("temp", lambda p: p["temp"], numeric=True),
+                AttributeSpec("kind", lambda p: p["kind"]),
+            ),
+            chunk_bytes=4096,
+        )
+        ww = Waterwheel(cfg)
+        rng = random.Random(23)
+        data = [
+            DataTuple(
+                rng.randrange(0, 10_000),
+                i * 0.01,
+                {"temp": rng.uniform(0, 100), "kind": f"k{i % 4}"},
+                size=32,
+            )
+            for i in range(2000)
+        ]
+        ww.insert_many(data)
+        res = ww.query(
+            0, 10_000, 0.0, 20.0,
+            attr_equals={"kind": "k2"},
+            attr_ranges={"temp": (10.0, 20.0)},
+        )
+        expected = [
+            t for t in data
+            if t.payload["kind"] == "k2" and 10.0 <= t.payload["temp"] <= 20.0
+        ]
+        assert len(res) == len(expected)

@@ -1,0 +1,262 @@
+"""Tests for the simulation substrate: clocks, costs, cluster, lock
+simulator, pipeline model."""
+
+import pytest
+
+from repro.simulation import (
+    Cluster,
+    CostModel,
+    LockSimulator,
+    PipelineTopology,
+    Segment,
+    VirtualClock,
+    WallClock,
+    dispatch_rate,
+    indexing_server_rate,
+    insert_cpu_per_tuple,
+    network_rate,
+    system_insertion_rate,
+)
+
+
+class TestClocks:
+    def test_virtual_clock_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_virtual_clock_advance_to(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)  # no-op backwards
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_virtual_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_wall_clock_moves_forward(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.advance(100.0)  # no-op
+        assert clock.now() >= a
+
+
+class TestCostModel:
+    def test_dfs_access_latency_within_bounds(self):
+        costs = CostModel()
+        for seed in range(100):
+            lat = costs.dfs_access_latency(seed)
+            assert costs.dfs_access_latency_min <= lat <= costs.dfs_access_latency_max
+
+    def test_dfs_access_latency_deterministic(self):
+        costs = CostModel()
+        assert costs.dfs_access_latency(42) == costs.dfs_access_latency(42)
+
+    def test_local_read_cheaper_than_remote(self):
+        costs = CostModel()
+        assert costs.dfs_read(1 << 20, seed=1, local=True) < costs.dfs_read(
+            1 << 20, seed=1, local=False
+        )
+
+    def test_read_scales_with_bytes(self):
+        costs = CostModel()
+        assert costs.dfs_read(64 << 20, 1) > costs.dfs_read(1 << 20, 1)
+
+    def test_scaled_override(self):
+        costs = CostModel().scaled(network_bandwidth=1.0)
+        assert costs.network_bandwidth == 1.0
+
+
+class TestCluster:
+    def test_round_robin_placement(self):
+        cluster = Cluster(4)
+        placement = cluster.place_round_robin("indexing", 8)
+        assert placement == {i: i % 4 for i in range(8)}
+        assert cluster.node_of("indexing", 5) == 1
+
+    def test_replica_nodes_distinct(self):
+        cluster = Cluster(10)
+        replicas = cluster.pick_replica_nodes(3, seed=5)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_replica_placement_deterministic(self):
+        a = Cluster(10).pick_replica_nodes(3, seed=5)
+        b = Cluster(10).pick_replica_nodes(3, seed=5)
+        assert a == b
+
+    def test_failure_injection(self):
+        cluster = Cluster(3)
+        cluster.kill(1)
+        assert not cluster.is_alive(1)
+        assert cluster.failed_nodes == {1}
+        replicas = cluster.pick_replica_nodes(3, seed=1)
+        assert 1 not in replicas
+        cluster.revive(1)
+        assert cluster.is_alive(1)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+
+class TestLockSimulator:
+    def test_single_thread_makespan_is_sum(self):
+        sim = LockSimulator()
+        ops = [[Segment(None, False, 1.0)] for _ in range(5)]
+        result = sim.run(ops, n_threads=1)
+        assert result.makespan == pytest.approx(5.0)
+        assert result.throughput == pytest.approx(1.0)
+
+    def test_lock_free_ops_scale_linearly(self):
+        sim = LockSimulator()
+        ops = [[Segment(None, False, 1.0)] for _ in range(8)]
+        result = sim.run(ops, n_threads=4)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_exclusive_lock_serializes(self):
+        sim = LockSimulator()
+        ops = [[Segment(1, True, 1.0)] for _ in range(8)]
+        result = sim.run(ops, n_threads=8)
+        assert result.makespan == pytest.approx(8.0)
+
+    def test_shared_lock_does_not_serialize(self):
+        sim = LockSimulator()
+        ops = [[Segment(1, False, 1.0)] for _ in range(8)]
+        result = sim.run(ops, n_threads=8)
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_disjoint_locks_parallel(self):
+        sim = LockSimulator()
+        ops = [[Segment(i % 4, True, 1.0)] for i in range(8)]
+        result = sim.run(ops, n_threads=4)
+        # Thread t pulls ops in order; four distinct locks, two ops each.
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_writer_blocks_readers(self):
+        sim = LockSimulator()
+        ops = [
+            [Segment(1, True, 1.0)],
+            [Segment(1, False, 1.0)],
+            [Segment(1, False, 1.0)],
+        ]
+        result = sim.run(ops, n_threads=3)
+        # Writer first (FIFO), then both readers concurrently.
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_multi_segment_operations(self):
+        sim = LockSimulator()
+        ops = [
+            [Segment(None, False, 0.5), Segment(1, True, 0.5)],
+            [Segment(None, False, 0.5), Segment(1, True, 0.5)],
+        ]
+        result = sim.run(ops, n_threads=2)
+        # Both traverse in parallel, then serialize on the leaf lock.
+        assert result.makespan == pytest.approx(1.5)
+
+    def test_empty_workload(self):
+        result = LockSimulator().run([], n_threads=4)
+        assert result.makespan == 0.0
+        assert result.throughput == 0.0
+
+    def test_more_threads_never_slower_for_shared_work(self):
+        sim = LockSimulator()
+        ops = [[Segment(None, False, 0.01)] for _ in range(100)]
+        t1 = sim.run(ops, 1).makespan
+        t4 = sim.run(ops, 4).makespan
+        assert t4 < t1
+
+    def test_utilization_bounded(self):
+        sim = LockSimulator()
+        ops = [[Segment(1, True, 1.0)] for _ in range(4)]
+        result = sim.run(ops, n_threads=4)
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            LockSimulator().run([[Segment(None, False, 1.0)]], 0)
+
+
+class TestPipelineModel:
+    def setup_method(self):
+        self.costs = CostModel()
+        self.topology = PipelineTopology(n_nodes=12)
+
+    def test_insert_cpu_grows_with_tree_size(self):
+        small = insert_cpu_per_tuple(1e-6, 1_000)
+        large = insert_cpu_per_tuple(1e-6, 10_000_000)
+        assert large > small
+
+    def test_chunk_size_sweet_spot(self):
+        """Throughput rises to a peak at moderate chunk sizes then falls --
+        the Figure 11a shape."""
+        sizes = [4, 8, 16, 32, 64, 128, 256]
+        rates = [
+            system_insertion_rate(
+                self.costs, self.topology, tuple_size=50, chunk_bytes=mb << 20
+            )
+            for mb in sizes
+        ]
+        peak = rates.index(max(rates))
+        assert 0 < peak < len(sizes) - 1
+        assert rates[0] < rates[peak]
+        assert rates[-1] < rates[peak]
+
+    def test_skewed_shares_reduce_throughput(self):
+        n = self.topology.n_indexing
+        balanced = [1.0 / n] * n
+        skewed = [0.5] + [0.5 / (n - 1)] * (n - 1)
+        r_balanced = system_insertion_rate(
+            self.costs, self.topology, 36, 16 << 20, shares=balanced
+        )
+        r_skewed = system_insertion_rate(
+            self.costs, self.topology, 36, 16 << 20, shares=skewed
+        )
+        assert r_skewed < r_balanced / 2
+
+    def test_scales_with_nodes(self):
+        rates = [
+            system_insertion_rate(
+                self.costs, PipelineTopology(n), 36, 16 << 20
+            )
+            for n in (16, 32, 64, 128)
+        ]
+        assert rates[1] > rates[0] * 1.8
+        assert rates[3] > rates[0] * 6
+
+    def test_sync_overhead_caps_scaling(self):
+        r16 = system_insertion_rate(
+            self.costs, PipelineTopology(16), 36, 16 << 20,
+            sync_overhead_per_node=1e-7,
+        )
+        r128 = system_insertion_rate(
+            self.costs, PipelineTopology(128), 36, 16 << 20,
+            sync_overhead_per_node=1e-7,
+        )
+        assert r128 < r16
+
+    def test_extra_cpu_lowers_rate(self):
+        base = indexing_server_rate(self.costs, 16 << 20, 36)
+        loaded = indexing_server_rate(
+            self.costs, 16 << 20, 36, extra_cpu_per_tuple=20e-6
+        )
+        assert loaded < base / 2
+
+    def test_write_amplification_lowers_rate(self):
+        base = indexing_server_rate(self.costs, 16 << 20, 36)
+        amplified = indexing_server_rate(
+            self.costs, 16 << 20, 36, flush_bytes_per_tuple=360.0
+        )
+        assert amplified < base
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            system_insertion_rate(self.costs, self.topology, 36, 16 << 20, shares=[1.0])
+
+    def test_dispatch_and_network_rates_positive(self):
+        assert dispatch_rate(self.costs, self.topology) > 0
+        assert network_rate(self.costs, self.topology, 36) > 0

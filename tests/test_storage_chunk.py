@@ -1,0 +1,207 @@
+"""Tests for the chunk serialization format."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import DataTuple
+from repro.storage import ChunkReader, serialize_chunk
+
+
+def leaves_from_tuples(tuples, leaf_size=16):
+    """Key-ordered leaf runs, the shape an indexing-server flush produces."""
+    data = sorted(tuples, key=lambda t: t.key)
+    leaves = []
+    for start in range(0, len(data), leaf_size):
+        run = data[start : start + leaf_size]
+        leaves.append(([t.key for t in run], run))
+    return leaves
+
+
+def make_tuples(n, seed=0, key_hi=1000, time_hi=100.0):
+    rng = random.Random(seed)
+    return [
+        DataTuple(rng.randrange(0, key_hi), rng.uniform(0, time_hi), payload=i)
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_all_tuples_recovered(self):
+        tuples = make_tuples(500)
+        blob = serialize_chunk(leaves_from_tuples(tuples))
+        reader = ChunkReader(blob)
+        recovered = reader.all_tuples()
+        assert sorted(t.payload for t in recovered) == sorted(
+            t.payload for t in tuples
+        )
+        assert reader.meta.n_tuples == 500
+
+    def test_meta_region_covers_data(self):
+        tuples = make_tuples(200)
+        reader = ChunkReader(serialize_chunk(leaves_from_tuples(tuples)))
+        for t in tuples:
+            assert t.key in reader.meta.keys
+            assert t.ts in reader.meta.times
+
+    def test_empty_chunk(self):
+        reader = ChunkReader(serialize_chunk([]))
+        assert reader.meta.n_tuples == 0
+        assert reader.all_tuples() == []
+        assert reader.query(0, 100) == []
+
+    def test_empty_leaves_dropped(self):
+        tuples = make_tuples(10)
+        leaves = leaves_from_tuples(tuples, leaf_size=4) + [([], [])]
+        reader = ChunkReader(serialize_chunk(leaves))
+        assert reader.meta.n_leaves == 3
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ChunkReader(b"NOPE" + b"\x00" * 100)
+
+    def test_payload_objects_roundtrip(self):
+        tuples = [
+            DataTuple(1, 1.0, {"nested": [1, 2, 3]}),
+            DataTuple(2, 2.0, ("tuple", "payload")),
+            DataTuple(3, 3.0, None),
+        ]
+        reader = ChunkReader(serialize_chunk(leaves_from_tuples(tuples, 2)))
+        got = {t.key: t.payload for t in reader.all_tuples()}
+        assert got == {1: {"nested": [1, 2, 3]}, 2: ("tuple", "payload"), 3: None}
+
+
+class TestQuery:
+    def test_query_matches_brute_force(self):
+        tuples = make_tuples(800, seed=1)
+        reader = ChunkReader(serialize_chunk(leaves_from_tuples(tuples)))
+        got = reader.query(100, 600, 10.0, 60.0)
+        expected = [
+            t for t in tuples if 100 <= t.key <= 600 and 10.0 <= t.ts <= 60.0
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+
+    def test_predicate_applied(self):
+        tuples = make_tuples(100, seed=2)
+        reader = ChunkReader(serialize_chunk(leaves_from_tuples(tuples)))
+        got = reader.query(0, 1000, predicate=lambda t: t.payload < 10)
+        assert all(t.payload < 10 for t in got)
+
+    def test_bytes_read_scales_with_selectivity(self):
+        tuples = make_tuples(2000, seed=3, key_hi=10_000)
+        blob = serialize_chunk(leaves_from_tuples(tuples))
+        narrow = ChunkReader(blob)
+        narrow.query(0, 500)
+        wide = ChunkReader(blob)
+        wide.query(0, 9000)
+        assert narrow.bytes_read < wide.bytes_read
+        assert narrow.bytes_read >= narrow.prefix_bytes
+
+    def test_sketch_prunes_leaf_reads(self):
+        # Keys correlate with time, so key-distinct leaves hold distinct
+        # time windows.
+        tuples = [DataTuple(i, float(i), payload=i) for i in range(1000)]
+        blob = serialize_chunk(leaves_from_tuples(tuples, leaf_size=32))
+        pruned = ChunkReader(blob)
+        got = pruned.query(0, 999, 100.0, 120.0)
+        assert sorted(t.payload for t in got) == list(range(100, 121))
+        assert pruned.leaves_skipped > 0
+        unpruned = ChunkReader(blob)
+        unpruned.query(0, 999, 100.0, 120.0, use_sketch=False)
+        assert unpruned.bytes_read > pruned.bytes_read
+
+    def test_duplicate_keys_across_leaf_boundary(self):
+        tuples = [DataTuple(5, float(i), payload=i) for i in range(40)]
+        blob = serialize_chunk(leaves_from_tuples(tuples, leaf_size=8))
+        reader = ChunkReader(blob)
+        got = reader.query(5, 5)
+        assert sorted(t.payload for t in got) == list(range(40))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.floats(0, 50, allow_nan=False)),
+            min_size=0,
+            max_size=200,
+        ),
+        st.integers(0, 300),
+        st.integers(0, 300),
+        st.floats(0, 50, allow_nan=False),
+        st.floats(0, 50, allow_nan=False),
+    )
+    def test_property_query_equals_reference(self, rows, k1, k2, ts1, ts2):
+        k_lo, k_hi = min(k1, k2), max(k1, k2)
+        t_lo, t_hi = min(ts1, ts2), max(ts1, ts2)
+        tuples = [DataTuple(k, ts, payload=i) for i, (k, ts) in enumerate(rows)]
+        reader = ChunkReader(serialize_chunk(leaves_from_tuples(tuples, 8)))
+        got = reader.query(k_lo, k_hi, t_lo, t_hi)
+        expected = [
+            t for t in tuples if k_lo <= t.key <= k_hi and t_lo <= t.ts <= t_hi
+        ]
+        assert sorted(t.payload for t in got) == sorted(t.payload for t in expected)
+
+
+class TestCompression:
+    def _tuples(self):
+        # Repetitive payloads compress well.
+        return [
+            DataTuple(i, float(i), payload="x" * 40) for i in range(2000)
+        ]
+
+    def test_roundtrip_compressed(self):
+        tuples = self._tuples()
+        blob = serialize_chunk(leaves_from_tuples(tuples), compress=True)
+        reader = ChunkReader(blob)
+        assert reader.compressed
+        got = reader.all_tuples()
+        assert len(got) == 2000
+        assert all(t.payload == "x" * 40 for t in got)
+
+    def test_compressed_smaller(self):
+        tuples = self._tuples()
+        runs = leaves_from_tuples(tuples, leaf_size=128)
+        plain = serialize_chunk(runs)
+        packed = serialize_chunk(runs, compress=True)
+        assert len(packed) < 0.5 * len(plain)
+
+    def test_query_equivalent(self):
+        tuples = make_tuples(800, seed=11)
+        plain = ChunkReader(serialize_chunk(leaves_from_tuples(tuples)))
+        packed = ChunkReader(
+            serialize_chunk(leaves_from_tuples(tuples), compress=True)
+        )
+        a = plain.query(100, 600, 10.0, 60.0)
+        b = packed.query(100, 600, 10.0, 60.0)
+        assert sorted(t.payload for t in a) == sorted(t.payload for t in b)
+
+    def test_corruption_detected_in_compressed_block(self):
+        import pytest as _pytest
+
+        from repro.storage import ChunkCorruption
+
+        tuples = self._tuples()
+        blob = bytearray(serialize_chunk(leaves_from_tuples(tuples), compress=True))
+        reader = ChunkReader(bytes(blob))
+        entry = reader.candidate_leaves(0, 5000)[0]
+        blob[entry.block_offset + 2] ^= 0xFF
+        with _pytest.raises(ChunkCorruption):
+            ChunkReader(bytes(blob)).query(0, 5000)
+
+    def test_system_end_to_end_compressed(self):
+        import random as _random
+
+        from repro import Waterwheel, small_config
+
+        ww = Waterwheel(small_config(compress_chunks=True, chunk_bytes=4096))
+        rng = _random.Random(12)
+        data = [
+            DataTuple(rng.randrange(0, 10_000), i * 0.01, payload="p" * 20, size=32)
+            for i in range(2000)
+        ]
+        for t in data:
+            ww.insert(t)
+        ww.flush_all()
+        res = ww.query(0, 10_000, 0.0, 20.0)
+        assert len(res) == 2000

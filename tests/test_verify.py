@@ -1,0 +1,125 @@
+"""Tests for the consistency checker (fsck)."""
+
+import random
+
+from repro import Waterwheel, small_config
+from repro.core.verify import verify_system
+
+
+def loaded_system(n=4000, seed=1):
+    ww = Waterwheel(small_config())
+    rng = random.Random(seed)
+    for i in range(n):
+        ww.insert_record(rng.randrange(0, 10_000), i * 0.01, payload=i, size=32)
+    return ww
+
+
+class TestHealthySystems:
+    def test_clean_system_verifies(self):
+        ww = loaded_system()
+        report = verify_system(ww)
+        assert report.ok, report.problems
+        assert report.tuples_in_log == 4000
+        assert report.tuples_in_chunks + report.tuples_in_memory == 4000
+        assert report.chunks_checked == ww.chunk_count
+        assert "OK" in report.summary()
+
+    def test_verifies_after_flush_all(self):
+        ww = loaded_system()
+        ww.flush_all()
+        report = verify_system(ww)
+        assert report.ok, report.problems
+        assert report.tuples_in_memory == 0
+        assert report.tuples_in_chunks == 4000
+
+    def test_verifies_after_recovery(self):
+        ww = loaded_system()
+        ww.kill_indexing_server(0)
+        ww.recover_indexing_server(0)
+        report = verify_system(ww)
+        assert report.ok, report.problems
+
+    def test_verifies_after_coordinator_failover(self):
+        ww = loaded_system()
+        ww.crash_coordinator()
+        report = verify_system(ww)
+        assert report.ok, report.problems
+
+    def test_skips_conservation_when_log_truncated(self):
+        ww = loaded_system()
+        ww.compact_log()
+        report = verify_system(ww)
+        # Conservation can't be checked against a truncated log, but the
+        # remaining audits still pass.
+        assert report.ok, report.problems
+
+    def test_verifies_with_secondary_indexes(self):
+        from repro.secondary import AttributeSpec
+
+        ww = Waterwheel(
+            small_config(
+                secondary_specs=(AttributeSpec("p", lambda p: p % 5),),
+                chunk_bytes=4096,
+            )
+        )
+        for i in range(2000):
+            ww.insert_record(i % 10_000, i * 0.01, payload=i, size=32)
+        ww.flush_all()
+        report = verify_system(ww)
+        assert report.ok, report.problems
+        assert report.sidecars_checked == report.chunks_checked
+
+
+class TestDetectsDamage:
+    def test_detects_lost_in_memory_data(self):
+        ww = loaded_system()
+        # A dead server's in-memory tuples are gone until recovery; the log
+        # retains them -> conservation holds only for alive servers, so the
+        # checker skips it.  Drop log entries instead to force a mismatch.
+        ww.indexing_servers[0]._tree.reset_leaves()  # simulate silent loss
+        report = verify_system(ww)
+        assert not report.ok
+        assert any("conservation" in p for p in report.problems)
+
+    def test_detects_corrupted_chunk(self):
+        ww = loaded_system()
+        ww.flush_all()
+        chunk_id = next(c for c in ww.dfs.chunk_ids() if not c.endswith(".sidx"))
+        blob = bytearray(ww.dfs.get_bytes(chunk_id))
+        blob[len(blob) // 2] ^= 0xFF
+        ww.dfs._blocks[chunk_id] = bytes(blob)
+        report = verify_system(ww)
+        assert not report.ok
+
+    def test_detects_all_replicas_dead(self):
+        ww = loaded_system()
+        ww.flush_all()
+        chunk_id = next(c for c in ww.dfs.chunk_ids() if not c.endswith(".sidx"))
+        for node in ww.dfs.location(chunk_id).replicas:
+            ww.cluster.kill(node)
+        report = verify_system(ww)
+        assert not report.ok
+        assert any("replica" in p or "unavailable" in p for p in report.problems)
+
+    def test_detects_lying_region_metadata(self):
+        ww = loaded_system()
+        ww.flush_all()
+        key = ww.metastore.list_prefix("/chunks/")[0]
+        info = dict(ww.metastore.get(key))
+        info["key_hi"] = info["key_lo"] + 1  # claim a far narrower region
+        ww.metastore._entries[key] = type(ww.metastore._entries[key])(
+            info, ww.metastore._entries[key].version
+        )  # bypass watch (metadata silently wrong, catalog unchanged)
+        report = verify_system(ww)
+        assert not report.ok
+        assert any("key region" in p for p in report.problems)
+
+    def test_detects_catalog_drift(self):
+        ww = loaded_system()
+        ww.flush_all()
+        # Remove a region from the coordinator's R-tree behind its back.
+        chunk_id, region = next(iter(ww.coordinator._catalog_regions.items()))
+        ww.coordinator._catalog.delete(region, chunk_id)
+        report = verify_system(ww)
+        assert not report.ok
+        assert any("catalog" in p for p in report.problems)

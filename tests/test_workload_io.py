@@ -1,0 +1,111 @@
+"""Tests for workload persistence (JSONL/CSV save+load)."""
+
+import pytest
+
+from repro.core.model import DataTuple
+from repro.workloads import (
+    NetworkGenerator,
+    load_csv,
+    load_jsonl,
+    load_sorted_check,
+    save_csv,
+    save_jsonl,
+    uniform_records,
+)
+
+
+class TestJSONL:
+    def test_roundtrip_with_payloads(self, tmp_path):
+        path = str(tmp_path / "w.jsonl")
+        data = [
+            DataTuple(1, 0.5, {"a": [1, 2]}, 40),
+            DataTuple(2, 1.5, "text", 50),
+            DataTuple(3, 2.5, None, 36),
+        ]
+        assert save_jsonl(data, path) == 3
+        back = list(load_jsonl(path))
+        assert back == data
+
+    def test_roundtrip_generated_workload(self, tmp_path):
+        path = str(tmp_path / "u.jsonl")
+        data = uniform_records(500, seed=3)
+        save_jsonl(data, path)
+        back = list(load_jsonl(path))
+        assert [(t.key, t.ts, t.payload) for t in back] == [
+            (t.key, t.ts, t.payload) for t in data
+        ]
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"key": 1, "ts": 0.0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(load_jsonl(str(path)))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"key": 1, "ts": 0.0}\n\n{"key": 2, "ts": 1.0}\n')
+        assert len(list(load_jsonl(str(path)))) == 2
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "w.csv")
+        data = uniform_records(200, seed=4)
+        assert save_csv(data, path) == 200
+        back = list(load_csv(path))
+        assert [(t.key, t.ts, t.size) for t in back] == [
+            (t.key, t.ts, t.size) for t in data
+        ]
+
+    def test_custom_column_names(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("src_ip,when\n100,0.5\n200,1.5\n")
+        back = list(
+            load_csv(str(path), key_column="src_ip", ts_column="when",
+                     size_column=None, default_size=50)
+        )
+        assert [(t.key, t.ts, t.size) for t in back] == [
+            (100, 0.5, 50), (200, 1.5, 50)
+        ]
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="missing column"):
+            list(load_csv(str(path)))
+
+    def test_bad_value_raises_with_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("key,ts\n1,0.0\nfoo,1.0\n")
+        with pytest.raises(ValueError, match="t.csv:3"):
+            list(load_csv(str(path)))
+
+
+class TestSortedCheck:
+    def test_accepts_ordered(self):
+        data = uniform_records(100)
+        assert load_sorted_check(data) == data
+
+    def test_accepts_bounded_disorder(self):
+        data = [DataTuple(1, 1.0), DataTuple(2, 0.8), DataTuple(3, 2.0)]
+        assert len(load_sorted_check(data, max_disorder=0.5)) == 3
+
+    def test_rejects_excess_disorder(self):
+        data = [DataTuple(1, 10.0), DataTuple(2, 1.0)]
+        with pytest.raises(ValueError, match="disorder"):
+            load_sorted_check(data, max_disorder=0.5)
+
+
+class TestEndToEndViaFile(object):
+    def test_network_workload_file_replay(self, tmp_path):
+        from repro import Waterwheel, small_config
+
+        gen = NetworkGenerator(seed=5)
+        data = gen.records(1000)
+        path = str(tmp_path / "net.csv")
+        save_csv(data, path)
+        key_lo, key_hi = gen.key_domain
+        ww = Waterwheel(small_config(key_lo=key_lo, key_hi=key_hi, tuple_size=50))
+        ww.insert_many(load_sorted_check(load_csv(path)))
+        res = ww.query(key_lo, key_hi - 1, 0.0, 100.0)
+        assert len(res) == 1000

@@ -1,0 +1,186 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    DriftingKeyGenerator,
+    NetworkGenerator,
+    NormalKeyGenerator,
+    QueryGenerator,
+    TDriveGenerator,
+    int_to_ip,
+    ip_to_int,
+    max_observed_lateness,
+    random_key_range,
+    temporal_window,
+    uniform_records,
+    with_lateness,
+)
+
+
+class TestTDrive:
+    def test_records_in_timestamp_order(self):
+        gen = TDriveGenerator(n_taxis=10, seed=1)
+        data = gen.records(500)
+        assert len(data) == 500
+        assert all(a.ts <= b.ts for a, b in zip(data, data[1:]))
+
+    def test_keys_within_domain(self):
+        gen = TDriveGenerator(n_taxis=5, seed=2)
+        lo, hi = gen.key_domain
+        assert all(lo <= t.key < hi for t in gen.records(200))
+
+    def test_deterministic_with_seed(self):
+        a = TDriveGenerator(n_taxis=5, seed=3).records(100)
+        b = TDriveGenerator(n_taxis=5, seed=3).records(100)
+        assert [(t.key, t.ts) for t in a] == [(t.key, t.ts) for t in b]
+
+    def test_tuple_size_matches_paper(self):
+        assert TDriveGenerator(n_taxis=2).records(10)[0].size == 36
+
+    def test_query_ranges_cover_rect_points(self):
+        gen = TDriveGenerator(n_taxis=20, seed=4)
+        data = gen.records(2000)
+        rng = random.Random(5)
+        lat_lo, lat_hi, lon_lo, lon_hi = gen.random_rect(rng, frac=0.3)
+        ranges = gen.query_key_ranges(lat_lo, lat_hi, lon_lo, lon_hi, max_ranges=64)
+        inside = [
+            t
+            for t in data
+            if lat_lo <= t.payload.lat <= lat_hi and lon_lo <= t.payload.lon <= lon_hi
+        ]
+        for t in inside:
+            assert any(lo <= t.key <= hi for lo, hi in ranges)
+
+    def test_walk_stays_in_bbox(self):
+        gen = TDriveGenerator(n_taxis=3, step_degrees=0.1, seed=6)
+        for t in gen.records(1000):
+            assert 39.6 <= t.payload.lat <= 40.4
+            assert 116.0 <= t.payload.lon <= 116.8
+
+
+class TestNetwork:
+    def test_records_shape(self):
+        gen = NetworkGenerator(seed=1)
+        data = gen.records(300)
+        assert len(data) == 300
+        assert all(t.size == 50 for t in data)
+        assert all(t.key == t.payload.src_ip for t in data)
+        assert all(a.ts <= b.ts for a, b in zip(data, data[1:]))
+
+    def test_popularity_is_skewed(self):
+        gen = NetworkGenerator(n_subnets=64, seed=2)
+        data = gen.records(5000)
+        counts = {}
+        for t in data:
+            counts[t.key >> 8] = counts.get(t.key >> 8, 0) + 1
+        top = max(counts.values())
+        assert top > 2 * (5000 / 64)  # hottest subnet well above average
+
+    def test_random_ip_range_selectivity(self):
+        gen = NetworkGenerator(n_subnets=100, seed=3)
+        data = gen.records(2000)
+        rng = random.Random(4)
+        lo, hi = gen.random_ip_range(rng, selectivity=0.1)
+        hits = sum(1 for t in data if lo <= t.key <= hi)
+        assert hits > 0
+
+    def test_ip_conversions(self):
+        assert ip_to_int("10.68.73.12") == (10 << 24) | (68 << 16) | (73 << 8) | 12
+        assert int_to_ip(ip_to_int("192.168.1.255")) == "192.168.1.255"
+        with pytest.raises(ValueError):
+            ip_to_int("300.1.1.1")
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3")
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 33)
+
+
+class TestSynthetic:
+    def test_sigma_controls_spread(self):
+        narrow = NormalKeyGenerator(sigma=10, seed=1).records(2000)
+        wide = NormalKeyGenerator(sigma=50_000, seed=1).records(2000)
+
+        def spread(data):
+            keys = sorted(t.key for t in data)
+            return keys[int(0.9 * len(keys))] - keys[int(0.1 * len(keys))]
+
+        assert spread(narrow) < spread(wide)
+
+    def test_keys_clamped_to_domain(self):
+        gen = NormalKeyGenerator(key_lo=0, key_hi=100, sigma=1000, seed=2)
+        assert all(0 <= t.key < 100 for t in gen.records(500))
+
+    def test_drift_moves_mean(self):
+        gen = DriftingKeyGenerator(
+            key_lo=0, key_hi=1 << 20, mu=1000.0, sigma=50,
+            drift_per_record=100.0, seed=3,
+        )
+        data = gen.records(2000)
+        early = sum(t.key for t in data[:200]) / 200
+        late = sum(t.key for t in data[-200:]) / 200
+        assert late > early + 50_000
+
+    def test_uniform_records(self):
+        data = uniform_records(100, key_lo=10, key_hi=20)
+        assert all(10 <= t.key < 20 for t in data)
+        assert len(data) == 100
+
+
+class TestQueryGeneration:
+    def test_key_range_width(self):
+        rng = random.Random(1)
+        lo, hi = random_key_range(rng, 0, 10_000, 0.1)
+        assert (hi - lo + 1) == pytest.approx(1000, abs=2)
+        assert 0 <= lo <= hi < 10_000
+
+    def test_bad_selectivity(self):
+        with pytest.raises(ValueError):
+            random_key_range(random.Random(1), 0, 100, 0.0)
+
+    def test_temporal_windows(self):
+        rng = random.Random(2)
+        assert temporal_window(rng, "recent_5s", 100.0) == (95.0, 100.0)
+        assert temporal_window(rng, "recent_60s", 100.0) == (40.0, 100.0)
+        lo, hi = temporal_window(rng, "recent_5m", 100.0)
+        assert lo == 0.0 and hi == 100.0  # clamped at stream start
+        lo, hi = temporal_window(rng, "historic_5m", 10_000.0)
+        assert 0.0 <= lo <= hi <= 10_000.0
+        assert hi - lo <= 300.0
+        with pytest.raises(ValueError):
+            temporal_window(rng, "nope", 100.0)
+
+    def test_batch_generation(self):
+        gen = QueryGenerator(0, 1 << 32, seed=3)
+        specs = gen.batch(50, key_selectivity=0.05, mode="recent_60s", now=500.0)
+        assert len(specs) == 50
+        for spec in specs:
+            assert spec.t_hi == 500.0
+            assert spec.key_hi > spec.key_lo
+
+
+class TestReplay:
+    def test_lateness_injection_displaces_some_tuples(self):
+        data = uniform_records(1000, records_per_second=100.0)
+        arrivals = list(with_lateness(data, late_fraction=0.05, max_delay=2.0, seed=1))
+        assert sorted(t.payload for t in arrivals) == list(range(1000))
+        assert [t.payload for t in arrivals] != list(range(1000))
+        assert max_observed_lateness(arrivals) > 0.0
+
+    def test_zero_fraction_keeps_order(self):
+        data = uniform_records(200)
+        arrivals = list(with_lateness(data, late_fraction=0.0))
+        assert [t.payload for t in arrivals] == list(range(200))
+
+    def test_lateness_bounded_by_max_delay(self):
+        data = uniform_records(2000, records_per_second=100.0)
+        arrivals = list(with_lateness(data, late_fraction=0.1, max_delay=1.5, seed=2))
+        assert max_observed_lateness(arrivals) <= 1.5 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(with_lateness([], late_fraction=2.0))
+        with pytest.raises(ValueError):
+            list(with_lateness([], max_delay=-1.0))

@@ -1,0 +1,141 @@
+"""Tests for the z-order curve and rectangle decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.zorder import ZCurve, deinterleave, interleave, zranges_for_grid_rect
+
+BEIJING = ((39.4, 41.1), (115.7, 117.4))
+
+
+class TestInterleave:
+    def test_known_values(self):
+        # x bits land on even slots, y bits on odd slots.
+        assert interleave(0, 0) == 0
+        assert interleave(1, 0) == 0b01
+        assert interleave(0, 1) == 0b10
+        assert interleave(1, 1) == 0b11
+        assert interleave(2, 3) == 0b1110
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            interleave(1 << 16, 0)
+        with pytest.raises(ValueError):
+            interleave(-1, 0)
+
+    @given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1))
+    def test_roundtrip(self, x, y):
+        assert deinterleave(interleave(x, y)) == (x, y)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_inverse_roundtrip(self, z):
+        x, y = deinterleave(z)
+        assert interleave(x, y) == z
+
+    def test_locality_monotone_in_quadrants(self):
+        # All z-codes of the lower-left quadrant precede the upper-right's.
+        bits = 4
+        half = 1 << (bits - 1)
+        lower = max(
+            interleave(x, y, bits) for x in range(half) for y in range(half)
+        )
+        upper = min(
+            interleave(x, y, bits)
+            for x in range(half, 2 * half)
+            for y in range(half, 2 * half)
+        )
+        assert lower < upper
+
+
+class TestZCurve:
+    def test_encode_bounds(self):
+        curve = ZCurve(*BEIJING, bits=16)
+        z = curve.encode(40.0, 116.4)
+        assert 0 <= z < (1 << 32)
+
+    def test_rejects_out_of_bbox(self):
+        curve = ZCurve(*BEIJING)
+        with pytest.raises(ValueError):
+            curve.encode(10.0, 116.0)
+
+    def test_decode_cell_close_to_input(self):
+        curve = ZCurve(*BEIJING, bits=16)
+        lat, lon = 40.0123, 116.4567
+        dlat, dlon = curve.decode_cell(curve.encode(lat, lon))
+        assert abs(dlat - lat) < 1e-3
+        assert abs(dlon - lon) < 1e-3
+
+    def test_empty_bbox_raises(self):
+        with pytest.raises(ValueError):
+            ZCurve((1.0, 1.0), (0.0, 1.0))
+
+
+class TestZRanges:
+    def _grid_cells_in_ranges(self, ranges, bits):
+        cells = set()
+        for lo, hi in ranges:
+            for z in range(lo, hi + 1):
+                cells.add(deinterleave(z, bits))
+        return cells
+
+    def test_full_space_single_range(self):
+        bits = 4
+        ranges = zranges_for_grid_rect(0, 15, 0, 15, bits)
+        assert ranges == [(0, 255)]
+
+    def test_exact_cover_small_rect(self):
+        bits = 4
+        x_lo, x_hi, y_lo, y_hi = 2, 5, 3, 6
+        ranges = zranges_for_grid_rect(x_lo, x_hi, y_lo, y_hi, bits, max_ranges=256)
+        cells = self._grid_cells_in_ranges(ranges, bits)
+        expected = {
+            (x, y)
+            for x in range(x_lo, x_hi + 1)
+            for y in range(y_lo, y_hi + 1)
+        }
+        assert cells == expected  # with enough budget the cover is exact
+
+    def test_budget_yields_superset(self):
+        bits = 5
+        x_lo, x_hi, y_lo, y_hi = 3, 17, 4, 21
+        ranges = zranges_for_grid_rect(x_lo, x_hi, y_lo, y_hi, bits, max_ranges=4)
+        assert len(ranges) <= 4
+        cells = self._grid_cells_in_ranges(ranges, bits)
+        expected = {
+            (x, y)
+            for x in range(x_lo, x_hi + 1)
+            for y in range(y_lo, y_hi + 1)
+        }
+        assert expected <= cells  # never misses a cell
+
+    def test_empty_rect(self):
+        assert zranges_for_grid_rect(5, 4, 0, 1, 4) == []
+
+    def test_ranges_sorted_and_disjoint(self):
+        ranges = zranges_for_grid_rect(1, 9, 2, 13, 5, max_ranges=64)
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2 - 0  # sorted
+            assert lo2 > hi1 + 1 or lo2 > hi1  # merged when adjacent
+
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+    )
+    def test_property_cover_is_superset(self, x_lo, x_hi, y_lo, y_hi):
+        if x_hi < x_lo or y_hi < y_lo:
+            return
+        bits = 4
+        ranges = zranges_for_grid_rect(x_lo, x_hi, y_lo, y_hi, bits, max_ranges=8)
+        cells = self._grid_cells_in_ranges(ranges, bits)
+        for x in range(x_lo, x_hi + 1):
+            for y in range(y_lo, y_hi + 1):
+                assert (x, y) in cells
+
+    def test_query_ranges_via_curve(self):
+        curve = ZCurve(*BEIJING, bits=8)
+        ranges = curve.query_ranges(39.9, 40.1, 116.2, 116.5, max_ranges=16)
+        assert ranges
+        assert all(lo <= hi for lo, hi in ranges)
