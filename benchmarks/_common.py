@@ -16,7 +16,9 @@ the shared cost model; see EXPERIMENTS.md for the paper-vs-measured notes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+import sys
+from typing import Callable, Iterable, List, Optional, Sequence
 
 
 def fmt(value) -> str:
@@ -63,3 +65,55 @@ def mean(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+def _pop_metrics_flag(argv: List[str]) -> "tuple[bool, Optional[str]]":
+    """Strip ``--metrics`` / ``--metrics=PATH`` / ``--metrics PATH`` from
+    ``argv`` in place; returns (enabled, json path or None)."""
+    for i, arg in enumerate(argv):
+        if arg == "--metrics":
+            path = None
+            if i + 1 < len(argv) and not argv[i + 1].startswith("-"):
+                path = argv.pop(i + 1)
+            argv.pop(i)
+            return True, path
+        if arg.startswith("--metrics="):
+            argv.pop(i)
+            return True, arg.split("=", 1)[1]
+    return False, None
+
+
+def bench_entry(main_fn: Callable[[], object]) -> object:
+    """Run a benchmark's ``main()``, honouring a ``--metrics[=PATH]`` flag.
+
+    With the flag, the observability registry (and tracing, which feeds the
+    per-stage ``query.stage.*_wall`` histograms) is enabled around the run;
+    afterwards the registry snapshot -- the stage-latency breakdown -- is
+    written to PATH as JSON (default ``<script>.metrics.json``) and
+    summarised on stdout.  Without the flag, behaviour and overhead are
+    exactly as before.
+    """
+    enabled, path = _pop_metrics_flag(sys.argv)
+    if not enabled:
+        return main_fn()
+    from repro import obs
+
+    obs.enable()
+    try:
+        result = main_fn()
+    finally:
+        obs.disable()
+    snap = obs.registry().snapshot()
+    if path is None:
+        path = sys.argv[0].rsplit(".py", 1)[0] + ".metrics.json"
+    with open(path, "w") as fh:
+        json.dump(snap, fh, indent=2, sort_keys=True)
+    stages = sorted(k for k in snap if k.startswith("query.stage."))
+    print(f"\n--metrics: wrote {len(snap)} instruments to {path}")
+    for name in stages:
+        d = snap[name]
+        print(
+            f"  {name}: n={d['count']} mean={d['mean']:.6g}s "
+            f"p95={d['p95']:.6g}s"
+        )
+    return result

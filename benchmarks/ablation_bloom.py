@@ -92,4 +92,6 @@ def test_ablation_bloom_sketches(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

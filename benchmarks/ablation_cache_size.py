@@ -91,4 +91,6 @@ def test_ablation_cache_size(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

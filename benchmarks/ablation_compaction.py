@@ -84,4 +84,6 @@ def test_ablation_compaction(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -107,4 +107,6 @@ def test_ablation_late_arrival(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -136,4 +136,6 @@ def test_ablation_secondary_index(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -96,4 +96,6 @@ def test_ablation_skew_threshold(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -144,4 +144,6 @@ def test_fig7b_breakdown(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

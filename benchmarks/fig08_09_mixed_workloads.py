@@ -127,4 +127,6 @@ def test_fig8_fig9_mixed_workloads(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

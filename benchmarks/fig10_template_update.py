@@ -76,4 +76,6 @@ def test_fig10_template_update_latency(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

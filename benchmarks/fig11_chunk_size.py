@@ -139,4 +139,6 @@ def test_fig11b_latency_vs_chunk_size(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

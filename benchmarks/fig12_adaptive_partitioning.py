@@ -140,4 +140,6 @@ def test_fig12b_query_latency(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

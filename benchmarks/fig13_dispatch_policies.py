@@ -127,4 +127,6 @@ def test_fig13_policy_ordering(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

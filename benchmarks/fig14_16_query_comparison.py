@@ -132,4 +132,6 @@ def test_fig16_tdrive_query_comparison(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -93,4 +93,6 @@ def test_fig15_insertion_comparison(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -94,4 +94,6 @@ def test_fig17_near_linear_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -67,4 +67,6 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    from _common import bench_entry
+
+    sys.exit(bench_entry(main))

@@ -156,4 +156,6 @@ def test_table1_capabilities(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -114,4 +114,6 @@ def test_wallclock_query(benchmark):
 
 
 if __name__ == "__main__":
-    main()
+    from _common import bench_entry
+
+    bench_entry(main)

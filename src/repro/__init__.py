@@ -4,6 +4,7 @@ Public entry points::
 
     from repro import Waterwheel, WaterwheelConfig, small_config, DataTuple
     from repro import AttributeSpec, ChunkCompactor, verify_system, snapshot
+    from repro import obs, collect
 
 See README.md for a tour and DESIGN.md for the system inventory.
 """
@@ -22,7 +23,8 @@ from repro.core.model import (
     SubQuery,
     TimeInterval,
 )
-from repro.core.stats import snapshot
+from repro import obs
+from repro.core.stats import collect, snapshot
 from repro.core.system import Waterwheel
 from repro.core.verify import verify_system
 from repro.secondary import AttributeSpec
@@ -40,7 +42,9 @@ __all__ = [
     "small_config",
     "AttributeSpec",
     "ChunkCompactor",
+    "collect",
     "geo_query",
+    "obs",
     "snapshot",
     "verify_system",
     "__version__",

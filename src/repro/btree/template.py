@@ -32,6 +32,17 @@ from repro.btree.nodes import (
 )
 from repro.bloom.temporal import TemporalSketch
 from repro.core.model import DataTuple, Predicate
+from repro.obs import metrics as _obs
+
+# Module-level handles shared by every tree instance.  The insert hot path
+# pays one ENABLED check per call; wall-clock timing is sampled 1-in-64 so
+# the perf_counter pair never dominates a ~2 microsecond insert.
+_M_INSERTS = _obs.registry().counter("btree.inserts")
+_M_INSERT_WALL = _obs.registry().histogram("btree.insert_wall_sampled")
+_M_TEMPLATE_UPDATES = _obs.registry().counter("btree.template_updates")
+_M_TEMPLATE_WALL = _obs.registry().histogram("btree.template_update_wall")
+_M_TUPLES_MOVED = _obs.registry().counter("btree.template_tuples_moved")
+_INSERT_SAMPLE_MASK = 63
 
 
 def build_inner_template(
@@ -103,6 +114,7 @@ class TemplateBTree:
         self._leaves: List[LeafNode] = []
         self._root: object = None
         self.last_leaf_id: Optional[int] = None
+        self._obs_synced = 0
         self._install_template(self._uniform_boundaries())
 
     # --- template construction ----------------------------------------------
@@ -164,19 +176,45 @@ class TemplateBTree:
 
     def insert(self, t: DataTuple) -> None:
         """Insert via the read-only template; never splits any node."""
-        started = time.perf_counter() if self.record_timings else 0.0
+        # Enabled-mode cost on this ~1 us hot path is one flag read plus a
+        # mask test; all registry work happens on the 1-in-64 sampled
+        # inserts (wall timing, and a batched counter sync -- see
+        # _sync_insert_counter), so ``btree.inserts`` lags the true total
+        # by at most _INSERT_SAMPLE_MASK until the next sample or flush.
+        sampled = (
+            (self._size & _INSERT_SAMPLE_MASK) == 0 if _obs.ENABLED else False
+        )
+        timed = self.record_timings or sampled
+        started = time.perf_counter() if timed else 0.0
         leaf = self._leaf_for(t.key)
         leaf.insert(t)
         self._size += 1
         self.stats.inserts += 1
         self.last_leaf_id = leaf.node_id
-        if self.record_timings:
-            self.stats.insert_seconds += time.perf_counter() - started
+        if timed:
+            elapsed = time.perf_counter() - started
+            if self.record_timings:
+                self.stats.insert_seconds += elapsed
+            if sampled:
+                _M_INSERT_WALL.observe(elapsed)
+                self._sync_insert_counter()
         self._since_check += 1
         if self._since_check >= self.check_every:
             self._since_check = 0
             if self.skewness() > self.skew_threshold:
                 self.update_template()
+
+    def _sync_insert_counter(self) -> None:
+        """Push inserts since the last sync into ``btree.inserts``.
+
+        Batching the registry counter keeps the per-insert enabled-mode
+        overhead to a flag read; called on sampled inserts and at flush /
+        template-update boundaries so the counter is exact there.
+        """
+        delta = self.stats.inserts - self._obs_synced
+        if delta:
+            _M_INSERTS.value += delta
+            self._obs_synced = self.stats.inserts
 
     # --- skew detection & template update (Eq. 1-3) ---------------------------
 
@@ -214,6 +252,11 @@ class TemplateBTree:
         self.stats.extra["tuples_moved"] = (
             self.stats.extra.get("tuples_moved", 0) + len(tuples)
         )
+        if _obs.ENABLED:
+            _M_TEMPLATE_UPDATES.inc()
+            _M_TEMPLATE_WALL.observe(elapsed)
+            _M_TUPLES_MOVED.inc(len(tuples))
+            self._sync_insert_counter()
         return elapsed
 
     @staticmethod
@@ -236,6 +279,8 @@ class TemplateBTree:
     def reset_leaves(self) -> None:
         """Empty every leaf, retaining the template (the post-flush recycle
         of Section III-B)."""
+        if _obs.ENABLED:
+            self._sync_insert_counter()
         for leaf in self._leaves:
             leaf.keys = []
             leaf.tuples = []

@@ -9,16 +9,21 @@ Commands:
                   latency percentiles.
 * ``verify``   -- ingest a workload, optionally inject failures, then run
                   the consistency checker (fsck) and print its report.
+* ``metrics``  -- run an ingest + query workload with the metrics registry
+                  enabled, print (or dump as JSON) every counter/histogram.
+* ``trace``    -- run a workload, trace one range query, print its span
+                  tree with per-stage durations.
 * ``info``     -- print the library version and default configuration.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro import Waterwheel, __version__, small_config
+from repro import Waterwheel, __version__, obs, small_config
 from repro.core.config import WaterwheelConfig
 from repro.workloads import (
     NetworkGenerator,
@@ -30,6 +35,8 @@ from repro.workloads import (
 
 def _make_workload(name: str, n: int, seed: int):
     """Returns (records, key_lo, key_hi, tuple_size)."""
+    if n <= 0:
+        raise SystemExit("--records must be a positive integer")
     if name == "tdrive":
         gen = TDriveGenerator(n_taxis=max(10, n // 200), seed=seed)
         lo, hi = gen.key_domain
@@ -147,6 +154,72 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_metrics(args) -> int:
+    """``metrics``: ingest + query with the registry on, print every metric."""
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    obs.enable(metrics_on=True, tracing_on=True)
+    try:
+        ww.insert_many(records)
+        now = max(t.ts for t in records)
+        qgen = QueryGenerator(key_lo, key_hi, seed=args.seed + 1)
+        for spec in qgen.batch(args.queries, args.selectivity, "recent_60s", now=now):
+            ww.query(spec.key_lo, spec.key_hi, spec.t_lo, spec.t_hi)
+        snap = ww.metrics()
+    finally:
+        obs.disable()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(snap)} metrics to {args.json}")
+    else:
+        print(obs.render_table(snap))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``trace``: ingest a workload, trace one query, print its span tree."""
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    ww.insert_many(records)
+    now = max(t.ts for t in records)
+    span_keys = key_hi - key_lo
+    obs.enable(metrics_on=False, tracing_on=True)
+    try:
+        res = ww.query(
+            key_lo + span_keys // 4,
+            key_lo + span_keys // 2,
+            max(0.0, now - 60.0),
+            now,
+        )
+        root = ww.last_trace()
+    finally:
+        obs.disable()
+    if root is None:
+        print("no trace recorded", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(root.as_dict(), fh, indent=2)
+        print(f"wrote span tree to {args.json}")
+        return 0
+    print(root.render())
+    coverage = obs.stage_coverage(root)
+    print(
+        f"\n{len(res)} tuples, {res.subquery_count} subqueries, "
+        f"{res.latency * 1000:.2f} simulated ms"
+    )
+    print(
+        f"stage coverage: {coverage * 100:.1f}% of the "
+        f"{root.duration * 1000:.3f} ms wall time is inside a stage span"
+    )
+    return 0
+
+
 def cmd_info(args) -> int:  # noqa: ARG001 - uniform command signature
     print(f"repro (Waterwheel reproduction) version {__version__}")
     cfg = WaterwheelConfig()
@@ -206,6 +279,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(verify)
     verify.add_argument("--inject-failure", action="store_true")
     verify.set_defaults(func=cmd_verify)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a workload with the metrics registry, print it"
+    )
+    add_common(metrics)
+    metrics.add_argument("--queries", type=int, default=20)
+    metrics.add_argument("--selectivity", type=float, default=0.1)
+    metrics.add_argument("--json", metavar="PATH", default=None,
+                         help="dump the registry snapshot as JSON")
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="trace one range query, print its span tree"
+    )
+    add_common(trace)
+    trace.add_argument("--json", metavar="PATH", default=None,
+                       help="dump the span tree as JSON")
+    trace.set_defaults(func=cmd_trace)
 
     info = sub.add_parser("info", help="version and default configuration")
     info.set_defaults(func=cmd_info)

@@ -29,6 +29,8 @@ from repro.core.model import (
 )
 from repro.core.query_server import QueryServer
 from repro.metastore import MetadataStore
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _trace
 from repro.rtree import RTree, str_pack
 
 
@@ -50,6 +52,20 @@ class QueryCoordinator:
         self.policy = policy
         self._query_ids = itertools.count(1)
         self.queries_executed = 0
+        self.last_trace: Optional[_trace.Span] = None
+        # Instruments are resolved once here; execute() only checks the
+        # module flag and pokes these handles (no registry lookups per query).
+        reg = _obs.registry()
+        self._m_queries = reg.counter("coordinator.queries")
+        self._m_subqueries = reg.histogram(
+            "coordinator.subqueries_per_query", scale=1.0, unit="subqueries"
+        )
+        self._m_latency_sim = reg.histogram("query.latency_sim")
+        self._m_latency_wall = reg.histogram("query.latency_wall")
+        self._m_stage = {
+            stage: reg.histogram(f"query.stage.{stage}_wall")
+            for stage in ("decompose", "fresh", "dispatch", "merge")
+        }
         self._catalog = RTree(max_entries=16)
         self._catalog_regions: Dict[str, Region] = {}
         self._bootstrap_catalog()
@@ -226,43 +242,107 @@ class QueryCoordinator:
                 query.attr_ranges,
             )
         costs = self.config.costs
-        fresh_sqs, chunk_sqs = self.decompose(query)
-        result = QueryResult(query_id=query.query_id)
-        result.subquery_count = len(fresh_sqs) + len(chunk_sqs)
+        with _trace.span(
+            "query",
+            query_id=query.query_id,
+            key_lo=query.keys.lo,
+            key_hi=query.keys.hi,
+            t_lo=query.times.lo,
+            t_hi=query.times.hi,
+        ) as root:
+            with _trace.span("decompose") as sp:
+                fresh_sqs, chunk_sqs = self.decompose(query)
+                if sp is not None:
+                    sp.set_attr("catalog_regions", len(self._catalog))
+                    sp.set_attr("fresh_subqueries", len(fresh_sqs))
+                    sp.set_attr("chunk_subqueries", len(chunk_sqs))
+                    sp.set_attr(
+                        "chunks_pruned", len(self._catalog) - len(chunk_sqs)
+                    )
+            result = QueryResult(query_id=query.query_id)
+            result.subquery_count = len(fresh_sqs) + len(chunk_sqs)
 
-        # Fresh branch: indexing servers scan their in-memory trees in
-        # parallel; each pays a coordinator round trip plus scan CPU.
-        fresh_latency = 0.0
-        for sq in fresh_sqs:
-            server = self.indexing_servers[sq.indexing_server]
-            tuples, examined = server.query_fresh(sq)
-            result.tuples.extend(tuples)
-            branch = (
-                2 * costs.network_latency
-                + examined * costs.scan_cpu
-                + costs.network_transfer(len(tuples) * self.config.tuple_size)
-            )
-            fresh_latency = max(fresh_latency, branch)
+            # Fresh branch: indexing servers scan their in-memory trees in
+            # parallel; each pays a coordinator round trip plus scan CPU.
+            fresh_latency = 0.0
+            with _trace.span("fresh", subqueries=len(fresh_sqs)) as fresh_sp:
+                for sq in fresh_sqs:
+                    server = self.indexing_servers[sq.indexing_server]
+                    with _trace.span(
+                        "fresh_scan", server=sq.indexing_server
+                    ) as scan_sp:
+                        tuples, examined = server.query_fresh(sq)
+                    result.tuples.extend(tuples)
+                    branch = (
+                        2 * costs.network_latency
+                        + examined * costs.scan_cpu
+                        + costs.network_transfer(
+                            len(tuples) * self.config.tuple_size
+                        )
+                    )
+                    if scan_sp is not None:
+                        scan_sp.set_attr("tuples", len(tuples))
+                        scan_sp.set_attr("tuples_examined", examined)
+                        scan_sp.set_attr("cost_sim", branch)
+                    fresh_latency = max(fresh_latency, branch)
+                if fresh_sp is not None:
+                    fresh_sp.set_attr("latency_sim", fresh_latency)
 
-        # Chunk branch: dispatch policy spreads subqueries over query
-        # servers; the makespan is the branch latency.
-        chunk_latency = 0.0
-        if chunk_sqs:
-            outcome: DispatchOutcome = run_dispatch(
-                chunk_sqs, self.query_servers, self.policy
-            )
-            chunk_latency = outcome.makespan
-            for sub_result in outcome.results:
-                if sub_result is None:
-                    continue
-                result.tuples.extend(sub_result.tuples)
-                result.bytes_read += sub_result.bytes_read
-                result.leaves_read += sub_result.leaves_read
-                result.leaves_skipped += sub_result.leaves_skipped
+            # Chunk branch: dispatch policy spreads subqueries over query
+            # servers; the makespan is the branch latency.
+            chunk_latency = 0.0
+            with _trace.span(
+                "dispatch", policy=self.policy.name, subqueries=len(chunk_sqs)
+            ) as disp_sp:
+                if chunk_sqs:
+                    outcome: DispatchOutcome = run_dispatch(
+                        chunk_sqs, self.query_servers, self.policy
+                    )
+                    chunk_latency = outcome.makespan
+                    for sub_result in outcome.results:
+                        if sub_result is None:
+                            continue
+                        result.tuples.extend(sub_result.tuples)
+                        result.bytes_read += sub_result.bytes_read
+                        result.leaves_read += sub_result.leaves_read
+                        result.leaves_skipped += sub_result.leaves_skipped
+                        result.cache_hits += sub_result.cache_hits
+                        result.cache_misses += sub_result.cache_misses
+                    if disp_sp is not None:
+                        disp_sp.set_attr("makespan_sim", outcome.makespan)
+                        disp_sp.set_attr("retried", outcome.retried)
 
-        result.latency = (
-            max(fresh_latency, chunk_latency)
-            + costs.network_transfer(len(result.tuples) * self.config.tuple_size)
-        )
+            with _trace.span("merge") as merge_sp:
+                transfer = costs.network_transfer(
+                    len(result.tuples) * self.config.tuple_size
+                )
+                result.latency = max(fresh_latency, chunk_latency) + transfer
+                if merge_sp is not None:
+                    merge_sp.set_attr("tuples", len(result.tuples))
+                    merge_sp.set_attr("transfer_sim", transfer)
+
+            if root is not None:
+                root.set_attr("latency_sim", result.latency)
+                root.set_attr("tuples", len(result.tuples))
+                root.set_attr("bytes_read", result.bytes_read)
+                root.set_attr("leaves_read", result.leaves_read)
+                root.set_attr("leaves_skipped", result.leaves_skipped)
+                root.set_attr("cache_hits", result.cache_hits)
+                root.set_attr("cache_misses", result.cache_misses)
+
         self.queries_executed += 1
+        if root is not None:
+            self.last_trace = root
+        if _obs.ENABLED:
+            self._m_queries.inc()
+            self._m_subqueries.observe(result.subquery_count)
+            self._m_latency_sim.observe(result.latency)
+            if root is not None:
+                # Stage-latency breakdown: span durations feed the registry
+                # so --metrics benchmark runs get per-stage histograms.
+                self._m_latency_wall.observe(root.duration)
+                for child in root.children:
+                    hist = self._m_stage.get(child.name)
+                    if hist is not None:
+                        hist.observe(child.duration)
         return result

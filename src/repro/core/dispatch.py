@@ -27,6 +27,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.model import SubQuery
 from repro.hashing import stable_hash32
 from repro.core.query_server import QueryServer, ServerDownError, SubQueryResult
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _trace
 
 
 @dataclass
@@ -233,6 +235,7 @@ def run_dispatch(
         return DispatchOutcome(results, 0.0, {})
     if not any(s.alive for s in servers):
         raise DispatchError("no alive query servers")
+    policy_name = policy.name
     policy.prepare(subqueries, servers)
 
     pending = set(range(len(subqueries)))
@@ -287,4 +290,11 @@ def run_dispatch(
         policy.prepare(subqueries, servers)
         swept = True
 
+    if _obs.ENABLED:
+        reg = _obs.registry()
+        reg.counter("dispatch.runs", policy=policy_name).inc()
+        reg.counter("dispatch.subqueries").inc(len(subqueries))
+        reg.counter("dispatch.retries").inc(retried)
+        reg.histogram("dispatch.makespan_sim").observe(makespan)
+    _trace.set_attr("assigned_servers", len(set(assignments.values())))
     return DispatchOutcome(results, makespan, assignments, retried)

@@ -15,6 +15,7 @@ from repro.core.config import WaterwheelConfig
 from repro.core.model import DataTuple
 from repro.core.partitioning import FrequencySampler, KeyPartition
 from repro.messaging import DurableLog
+from repro.obs import metrics as _obs
 
 
 class SharedPartition:
@@ -53,6 +54,12 @@ class Dispatcher:
         )
         self._since_sample = 0
         self.tuples_dispatched = 0
+        reg = _obs.registry()
+        self._m_dispatched = reg.counter(
+            "dispatcher.tuples", dispatcher=dispatcher_id
+        )
+        self._m_sampled = reg.counter("dispatcher.keys_sampled")
+        self._m_rotations = reg.counter("dispatcher.window_rotations")
 
     def route(self, t: DataTuple) -> int:
         """The indexing server responsible for this tuple's key."""
@@ -66,12 +73,18 @@ class Dispatcher:
         server = self.route(t)
         offset = self._log.append(self._topic, server, t)
         self.tuples_dispatched += 1
+        if _obs.ENABLED:
+            self._m_dispatched.inc()
         self._since_sample += 1
         if self._since_sample >= self.config.sample_every:
             self._since_sample = 0
             self.sampler.record(t.key, weight=float(self.config.sample_every))
+            if _obs.ENABLED:
+                self._m_sampled.inc()
         return server, offset
 
     def rotate_sample_window(self) -> None:
         """Age out the older sampling window."""
         self.sampler.rotate()
+        if _obs.ENABLED:
+            self._m_rotations.inc()

@@ -13,6 +13,7 @@ by replaying the durable log from its last checkpointed offset (Section V).
 
 from __future__ import annotations
 
+import time as _time
 from typing import List, Optional, Tuple
 
 from repro.btree.template import TemplateBTree
@@ -20,6 +21,8 @@ from repro.core.config import WaterwheelConfig
 from repro.core.model import DataTuple, KeyInterval, Region, SubQuery, TimeInterval
 from repro.messaging import DurableLog
 from repro.metastore import MetadataStore
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _trace
 from repro.storage import SimulatedDFS, serialize_chunk
 
 #: Tuples more than this many Delta-t behind the newest timestamp go to the
@@ -58,6 +61,17 @@ class IndexingServer:
         self._late_tree: Optional[TemplateBTree] = None
         self.flush_count = 0
         self.tuples_ingested = 0
+        # Pre-resolved instruments: ingest() pays one flag check + one
+        # integer add per tuple when metrics are on, nothing when off.
+        reg = _obs.registry()
+        self._m_ingested = reg.counter("ingest.tuples", server=server_id)
+        self._m_late = reg.counter("ingest.late_tuples")
+        self._m_flushes = reg.counter("ingest.flushes")
+        self._m_flush_wall = reg.histogram("ingest.flush_wall")
+        self._m_flush_bytes = reg.histogram(
+            "ingest.flush_bytes", scale=1024.0, unit="bytes"
+        )
+        self._m_fresh_scans = reg.counter("ingest.fresh_scans")
 
     # --- construction helpers -------------------------------------------------
 
@@ -94,6 +108,8 @@ class IndexingServer:
         if self.max_ts_seen is None or t.ts > self.max_ts_seen:
             self.max_ts_seen = t.ts
         self.tuples_ingested += 1
+        if _obs.ENABLED:
+            self._m_ingested.inc()
         self._last_offset = offset
 
         late_cutoff = (
@@ -111,6 +127,8 @@ class IndexingServer:
         return None
 
     def _ingest_late(self, t: DataTuple) -> None:
+        if _obs.ENABLED:
+            self._m_late.inc()
         if self._late_tree is None:
             self._late_tree = TemplateBTree(
                 self.assigned.lo,
@@ -178,17 +196,21 @@ class IndexingServer:
     ) -> str:
         """Serialize leaf runs into a chunk, replicate it, build sidecars,
         register the region -- shared by flushes and bulk loads."""
+        flush_started = _time.perf_counter() if _obs.ENABLED else 0.0
         seq = self.metastore.get(self._seq_key, 0)
         suffix = ("L" if late else "") + suffix_tag
         chunk_id = f"chunk-{self.server_id}-{seq}{suffix}"
         self.metastore.put(self._seq_key, seq + 1)
 
-        blob = serialize_chunk(
-            leaves,
-            self.config.sketch_granularity,
-            compress=self.config.compress_chunks,
-        )
-        self.dfs.put(chunk_id, blob)
+        with _trace.span(
+            "flush", server=self.server_id, chunk=chunk_id, tuples=n_tuples
+        ):
+            blob = serialize_chunk(
+                leaves,
+                self.config.sketch_granularity,
+                compress=self.config.compress_chunks,
+            )
+            self.dfs.put(chunk_id, blob)
         if self.config.secondary_specs:
             from repro.secondary import ChunkSecondaryIndex, sidecar_id
 
@@ -212,6 +234,10 @@ class IndexingServer:
             },
         )
         self.flush_count += 1
+        if _obs.ENABLED:
+            self._m_flushes.inc()
+            self._m_flush_wall.observe(_time.perf_counter() - flush_started)
+            self._m_flush_bytes.observe(len(blob))
         return chunk_id
 
     def bulk_load_chunk(self, records: List[DataTuple]) -> Optional[str]:
@@ -289,6 +315,8 @@ class IndexingServer:
         """
         if not self.alive:
             raise ServerDownError(f"indexing server {self.server_id} is down")
+        if _obs.ENABLED:
+            self._m_fresh_scans.inc()
         out: List[DataTuple] = []
         examined = 0
         for tree in (self._tree, self._late_tree):

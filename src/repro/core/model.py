@@ -248,6 +248,8 @@ class QueryResult:
     bytes_read: int = 0
     leaves_read: int = 0
     leaves_skipped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __len__(self) -> int:
         return len(self.tuples)

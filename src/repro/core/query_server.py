@@ -20,6 +20,8 @@ from typing import Dict, List, Tuple
 
 from repro.core.config import WaterwheelConfig
 from repro.core.model import DataTuple, SubQuery
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _trace
 from repro.storage import ChunkReader, SimulatedDFS
 
 
@@ -104,6 +106,22 @@ class QueryServer:
             spec.name: spec.extractor for spec in config.secondary_specs
         }
         self.subqueries_executed = 0
+        # Cumulative I/O accounting (stats snapshots read these; per-result
+        # numbers in SubQueryResult stay per-subquery).
+        self.cache_hits_total = 0
+        self.cache_misses_total = 0
+        self.bytes_read_total = 0
+        reg = _obs.registry()
+        self._m_subqueries = reg.counter(
+            "query_server.subqueries", server=server_id
+        )
+        self._m_cache_hits = reg.counter("query_server.cache_hits")
+        self._m_cache_misses = reg.counter("query_server.cache_misses")
+        self._m_bytes_read = reg.counter("query_server.bytes_read")
+        self._m_leaves_read = reg.counter("query_server.leaves_read")
+        self._m_leaves_skipped = reg.counter("query_server.leaves_skipped")
+        self._m_cost_sim = reg.histogram("subquery.cost_sim")
+        self._m_wall = reg.histogram("subquery.wall")
 
     # --- cache plumbing ---------------------------------------------------------
 
@@ -202,76 +220,120 @@ class QueryServer:
         if sq.chunk_id is None:
             raise ValueError("query servers only handle chunk subqueries")
         result = SubQueryResult()
-        # Coordinator round trip: subquery dispatch + completion message.
-        result.cost += 2 * self.config.costs.network_latency
-        misses_before = result.cache_misses
-        reader = self._reader_for(sq.chunk_id, result)
-        prefix_was_cold = result.cache_misses > misses_before
-        key_lo, key_hi = sq.keys.lo, sq.keys.hi - 1
+        with _trace.span(
+            "subquery", chunk=sq.chunk_id, server=self.server_id
+        ) as sub_sp:
+            # Coordinator round trip: subquery dispatch + completion message.
+            result.cost += 2 * self.config.costs.network_latency
+            misses_before = result.cache_misses
+            with _trace.span("chunk_prefix") as pre_sp:
+                reader = self._reader_for(sq.chunk_id, result)
+                prefix_was_cold = result.cache_misses > misses_before
+                key_lo, key_hi = sq.keys.lo, sq.keys.hi - 1
 
-        # Secondary-index pushdown: restrict to leaves whose bitmap/bloom
-        # sidecar says may contain the requested attribute values.
-        allowed_leaves = None
-        if sq.attr_equals or sq.attr_ranges:
-            sidecar = self._sidecar_for(
-                sq.chunk_id, result, piggyback=prefix_was_cold
-            )
-            if sidecar is not None:
-                allowed_leaves = sidecar.candidate_leaves(
-                    sq.attr_equals, sq.attr_ranges
-                )
-
-        to_fetch = []
-        fetch_bytes = 0
-        hits = []
-        for entry in reader.candidate_leaves(key_lo, key_hi):
-            if allowed_leaves is not None and entry.index not in allowed_leaves:
-                result.leaves_skipped += 1
-                continue
-            if self.config.use_temporal_sketch:
-                sketch = reader.sketch_for(entry)
-                if not sketch.might_overlap(sq.times.lo, sq.times.hi):
-                    result.leaves_skipped += 1
-                    continue
-            leaf_key = self._leaf_key(sq.chunk_id, entry.index)
-            if self.cache.touch(leaf_key):
-                result.cache_hits += 1
-                hits.append(entry)
-            else:
-                result.cache_misses += 1
-                to_fetch.append(entry)
-                fetch_bytes += entry.block_length
-
-        if to_fetch:
-            # One ranged DFS access covering every missing block.
-            result.cost += self.dfs.read_cost(sq.chunk_id, fetch_bytes, self.node_id)
-            result.bytes_read += fetch_bytes
-            for entry in to_fetch:
-                self._evict(
-                    self.cache.add(
-                        self._leaf_key(sq.chunk_id, entry.index), entry.block_length
+                # Secondary-index pushdown: restrict to leaves whose
+                # bitmap/bloom sidecar says may contain the requested
+                # attribute values.
+                allowed_leaves = None
+                if sq.attr_equals or sq.attr_ranges:
+                    sidecar = self._sidecar_for(
+                        sq.chunk_id, result, piggyback=prefix_was_cold
                     )
-                )
-
-        examined = 0
-        for entry in hits + to_fetch:
-            result.leaves_read += 1
-            for t in reader.read_leaf(entry):
-                examined += 1
-                if (
-                    key_lo <= t.key <= key_hi
-                    and sq.times.lo <= t.ts <= sq.times.hi
-                    and (sq.predicate is None or sq.predicate(t))
-                    and (
-                        not (sq.attr_equals or sq.attr_ranges)
-                        or self._attrs_match(
-                            t.payload, sq.attr_equals, sq.attr_ranges
+                    if sidecar is not None:
+                        allowed_leaves = sidecar.candidate_leaves(
+                            sq.attr_equals, sq.attr_ranges
                         )
-                    )
+                if pre_sp is not None:
+                    pre_sp.set_attr("cold", prefix_was_cold)
+
+            to_fetch = []
+            fetch_bytes = 0
+            hits = []
+            with _trace.span("bloom_prune") as prune_sp:
+                for entry in reader.candidate_leaves(key_lo, key_hi):
+                    if (
+                        allowed_leaves is not None
+                        and entry.index not in allowed_leaves
+                    ):
+                        result.leaves_skipped += 1
+                        continue
+                    if self.config.use_temporal_sketch:
+                        sketch = reader.sketch_for(entry)
+                        if not sketch.might_overlap(sq.times.lo, sq.times.hi):
+                            result.leaves_skipped += 1
+                            continue
+                    leaf_key = self._leaf_key(sq.chunk_id, entry.index)
+                    if self.cache.touch(leaf_key):
+                        result.cache_hits += 1
+                        hits.append(entry)
+                    else:
+                        result.cache_misses += 1
+                        to_fetch.append(entry)
+                        fetch_bytes += entry.block_length
+                if prune_sp is not None:
+                    prune_sp.set_attr("leaves_pruned", result.leaves_skipped)
+                    prune_sp.set_attr("leaf_cache_hits", len(hits))
+                    prune_sp.set_attr("leaf_cache_misses", len(to_fetch))
+
+            if to_fetch:
+                with _trace.span(
+                    "leaf_fetch", leaves=len(to_fetch), bytes=fetch_bytes
                 ):
-                    result.tuples.append(t)
-        result.cost += examined * self.config.costs.scan_cpu
+                    # One ranged DFS access covering every missing block.
+                    result.cost += self.dfs.read_cost(
+                        sq.chunk_id, fetch_bytes, self.node_id
+                    )
+                    result.bytes_read += fetch_bytes
+                    for entry in to_fetch:
+                        self._evict(
+                            self.cache.add(
+                                self._leaf_key(sq.chunk_id, entry.index),
+                                entry.block_length,
+                            )
+                        )
+
+            examined = 0
+            with _trace.span("leaf_scan") as scan_sp:
+                for entry in hits + to_fetch:
+                    result.leaves_read += 1
+                    for t in reader.read_leaf(entry):
+                        examined += 1
+                        if (
+                            key_lo <= t.key <= key_hi
+                            and sq.times.lo <= t.ts <= sq.times.hi
+                            and (sq.predicate is None or sq.predicate(t))
+                            and (
+                                not (sq.attr_equals or sq.attr_ranges)
+                                or self._attrs_match(
+                                    t.payload, sq.attr_equals, sq.attr_ranges
+                                )
+                            )
+                        ):
+                            result.tuples.append(t)
+                if scan_sp is not None:
+                    scan_sp.set_attr("leaves_read", result.leaves_read)
+                    scan_sp.set_attr("tuples_examined", examined)
+                    scan_sp.set_attr("tuples", len(result.tuples))
+            result.cost += examined * self.config.costs.scan_cpu
+            if sub_sp is not None:
+                sub_sp.set_attr("cost_sim", result.cost)
+                sub_sp.set_attr("bytes_read", result.bytes_read)
+                sub_sp.set_attr("cache_hits", result.cache_hits)
+                sub_sp.set_attr("cache_misses", result.cache_misses)
         self.subqueries_executed += 1
+        self.cache_hits_total += result.cache_hits
+        self.cache_misses_total += result.cache_misses
+        self.bytes_read_total += result.bytes_read
+        if _obs.ENABLED:
+            self._m_subqueries.inc()
+            self._m_cache_hits.inc(result.cache_hits)
+            self._m_cache_misses.inc(result.cache_misses)
+            self._m_bytes_read.inc(result.bytes_read)
+            self._m_leaves_read.inc(result.leaves_read)
+            self._m_leaves_skipped.inc(result.leaves_skipped)
+            self._m_cost_sim.observe(result.cost)
+            if sub_sp is not None:
+                self._m_wall.observe(sub_sp.duration)
         return result
 
     def clear_cache(self) -> None:

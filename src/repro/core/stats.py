@@ -2,14 +2,23 @@
 
 Production stores expose counters for dashboards and alerting; this module
 gathers Waterwheel's into a single nested snapshot -- per-server ingest and
-flush counts, query-server cache occupancy, DFS volume, balancer activity --
-without touching any component's hot path (all values are already tracked).
+flush counts, query-server cache occupancy and hit rates, dispatcher
+activity, DFS volume, balancer activity -- without touching any component's
+hot path (all values are already tracked).
+
+For *live* instruments (histograms, per-stage latency breakdowns) see the
+process-wide registry in :mod:`repro.obs.metrics`; :func:`collect` merges a
+registry snapshot into the component snapshot when metrics are enabled, so
+there is exactly one source for each number: per-instance totals come from
+the components, rates/percentiles come from the registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List
+
+from repro.obs import metrics as _obs
 
 
 @dataclass
@@ -35,6 +44,17 @@ class QueryServerStats:
     subqueries_executed: int
     cache_units: int
     cache_bytes: int
+    cache_capacity_bytes: int
+    cache_hits: int
+    cache_misses: int
+    bytes_read: int
+
+
+@dataclass
+class DispatcherStats:
+    """Snapshot row for one dispatcher."""
+    dispatcher_id: int
+    tuples_dispatched: int
 
 
 @dataclass
@@ -44,14 +64,18 @@ class SystemSnapshot:
     tuples_inserted: int
     in_memory_tuples: int
     chunk_count: int
+    dfs_objects: int
     dfs_bytes_written: int
     dfs_bytes_read: int
     rebalance_count: int
     queries_executed: int
     catalog_regions: int
     log_backlog: int
+    dead_indexing_servers: int = 0
+    dead_query_servers: int = 0
     indexing: List[IndexingServerStats] = field(default_factory=list)
     query: List[QueryServerStats] = field(default_factory=list)
+    dispatchers: List[DispatcherStats] = field(default_factory=list)
 
     def as_dict(self) -> Dict:
         """Nested-dict view (JSON-friendly)."""
@@ -59,14 +83,18 @@ class SystemSnapshot:
             "tuples_inserted": self.tuples_inserted,
             "in_memory_tuples": self.in_memory_tuples,
             "chunk_count": self.chunk_count,
+            "dfs_objects": self.dfs_objects,
             "dfs_bytes_written": self.dfs_bytes_written,
             "dfs_bytes_read": self.dfs_bytes_read,
             "rebalance_count": self.rebalance_count,
             "queries_executed": self.queries_executed,
             "catalog_regions": self.catalog_regions,
             "log_backlog": self.log_backlog,
+            "dead_indexing_servers": self.dead_indexing_servers,
+            "dead_query_servers": self.dead_query_servers,
             "indexing": [vars(s) for s in self.indexing],
             "query": [vars(s) for s in self.query],
+            "dispatchers": [vars(s) for s in self.dispatchers],
         }
 
 
@@ -83,12 +111,17 @@ def snapshot(system) -> SystemSnapshot:
         tuples_inserted=system.tuples_inserted,
         in_memory_tuples=system.in_memory_tuples,
         chunk_count=system.chunk_count,
+        dfs_objects=len(system.dfs),
         dfs_bytes_written=system.dfs.total_bytes_written,
         dfs_bytes_read=system.dfs.total_bytes_read,
         rebalance_count=system.balancer.rebalance_count,
         queries_executed=system.coordinator.queries_executed,
         catalog_regions=system.coordinator.catalog_size,
         log_backlog=log_backlog,
+        dead_indexing_servers=sum(
+            1 for s in system.indexing_servers if not s.alive
+        ),
+        dead_query_servers=sum(1 for s in system.query_servers if not s.alive),
     )
     for server in system.indexing_servers:
         snap.indexing.append(
@@ -105,14 +138,45 @@ def snapshot(system) -> SystemSnapshot:
             )
         )
     for server in system.query_servers:
+        # A crashed server's cache is volatile state: report zero occupancy
+        # explicitly rather than whatever the object happens to hold (the
+        # same dead-server guard the indexing rows apply).
+        alive = server.alive
         snap.query.append(
             QueryServerStats(
                 server_id=server.server_id,
                 node_id=server.node_id,
-                alive=server.alive,
+                alive=alive,
                 subqueries_executed=server.subqueries_executed,
-                cache_units=len(server.cache),
-                cache_bytes=server.cache.used_bytes,
+                cache_units=len(server.cache) if alive else 0,
+                cache_bytes=server.cache.used_bytes if alive else 0,
+                cache_capacity_bytes=server.cache.capacity,
+                cache_hits=server.cache_hits_total,
+                cache_misses=server.cache_misses_total,
+                bytes_read=server.bytes_read_total,
+            )
+        )
+    for dispatcher in system.dispatchers:
+        snap.dispatchers.append(
+            DispatcherStats(
+                dispatcher_id=dispatcher.dispatcher_id,
+                tuples_dispatched=dispatcher.tuples_dispatched,
             )
         )
     return snap
+
+
+def collect(system) -> Dict:
+    """One merged dict: component snapshot + live metrics registry.
+
+    The ``"metrics"`` key delegates to :mod:`repro.obs.metrics` (present
+    only while metrics are enabled).  Registry values are process-wide --
+    with several Waterwheel instances in one process they aggregate across
+    all of them, whereas the component fields are per-instance; overlapping
+    names (e.g. ``coordinator.queries`` vs. ``queries_executed``) agree
+    whenever a single system is running.
+    """
+    out = snapshot(system).as_dict()
+    if _obs.ENABLED:
+        out["metrics"] = _obs.registry().snapshot()
+    return out

@@ -18,6 +18,7 @@ latency) are simulated seconds from the cost model.
 from __future__ import annotations
 
 import itertools
+import time as _time
 from typing import List, Optional
 
 from repro.core.balancer import PartitionBalancer
@@ -31,6 +32,8 @@ from repro.core.partitioning import KeyPartition
 from repro.core.query_server import QueryServer
 from repro.messaging import DurableLog
 from repro.metastore import MetadataStore
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _tracing
 from repro.simulation import Cluster
 from repro.storage import SimulatedDFS
 
@@ -120,15 +123,26 @@ class Waterwheel:
 
         self.tuples_inserted = 0
         self._since_balance_check = 0
+        reg = _obs.registry()
+        self._m_inserted = reg.counter("ingest.inserted")
+        self._m_insert_wall = reg.histogram("ingest.insert_wall_sampled")
 
     # --- ingestion ---------------------------------------------------------------
 
     def insert(self, t: DataTuple) -> Optional[str]:
         """Ingest one tuple end-to-end; returns a chunk id on flush."""
+        # End-to-end wall latency is sampled 1-in-64 so enabling metrics
+        # stays within the <5% ingest-throughput budget.
+        sampled = _obs.ENABLED and (self.tuples_inserted & 63) == 0
+        started = _time.perf_counter() if sampled else 0.0
         dispatcher = self.dispatchers[next(self._dispatcher_rr)]
         server_id, offset = dispatcher.dispatch(t)
         chunk_id = self.indexing_servers[server_id].ingest(t, offset)
         self.tuples_inserted += 1
+        if _obs.ENABLED:
+            self._m_inserted.inc()
+            if sampled:
+                self._m_insert_wall.observe(_time.perf_counter() - started)
         self._since_balance_check += 1
         if self._since_balance_check >= _BALANCE_CHECK_EVERY:
             self._since_balance_check = 0
@@ -276,6 +290,41 @@ class Waterwheel:
             self.query_servers,
             policy,
         )
+
+    # --- observability --------------------------------------------------------------------
+
+    @staticmethod
+    def enable_observability(metrics_on: bool = True, tracing_on: bool = True) -> None:
+        """Turn on the process-wide metrics registry and/or query tracing.
+
+        Both facilities are module-global (one registry per process); see
+        ``docs/OBSERVABILITY.md``.  Use :meth:`disable_observability` to
+        return to the zero-overhead default.
+        """
+        _obs.set_enabled(metrics_on)
+        _tracing.set_enabled(tracing_on)
+
+    @staticmethod
+    def disable_observability() -> None:
+        """Turn both metrics and tracing off (values are retained)."""
+        _obs.set_enabled(False)
+        _tracing.set_enabled(False)
+
+    def metrics(self, include_zero: bool = False) -> dict:
+        """Snapshot of the process-wide metrics registry (JSON-friendly).
+
+        Empty until :meth:`enable_observability` (or ``repro.obs.enable``)
+        has been called and traffic has flowed.
+        """
+        return _obs.registry().snapshot(include_zero=include_zero)
+
+    def last_trace(self):
+        """The span tree of the most recent traced query, or None.
+
+        Populated by :meth:`query` while tracing is enabled; render it with
+        ``.render()`` or serialize with ``.as_dict()``.
+        """
+        return self.coordinator.last_trace
 
     # --- introspection --------------------------------------------------------------------
 

@@ -1,0 +1,73 @@
+"""Observability: process-wide metrics registry + query-lifecycle tracing.
+
+Two independently switchable facilities, both **off by default** and
+zero-cost when off:
+
+* :mod:`repro.obs.metrics` -- counters, gauges and streaming log2
+  histograms in one process-wide :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracing` -- nested wall-clock spans that follow one
+  query through decompose -> dispatch -> per-server subquery -> bloom
+  prune -> chunk read -> merge.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()                      # metrics + tracing
+    ...run queries...
+    print(obs.metrics.render_table(obs.metrics.registry().snapshot()))
+    print(obs.tracing.last_trace().render())
+    obs.disable()
+
+See ``docs/OBSERVABILITY.md`` for the full metric and span catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics, tracing
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    render_table,
+)
+from repro.obs.tracing import Span, last_trace, span, stage_coverage
+
+
+def enable(metrics_on: bool = True, tracing_on: bool = True) -> None:
+    """Turn observability on (both facilities by default)."""
+    metrics.set_enabled(metrics_on)
+    tracing.set_enabled(tracing_on)
+
+
+def disable() -> None:
+    """Turn both facilities off (instrument values are retained)."""
+    metrics.set_enabled(False)
+    tracing.set_enabled(False)
+
+
+def reset() -> None:
+    """Zero every metric and drop any recorded trace (tests, benchmarks)."""
+    metrics.registry().reset()
+    tracing.clear()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "disable",
+    "enable",
+    "last_trace",
+    "metrics",
+    "registry",
+    "render_table",
+    "reset",
+    "span",
+    "stage_coverage",
+    "tracing",
+]

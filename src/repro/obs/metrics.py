@@ -1,0 +1,280 @@
+"""Process-wide metrics registry: counters, gauges, log2 histograms.
+
+Production stores expose a metrics endpoint; this module is Waterwheel's.
+A single process-wide :class:`MetricsRegistry` (see :func:`registry`) holds
+named instruments; components resolve their instruments **once** at
+construction and the hot path only pays
+
+* one module-attribute read (``metrics.ENABLED``), and
+* one integer add on the pre-resolved instrument when enabled,
+
+so ingestion with metrics disabled is indistinguishable from the
+uninstrumented build, and enabled costs stay well under the 5% throughput
+budget (see ``benchmarks/wallclock_throughput.py``).
+
+Histograms are fixed-bucket base-2: ``observe()`` indexes a preallocated
+bucket array via :func:`math.frexp` -- no per-sample allocation, no sorting,
+O(1) memory regardless of sample count.  Percentiles are read from the
+bucket cumulative counts; with the min/max clamp a single-sample histogram
+reports its exact value and every percentile is within one power of two of
+the true order statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Module-level master switch.  Components read this attribute directly
+#: (``from repro.obs import metrics as _obs`` ... ``if _obs.ENABLED:``);
+#: never ``from repro.obs.metrics import ENABLED`` (that copies the value).
+ENABLED = False
+
+
+def set_enabled(on: bool) -> None:
+    """Flip the process-wide metrics switch."""
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def is_enabled() -> bool:
+    """Current state of the master switch."""
+    return ENABLED
+
+
+def _labelled(name: str, labels: Dict[str, object]) -> str:
+    """Canonical instrument key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming base-2 histogram with O(1) memory and no allocation.
+
+    Bucket ``0`` holds values ``<= scale``; bucket ``i`` holds values in
+    ``(scale * 2**(i-1), scale * 2**i]``; the last bucket is unbounded.
+    With the default ``scale`` of 1 microsecond and 64 buckets the range
+    covers sub-microsecond to ~584 thousand years, so durations never
+    saturate in practice.
+    """
+
+    N_BUCKETS = 64
+
+    __slots__ = ("name", "unit", "scale", "_buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, scale: float = 1e-6, unit: str = "seconds"):
+        if scale <= 0:
+            raise ValueError("scale must be > 0")
+        self.name = name
+        self.unit = unit
+        self.scale = scale
+        self._buckets = [0] * self.N_BUCKETS
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def _index(self, value: float) -> int:
+        if value <= self.scale:
+            return 0
+        m, e = math.frexp(value / self.scale)  # value/scale = m * 2**e
+        idx = e - 1 if m == 0.5 else e  # ceil(log2(value / scale))
+        return idx if idx < self.N_BUCKETS else self.N_BUCKETS - 1
+
+    def observe(self, value: float) -> None:
+        self._buckets[self._index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_upper_bound(self, index: int) -> float:
+        """Inclusive upper bound of bucket ``index`` (last bucket: +inf)."""
+        if index >= self.N_BUCKETS - 1:
+            return float("inf")
+        return self.scale * (2.0 ** index)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Upper bound on the ``p``-quantile (``0 < p <= 1``).
+
+        The smallest bucket upper bound covering at least ``ceil(p * count)``
+        samples, clamped to the observed max -- so a one-sample histogram is
+        exact and any percentile overshoots the true order statistic by at
+        most one power of two.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        if self.count == 0:
+            return None
+        rank = math.ceil(p * self.count)
+        seen = 0
+        for i, n in enumerate(self._buckets):
+            seen += n
+            if seen >= rank:
+                return min(self.bucket_upper_bound(i), self.max)
+        return self.max  # unreachable; defensive
+
+    def _reset(self) -> None:
+        for i in range(self.N_BUCKETS):
+            self._buckets[i] = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "unit": self.unit,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors.
+
+    ``counter``/``gauge``/``histogram`` return the *same* object for the
+    same name+labels, so components can cache the handle at construction
+    and never touch the registry dict on a hot path.  :meth:`reset` zeroes
+    every instrument **in place** -- cached handles stay valid.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, key: str, *args):
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(key, *args)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, _labelled(name, labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, _labelled(name, labels))
+
+    def histogram(
+        self, name: str, scale: float = 1e-6, unit: str = "seconds", **labels
+    ) -> Histogram:
+        return self._get_or_create(Histogram, _labelled(name, labels), scale, unit)
+
+    def get(self, name: str, **labels):
+        """The instrument registered under this name, or None."""
+        return self._instruments.get(_labelled(name, labels))
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (cached handles stay live)."""
+        for inst in self._instruments.values():
+            inst._reset()
+
+    def snapshot(self, include_zero: bool = False) -> Dict[str, dict]:
+        """JSON-friendly ``{name: {type, values...}}`` view.
+
+        Untouched instruments (count/value 0) are skipped unless
+        ``include_zero`` -- components pre-register instruments at import
+        or construction, and an idle deployment should not list them all.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            d = inst.as_dict()
+            if not include_zero:
+                if d["type"] == "histogram" and d["count"] == 0:
+                    continue
+                if d["type"] != "histogram" and not d["value"]:
+                    continue
+            out[name] = d
+        return out
+
+
+#: The process-wide registry every component instruments against.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _REGISTRY
+
+
+def render_table(snap: Dict[str, dict]) -> str:
+    """Plain-text rendering of a registry snapshot (the CLI's output)."""
+    lines = []
+    counters = [(k, v) for k, v in snap.items() if v["type"] != "histogram"]
+    hists = [(k, v) for k, v in snap.items() if v["type"] == "histogram"]
+    if counters:
+        width = max(len(k) for k, _ in counters)
+        lines.append("counters / gauges:")
+        for name, d in counters:
+            lines.append(f"  {name.ljust(width)}  {d['value']}")
+    if hists:
+        width = max(len(k) for k, _ in hists)
+        lines.append("histograms (count / mean / p50 / p95 / p99):")
+        for name, d in hists:
+            lines.append(
+                f"  {name.ljust(width)}  n={d['count']}"
+                f"  mean={d['mean']:.6g}  p50={d['p50']:.6g}"
+                f"  p95={d['p95']:.6g}  p99={d['p99']:.6g}  [{d['unit']}]"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

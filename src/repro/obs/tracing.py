@@ -1,0 +1,214 @@
+"""Query-lifecycle trace spans.
+
+A *span* is one timed stage of a query's execution; spans nest, so one
+query produces a tree::
+
+    query                      <- Coordinator.execute
+      decompose                <- R-tree catalog + fresh-region lookup
+      fresh                    <- indexing-server branch
+        fresh_scan             <- one per consulted indexing server
+      dispatch                 <- chunk branch (LADA / baseline policy)
+        subquery               <- one per chunk subquery
+          chunk_prefix         <- header+directory+sketch load (or cache hit)
+          bloom_prune          <- per-leaf temporal-sketch pruning
+          leaf_fetch           <- ranged DFS read of the missing blocks
+            dfs_read           <- the actual DFS data-plane access
+          leaf_scan            <- decode + key/time/predicate filtering
+      merge                    <- result transfer + latency folding
+
+Tracing is **off by default** and costs one module-attribute read per
+``span()`` call when off (the shared no-op context manager is returned, no
+``Span`` is allocated).  When on, spans record wall-clock ``perf_counter``
+durations; simulated-seconds costs from the cost model ride along as span
+attributes, so both clocks are visible in one tree.
+
+This is deliberately single-threaded (as is the whole reproduction): the
+active-span stack is a module-level list, not a thread-local.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+#: Module-level master switch, same contract as ``metrics.ENABLED``.
+ENABLED = False
+
+
+def set_enabled(on: bool) -> None:
+    """Flip the process-wide tracing switch."""
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def is_enabled() -> bool:
+    """Current state of the master switch."""
+    return ENABLED
+
+
+class Span:
+    """One timed stage: name, wall-clock bounds, attributes, children."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.attrs: Dict[str, object] = attrs or {}
+        self.start = 0.0
+        self.end = 0.0
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit."""
+        return max(0.0, self.end - self.start)
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def child(self, name: str) -> Optional["Span"]:
+        """First direct child with this name, or None."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def as_dict(self) -> dict:
+        """JSON-friendly tree view (durations in seconds)."""
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    # --- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Indented text tree with durations and % of the root."""
+        total = self.duration or 1e-12
+        lines: List[str] = []
+
+        def fmt_attrs(attrs: Dict[str, object]) -> str:
+            if not attrs:
+                return ""
+            parts = []
+            for k in sorted(attrs):
+                v = attrs[k]
+                parts.append(f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}")
+            return "  [" + " ".join(parts) + "]"
+
+        def emit(span: "Span", depth: int) -> None:
+            pct = 100.0 * span.duration / total
+            lines.append(
+                f"{'  ' * depth}{span.name:<{max(1, 24 - 2 * depth)}} "
+                f"{span.duration * 1e3:9.3f} ms  {pct:5.1f}%"
+                f"{fmt_attrs(span.attrs)}"
+            )
+            for c in span.children:
+                emit(c, depth + 1)
+
+        emit(self, 0)
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL = _NullSpan()
+
+#: Stack of currently open spans; the last completed root trace.
+_stack: List[Span] = []
+_last_root: Optional[Span] = None
+
+
+class _SpanContext:
+    """Context manager that opens a :class:`Span` on the active stack."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self._span = Span(name, attrs)
+
+    def __enter__(self) -> Span:
+        sp = self._span
+        if _stack:
+            _stack[-1].children.append(sp)
+        _stack.append(sp)
+        sp.start = perf_counter()
+        return sp
+
+    def __exit__(self, *exc) -> bool:
+        global _last_root
+        sp = self._span
+        sp.end = perf_counter()
+        # Pop up to and including this span (robust to mismatched exits).
+        while _stack:
+            top = _stack.pop()
+            if top is sp:
+                break
+        if not _stack:
+            _last_root = sp
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a trace span: ``with span("decompose", n=3) as sp: ...``.
+
+    Returns the shared no-op context manager when tracing is disabled, so
+    disabled call sites allocate nothing.  The ``with`` target is the
+    :class:`Span` (or None when disabled) -- guard attribute writes with
+    ``if sp is not None``.
+    """
+    if not ENABLED:
+        return _NULL
+    return _SpanContext(name, attrs)
+
+
+def current() -> Optional[Span]:
+    """The innermost open span, or None."""
+    return _stack[-1] if _stack else None
+
+
+def set_attr(key: str, value: object) -> None:
+    """Attach an attribute to the innermost open span (no-op when none)."""
+    if _stack:
+        _stack[-1].attrs[key] = value
+
+
+def last_trace() -> Optional[Span]:
+    """The most recently completed root span, or None."""
+    return _last_root
+
+
+def clear() -> None:
+    """Drop the open-span stack and the last completed trace (tests)."""
+    global _last_root
+    _stack.clear()
+    _last_root = None
+
+
+def stage_coverage(root: Span) -> float:
+    """Fraction of the root's wall time covered by its direct children.
+
+    The acceptance gauge for the span tree: decompose + fresh + dispatch +
+    merge should account for ~all of ``Coordinator.execute``.
+    """
+    if root.duration <= 0.0:
+        return 1.0
+    return sum(c.duration for c in root.children) / root.duration

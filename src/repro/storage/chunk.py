@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+import time as _time
 import zlib
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -32,6 +33,15 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.bloom.temporal import TemporalSketch
 from repro.core.model import DataTuple, KeyInterval, Predicate, Region, TimeInterval
+from repro.obs import metrics as _obs
+
+# Module-level instrument handles: resolved at import, poked only when the
+# registry is enabled (serialize/decode are per-flush / per-leaf paths).
+_M_SERIALIZE_WALL = _obs.registry().histogram("chunk.serialize_wall")
+_M_SERIALIZED_BYTES = _obs.registry().counter("chunk.serialized_bytes")
+_M_LEAVES_DECODED = _obs.registry().counter("chunk.leaves_decoded")
+_M_BYTES_DECODED = _obs.registry().counter("chunk.bytes_decoded")
+_M_PREFIX_PARSES = _obs.registry().counter("chunk.prefix_parses")
 
 _MAGIC = b"WWCK"
 _VERSION = 2
@@ -75,6 +85,7 @@ def serialize_chunk(
     individually addressable, the property selective reads depend on);
     block CRCs cover the stored -- compressed -- bytes.
     """
+    started = _time.perf_counter() if _obs.ENABLED else 0.0
     runs = [(keys, tuples) for keys, tuples in leaves if keys]
     n_tuples = sum(len(keys) for keys, _ in runs)
     key_lo = runs[0][0][0] if runs else 0
@@ -148,7 +159,11 @@ def serialize_chunk(
         block_off += len(block)
 
     prefix_crc = zlib.crc32(b"".join([header, bytes(directory), *sketches]))
-    return b"".join([pack_header(prefix_crc), bytes(directory), *sketches, *blocks])
+    blob = b"".join([pack_header(prefix_crc), bytes(directory), *sketches, *blocks])
+    if _obs.ENABLED:
+        _M_SERIALIZE_WALL.observe(_time.perf_counter() - started)
+        _M_SERIALIZED_BYTES.inc(len(blob))
+    return blob
 
 
 class ChunkCorruption(ValueError):
@@ -224,6 +239,8 @@ class ChunkReader:
         self.bytes_read = self.prefix_bytes
         self.leaves_read = 0
         self.leaves_skipped = 0
+        if _obs.ENABLED:
+            _M_PREFIX_PARSES.inc()
 
     # --- directory-level pruning --------------------------------------------
 
@@ -256,6 +273,9 @@ class ChunkReader:
         """Decode one leaf block (charges its bytes; verifies its CRC)."""
         self.bytes_read += entry.block_length
         self.leaves_read += 1
+        if _obs.ENABLED:
+            _M_LEAVES_DECODED.inc()
+            _M_BYTES_DECODED.inc(entry.block_length)
         start = entry.block_offset
         block = self._data[start : start + entry.block_length]
         if zlib.crc32(block) != entry.block_crc32:

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hashing import stable_hash64
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _trace
 from repro.simulation.cluster import Cluster
 from repro.simulation.costs import CostModel
 
@@ -68,6 +70,15 @@ class SimulatedDFS:
             self._spill_dir = spill_dir
         self.total_bytes_written = 0
         self.total_bytes_read = 0
+        reg = _obs.registry()
+        self._m_writes = reg.counter("dfs.writes")
+        self._m_bytes_written = reg.counter("dfs.bytes_written")
+        self._m_reads = reg.counter("dfs.reads")
+        self._m_bytes_read = reg.counter("dfs.bytes_read")
+        self._m_local_reads = reg.counter("dfs.local_reads")
+        self._m_remote_reads = reg.counter("dfs.remote_reads")
+        self._m_write_cost = reg.histogram("dfs.write_cost_sim")
+        self._m_read_cost = reg.histogram("dfs.read_cost_sim")
 
     def _spill_path(self, chunk_id: str) -> str:
         import os
@@ -94,7 +105,12 @@ class SimulatedDFS:
             self._blocks[chunk_id] = bytes(data)
         self._locations[chunk_id] = location
         self.total_bytes_written += len(data)
-        return location, self._costs.dfs_write(len(data))
+        cost = self._costs.dfs_write(len(data))
+        if _obs.ENABLED:
+            self._m_writes.inc()
+            self._m_bytes_written.inc(len(data))
+            self._m_write_cost.observe(cost)
+        return location, cost
 
     def delete(self, chunk_id: str) -> None:
         """Remove a chunk (metadata, bytes and spill file)."""
@@ -135,15 +151,21 @@ class SimulatedDFS:
 
     def get_bytes(self, chunk_id: str) -> bytes:
         """Data plane: the chunk's raw bytes (no cost accounting)."""
-        replicas = self.live_replicas(chunk_id)
-        if not replicas:
-            raise ChunkUnavailable(
-                f"all replicas of {chunk_id!r} are on failed nodes"
-            )
-        if self._spill_dir is not None:
-            with open(self._spill_path(chunk_id), "rb") as fh:
-                return fh.read()
-        return self._blocks[chunk_id]
+        with _trace.span("dfs_read", chunk=chunk_id) as sp:
+            replicas = self.live_replicas(chunk_id)
+            if not replicas:
+                raise ChunkUnavailable(
+                    f"all replicas of {chunk_id!r} are on failed nodes"
+                )
+            if self._spill_dir is not None:
+                with open(self._spill_path(chunk_id), "rb") as fh:
+                    data = fh.read()
+            else:
+                data = self._blocks[chunk_id]
+            if sp is not None:
+                sp.set_attr("bytes", len(data))
+                sp.set_attr("spilled", self._spill_dir is not None)
+            return data
 
     def read_cost(self, chunk_id: str, nbytes: int, reader_node: int) -> float:
         """Seconds to read ``nbytes`` of the chunk from ``reader_node``.
@@ -155,7 +177,13 @@ class SimulatedDFS:
         local = self.has_local_replica(chunk_id, reader_node)
         seed = stable_hash64(chunk_id) ^ next(self._access_counter)
         self.total_bytes_read += nbytes
-        return self._costs.dfs_read(nbytes, seed=seed, local=local)
+        cost = self._costs.dfs_read(nbytes, seed=seed, local=local)
+        if _obs.ENABLED:
+            self._m_reads.inc()
+            self._m_bytes_read.inc(nbytes)
+            (self._m_local_reads if local else self._m_remote_reads).inc()
+            self._m_read_cost.observe(cost)
+        return cost
 
     # --- introspection -----------------------------------------------------------
 

@@ -1,0 +1,362 @@
+"""Observability subsystem: metrics registry, histograms, trace spans."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Waterwheel, obs, small_config
+from repro.obs import metrics, tracing
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from conftest import make_tuples
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    """Every test starts and ends with observability off and zeroed."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# --- histogram percentile math ------------------------------------------------
+
+
+class TestHistogram:
+    def test_single_sample_is_exact(self):
+        h = Histogram("h")
+        h.observe(0.0371)
+        for p in (0.01, 0.5, 0.95, 0.99, 1.0):
+            assert h.percentile(p) == 0.0371
+
+    def test_empty_histogram_has_no_percentiles(self):
+        h = Histogram("h")
+        assert h.percentile(0.5) is None
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_invalid_p_rejected(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        for bad in (0.0, -0.1, 1.01):
+            with pytest.raises(ValueError):
+                h.percentile(bad)
+
+    def test_exact_at_bucket_bounds(self):
+        # Values sitting exactly on bucket upper bounds are reported exactly:
+        # with scale=1, the bounds are 1, 2, 4, 8, ...
+        h = Histogram("h", scale=1.0, unit="x")
+        for v in (1.0, 2.0, 4.0, 8.0):
+            h.observe(v)
+        assert h.percentile(0.25) == 1.0
+        assert h.percentile(0.50) == 2.0
+        assert h.percentile(0.75) == 4.0
+        assert h.percentile(1.00) == 8.0
+
+    def test_max_clamp(self):
+        # 1.5 lands in the (1, 2] bucket whose bound is 2; the observed max
+        # clamps the report back to the true value.
+        h = Histogram("h", scale=1.0)
+        h.observe(1.5)
+        assert h.percentile(0.99) == 1.5
+
+    def test_tiny_values_fall_in_bucket_zero(self):
+        h = Histogram("h", scale=1e-6)
+        h.observe(1e-9)
+        h.observe(0.0)
+        assert h.percentile(1.0) == 1e-9
+        assert h.min == 0.0
+
+    def test_stats_track_sum_min_max(self):
+        h = Histogram("h")
+        for v in (0.5, 1.5, 2.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(4.5)
+        assert h.mean == pytest.approx(1.5)
+        assert h.min == 0.5
+        assert h.max == 2.5
+
+    def test_bucket_index_covers_range_without_overflow(self):
+        h = Histogram("h", scale=1e-6)
+        h.observe(1e12)  # ~2**60 bucket units: inside the 64-bucket range
+        assert h.percentile(1.0) == 1e12
+
+    def test_as_dict_shape(self):
+        h = Histogram("h", unit="bytes")
+        h.observe(100.0)
+        d = h.as_dict()
+        assert d["type"] == "histogram"
+        assert d["unit"] == "bytes"
+        assert d["count"] == 1
+        assert d["p50"] == d["p95"] == d["p99"] == 100.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-9, max_value=1e12,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=60,
+        ),
+        p=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_percentile_bounds_and_coverage(self, samples, p):
+        h = Histogram("h")
+        for s in samples:
+            h.observe(s)
+        pct = h.percentile(p)
+        # Any percentile lies within the observed value range ...
+        assert min(samples) <= pct <= max(samples)
+        # ... and is a genuine upper bound on the p-quantile: at least
+        # ceil(p * n) samples fall at or below it (1e-9 relative tolerance
+        # for float rounding at bucket boundaries).
+        rank = math.ceil(p * len(samples))
+        covered = sum(1 for s in samples if s <= pct * (1 + 1e-9))
+        assert covered >= rank
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-9, max_value=1e12,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_percentiles_monotonic_in_p(self, samples):
+        h = Histogram("h")
+        for s in samples:
+            h.observe(s)
+        ps = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        values = [h.percentile(p) for p in ps]
+        assert values == sorted(values)
+
+
+# --- registry -----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_labels_are_canonicalized_sorted(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("x", server=1, node=2)
+        c2 = reg.counter("x", node=2, server=1)
+        assert c1 is c2
+        assert c1.name == "x{node=2,server=1}"
+        assert reg.counter("x", server=3) is not c1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("dual")
+        with pytest.raises(TypeError):
+            reg.histogram("dual")
+
+    def test_reset_zeroes_in_place(self):
+        # Cached handles must survive reset: components resolve instruments
+        # once at construction and never re-fetch them.
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        h = reg.histogram("h")
+        c.inc(5)
+        h.observe(1.0)
+        reg.reset()
+        assert c is reg.counter("c")
+        assert c.value == 0
+        assert h.count == 0
+        c.inc()
+        assert reg.get("c").value == 1
+
+    def test_snapshot_skips_zero_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("idle")
+        reg.histogram("quiet")
+        reg.counter("busy").inc()
+        assert set(reg.snapshot()) == {"busy"}
+        assert set(reg.snapshot(include_zero=True)) == {"idle", "quiet", "busy"}
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_counter_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+
+# --- tracing ------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_disabled_span_is_shared_noop(self):
+        assert not tracing.is_enabled()
+        cm1 = tracing.span("a")
+        cm2 = tracing.span("b", attr=1)
+        assert cm1 is cm2  # the shared _NULL: no allocation when off
+        with cm1 as sp:
+            assert sp is None
+        assert tracing.last_trace() is None
+
+    def test_nesting_and_ordering(self):
+        tracing.set_enabled(True)
+        with tracing.span("root") as root:
+            with tracing.span("first"):
+                with tracing.span("inner"):
+                    pass
+            with tracing.span("second"):
+                pass
+        assert [c.name for c in root.children] == ["first", "second"]
+        assert [c.name for c in root.child("first").children] == ["inner"]
+        assert [s.name for s in root.walk()] == [
+            "root", "first", "inner", "second",
+        ]
+        # Children's wall time nests inside the parent's.
+        for child in root.children:
+            assert child.start >= root.start
+            assert child.end <= root.end
+            assert child.duration <= root.duration
+
+    def test_last_trace_is_completed_root(self):
+        tracing.set_enabled(True)
+        with tracing.span("q1"):
+            assert tracing.current().name == "q1"
+        with tracing.span("q2"):
+            pass
+        assert tracing.last_trace().name == "q2"
+        tracing.clear()
+        assert tracing.last_trace() is None
+
+    def test_attrs_and_set_attr(self):
+        tracing.set_enabled(True)
+        with tracing.span("s", fixed=1) as sp:
+            tracing.set_attr("live", 2)
+            sp.set_attr("direct", 3)
+        assert sp.attrs == {"fixed": 1, "live": 2, "direct": 3}
+
+    def test_stage_coverage(self):
+        root = tracing.Span("root")
+        root.start, root.end = 0.0, 1.0
+        a = tracing.Span("a")
+        a.start, a.end = 0.0, 0.6
+        b = tracing.Span("b")
+        b.start, b.end = 0.6, 0.9
+        root.children = [a, b]
+        assert tracing.stage_coverage(root) == pytest.approx(0.9)
+
+    def test_render_and_as_dict(self):
+        tracing.set_enabled(True)
+        with tracing.span("query", tuples=7):
+            with tracing.span("stage"):
+                pass
+        root = tracing.last_trace()
+        text = root.render()
+        assert "query" in text and "stage" in text and "tuples=7" in text
+        d = root.as_dict()
+        assert d["name"] == "query"
+        assert d["children"][0]["name"] == "stage"
+
+
+# --- disabled no-op + end-to-end facade ---------------------------------------
+
+
+class TestDisabledNoOp:
+    def test_disabled_system_records_nothing(self):
+        ww = Waterwheel(small_config())
+        for t in make_tuples(300):
+            ww.insert(t)
+        ww.query(0, 10_000, 0.0, 10.0)
+        assert metrics.registry().snapshot() == {}
+        assert ww.last_trace() is None
+
+    def test_enable_disable_roundtrip(self):
+        obs.enable()
+        assert metrics.is_enabled() and tracing.is_enabled()
+        obs.disable()
+        assert not metrics.is_enabled() and not tracing.is_enabled()
+        obs.enable(metrics_on=True, tracing_on=False)
+        assert metrics.is_enabled() and not tracing.is_enabled()
+
+
+class TestWaterwheelObservability:
+    def _run_workload(self, n=2_000):
+        ww = Waterwheel(small_config(chunk_bytes=16 * 1024))
+        data = make_tuples(n)
+        ww.insert_many(data)
+        now = max(t.ts for t in data)
+        res = ww.query(1_000, 8_000, 0.0, now)
+        return ww, res
+
+    def test_metrics_cover_ingest_and_query(self):
+        obs.enable()
+        ww, res = self._run_workload()
+        snap = ww.metrics()
+        assert snap["ingest.inserted"]["value"] == 2_000
+        assert snap["coordinator.queries"]["value"] == 1
+        assert snap["ingest.flushes"]["value"] == ww.chunk_count > 0
+        assert snap["query.latency_wall"]["count"] == 1
+        # Per-stage wall histograms decompose the query latency.
+        for stage in ("decompose", "fresh", "dispatch", "merge"):
+            assert snap[f"query.stage.{stage}_wall"]["count"] == 1
+
+    def test_btree_insert_counter_exact_after_flush(self):
+        obs.enable()
+        ww, res = self._run_workload()
+        snap = ww.metrics()
+        # The batched counter syncs at every flush; remaining lag is each
+        # tree's in-memory tail, bounded by the 1-in-64 sample stride per
+        # indexing server.
+        counted = snap["btree.inserts"]["value"]
+        assert counted <= 2_000
+        assert counted >= 2_000 - 64 * len(ww.indexing_servers)
+
+    def test_trace_tree_shape_and_coverage(self):
+        obs.enable()
+        ww, res = self._run_workload()
+        root = ww.last_trace()
+        assert root.name == "query"
+        stages = [c.name for c in root.children]
+        assert stages == ["decompose", "fresh", "dispatch", "merge"]
+        # Acceptance gauge: the stage spans explain the query latency --
+        # their durations sum to within 10% of the root's wall time.
+        assert tracing.stage_coverage(root) >= 0.9
+        assert root.attrs["tuples"] == len(res)
+        assert root.attrs["query_id"] == 1
+
+    def test_trace_subquery_spans_carry_cache_attribution(self):
+        obs.enable()
+        ww, res = self._run_workload()
+        root = ww.last_trace()
+        dispatch = root.child("dispatch")
+        assert dispatch is not None
+        subqueries = [c for c in dispatch.children if c.name == "subquery"]
+        assert subqueries, "chunked workload must produce chunk subqueries"
+        for sq in subqueries:
+            assert {"chunk", "server", "cache_hits", "cache_misses"} <= set(
+                sq.attrs
+            )
+            assert [c.name for c in sq.children][:1] == ["chunk_prefix"]
+
+    def test_registry_is_process_wide_across_instances(self):
+        obs.enable()
+        cfg = small_config()
+        data = make_tuples(200)
+        ww1 = Waterwheel(cfg)
+        ww2 = Waterwheel(small_config())
+        ww1.insert_many(data)
+        ww2.insert_many(data)
+        snap = ww1.metrics()
+        assert snap["ingest.inserted"]["value"] == 400  # aggregated
