@@ -1,0 +1,183 @@
+"""Batched vs looped ingest throughput (wall clock, pure Python).
+
+Measures what the prototype sustains end-to-end -- dispatch + durable log +
+template-tree indexing + chunk flushes -- through the looped one-tuple path
+(``insert_many``) and the batched fast path (``insert_batch``) on the same
+100k-tuple stream, sweeping the batch size.  The batched path routes each
+batch with one shared-partition read, appends one record run per log
+partition, and walks each indexing server's template with a leaf-to-leaf
+cursor, so its advantage grows with batch size until flush costs (identical
+in both paths) dominate.
+
+Writes ``BENCH_ingest.json`` at the repo root: per-batch-size rows plus a
+headline ``speedup`` (best batch size over the loop).  The two paths are
+also cross-checked for equivalent system state (same flush counts, same
+chunks) before any timing is trusted.
+
+Usage::
+
+    python benchmarks/ingest_throughput.py [--records N] [--batch B1,B2,...]
+        [--repeats R] [--out PATH]
+
+CI smoke runs use small ``--records`` to keep runtime negligible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro import DataTuple, Waterwheel, WaterwheelConfig
+
+DEFAULT_RECORDS = 100_000
+DEFAULT_BATCH_SIZES = (2048, 4096, 8192, 16384, 32768)
+DEFAULT_REPEATS = 3
+
+#: Steady-state ingest setting: 3 nodes (6 indexing servers) with 128 KB
+#: chunks, so a 100k-tuple run flushes a few dozen chunks -- the regime the
+#: batched path is built for.
+BENCH_CONFIG = dict(n_nodes=3, chunk_bytes=1 << 17)
+
+
+def make_stream(n, seed=7, late_fraction=0.01):
+    """A mostly-ordered stream at ~1k tuples/simulated-second with a sprinkle
+    of late arrivals (5-50 s behind), uniform keys over the 32-bit domain."""
+    rng = random.Random(seed)
+    out = []
+    clock = 0.0
+    for i in range(n):
+        clock += rng.expovariate(1000.0)
+        key = rng.randrange(0, 1 << 32)
+        if rng.random() < late_fraction:
+            out.append(DataTuple(key, clock - rng.uniform(5.0, 50.0), payload=i))
+        else:
+            out.append(DataTuple(key, clock, payload=i))
+    return out
+
+
+def run_loop(stream):
+    ww = Waterwheel(WaterwheelConfig(**BENCH_CONFIG))
+    started = time.perf_counter()
+    ww.insert_many(stream)
+    return time.perf_counter() - started, ww
+
+
+def run_batched(stream, batch_size):
+    ww = Waterwheel(WaterwheelConfig(**BENCH_CONFIG))
+    started = time.perf_counter()
+    for i in range(0, len(stream), batch_size):
+        ww.insert_batch(stream[i : i + batch_size])
+    return time.perf_counter() - started, ww
+
+
+def check_equivalent(a, b):
+    """The two paths must land in the same system state before timings
+    mean anything."""
+    flushes_a = [s.flush_count for s in a.indexing_servers]
+    flushes_b = [s.flush_count for s in b.indexing_servers]
+    if flushes_a != flushes_b:
+        raise AssertionError(f"flush counts diverge: {flushes_a} != {flushes_b}")
+    if a.in_memory_tuples != b.in_memory_tuples:
+        raise AssertionError("in-memory tuple counts diverge")
+    chunks_a = sorted(a.metastore.list_prefix("/chunks/"))
+    chunks_b = sorted(b.metastore.list_prefix("/chunks/"))
+    if chunks_a != chunks_b:
+        raise AssertionError("chunk sets diverge")
+
+
+def run_experiment(n_records, batch_sizes, repeats):
+    stream = make_stream(n_records)
+    loop_s, loop_ww = run_loop(stream)
+    for _ in range(repeats - 1):
+        s, _ = run_loop(stream)
+        loop_s = min(loop_s, s)
+    loop_rate = n_records / loop_s
+
+    rows = []
+    best = None
+    for batch_size in batch_sizes:
+        bat_s, bat_ww = run_batched(stream, batch_size)
+        check_equivalent(loop_ww, bat_ww)
+        for _ in range(repeats - 1):
+            s, _ = run_batched(stream, batch_size)
+            bat_s = min(bat_s, s)
+        rate = n_records / bat_s
+        speedup = loop_s / bat_s
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "batched_tuples_per_s": rate,
+                "speedup_vs_loop": speedup,
+            }
+        )
+        if best is None or speedup > best["speedup_vs_loop"]:
+            best = rows[-1]
+
+    return {
+        "records": n_records,
+        "repeats": repeats,
+        "config": dict(BENCH_CONFIG),
+        "loop_tuples_per_s": loop_rate,
+        "rows": rows,
+        "best_batch_size": best["batch_size"] if best else None,
+        "speedup": best["speedup_vs_loop"] if best else None,
+    }
+
+
+def _parse_args(argv):
+    records = DEFAULT_RECORDS
+    batch_sizes = list(DEFAULT_BATCH_SIZES)
+    repeats = DEFAULT_REPEATS
+    out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_ingest.json",
+    )
+    it = iter(argv)
+    for arg in it:
+        if arg == "--records":
+            records = int(next(it))
+        elif arg == "--batch":
+            batch_sizes = [int(b) for b in next(it).split(",")]
+        elif arg == "--repeats":
+            repeats = int(next(it))
+        elif arg == "--out":
+            out = next(it)
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+    return records, batch_sizes, repeats, out
+
+
+def main():
+    records, batch_sizes, repeats, out = _parse_args(sys.argv[1:])
+    result = run_experiment(records, batch_sizes, repeats)
+    print_table(
+        f"Ingest throughput, {records} tuples (wall clock, best of {repeats})",
+        ["path", "batch", "tuples/s", "speedup"],
+        [("insert_many (loop)", "-", result["loop_tuples_per_s"], 1.0)]
+        + [
+            (
+                "insert_batch",
+                row["batch_size"],
+                row["batched_tuples_per_s"],
+                row["speedup_vs_loop"],
+            )
+            for row in result["rows"]
+        ],
+    )
+    with open(out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print(f"\nwrote {out} (headline speedup {result['speedup']:.2f}x "
+          f"at batch {result['best_batch_size']})")
+    return result
+
+
+if __name__ == "__main__":
+    from _common import bench_entry
+
+    bench_entry(main)

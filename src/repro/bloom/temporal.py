@@ -55,9 +55,27 @@ class TemporalSketch:
         self._filter.add(int(ts // self.granularity))
 
     def add_timestamps(self, timestamps: Iterable[float]) -> None:
-        """Record every timestamp's mini-range."""
-        for ts in timestamps:
-            self.add_timestamp(ts)
+        """Record every timestamp's mini-range.
+
+        The mini-range ids are deduplicated before probing the filter --
+        time-ordered runs land mostly in one mini-range, so a batch pays a
+        handful of hash rounds instead of one per tuple.  The resulting bit
+        set (and ``n_added``) matches per-timestamp :meth:`add_timestamp`
+        calls exactly.
+        """
+        ts_list = timestamps if isinstance(timestamps, list) else list(timestamps)
+        g = self.granularity
+        if g == 1.0:
+            # int(ts // 1.0) == math.floor(ts) for every finite float, and
+            # set(map(floor, ...)) dedupes entirely in C.
+            unique = set(map(math.floor, ts_list))
+        else:
+            unique = {int(ts // g) for ts in ts_list}
+        f = self._filter
+        f.add_many(unique)
+        extra = len(ts_list) - len(unique)
+        if extra > 0:
+            f.n_added += extra
 
     def might_overlap(self, t_lo: float, t_hi: float) -> bool:
         """False means *no* tuple in the leaf falls within [t_lo, t_hi];

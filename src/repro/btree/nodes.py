@@ -14,6 +14,7 @@ scans can skip leaves with no temporally matching tuples (Section IV-B).
 from __future__ import annotations
 
 import itertools
+import operator
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
@@ -22,6 +23,9 @@ from repro.bloom.temporal import TemporalSketch
 from repro.core.model import DataTuple, Predicate
 
 _node_ids = itertools.count(1)
+
+#: C-speed key extractor for the insert_run merge sort.
+_TUPLE_KEY = operator.attrgetter("key")
 
 
 class LeafNode:
@@ -46,6 +50,34 @@ class LeafNode:
         self.tuples.insert(pos, t)
         if self.sketch is not None:
             self.sketch.add_timestamp(t.ts)
+
+    def insert_run(self, run: List[DataTuple]) -> None:
+        """Merge a key-sorted run of tuples into the leaf in one pass.
+
+        Equivalent to calling :meth:`insert` on each tuple in run order
+        (equal keys land after existing ones, run order preserved among
+        themselves), but costs one merge instead of per-tuple bisects and
+        O(leaf) list inserts.
+        """
+        if not run:
+            return
+        if self.sketch is not None:
+            self.sketch.add_timestamps([t.ts for t in run])
+        run_keys = [t.key for t in run]
+        if not self.keys or self.keys[-1] <= run_keys[0]:
+            # Appending run: the common case for time-correlated keys and
+            # for freshly reset leaves.
+            self.keys.extend(run_keys)
+            self.tuples.extend(run)
+            return
+        # Stable sort of the concatenation: existing tuples sit first, so
+        # equal keys keep them ahead of the run -- exactly insert()'s
+        # bisect_right placement -- and Timsort merges the two already
+        # sorted halves in O(n) at C speed.
+        self.keys.extend(run_keys)
+        self.keys.sort()
+        self.tuples.extend(run)
+        self.tuples.sort(key=_TUPLE_KEY)
 
     def scan(
         self,
@@ -77,8 +109,7 @@ class LeafNode:
         self.sketch = TemporalSketch(
             granularity=granularity, expected_items=max(64, len(self.tuples))
         )
-        for t in self.tuples:
-            self.sketch.add_timestamp(t.ts)
+        self.sketch.add_timestamps([t.ts for t in self.tuples])
 
 
 class InnerNode:

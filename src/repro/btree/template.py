@@ -20,7 +20,7 @@ the inner nodes bottom-up.
 from __future__ import annotations
 
 import time
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import List, Optional, Tuple
 
 from repro.btree.nodes import (
@@ -204,6 +204,54 @@ class TemplateBTree:
             if self.skewness() > self.skew_threshold:
                 self.update_template()
 
+    def insert_run(self, run: List[DataTuple]) -> None:
+        """Insert a key-sorted run with one leaf-to-leaf cursor.
+
+        Equivalent to ``for t in run: self.insert(t)`` for a run sorted
+        stably by key (equal keys keep their relative order), but descends
+        the template once: the run is split at the leaf separators with
+        bisects and each slice is merged into its leaf in one pass, instead
+        of one root-to-leaf descent and one O(leaf) list insert per tuple.
+        Skew detection moves to per-run granularity (one check per
+        ``check_every`` inserted tuples, same trigger cadence as the
+        per-tuple path up to run-boundary rounding).
+        """
+        n = len(run)
+        if n == 0:
+            return
+        timed = self.record_timings
+        started = time.perf_counter() if timed else 0.0
+        keys = [t.key for t in run]
+        seps = self._separators
+        leaves = self._leaves
+        i = 0
+        leaf_idx = bisect_right(seps, keys[0])
+        last_leaf = leaves[leaf_idx]
+        while i < n:
+            if leaf_idx < len(seps):
+                # First run index belonging to a later leaf.
+                j = bisect_left(keys, seps[leaf_idx], i)
+            else:
+                j = n
+            if j > i:
+                last_leaf = leaves[leaf_idx]
+                last_leaf.insert_run(run[i:j])
+                i = j
+            if i < n:
+                leaf_idx = bisect_right(seps, keys[i], leaf_idx)
+        self._size += n
+        self.stats.inserts += n
+        self.last_leaf_id = last_leaf.node_id
+        if timed:
+            self.stats.insert_seconds += time.perf_counter() - started
+        if _obs.ENABLED:
+            self._sync_insert_counter()
+        self._since_check += n
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            if self.skewness() > self.skew_threshold:
+                self.update_template()
+
     def _sync_insert_counter(self) -> None:
         """Push inserts since the last sync into ``btree.inserts``.
 
@@ -339,11 +387,15 @@ class TemplateBTree:
         lo = None
         hi = None
         for leaf in self._leaves:
-            for t in leaf.tuples:
-                if lo is None or t.ts < lo:
-                    lo = t.ts
-                if hi is None or t.ts > hi:
-                    hi = t.ts
+            if not leaf.tuples:
+                continue
+            timestamps = [t.ts for t in leaf.tuples]
+            leaf_lo = min(timestamps)
+            leaf_hi = max(timestamps)
+            if lo is None or leaf_lo < lo:
+                lo = leaf_lo
+            if hi is None or leaf_hi > hi:
+                hi = leaf_hi
         if lo is None:
             return None
         return lo, hi

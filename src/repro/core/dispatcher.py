@@ -9,7 +9,8 @@ partitioning (Section III-D).
 
 from __future__ import annotations
 
-from typing import Tuple
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import WaterwheelConfig
 from repro.core.model import DataTuple
@@ -82,6 +83,83 @@ class Dispatcher:
             if _obs.ENABLED:
                 self._m_sampled.inc()
         return server, offset
+
+    def route_batch(
+        self, batch: Sequence[DataTuple]
+    ) -> Dict[int, Tuple[List[DataTuple], int]]:
+        """Route and log a whole batch in one shared-partition read.
+
+        Returns ``{server_id: (tuples in arrival order, first offset)}``;
+        each server's tuples got contiguous durable-log offsets starting at
+        ``first offset``.  Routing and log contents are byte-identical to
+        :meth:`dispatch` per tuple, but the partition is read once and each
+        log partition takes a single ``append_batch``.  Sampling and
+        dispatch accounting are *not* done here -- the system splits those
+        across dispatchers with :meth:`observe_batch` to mirror the
+        per-tuple round-robin exactly.
+        """
+        partition = self._shared.current  # one shared read per batch
+        boundaries = partition.boundaries
+        per_server: Dict[int, List[DataTuple]] = {}
+        if boundaries:
+            # Keep the per-tuple loop body minimal: one C bisect, one list
+            # index, one pre-bound append call.
+            runs: List[List[DataTuple]] = [
+                [] for _ in range(len(boundaries) + 1)
+            ]
+            appenders = [run.append for run in runs]
+            bisect = bisect_right
+            for t in batch:
+                appenders[bisect(boundaries, t.key)](t)
+            per_server = {
+                server: run for server, run in enumerate(runs) if run
+            }
+        else:
+            per_server[0] = list(batch)
+        out: Dict[int, Tuple[List[DataTuple], int]] = {}
+        for server, run in per_server.items():
+            first = self._log.append_batch(self._topic, server, run)
+            out[server] = (run, first)
+        return out
+
+    def observe_batch(self, seen: Sequence[DataTuple]) -> None:
+        """Account for ``seen`` tuples and stride-sample their keys.
+
+        ``seen`` is the subsequence of a batch this dispatcher would have
+        received tuple-by-tuple under the system's round-robin.  The tuples
+        the per-tuple countdown would have sampled sit at fixed positions,
+        so the sampler ends in exactly the state :meth:`dispatch` would
+        have left it in.
+        """
+        n = len(seen)
+        if n == 0:
+            return
+        self.tuples_dispatched += n
+        if _obs.ENABLED:
+            self._m_dispatched.inc(n)
+        stride = self.config.sample_every
+        i = stride - self._since_sample - 1
+        sampled = 0
+        while i < n:
+            self.sampler.record(seen[i].key, weight=float(stride))
+            sampled += 1
+            i += stride
+        self._since_sample = (self._since_sample + n) % stride
+        if _obs.ENABLED and sampled:
+            self._m_sampled.inc(sampled)
+
+    def dispatch_batch(
+        self, batch: Sequence[DataTuple]
+    ) -> Dict[int, Tuple[List[DataTuple], int]]:
+        """Route, log, account and sample a whole batch on this dispatcher.
+
+        Standalone convenience equal to :meth:`dispatch` per tuple when a
+        single dispatcher owns the stream; multi-dispatcher systems split
+        the sampling via :meth:`observe_batch` instead.
+        """
+        out = self.route_batch(batch)
+        self.observe_batch(batch)
+        return out
 
     def rotate_sample_window(self) -> None:
         """Age out the older sampling window."""

@@ -13,7 +13,9 @@ by replaying the durable log from its last checkpointed offset (Section V).
 
 from __future__ import annotations
 
+import operator as _operator
 import time as _time
+from itertools import compress as _compress
 from typing import List, Optional, Tuple
 
 from repro.btree.template import TemplateBTree
@@ -28,6 +30,9 @@ from repro.storage import SimulatedDFS, serialize_chunk
 #: Tuples more than this many Delta-t behind the newest timestamp go to the
 #: separate late buffer instead of the main tree.
 _SEVERELY_LATE_FACTOR = 4.0
+
+#: C-speed key extractor for sorting batched runs.
+_BY_KEY = _operator.attrgetter("key")
 
 
 class ServerDownError(RuntimeError):
@@ -126,9 +131,159 @@ class IndexingServer:
             return self.flush()
         return None
 
-    def _ingest_late(self, t: DataTuple) -> None:
+    def ingest_run(
+        self, run: List[DataTuple], first_offset: Optional[int] = None
+    ) -> List[str]:
+        """Batched ingest of one dispatched run (arrival order).
+
+        Behaviourally equivalent to ``for t in run: self.ingest(t, ...)``
+        -- same late-buffer routing against the running max timestamp, same
+        flush points, same checkpointed offsets -- but classification and
+        flush-boundary detection happen in one O(n) arrival-order pass and
+        the tuples between two flush points are inserted as a key-sorted
+        run via :meth:`TemplateBTree.insert_run` (one leaf-to-leaf cursor
+        instead of n root descents).  ``first_offset`` is the durable-log
+        offset of ``run[0]``; tuple ``i`` holds ``first_offset + i``.
+        Returns every chunk id flushed (main and late).
+        """
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        if not run:
+            return []
+        cfg = self.config
+        chunk_bytes = cfg.chunk_bytes
+        late_window = _SEVERELY_LATE_FACTOR * cfg.late_delta
+        by_key = _BY_KEY  # stable sorts: arrival order kept for equal keys
+
+        # Fast path: classify lates against the running max in one
+        # vectorized pass, and when no flush can land inside this run,
+        # commit main and late in two stable sorts with no per-tuple loop.
+        n = len(run)
+        ts_list = [t.ts for t in run]
+        prev_max = self.max_ts_seen
+        run_max = max(ts_list)
+        overall_max = run_max if prev_max is None or run_max > prev_max else prev_max
+        # Lateness compares each tuple against the running max *before* it
+        # (window > 0 makes that equal to :meth:`ingest`'s max-including-t
+        # check), and the running max never exceeds ``overall_max`` -- so
+        # every late tuple sits below a *scalar* threshold.  The candidate
+        # scan therefore runs entirely in C; only the rare candidates get
+        # their exact running max, rebuilt from the block maxima between
+        # consecutive candidates.
+        thr = overall_max - late_window
+        late_idx: List[int] = []
+        rmax = prev_max if prev_max is not None else float("-inf")
+        prev = 0
+        for i in _compress(range(n), map(thr.__gt__, ts_list)):
+            if i > prev:
+                block_max = max(ts_list[prev:i])
+                if block_max > rmax:
+                    rmax = block_max
+            t_ts = ts_list[i]
+            if t_ts < rmax - late_window:
+                late_idx.append(i)
+            if t_ts > rmax:
+                rmax = t_ts
+            prev = i + 1
+        total_bytes = sum([t.size for t in run])
+        if late_idx:
+            late_run = [run[i] for i in late_idx]
+            late_total = sum(t.size for t in late_run)
+            main_total = total_bytes - late_total
+        else:
+            late_run = []
+            late_total = 0
+            main_total = total_bytes
+        if (
+            self._bytes_in_memory + main_total < chunk_bytes
+            and self._late_bytes + late_total < chunk_bytes
+        ):
+            if late_idx:
+                late_set = set(late_idx)
+                main_run = [t for i, t in enumerate(run) if i not in late_set]
+            else:
+                main_run = run if isinstance(run, list) else list(run)
+            if main_run:
+                self._tree.insert_run(sorted(main_run, key=by_key))
+                self._bytes_in_memory += main_total
+            if late_run:
+                self._ensure_late_tree()
+                self._late_tree.insert_run(sorted(late_run, key=by_key))
+                self._late_bytes += late_total
+            self.max_ts_seen = overall_max
+            self._last_offset = (
+                first_offset + n - 1 if first_offset is not None else None
+            )
+            self.tuples_ingested += n
+            if _obs.ENABLED:
+                self._m_ingested.inc(n)
+                if late_idx:
+                    self._m_late.inc(len(late_idx))
+            return []
+
+        chunk_ids: List[str] = []
+        main_pending: List[DataTuple] = []
+        late_pending: List[DataTuple] = []
+        max_ts = self.max_ts_seen
+        main_bytes = self._bytes_in_memory
+        late_bytes = self._late_bytes
+        n_late = 0
+
+        def commit_main() -> None:
+            if main_pending:
+                self._tree.insert_run(sorted(main_pending, key=by_key))
+                self._bytes_in_memory += sum(t.size for t in main_pending)
+                main_pending.clear()
+
+        def commit_late() -> None:
+            if late_pending:
+                self._ensure_late_tree()
+                self._late_tree.insert_run(sorted(late_pending, key=by_key))
+                self._late_bytes += sum(t.size for t in late_pending)
+                late_pending.clear()
+
+        for i, t in enumerate(run):
+            if max_ts is None or t.ts > max_ts:
+                max_ts = t.ts
+            if t.ts < max_ts - late_window:
+                late_pending.append(t)
+                late_bytes += t.size
+                n_late += 1
+                if late_bytes >= chunk_bytes:
+                    commit_late()
+                    chunk_id = self._flush_tree(self._late_tree, late=True)
+                    if chunk_id is not None:
+                        chunk_ids.append(chunk_id)
+                    self._late_tree = None
+                    self._late_bytes = 0
+                    late_bytes = 0
+            else:
+                main_pending.append(t)
+                main_bytes += t.size
+                if main_bytes >= chunk_bytes:
+                    commit_main()
+                    self.max_ts_seen = max_ts
+                    self._last_offset = (
+                        first_offset + i if first_offset is not None else None
+                    )
+                    chunk_id = self.flush()
+                    if chunk_id is not None:
+                        chunk_ids.append(chunk_id)
+                    main_bytes = 0
+        commit_main()
+        commit_late()
+        self.max_ts_seen = max_ts
+        self._last_offset = (
+            first_offset + len(run) - 1 if first_offset is not None else None
+        )
+        self.tuples_ingested += len(run)
         if _obs.ENABLED:
-            self._m_late.inc()
+            self._m_ingested.inc(len(run))
+            if n_late:
+                self._m_late.inc(n_late)
+        return chunk_ids
+
+    def _ensure_late_tree(self) -> None:
         if self._late_tree is None:
             self._late_tree = TemplateBTree(
                 self.assigned.lo,
@@ -137,6 +292,11 @@ class IndexingServer:
                 fanout=self.config.fanout,
                 sketch_granularity=self.config.sketch_granularity,
             )
+
+    def _ingest_late(self, t: DataTuple) -> None:
+        if _obs.ENABLED:
+            self._m_late.inc()
+        self._ensure_late_tree()
         self._late_tree.insert(t)
         self._late_bytes += t.size
         if self._late_bytes >= self.config.chunk_bytes:

@@ -74,14 +74,21 @@ class KeyPartition:
         boundaries: List[int] = []
         acc = 0.0
         next_cut = target
+        pending = 0
         for i, count in enumerate(bucket_counts):
             acc += count
-            while acc >= next_cut and len(boundaries) < n_servers - 1:
-                # Cut at this bucket's right edge.
+            # A single hot bucket can absorb several cut targets, but bucket
+            # edges are the finest cut positions available, so owed cuts
+            # carry forward (``pending``) and land on the next distinct
+            # bucket edges instead of being silently dropped.
+            while acc >= next_cut and len(boundaries) + pending < n_servers - 1:
+                pending += 1
+                next_cut += target
+            if pending:
                 b = key_lo + round(span * (i + 1) / n_buckets)
                 if key_lo < b < key_hi and (not boundaries or b > boundaries[-1]):
                     boundaries.append(b)
-                next_cut += target
+                    pending -= 1
         return cls(key_lo, key_hi, boundaries)
 
     @classmethod
@@ -191,11 +198,7 @@ def aggregate_histograms(histograms: Sequence[Sequence[float]]) -> List[float]:
     n = len(histograms[0])
     if any(len(h) != n for h in histograms):
         raise ValueError("histograms must share bucket count")
-    out = [0.0] * n
-    for hist in histograms:
-        for i, value in enumerate(hist):
-            out[i] += value
-    return out
+    return list(map(sum, zip(*histograms)))
 
 
 def load_deviation(loads: Sequence[float]) -> float:

@@ -66,13 +66,17 @@ class LRUCache:
         evicted = []
         if key in self._units:
             self._bytes -= self._units.pop(key)
+        if size > self.capacity:
+            # An oversized unit can never fit: admitting it would first
+            # drain every resident unit for nothing, so refuse it without
+            # disturbing the working set.
+            return evicted
         while self._units and self._bytes + size > self.capacity:
             old_key, old_size = self._units.popitem(last=False)
             self._bytes -= old_size
             evicted.append(old_key)
-        if size <= self.capacity:
-            self._units[key] = size
-            self._bytes += size
+        self._units[key] = size
+        self._bytes += size
         return evicted
 
     @property
@@ -137,6 +141,10 @@ class QueryServer:
                 self._readers.pop(key[1], None)
             elif key[0] == "sidecar":
                 self._sidecars.pop(key[1], None)
+            elif key[0] == "leaf":
+                reader = self._readers.get(key[1])
+                if reader is not None:
+                    reader.release_block(key[2])
 
     def _sidecar_for(
         self, chunk_id: str, result: SubQueryResult, piggyback: bool = False
@@ -194,13 +202,24 @@ class QueryServer:
             return self._readers[chunk_id]
         result.cache_misses += 1
         data = self.dfs.get_bytes(chunk_id)
-        reader = ChunkReader(data)
+        reader = ChunkReader(data, source=lambda: self.dfs.get_bytes(chunk_id))
+        # The cache charges this unit prefix_bytes, so keep only the prefix:
+        # retaining the whole blob would hold chunk-sized allocations the
+        # accounting never sees.  Leaf blocks are pinned separately when
+        # their cache units are admitted.
+        reader.drop_block_bytes()
         result.cost += self.dfs.read_cost(
             chunk_id, reader.prefix_bytes, self.node_id
         )
         result.bytes_read += reader.prefix_bytes
-        self._readers[chunk_id] = reader
         self._evict(self.cache.add(prefix_key, reader.prefix_bytes))
+        if prefix_key in self.cache:
+            self._readers[chunk_id] = reader
+        else:
+            # The prefix itself didn't fit (e.g. tiny cache): serve this
+            # subquery from a transient reader rather than retaining bytes
+            # the cache never charged for.
+            self._readers.pop(chunk_id, None)
         return reader
 
     def prefetch_prefix(self, chunk_id: str) -> float:
@@ -292,9 +311,17 @@ class QueryServer:
                             )
                         )
 
+            # Pin the blocks this scan needs (one shared fetch for whatever
+            # the prefix-only reader no longer holds); after the scan, keep
+            # only the ones whose cache unit survived admission, so retained
+            # bytes track the cache's charges.
+            scan_entries = hits + to_fetch
+            if scan_entries:
+                reader.retain_blocks(scan_entries)
+
             examined = 0
             with _trace.span("leaf_scan") as scan_sp:
-                for entry in hits + to_fetch:
+                for entry in scan_entries:
                     result.leaves_read += 1
                     for t in reader.read_leaf(entry):
                         examined += 1
@@ -314,6 +341,9 @@ class QueryServer:
                     scan_sp.set_attr("leaves_read", result.leaves_read)
                     scan_sp.set_attr("tuples_examined", examined)
                     scan_sp.set_attr("tuples", len(result.tuples))
+            for entry in scan_entries:
+                if self._leaf_key(sq.chunk_id, entry.index) not in self.cache:
+                    reader.release_block(entry.index)
             result.cost += examined * self.config.costs.scan_cpu
             if sub_sp is not None:
                 sub_sp.set_attr("cost_sim", result.cost)

@@ -10,7 +10,7 @@ restarted server replays from that offset to rebuild its in-memory tree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 @dataclass
@@ -53,6 +53,20 @@ class DurableLog:
         part = self._partition(topic, partition)
         part.records.append(record)
         return part.latest_offset - 1
+
+    def append_batch(
+        self, topic: str, partition: int, records: Sequence[Any]
+    ) -> int:
+        """Append a run of records in one call (the batched ingest path).
+
+        Offsets are assigned contiguously in list order; returns the offset
+        of the *first* record (record ``i`` gets ``first + i``).  One topic
+        and partition lookup for the whole run instead of one per record.
+        """
+        part = self._partition(topic, partition)
+        first = part.latest_offset
+        part.records.extend(records)
+        return first
 
     def latest_offset(self, topic: str, partition: int) -> int:
         """The offset the *next* record will receive."""

@@ -100,17 +100,21 @@ def serialize_chunk(
         sketch = TemporalSketch(
             granularity=sketch_granularity, expected_items=max(64, len(tuples))
         )
-        payloads = []
-        for t in tuples:
-            sketch.add_timestamp(t.ts)
-            payloads.append(t.payload)
-            if t.ts < t_lo:
-                t_lo = t.ts
-            if t.ts > t_hi:
-                t_hi = t.ts
+        timestamps = [t.ts for t in tuples]
+        payloads = [t.payload for t in tuples]
+        if timestamps:
+            leaf_lo = min(timestamps)
+            leaf_hi = max(timestamps)
+            if leaf_lo < t_lo:
+                t_lo = leaf_lo
+            if leaf_hi > t_hi:
+                t_hi = leaf_hi
+        sketch.add_timestamps(timestamps)
         sketch_hashes = sketch.n_hashes
         sketches.append(sketch.to_bytes())
-        pairs = b"".join(_PAIR.pack(t.key, t.ts) for t in tuples)
+        # map() drives _PAIR.pack from C over the two columns -- no
+        # per-tuple generator frame.
+        pairs = b"".join(map(_PAIR.pack, keys, timestamps))
         block = pairs + pickle.dumps(payloads, protocol=4)
         if compress:
             block = zlib.compress(block, level=1)
@@ -190,10 +194,19 @@ class ChunkReader:
     Tracks ``bytes_read`` as it goes: the header+directory+sketch prefix is
     charged once, then each leaf block charged when actually decoded --
     exactly the I/O a real reader doing ranged DFS reads would issue.
+
+    A long-lived reader (query-server prefix cache) can call
+    :meth:`drop_block_bytes` to keep only the prefix in memory and
+    :meth:`retain_block` to pin individual leaf blocks, so the bytes it
+    actually retains match what the cache charges for.  ``source`` is an
+    optional zero-argument callable returning the full chunk bytes, used
+    to lazily re-fetch blocks that were dropped.
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes, source=None):
         self._data = data
+        self._source = source
+        self._blocks: "dict[int, bytes]" = {}
         (
             magic,
             version,
@@ -276,8 +289,7 @@ class ChunkReader:
         if _obs.ENABLED:
             _M_LEAVES_DECODED.inc()
             _M_BYTES_DECODED.inc(entry.block_length)
-        start = entry.block_offset
-        block = self._data[start : start + entry.block_length]
+        block = self._block_bytes(entry)
         if zlib.crc32(block) != entry.block_crc32:
             raise ChunkCorruption(
                 f"leaf {entry.index}: CRC mismatch (corrupted block)"
@@ -296,6 +308,69 @@ class ChunkReader:
             key, ts = _PAIR.unpack_from(block, i * _PAIR.size)
             tuples.append(DataTuple(key, ts, payloads[i]))
         return tuples
+
+    # --- block-byte retention -------------------------------------------------
+
+    def _block_bytes(self, entry: LeafEntry) -> bytes:
+        """The stored bytes of one leaf block, wherever they live now."""
+        pinned = self._blocks.get(entry.index)
+        if pinned is not None:
+            return pinned
+        start = entry.block_offset
+        end = start + entry.block_length
+        if len(self._data) >= end:
+            return self._data[start:end]
+        if self._source is None:
+            raise ValueError(
+                "leaf block bytes were dropped and no re-fetch source is set"
+            )
+        data = self._source()
+        return data[start:end]
+
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes this reader actually holds (prefix or data + pinned blocks)."""
+        return len(self._data) + sum(len(b) for b in self._blocks.values())
+
+    def drop_block_bytes(self) -> None:
+        """Keep only the prefix in memory; blocks re-fetch via ``source``.
+
+        Long-lived cached readers call this so the cache's per-unit charge
+        (``prefix_bytes``) matches what is actually retained.
+        """
+        if len(self._data) > self.prefix_bytes:
+            self._data = self._data[: self.prefix_bytes]
+
+    def retain_blocks(
+        self, entries: Sequence[LeafEntry], data: Optional[bytes] = None
+    ) -> None:
+        """Pin the stored bytes of the given leaf blocks.
+
+        ``data``, when given, is the full chunk bytes to slice from (one
+        fetch shared across entries); otherwise blocks come from the
+        retained data or one ``source`` call.
+        """
+        missing = [e for e in entries if e.index not in self._blocks]
+        if not missing:
+            return
+        if data is None:
+            end_needed = max(e.block_offset + e.block_length for e in missing)
+            if len(self._data) >= end_needed:
+                data = self._data
+            elif self._source is not None:
+                data = self._source()
+            else:
+                raise ValueError(
+                    "leaf block bytes were dropped and no re-fetch source is set"
+                )
+        for e in missing:
+            self._blocks[e.index] = data[
+                e.block_offset : e.block_offset + e.block_length
+            ]
+
+    def release_block(self, index: int) -> None:
+        """Unpin one leaf block's bytes (cache eviction)."""
+        self._blocks.pop(index, None)
 
     # --- subquery execution ---------------------------------------------------
 

@@ -1,0 +1,146 @@
+"""Batched ingest fast path: equivalence with the looped one-tuple path.
+
+``Waterwheel.insert_batch`` must be indistinguishable from calling
+``insert`` per tuple -- same routing and durable-log contents, same
+late-buffer classification, same flush points and checkpointed offsets,
+same chunks and query results -- for any stream, including severely-late
+tuples and batches that straddle flush and balance-check boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import small_config
+from repro.core.model import DataTuple
+from repro.core.system import Waterwheel
+from repro.storage import ChunkReader
+
+_TOPIC = "tuples"
+
+
+def _build_stream(steps):
+    """Materialize a (key, ts_delta, late_by) step list into tuples.
+
+    ``late_by`` > 0 rewinds that tuple's timestamp below the running clock;
+    values beyond 4 * late_delta (= 8.0 for small_config) make it severely
+    late and exercise the late buffer.
+    """
+    tuples = []
+    clock = 100.0
+    for i, (key, delta, late_by) in enumerate(steps):
+        clock += delta
+        tuples.append(DataTuple(key, clock - late_by, payload=i))
+    return tuples
+
+
+def _ingest_loop(stream):
+    ww = Waterwheel(small_config())
+    ww.insert_many(stream)
+    return ww
+
+
+def _ingest_batched(stream, batch_size):
+    ww = Waterwheel(small_config())
+    for i in range(0, len(stream), batch_size):
+        ww.insert_batch(stream[i : i + batch_size])
+    return ww
+
+
+def _chunk_tuples(ww, chunk_id):
+    reader = ChunkReader(ww.dfs.get_bytes(chunk_id))
+    return sorted((t.key, t.ts, t.payload) for t in reader.all_tuples())
+
+
+def _assert_equivalent(a, b):
+    assert [s.flush_count for s in a.indexing_servers] == [
+        s.flush_count for s in b.indexing_servers
+    ]
+    assert a.in_memory_tuples == b.in_memory_tuples
+    assert a.tuples_inserted == b.tuples_inserted
+    chunks_a = sorted(a.metastore.list_prefix("/chunks/"))
+    chunks_b = sorted(b.metastore.list_prefix("/chunks/"))
+    assert chunks_a == chunks_b
+    for key in chunks_a:
+        chunk_id = key[len("/chunks/") :]
+        assert _chunk_tuples(a, chunk_id) == _chunk_tuples(b, chunk_id)
+    # Durable-log contents and flush checkpoints drive recovery; both must
+    # match record-for-record.
+    for partition in range(len(a.indexing_servers)):
+        recs_a = a.log._partition(_TOPIC, partition).records
+        recs_b = b.log._partition(_TOPIC, partition).records
+        assert [(t.key, t.ts, t.payload) for t in recs_a] == [
+            (t.key, t.ts, t.payload) for t in recs_b
+        ]
+    assert [s._last_offset for s in a.indexing_servers] == [
+        s._last_offset for s in b.indexing_servers
+    ]
+    cfg = a.config
+    result_a = a.query(cfg.key_lo, cfg.key_hi - 1, float("-inf"), float("inf"))
+    result_b = b.query(cfg.key_lo, cfg.key_hi - 1, float("-inf"), float("inf"))
+    assert sorted((t.key, t.ts, t.payload) for t in result_a.tuples) == sorted(
+        (t.key, t.ts, t.payload) for t in result_b.tuples
+    )
+
+
+step_strategy = st.tuples(
+    st.integers(0, 9_999),  # key
+    st.floats(0.0, 3.0, allow_nan=False),  # clock advance
+    st.sampled_from([0.0, 0.0, 0.0, 1.0, 12.0, 50.0]),  # lateness
+)
+
+
+class TestBatchedLoopEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(step_strategy, min_size=1, max_size=300),
+        st.integers(1, 64),
+    )
+    def test_property_batched_equals_looped(self, steps, batch_size):
+        stream = _build_stream(steps)
+        _assert_equivalent(_ingest_loop(stream), _ingest_batched(stream, batch_size))
+
+    def test_flushes_and_late_buffer_deterministic(self):
+        # Enough volume for several flushes per server plus severely-late
+        # tuples sprinkled in (50 >> 4 * late_delta).
+        steps = [
+            (i * 37 % 10_000, 0.5, 50.0 if i % 19 == 0 else 0.0)
+            for i in range(2_000)
+        ]
+        stream = _build_stream(steps)
+        a = _ingest_loop(stream)
+        b = _ingest_batched(stream, batch_size=128)
+        assert sum(s.flush_count for s in a.indexing_servers) > 0
+        assert sum(s._late_bytes for s in a.indexing_servers) > 0
+        _assert_equivalent(a, b)
+
+    def test_batch_size_one_equals_loop(self):
+        steps = [(i * 91 % 10_000, 0.25, 0.0) for i in range(300)]
+        stream = _build_stream(steps)
+        _assert_equivalent(_ingest_loop(stream), _ingest_batched(stream, 1))
+
+    def test_single_oversized_batch(self):
+        # One batch spanning several flush and balance-check windows.
+        steps = [(i * 53 % 10_000, 0.5, 0.0) for i in range(1_500)]
+        stream = _build_stream(steps)
+        a = _ingest_loop(stream)
+        b = Waterwheel(small_config())
+        b.insert_batch(stream)
+        _assert_equivalent(a, b)
+
+    def test_empty_batch_is_noop(self):
+        ww = Waterwheel(small_config())
+        assert ww.insert_batch([]) == []
+        assert ww.tuples_inserted == 0
+
+    def test_insert_batch_reports_flushed_chunk_ids(self):
+        steps = [(i * 37 % 10_000, 0.5, 0.0) for i in range(1_200)]
+        stream = _build_stream(steps)
+        ww = Waterwheel(small_config())
+        chunk_ids = []
+        for i in range(0, len(stream), 200):
+            chunk_ids.extend(ww.insert_batch(stream[i : i + 200]))
+        registered = {
+            key[len("/chunks/") :] for key in ww.metastore.list_prefix("/chunks/")
+        }
+        assert chunk_ids  # volume above guarantees at least one flush
+        assert set(chunk_ids) == registered

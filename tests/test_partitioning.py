@@ -62,6 +62,41 @@ class TestKeyPartition:
         p = KeyPartition.from_frequencies(0, 1000, 4, [0.0] * 10)
         assert p == KeyPartition.uniform(0, 1000, 4)
 
+    def test_from_frequencies_hot_bucket_still_yields_full_partition(self):
+        # Regression: one bucket holding nearly all the mass absorbs
+        # several cut targets; the owed cuts must carry forward to the
+        # next distinct bucket edges instead of being silently dropped
+        # (which left some servers owning empty key ranges).
+        histogram = [1000.0] + [1.0] * 9
+        p = KeyPartition.from_frequencies(0, 1000, 4, histogram)
+        assert len(p.boundaries) == 3
+        assert p.n_intervals == 4
+
+    def test_from_frequencies_hot_bucket_cuts_land_on_next_edges(self):
+        histogram = [1000.0] + [1.0] * 9
+        p = KeyPartition.from_frequencies(0, 1000, 4, histogram)
+        # First cut at the hot bucket's right edge, the carried-forward
+        # cuts at the following bucket edges.
+        assert p.boundaries == [100, 200, 300]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(1.0, 1e6, allow_nan=False),
+        st.integers(8, 64),
+        st.integers(2, 8),
+    )
+    def test_property_hot_head_bucket_yields_full_partition(
+        self, mass, n_buckets, n
+    ):
+        # All mass in the first bucket absorbs every cut target at once;
+        # with n <= n_buckets there are enough distinct bucket edges for
+        # the owed cuts, so exactly n - 1 boundaries must come out.
+        if n > n_buckets:
+            return
+        histogram = [mass] + [0.0] * (n_buckets - 1)
+        p = KeyPartition.from_frequencies(0, 1000 * n_buckets, n, histogram)
+        assert len(p.boundaries) == n - 1
+
     @settings(max_examples=30, deadline=None)
     @given(
         st.lists(st.floats(0, 100, allow_nan=False), min_size=8, max_size=64),

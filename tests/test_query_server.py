@@ -152,3 +152,60 @@ class TestExecution:
         result = server.execute(make_sq(0, 1999, 500.0, 520.0))
         assert sorted(t.payload for t in result.tuples) == list(range(500, 521))
         assert result.leaves_skipped > result.leaves_read
+
+
+class TestOversizedAddKeepsWorkingSet:
+    """Regression: an item larger than the whole cache must be refused
+    up front, not discovered unfit after draining every resident unit."""
+
+    def test_oversized_add_evicts_nothing(self):
+        cache = LRUCache(100)
+        cache.add("a", 40)
+        cache.add("b", 40)
+        evicted = cache.add("huge", 1000)
+        assert evicted == []
+        assert "a" in cache and "b" in cache
+        assert "huge" not in cache
+        assert cache.used_bytes == 80
+
+    def test_oversized_readd_of_resident_key_removes_it(self):
+        # Growing an existing unit past capacity drops it (it no longer
+        # fits) but still leaves the other residents alone.
+        cache = LRUCache(100)
+        cache.add("a", 40)
+        cache.add("b", 40)
+        evicted = cache.add("a", 500)
+        assert evicted == []
+        assert "a" not in cache
+        assert "b" in cache
+        assert cache.used_bytes == 40
+
+
+class TestMemoryAccounting:
+    """Cached readers must not retain more bytes than the cache charges."""
+
+    def test_prefix_reader_drops_block_bytes(self):
+        server, _data, _cfg = build_query_setup()
+        server.execute(make_sq(1000, 4000, 20.0, 70.0))
+        reader = server._readers["chunk-x"]
+        chunk_len = len(server.dfs.get_bytes("chunk-x"))
+        assert reader.retained_bytes < chunk_len
+        assert reader.retained_bytes <= server.cache.used_bytes
+
+    def test_retained_bytes_match_cache_charges(self):
+        server, _data, _cfg = build_query_setup()
+        server.execute(make_sq(0, 9999))
+        reader = server._readers["chunk-x"]
+        charged = sum(server.cache._units.values())
+        assert reader.retained_bytes == charged
+
+    def test_results_unchanged_after_leaf_eviction(self):
+        # Cache too small for every leaf: blocks get re-fetched via the
+        # source callable and results stay correct.
+        server, data, _cfg = build_query_setup(cache_bytes=4096)
+        for _ in range(2):
+            result = server.execute(make_sq(0, 9999))
+            assert len(result.tuples) == len(data)
+        reader = server._readers.get("chunk-x")
+        if reader is not None:
+            assert reader.retained_bytes <= server.cache.used_bytes
