@@ -83,6 +83,24 @@ def _pop_metrics_flag(argv: List[str]) -> "tuple[bool, Optional[str]]":
     return False, None
 
 
+def pop_transport_flag(argv: List[str]) -> Optional[str]:
+    """Strip ``--transport NAME`` / ``--transport=NAME`` from ``argv`` in
+    place; returns the transport name (``inline`` / ``threaded``) or None.
+    Benchmarks pass it to ``Waterwheel(..., transport=...)`` so the same
+    sweep can be timed on either message plane."""
+    for i, arg in enumerate(argv):
+        if arg == "--transport":
+            if i + 1 >= len(argv):
+                raise SystemExit("--transport needs a value (inline | threaded)")
+            name = argv.pop(i + 1)
+            argv.pop(i)
+            return name
+        if arg.startswith("--transport="):
+            argv.pop(i)
+            return arg.split("=", 1)[1]
+    return None
+
+
 def bench_entry(main_fn: Callable[[], object]) -> object:
     """Run a benchmark's ``main()``, honouring a ``--metrics[=PATH]`` flag.
 

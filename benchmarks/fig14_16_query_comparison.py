@@ -36,7 +36,7 @@ N_QUERIES = 25
 SELECTIVITIES = (0.01, 0.05, 0.1)
 
 
-def _build_systems(dataset: str):
+def _build_systems(dataset: str, transport=None):
     if dataset == "Network":
         gen = NetworkGenerator(records_per_second=100.0, seed=31)
         key_lo, key_hi = gen.key_domain
@@ -56,7 +56,8 @@ def _build_systems(dataset: str):
             chunk_bytes=128 * 1024,
             tuple_size=tuple_size,
             sketch_granularity=max(1.0, now / 600.0),
-        )
+        ),
+        transport=transport,
     )
     ww.insert_many(data)
 
@@ -68,9 +69,9 @@ def _build_systems(dataset: str):
     return ww, hbase, druid, key_lo, key_hi, now
 
 
-def run_experiment(dataset: str):
+def run_experiment(dataset: str, transport=None):
     """Rows: (temporal mode, key selectivity, ww ms, hbase ms, druid ms)."""
-    ww, hbase, druid, key_lo, key_hi, now = _build_systems(dataset)
+    ww, hbase, druid, key_lo, key_hi, now = _build_systems(dataset, transport)
     qgen = QueryGenerator(key_lo, key_hi, seed=37)
     rows = []
     for mode in TEMPORAL_MODES:
@@ -112,10 +113,15 @@ def _check_shapes(rows):
 
 
 def main():
+    from _common import pop_transport_flag
+
+    transport = pop_transport_flag(sys.argv)
+    suffix = f" [{transport} transport]" if transport else ""
     for figure, dataset in (("14", "Network"), ("16", "T-Drive")):
-        rows = run_experiment(dataset)
+        rows = run_experiment(dataset, transport)
         print_table(
-            f"Figure {figure}: query latency comparison on {dataset} (ms)",
+            f"Figure {figure}: query latency comparison on {dataset} (ms)"
+            + suffix,
             ["temporal range", "key sel", "waterwheel", "hbase-like", "druid-like"],
             rows,
         )

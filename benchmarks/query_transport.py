@@ -1,0 +1,199 @@
+"""Threaded vs inline message plane on multi-chunk queries (wall clock).
+
+Under the default :class:`~repro.rpc.InlineTransport` the coordinator
+executes chunk subqueries one at a time on its own thread.  Under
+``ThreadedTransport`` the ``coordinator->query_server`` edge fans the
+subqueries out to per-server workers, so the query servers' DFS reads --
+the realistic per-chunk access floor modelled by ``dfs_read_sleep`` --
+overlap instead of serialising.  This benchmark times the same cold-cache
+query batch on both transports and writes ``BENCH_query.json`` at the repo
+root: per-transport rows plus a headline ``speedup`` (inline wall over
+threaded wall).  Both systems are cross-checked for identical query
+results before any timing is trusted.
+
+Usage::
+
+    python benchmarks/query_transport.py [--records N] [--queries Q]
+        [--repeats R] [--sleep S] [--out PATH]
+
+CI smoke runs use small ``--records`` / ``--sleep`` to keep runtime low.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro import DataTuple, Waterwheel, small_config
+
+DEFAULT_RECORDS = 16_000
+DEFAULT_QUERIES = 6
+DEFAULT_REPEATS = 3
+#: Per-chunk DFS access floor (seconds).  Real HDFS random reads cost
+#: milliseconds; pure in-process decode would be GIL-bound and hide the
+#: fan-out win the threaded plane exists to deliver.
+DEFAULT_READ_SLEEP = 0.003
+
+
+def make_stream(n, seed=13):
+    rng = random.Random(seed)
+    clock = 0.0
+    out = []
+    for i in range(n):
+        clock += rng.expovariate(1000.0)
+        out.append(DataTuple(rng.randrange(0, 10_000), clock, payload=i))
+    return out
+
+
+def make_queries(n_queries, now, seed=17):
+    """Wide temporal windows over varied key ranges: every query touches
+    many historical chunks spread across the query servers."""
+    rng = random.Random(seed)
+    specs = [(0, 10_000, 0.0, now)]  # full scan
+    while len(specs) < n_queries:
+        lo = rng.randrange(0, 5_000)
+        hi = lo + rng.randrange(2_000, 5_000)
+        t_lo = rng.uniform(0.0, now / 4)
+        specs.append((lo, min(hi, 10_000), t_lo, now))
+    return specs
+
+
+def build_system(stream, transport, read_sleep):
+    ww = Waterwheel(
+        small_config(dfs_read_sleep=read_sleep), transport=transport
+    )
+    ww.insert_many(stream)
+    return ww
+
+
+def run_batch(ww, specs, cold=True):
+    """Run the query batch; with ``cold`` the chunk caches are dropped
+    first so every repetition pays the full DFS read cost."""
+    if cold:
+        for server in ww.query_servers:
+            server.clear_cache()
+    started = time.perf_counter()
+    results = [ww.query(*s) for s in specs]
+    return time.perf_counter() - started, results
+
+
+def check_equivalent(res_a, res_b):
+    for a, b in zip(res_a, res_b):
+        if sorted((t.key, t.ts) for t in a.tuples) != sorted(
+            (t.key, t.ts) for t in b.tuples
+        ):
+            raise AssertionError("transports disagree on query results")
+        if a.partial or b.partial:
+            raise AssertionError("unexpected partial result on healthy cluster")
+
+
+def run_experiment(n_records, n_queries, repeats, read_sleep):
+    stream = make_stream(n_records)
+    now = max(t.ts for t in stream)
+    specs = make_queries(n_queries, now)
+
+    systems = {
+        name: build_system(stream, name, read_sleep)
+        for name in ("inline", "threaded")
+    }
+    try:
+        walls = {}
+        reference = None
+        for name, ww in systems.items():
+            wall, results = run_batch(ww, specs)
+            if reference is None:
+                reference = results
+            else:
+                check_equivalent(reference, results)
+            for _ in range(repeats - 1):
+                s, _ = run_batch(ww, specs)
+                wall = min(wall, s)
+            walls[name] = wall
+        chunk_count = systems["inline"].chunk_count
+    finally:
+        for ww in systems.values():
+            ww.close()
+
+    speedup = walls["inline"] / walls["threaded"]
+    return {
+        "records": n_records,
+        "queries": n_queries,
+        "repeats": repeats,
+        "config": {
+            "n_nodes": systems["inline"].config.n_nodes,
+            "chunk_bytes": systems["inline"].config.chunk_bytes,
+            "dfs_read_sleep": read_sleep,
+        },
+        "chunk_count": chunk_count,
+        "rows": [
+            {
+                "transport": name,
+                "batch_wall_s": walls[name],
+                "queries_per_s": n_queries / walls[name],
+                "speedup_vs_inline": walls["inline"] / walls[name],
+            }
+            for name in ("inline", "threaded")
+        ],
+        "speedup": speedup,
+    }
+
+
+def _parse_args(argv):
+    records = DEFAULT_RECORDS
+    queries = DEFAULT_QUERIES
+    repeats = DEFAULT_REPEATS
+    sleep = DEFAULT_READ_SLEEP
+    out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_query.json",
+    )
+    it = iter(argv)
+    for arg in it:
+        if arg == "--records":
+            records = int(next(it))
+        elif arg == "--queries":
+            queries = int(next(it))
+        elif arg == "--repeats":
+            repeats = int(next(it))
+        elif arg == "--sleep":
+            sleep = float(next(it))
+        elif arg == "--out":
+            out = next(it)
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+    return records, queries, repeats, sleep, out
+
+
+def main():
+    records, queries, repeats, sleep, out = _parse_args(sys.argv[1:])
+    result = run_experiment(records, queries, repeats, sleep)
+    print_table(
+        f"Cold-cache query batch, {queries} queries over "
+        f"{result['chunk_count']} chunks (wall clock, best of {repeats})",
+        ["transport", "batch wall (s)", "queries/s", "speedup"],
+        [
+            (
+                row["transport"],
+                row["batch_wall_s"],
+                row["queries_per_s"],
+                row["speedup_vs_inline"],
+            )
+            for row in result["rows"]
+        ],
+    )
+    with open(out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print(f"\nwrote {out} (threaded speedup {result['speedup']:.2f}x)")
+    return result
+
+
+if __name__ == "__main__":
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -39,8 +39,11 @@ def tree_insert_run(data):
     return tree
 
 
-def system_insert_run(data):
-    ww = Waterwheel(small_config(key_lo=0, key_hi=1 << 20, chunk_bytes=64 * 1024))
+def system_insert_run(data, transport=None):
+    ww = Waterwheel(
+        small_config(key_lo=0, key_hi=1 << 20, chunk_bytes=64 * 1024),
+        transport=transport,
+    )
     ww.insert_many(data)
     return ww
 
@@ -55,13 +58,16 @@ def query_run(ww, specs):
 def main():
     import time
 
+    from _common import pop_transport_flag
+
+    transport = pop_transport_flag(sys.argv)
     data = _tuples()
     started = time.perf_counter()
     tree_insert_run(data)
     tree_rate = len(data) / (time.perf_counter() - started)
 
     started = time.perf_counter()
-    ww = system_insert_run(data)
+    ww = system_insert_run(data, transport)
     system_rate = len(data) / (time.perf_counter() - started)
 
     rng = random.Random(9)
@@ -74,7 +80,8 @@ def main():
     query_rate = len(specs) / (time.perf_counter() - started)
 
     print_table(
-        "Prototype wall-clock rates (single CPU, pure Python)",
+        "Prototype wall-clock rates (single CPU, pure Python)"
+        + (f" [{transport} transport]" if transport else ""),
         ["metric", "rate"],
         [
             ("template tree inserts/s", tree_rate),

@@ -58,7 +58,8 @@ def _build_system(args, key_lo: int, key_hi: int, tuple_size: int) -> Waterwheel
             n_nodes=args.nodes,
             chunk_bytes=args.chunk_kb * 1024,
             tuple_size=tuple_size,
-        )
+        ),
+        transport=getattr(args, "transport", None),
     )
 
 
@@ -255,6 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=4)
         p.add_argument("--chunk-kb", type=int, default=64)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--transport",
+            default=None,
+            choices=("inline", "threaded"),
+            help="message-plane transport (default: inline, or "
+                 "$REPRO_TRANSPORT when set)",
+        )
 
     demo = sub.add_parser("demo", help="end-to-end walkthrough")
     add_common(demo)

@@ -65,6 +65,11 @@ class WaterwheelConfig:
     # --- simulation -----------------------------------------------------------------
     costs: CostModel = field(default=DEFAULT_COSTS)
     seed: int = 7
+    #: When > 0, every DFS data-plane read sleeps this many real seconds
+    #: (realising the access-latency floor the cost model otherwise only
+    #: prices); used by transport benchmarks so concurrent fan-out has
+    #: genuine I/O waiting to overlap.
+    dfs_read_sleep: float = 0.0
 
     def __post_init__(self):
         if self.key_hi <= self.key_lo:

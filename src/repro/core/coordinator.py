@@ -17,8 +17,13 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import WaterwheelConfig
-from repro.core.dispatch import DispatchOutcome, DispatchPolicy, run_dispatch
-from repro.core.indexing_server import IndexingServer
+from repro.core.dispatch import (
+    DispatchOutcome,
+    DispatchPolicy,
+    run_dispatch,
+    run_dispatch_concurrent,
+)
+from repro.core.indexing_server import IndexingServer, ServerDownError
 from repro.core.model import (
     KeyInterval,
     Query,
@@ -31,6 +36,7 @@ from repro.core.query_server import QueryServer
 from repro.metastore import MetadataStore
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _trace
+from repro.rpc import MessagePlane, RpcError
 from repro.rtree import RTree, str_pack
 
 
@@ -44,12 +50,24 @@ class QueryCoordinator:
         indexing_servers: Sequence[IndexingServer],
         query_servers: Sequence[QueryServer],
         policy: DispatchPolicy,
+        plane: Optional[MessagePlane] = None,
     ):
         self.config = config
         self.metastore = metastore
         self.indexing_servers = list(indexing_servers)
         self.query_servers = list(query_servers)
         self.policy = policy
+        # All coordinator hops ride the message plane: fresh scans down the
+        # coordinator->indexing edge, chunk subqueries down the
+        # coordinator->query_server edge (concurrently, when the plane's
+        # transport supports it).
+        self.plane = plane or MessagePlane()
+        self._ep_fresh = self.plane.endpoint(
+            "coordinator->indexing", self.indexing_servers
+        )
+        self._ep_chunk = self.plane.endpoint(
+            "coordinator->query_server", self.query_servers
+        )
         self._query_ids = itertools.count(1)
         self.queries_executed = 0
         self.last_trace: Optional[_trace.Span] = None
@@ -66,6 +84,7 @@ class QueryCoordinator:
             stage: reg.histogram(f"query.stage.{stage}_wall")
             for stage in ("decompose", "fresh", "dispatch", "merge")
         }
+        self._m_partial = reg.counter("coordinator.partial_queries")
         self._catalog = RTree(max_entries=16)
         self._catalog_regions: Dict[str, Region] = {}
         self._bootstrap_catalog()
@@ -123,7 +142,7 @@ class QueryCoordinator:
         fresh: List[SubQuery] = []
         region = query.region()
         for server in self.indexing_servers:
-            live = server.fresh_region()
+            live = self._ep_fresh.call(server.server_id, "fresh_region")
             if live is None or not live.overlaps(region):
                 continue
             keys = query.keys.intersect(live.keys)
@@ -266,25 +285,14 @@ class QueryCoordinator:
             # parallel; each pays a coordinator round trip plus scan CPU.
             fresh_latency = 0.0
             with _trace.span("fresh", subqueries=len(fresh_sqs)) as fresh_sp:
-                for sq in fresh_sqs:
-                    server = self.indexing_servers[sq.indexing_server]
-                    with _trace.span(
-                        "fresh_scan", server=sq.indexing_server
-                    ) as scan_sp:
-                        tuples, examined = server.query_fresh(sq)
-                    result.tuples.extend(tuples)
-                    branch = (
-                        2 * costs.network_latency
-                        + examined * costs.scan_cpu
-                        + costs.network_transfer(
-                            len(tuples) * self.config.tuple_size
-                        )
+                if self.plane.concurrent and len(fresh_sqs) > 1:
+                    fresh_latency = self._run_fresh_concurrent(
+                        fresh_sqs, result, costs
                     )
-                    if scan_sp is not None:
-                        scan_sp.set_attr("tuples", len(tuples))
-                        scan_sp.set_attr("tuples_examined", examined)
-                        scan_sp.set_attr("cost_sim", branch)
-                    fresh_latency = max(fresh_latency, branch)
+                else:
+                    fresh_latency = self._run_fresh_serial(
+                        fresh_sqs, result, costs
+                    )
                 if fresh_sp is not None:
                     fresh_sp.set_attr("latency_sim", fresh_latency)
 
@@ -295,9 +303,7 @@ class QueryCoordinator:
                 "dispatch", policy=self.policy.name, subqueries=len(chunk_sqs)
             ) as disp_sp:
                 if chunk_sqs:
-                    outcome: DispatchOutcome = run_dispatch(
-                        chunk_sqs, self.query_servers, self.policy
-                    )
+                    outcome = self._run_chunks(chunk_sqs)
                     chunk_latency = outcome.makespan
                     for sub_result in outcome.results:
                         if sub_result is None:
@@ -308,9 +314,18 @@ class QueryCoordinator:
                         result.leaves_skipped += sub_result.leaves_skipped
                         result.cache_hits += sub_result.cache_hits
                         result.cache_misses += sub_result.cache_misses
+                    for idx in sorted(outcome.failed):
+                        result.partial = True
+                        chunk_id = chunk_sqs[idx].chunk_id
+                        if (
+                            chunk_id is not None
+                            and chunk_id not in result.unreadable_chunks
+                        ):
+                            result.unreadable_chunks.append(chunk_id)
                     if disp_sp is not None:
                         disp_sp.set_attr("makespan_sim", outcome.makespan)
                         disp_sp.set_attr("retried", outcome.retried)
+                        disp_sp.set_attr("failed", len(outcome.failed))
 
             with _trace.span("merge") as merge_sp:
                 transfer = costs.network_transfer(
@@ -329,12 +344,16 @@ class QueryCoordinator:
                 root.set_attr("leaves_skipped", result.leaves_skipped)
                 root.set_attr("cache_hits", result.cache_hits)
                 root.set_attr("cache_misses", result.cache_misses)
+                if result.partial:
+                    root.set_attr("partial", True)
 
         self.queries_executed += 1
         if root is not None:
             self.last_trace = root
         if _obs.ENABLED:
             self._m_queries.inc()
+            if result.partial:
+                self._m_partial.inc()
             self._m_subqueries.observe(result.subquery_count)
             self._m_latency_sim.observe(result.latency)
             if root is not None:
@@ -346,3 +365,91 @@ class QueryCoordinator:
                     if hist is not None:
                         hist.observe(child.duration)
         return result
+
+    # --- branch runners ----------------------------------------------------------
+
+    def _fresh_branch_cost(self, tuples, examined, costs) -> float:
+        """Simulated cost of one fresh scan: round trip + CPU + transfer."""
+        return (
+            2 * costs.network_latency
+            + examined * costs.scan_cpu
+            + costs.network_transfer(len(tuples) * self.config.tuple_size)
+        )
+
+    def _run_fresh_serial(self, fresh_sqs, result: QueryResult, costs) -> float:
+        """Fresh scans one at a time down the coordinator->indexing edge
+        (the deterministic inline path).  A scan lost to a dead server or a
+        broken edge degrades that region to a partial result."""
+        fresh_latency = 0.0
+        for sq in fresh_sqs:
+            with _trace.span(
+                "fresh_scan", server=sq.indexing_server
+            ) as scan_sp:
+                try:
+                    tuples, examined = self._ep_fresh.call(
+                        sq.indexing_server, "query_fresh", sq
+                    )
+                except (ServerDownError, RpcError):
+                    result.partial = True
+                    if scan_sp is not None:
+                        scan_sp.set_attr("failed", True)
+                    continue
+                result.tuples.extend(tuples)
+                branch = self._fresh_branch_cost(tuples, examined, costs)
+                if scan_sp is not None:
+                    scan_sp.set_attr("tuples", len(tuples))
+                    scan_sp.set_attr("tuples_examined", examined)
+                    scan_sp.set_attr("cost_sim", branch)
+                fresh_latency = max(fresh_latency, branch)
+        return fresh_latency
+
+    def _run_fresh_concurrent(
+        self, fresh_sqs, result: QueryResult, costs
+    ) -> float:
+        """Fan every fresh scan out at once (per-server transport workers)
+        and merge completions; same cost model as the serial path."""
+        pol = self.plane.policy("coordinator->indexing")
+        calls = [
+            (sq, self._ep_fresh.submit(sq.indexing_server, "query_fresh", sq))
+            for sq in fresh_sqs
+        ]
+        fresh_latency = 0.0
+        for _sq, call in calls:
+            try:
+                tuples, examined = call.result(pol.timeout)
+            except (ServerDownError, RpcError):
+                result.partial = True
+                continue
+            result.tuples.extend(tuples)
+            fresh_latency = max(
+                fresh_latency, self._fresh_branch_cost(tuples, examined, costs)
+            )
+        return fresh_latency
+
+    def _run_chunks(self, chunk_sqs) -> DispatchOutcome:
+        """Dispatch chunk subqueries down the coordinator->query_server
+        edge: the virtual-time loop under the inline transport, the
+        completion-driven concurrent loop when the transport fans out."""
+        if self.plane.concurrent:
+            pol = self.plane.policy("coordinator->query_server")
+            return run_dispatch_concurrent(
+                chunk_sqs,
+                self.query_servers,
+                self.policy,
+                submit=lambda slot, sq: self._ep_chunk.submit(
+                    slot, "execute", sq
+                ),
+                timeout=pol.timeout,
+                retries=pol.retries,
+                on_timeout=self._ep_chunk.note_timeout,
+                on_retry=self._ep_chunk.note_retry,
+            )
+        slot_of = {id(s): slot for slot, s in enumerate(self.query_servers)}
+        return run_dispatch(
+            chunk_sqs,
+            self.query_servers,
+            self.policy,
+            execute=lambda server, sq: self._ep_chunk.call(
+                slot_of[id(server)], "execute", sq
+            ),
+        )

@@ -20,8 +20,11 @@ latency component Figure 13 compares.
 from __future__ import annotations
 
 import heapq
+import itertools
+import queue as _queue
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import monotonic as _monotonic
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.model import SubQuery
@@ -29,6 +32,8 @@ from repro.hashing import stable_hash32
 from repro.core.query_server import QueryServer, ServerDownError, SubQueryResult
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _trace
+from repro.rpc import Call, RpcError
+from repro.storage import ChunkUnavailable
 
 
 @dataclass
@@ -39,6 +44,10 @@ class DispatchOutcome:
     makespan: float
     assignments: Dict[int, int]  # subquery index -> query server id
     retried: int = 0
+    #: Subqueries no server could answer: index -> reason.  A failed
+    #: subquery has ``results[idx] is None``; the coordinator folds these
+    #: into ``QueryResult.partial`` / ``unreadable_chunks``.
+    failed: Dict[int, str] = field(default_factory=dict)
 
 
 class DispatchPolicy:
@@ -227,6 +236,14 @@ def run_dispatch(
     returned to the pending set and re-dispatched (Section V's query-side
     fault tolerance); static policies fall back to any alive server for
     orphaned work.
+
+    Per-subquery failure capture: an unreadable chunk
+    (:class:`~repro.storage.ChunkUnavailable` -- every replica on a failed
+    node) or an unreachable edge (:class:`~repro.rpc.RpcError` after the
+    endpoint's own retries) marks just that subquery failed in
+    ``outcome.failed`` instead of aborting the query; an edge failure also
+    quarantines the server's slot for the rest of this run and re-routes
+    the subquery to another server while any remains.
     """
     if execute is None:
         execute = lambda server, sq: server.execute(sq)  # noqa: E731
@@ -240,6 +257,9 @@ def run_dispatch(
 
     pending = set(range(len(subqueries)))
     assignments: Dict[int, int] = {}
+    failed: Dict[int, str] = {}
+    edge_attempts: Dict[int, int] = {}
+    quarantined: "set[int]" = set()
     retried = 0
     makespan = 0.0
     # Completion events of busy servers: (done_time, tiebreak, slot).
@@ -255,7 +275,7 @@ def run_dispatch(
         if pending and idle:
             for slot, idx in policy.assign(idle, servers, pending, subqueries):
                 server = servers[slot]
-                if not server.alive or idx not in pending:
+                if not server.alive or idx not in pending or slot not in idle:
                     continue
                 pending.discard(idx)
                 idle.remove(slot)
@@ -266,6 +286,19 @@ def run_dispatch(
                     pending.add(idx)
                     retried += 1
                     continue
+                except ChunkUnavailable as exc:
+                    failed[idx] = str(exc)
+                    idle.append(slot)
+                    continue
+                except RpcError as exc:
+                    quarantined.add(slot)
+                    edge_attempts[idx] = edge_attempts.get(idx, 0) + 1
+                    if edge_attempts[idx] >= len(servers):
+                        failed[idx] = str(exc)
+                    else:
+                        pending.add(idx)
+                        retried += 1
+                    continue
                 results[idx] = result
                 assignments[idx] = server.server_id
                 done_at = now + result.cost
@@ -275,7 +308,7 @@ def run_dispatch(
             break
         if heap:
             now, _tb, slot = heapq.heappop(heap)
-            if servers[slot].alive:
+            if servers[slot].alive and slot not in quarantined:
                 idle.append(slot)
             continue
         if progressed:
@@ -283,18 +316,193 @@ def run_dispatch(
         # Work remains but no server is busy and the last wave assigned
         # nothing: static policies can strand orphans of dead servers --
         # hand the leftovers to any alive server via a shared-queue sweep.
-        idle = [slot for slot, s in enumerate(servers) if s.alive]
+        idle = [
+            slot
+            for slot, s in enumerate(servers)
+            if s.alive and slot not in quarantined
+        ]
         if not idle or swept:
+            if quarantined:
+                # Every remaining route is a broken edge, not a planning
+                # bug: degrade to a partial result.
+                for idx in pending:
+                    failed.setdefault(idx, "no reachable query server")
+                pending.clear()
+                break
             raise DispatchError("subqueries remain but no server will take them")
         policy = SharedQueueDispatch()
         policy.prepare(subqueries, servers)
         swept = True
 
+    _emit_dispatch_metrics(policy_name, len(subqueries), retried, makespan)
+    _trace.set_attr("assigned_servers", len(set(assignments.values())))
+    return DispatchOutcome(results, makespan, assignments, retried, failed)
+
+
+def _emit_dispatch_metrics(
+    policy_name: str, n_subqueries: int, retried: int, makespan: float
+) -> None:
     if _obs.ENABLED:
         reg = _obs.registry()
         reg.counter("dispatch.runs", policy=policy_name).inc()
-        reg.counter("dispatch.subqueries").inc(len(subqueries))
+        reg.counter("dispatch.subqueries").inc(n_subqueries)
         reg.counter("dispatch.retries").inc(retried)
         reg.histogram("dispatch.makespan_sim").observe(makespan)
+
+
+def run_dispatch_concurrent(
+    subqueries: Sequence[SubQuery],
+    servers: Sequence[QueryServer],
+    policy: DispatchPolicy,
+    submit: Callable[[int, SubQuery], Call],
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_timeout: Optional[Callable[[], None]] = None,
+    on_retry: Optional[Callable[[], None]] = None,
+) -> DispatchOutcome:
+    """Completion-driven dispatch over an asynchronous ``submit``.
+
+    The concurrent sibling of :func:`run_dispatch`, used when the message
+    plane's transport runs submissions on per-server workers: each idle
+    server is assigned one subquery per the policy, ``submit(slot, sq)``
+    puts it in flight, and results are merged *as completions arrive* --
+    the wall-clock win of fanning subqueries out over servers.
+
+    ``timeout`` / ``retries`` mirror the edge policy: a call that misses
+    its wall-clock deadline quarantines that server's slot (its worker may
+    be wedged) and the subquery is re-sent elsewhere up to ``retries``
+    times before it is marked failed.  ``on_timeout`` / ``on_retry`` let
+    the caller feed its per-edge ``rpc.*`` counters.
+
+    The returned makespan is the largest per-server accumulated simulated
+    cost -- the same quantity the virtual-time loop tracks, modulo wave
+    alignment (assignment order here follows real completions).
+    """
+    results: List[Optional[SubQueryResult]] = [None] * len(subqueries)
+    if not subqueries:
+        return DispatchOutcome(results, 0.0, {})
+    if not any(s.alive for s in servers):
+        raise DispatchError("no alive query servers")
+    policy_name = policy.name
+    policy.prepare(subqueries, servers)
+
+    pending = set(range(len(subqueries)))
+    assignments: Dict[int, int] = {}
+    failed: Dict[int, str] = {}
+    edge_attempts: Dict[int, int] = {}
+    quarantined: "set[int]" = set()
+    retried = 0
+    busy_sim = [0.0] * len(servers)  # per-slot accumulated simulated cost
+    makespan = 0.0
+    idle = [slot for slot, s in enumerate(servers) if s.alive]
+    #: token -> (slot, subquery index, wall-clock deadline or None)
+    outstanding: Dict[int, Tuple[int, int, Optional[float]]] = {}
+    completions: "_queue.Queue[Tuple[int, Call]]" = _queue.Queue()
+    tokens = itertools.count()
+    swept = False
+
+    def _give_back(slot: int) -> None:
+        if servers[slot].alive and slot not in quarantined:
+            idle.append(slot)
+
+    def _edge_failure(slot: int, idx: int, reason: str) -> None:
+        nonlocal retried
+        quarantined.add(slot)
+        edge_attempts[idx] = edge_attempts.get(idx, 0) + 1
+        if edge_attempts[idx] > retries:
+            failed[idx] = reason
+        else:
+            pending.add(idx)
+            retried += 1
+            if on_retry is not None:
+                on_retry()
+
+    while pending or outstanding:
+        progressed = False
+        if pending and idle:
+            for slot, idx in policy.assign(idle, servers, pending, subqueries):
+                if slot not in idle or idx not in pending:
+                    continue
+                if not servers[slot].alive:
+                    idle.remove(slot)
+                    continue
+                pending.discard(idx)
+                idle.remove(slot)
+                progressed = True
+                token = next(tokens)
+                deadline = (_monotonic() + timeout) if timeout else None
+                call = submit(slot, subqueries[idx])
+                outstanding[token] = (slot, idx, deadline)
+                call.add_done_callback(
+                    lambda c, _t=token: completions.put((_t, c))
+                )
+        if not outstanding:
+            if not pending:
+                break
+            if progressed:
+                continue
+            # Same stranded-orphan handling as the virtual-time loop.
+            idle = [
+                slot
+                for slot, s in enumerate(servers)
+                if s.alive and slot not in quarantined
+            ]
+            if not idle or swept:
+                if quarantined:
+                    for idx in pending:
+                        failed.setdefault(idx, "no reachable query server")
+                    pending.clear()
+                    break
+                raise DispatchError(
+                    "subqueries remain but no server will take them"
+                )
+            policy = SharedQueueDispatch()
+            policy.prepare(subqueries, servers)
+            swept = True
+            continue
+
+        wait: Optional[float] = None
+        if timeout:
+            nearest = min(
+                d for (_s, _i, d) in outstanding.values() if d is not None
+            )
+            wait = max(0.0, nearest - _monotonic())
+        try:
+            token, call = completions.get(timeout=wait)
+        except _queue.Empty:
+            # Deadline sweep: abandon expired calls (late completions are
+            # recognised as stale by their token) and re-route their work.
+            now = _monotonic()
+            for token, (slot, idx, deadline) in list(outstanding.items()):
+                if deadline is not None and deadline <= now:
+                    del outstanding[token]
+                    if on_timeout is not None:
+                        on_timeout()
+                    _edge_failure(slot, idx, "timed out")
+            continue
+        if token not in outstanding:
+            continue  # stale: already abandoned by the deadline sweep
+        slot, idx, _deadline = outstanding.pop(token)
+        error = call.exception()
+        if error is None:
+            result = call.result()
+            results[idx] = result
+            assignments[idx] = servers[slot].server_id
+            busy_sim[slot] += result.cost
+            makespan = max(makespan, busy_sim[slot])
+            _give_back(slot)
+        elif isinstance(error, ServerDownError):
+            pending.add(idx)
+            retried += 1
+        elif isinstance(error, ChunkUnavailable):
+            failed[idx] = str(error)
+            _give_back(slot)
+        elif isinstance(error, RpcError):
+            _edge_failure(slot, idx, str(error))
+        else:
+            raise error
+
+    _emit_dispatch_metrics(policy_name, len(subqueries), retried, makespan)
     _trace.set_attr("assigned_servers", len(set(assignments.values())))
-    return DispatchOutcome(results, makespan, assignments, retried)
+    return DispatchOutcome(results, makespan, assignments, retried, failed)

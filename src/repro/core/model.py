@@ -250,6 +250,12 @@ class QueryResult:
     leaves_skipped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: True when some subqueries could not be answered (all replicas of a
+    #: chunk on failed nodes, or an unreachable query-server edge); the
+    #: tuples above still cover every healthy region.
+    partial: bool = False
+    #: Chunk ids whose subqueries failed (deduplicated, insertion order).
+    unreadable_chunks: list = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.tuples)

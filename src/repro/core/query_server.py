@@ -18,10 +18,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from typing import Optional
+
 from repro.core.config import WaterwheelConfig
 from repro.core.model import DataTuple, SubQuery
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _trace
+from repro.rpc import MessagePlane
 from repro.storage import ChunkReader, SimulatedDFS
 
 
@@ -97,11 +100,17 @@ class QueryServer:
         node_id: int,
         config: WaterwheelConfig,
         dfs: SimulatedDFS,
+        plane: Optional[MessagePlane] = None,
     ):
         self.server_id = server_id
         self.node_id = node_id
         self.config = config
         self.dfs = dfs
+        # Data-plane reads go through the message plane (so DFS fetches are
+        # timed, fault-injectable edges); NameNode metadata lookups
+        # (exists / read_cost / live_replicas) stay direct control-plane.
+        self.plane = plane or MessagePlane()
+        self._ep_dfs = self.plane.endpoint("query_server->dfs", [dfs])
         self.alive = True
         self.cache = LRUCache(config.cache_bytes)
         self._readers: Dict[str, ChunkReader] = {}
@@ -126,6 +135,16 @@ class QueryServer:
         self._m_leaves_skipped = reg.counter("query_server.leaves_skipped")
         self._m_cost_sim = reg.histogram("subquery.cost_sim")
         self._m_wall = reg.histogram("subquery.wall")
+
+    def _fetch(self, name: str) -> bytes:
+        """Data-plane DFS read via the ``query_server->dfs`` edge.
+
+        Raises :class:`~repro.storage.ChunkUnavailable` when every replica
+        is on a failed node; the dispatch layer turns that into a failed
+        subquery (and the coordinator into a partial result) instead of
+        letting it abort the whole query.
+        """
+        return self._ep_dfs.call(0, "get_bytes", name)
 
     # --- cache plumbing ---------------------------------------------------------
 
@@ -165,7 +184,7 @@ class QueryServer:
             result.cache_hits += 1
             return self._sidecars[chunk_id]
         result.cache_misses += 1
-        data = self.dfs.get_bytes(name)
+        data = self._fetch(name)
         if piggyback:
             result.cost += len(data) / self.config.costs.dfs_read_bandwidth
         else:
@@ -201,8 +220,8 @@ class QueryServer:
             result.cache_hits += 1
             return self._readers[chunk_id]
         result.cache_misses += 1
-        data = self.dfs.get_bytes(chunk_id)
-        reader = ChunkReader(data, source=lambda: self.dfs.get_bytes(chunk_id))
+        data = self._fetch(chunk_id)
+        reader = ChunkReader(data, source=lambda: self._fetch(chunk_id))
         # The cache charges this unit prefix_bytes, so keep only the prefix:
         # retaining the whole blob would hold chunk-sized allocations the
         # accounting never sees.  Leaf blocks are pinned separately when

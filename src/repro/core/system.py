@@ -18,8 +18,10 @@ latency) are simulated seconds from the cost model.
 from __future__ import annotations
 
 import itertools
+import os
 import time as _time
-from typing import List, Optional
+import weakref
+from typing import List, Optional, Union
 
 from repro.core.balancer import PartitionBalancer
 from repro.core.config import WaterwheelConfig
@@ -34,6 +36,7 @@ from repro.messaging import DurableLog
 from repro.metastore import MetadataStore
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _tracing
+from repro.rpc import FaultInjector, MessagePlane, Transport
 from repro.simulation import Cluster
 from repro.storage import SimulatedDFS
 
@@ -51,15 +54,32 @@ class Waterwheel:
         config: Optional[WaterwheelConfig] = None,
         dispatch_policy: Optional[DispatchPolicy] = None,
         adaptive_partitioning: bool = True,
+        transport: Union[str, Transport, None] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
+        """``transport`` selects the message plane's transport: ``"inline"``
+        (default; deterministic direct calls) or ``"threaded"`` (per-server
+        workers; chunk subqueries fan out concurrently).  When None, the
+        ``REPRO_TRANSPORT`` environment variable decides (CI runs the whole
+        suite under ``REPRO_TRANSPORT=threaded``).  ``fault_injector`` (also
+        reachable as ``self.faults``) can delay/drop/fail any edge."""
         self.config = config or WaterwheelConfig()
         cfg = self.config
+
+        if transport is None:
+            transport = os.environ.get("REPRO_TRANSPORT", "inline")
+        self.plane = MessagePlane(transport, fault_injector)
+        self.faults = self.plane.faults
+        # Worker threads (threaded transport only) die with the system even
+        # when close() is never called explicitly.
+        self._finalizer = weakref.finalize(self, self.plane.close)
 
         self.cluster = Cluster(cfg.n_nodes, seed=cfg.seed)
         self.metastore = MetadataStore(journal_path=cfg.metastore_journal)
         self.dfs = SimulatedDFS(
             self.cluster, cfg.costs, cfg.replication,
             spill_dir=cfg.dfs_spill_dir,
+            read_sleep=cfg.dfs_read_sleep,
         )
         self.log = DurableLog()
         self.log.create_topic(_TOPIC, cfg.n_indexing_servers)
@@ -91,7 +111,10 @@ class Waterwheel:
             "query", cfg.n_query_servers
         )
         self.query_servers: List[QueryServer] = [
-            QueryServer(server_id, query_placement[server_id], cfg, self.dfs)
+            QueryServer(
+                server_id, query_placement[server_id], cfg, self.dfs,
+                plane=self.plane,
+            )
             for server_id in range(cfg.n_query_servers)
         ]
 
@@ -119,6 +142,18 @@ class Waterwheel:
             self.indexing_servers,
             self.query_servers,
             dispatch_policy,
+            plane=self.plane,
+        )
+
+        # Ingest-path endpoints: the facade talks to dispatchers, and the
+        # dispatch decision is delivered to indexing servers, through the
+        # message plane (control-plane calls -- kill/recover/balance --
+        # stay direct).
+        self._ep_dispatch = self.plane.endpoint(
+            "waterwheel->dispatcher", self.dispatchers
+        )
+        self._ep_index = self.plane.endpoint(
+            "dispatcher->indexing", self.indexing_servers
         )
 
         self.tuples_inserted = 0
@@ -139,9 +174,10 @@ class Waterwheel:
         # stays within the <5% ingest-throughput budget.
         sampled = _obs.ENABLED and (self.tuples_inserted & 63) == 0
         started = _time.perf_counter() if sampled else 0.0
-        dispatcher = self.dispatchers[next(self._dispatcher_rr)]
-        server_id, offset = dispatcher.dispatch(t)
-        chunk_id = self.indexing_servers[server_id].ingest(t, offset)
+        server_id, offset = self._ep_dispatch.call(
+            next(self._dispatcher_rr), "dispatch", t
+        )
+        chunk_id = self._ep_index.call(server_id, "ingest", t, offset)
         self.tuples_inserted += 1
         if _obs.ENABLED:
             self._m_inserted.inc()
@@ -212,27 +248,28 @@ class Waterwheel:
 
     def _ingest_batch(self, batch: List[DataTuple]) -> List[str]:
         """Route, log, sample and index one balance-window-aligned batch."""
-        dispatchers = self.dispatchers
-        n_disp = len(dispatchers)
+        n_disp = len(self.dispatchers)
         rr0 = next(self._dispatcher_rr)
-        per_server = dispatchers[rr0].route_batch(batch)
+        per_server = self._ep_dispatch.call(rr0, "route_batch", batch)
         # The per-tuple path hands tuple i to dispatcher (rr0 + i) % n_disp;
         # give each dispatcher its round-robin slice so every frequency
         # sampler ends in the identical state.
         if n_disp == 1:
-            dispatchers[rr0].observe_batch(batch)
+            self._ep_dispatch.call(rr0, "observe_batch", batch)
         else:
             # The cycle is periodic, so advancing (n - 1) % n_disp steps
             # leaves it exactly where n - 1 per-tuple next() calls would.
             for _ in range((len(batch) - 1) % n_disp):
                 next(self._dispatcher_rr)
             for d in range(n_disp):
-                dispatchers[(rr0 + d) % n_disp].observe_batch(batch[d::n_disp])
+                self._ep_dispatch.call(
+                    (rr0 + d) % n_disp, "observe_batch", batch[d::n_disp]
+                )
         chunk_ids: List[str] = []
         for server_id in sorted(per_server):
             run, first_offset = per_server[server_id]
             chunk_ids.extend(
-                self.indexing_servers[server_id].ingest_run(run, first_offset)
+                self._ep_index.call(server_id, "ingest_run", run, first_offset)
             )
         return chunk_ids
 
@@ -256,7 +293,7 @@ class Waterwheel:
         out: List[str] = []
         for server in self.indexing_servers:
             if server.alive:
-                out.extend(server.flush_all())
+                out.extend(self._ep_index.call(server.server_id, "flush_all"))
         return out
 
     def bulk_load(self, records) -> List[str]:
@@ -277,9 +314,10 @@ class Waterwheel:
         per_chunk = self.config.tuples_per_chunk
         for server_id, batch in sorted(per_server.items()):
             batch.sort(key=lambda t: t.ts)  # time-contiguous regions
-            server = self.indexing_servers[server_id]
             for start in range(0, len(batch), per_chunk):
-                chunk_id = server.bulk_load_chunk(batch[start : start + per_chunk])
+                chunk_id = self._ep_index.call(
+                    server_id, "bulk_load_chunk", batch[start : start + per_chunk]
+                )
                 if chunk_id is not None:
                     chunk_ids.append(chunk_id)
         return chunk_ids
@@ -362,7 +400,17 @@ class Waterwheel:
             self.indexing_servers,
             self.query_servers,
             policy,
+            plane=self.plane,
         )
+
+    def close(self) -> None:
+        """Release message-plane resources (threaded-transport workers).
+
+        Idempotent; also runs automatically when the system is garbage
+        collected.  The inline transport holds nothing, so inline systems
+        never need this.
+        """
+        self.plane.close()
 
     # --- observability --------------------------------------------------------------------
 

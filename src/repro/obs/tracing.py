@@ -22,12 +22,15 @@ Tracing is **off by default** and costs one module-attribute read per
 durations; simulated-seconds costs from the cost model ride along as span
 attributes, so both clocks are visible in one tree.
 
-This is deliberately single-threaded (as is the whole reproduction): the
-active-span stack is a module-level list, not a thread-local.
+The active-span stack is **thread-local**: spans opened on a message-plane
+worker thread (threaded transport) nest under that worker's own stack and
+form their own root trees, never corrupting the caller's tree.
+``last_trace()`` returns the most recent root completed on *any* thread.
 """
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 from typing import Dict, List, Optional
 
@@ -132,9 +135,17 @@ class _NullSpan:
 
 _NULL = _NullSpan()
 
-#: Stack of currently open spans; the last completed root trace.
-_stack: List[Span] = []
+#: Per-thread stack of currently open spans; the last completed root trace
+#: (shared across threads -- last writer wins).
+_tls = threading.local()
 _last_root: Optional[Span] = None
+
+
+def _get_stack() -> List[Span]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
 
 
 class _SpanContext:
@@ -147,9 +158,10 @@ class _SpanContext:
 
     def __enter__(self) -> Span:
         sp = self._span
-        if _stack:
-            _stack[-1].children.append(sp)
-        _stack.append(sp)
+        stack = _get_stack()
+        if stack:
+            stack[-1].children.append(sp)
+        stack.append(sp)
         sp.start = perf_counter()
         return sp
 
@@ -158,11 +170,12 @@ class _SpanContext:
         sp = self._span
         sp.end = perf_counter()
         # Pop up to and including this span (robust to mismatched exits).
-        while _stack:
-            top = _stack.pop()
+        stack = _get_stack()
+        while stack:
+            top = stack.pop()
             if top is sp:
                 break
-        if not _stack:
+        if not stack:
             _last_root = sp
         return False
 
@@ -181,14 +194,16 @@ def span(name: str, **attrs):
 
 
 def current() -> Optional[Span]:
-    """The innermost open span, or None."""
-    return _stack[-1] if _stack else None
+    """The innermost open span on this thread, or None."""
+    stack = _get_stack()
+    return stack[-1] if stack else None
 
 
 def set_attr(key: str, value: object) -> None:
     """Attach an attribute to the innermost open span (no-op when none)."""
-    if _stack:
-        _stack[-1].attrs[key] = value
+    stack = _get_stack()
+    if stack:
+        stack[-1].attrs[key] = value
 
 
 def last_trace() -> Optional[Span]:
@@ -197,9 +212,9 @@ def last_trace() -> Optional[Span]:
 
 
 def clear() -> None:
-    """Drop the open-span stack and the last completed trace (tests)."""
+    """Drop this thread's open-span stack and the last trace (tests)."""
     global _last_root
-    _stack.clear()
+    _get_stack().clear()
     _last_root = None
 
 

@@ -1,0 +1,47 @@
+"""Message plane: typed RPC endpoints with pluggable transports.
+
+The paper runs Waterwheel as a Storm topology (Section VI): every
+cross-component hop is a real message over a transport that provides
+scheduling, parallelism and failure isolation.  This package is that seam
+for the reproduction: components talk through :class:`Endpoint` objects
+minted by a :class:`MessagePlane`, and the plane's transport decides how
+messages execute --
+
+* :class:`InlineTransport` (default): direct calls, deterministic,
+  observably identical to the pre-refactor behaviour;
+* :class:`ThreadedTransport`: per-server workers + bounded queues, which
+  the coordinator uses to fan chunk subqueries out concurrently.
+
+A :class:`FaultInjector` can delay/drop/fail any edge, and per-edge
+:class:`EdgePolicy` objects set timeout/retry/backoff.  See
+``docs/ARCHITECTURE.md`` ("The message plane") for the edge catalogue.
+"""
+
+from repro.rpc.endpoint import EdgePolicy, Endpoint, MessagePlane
+from repro.rpc.envelope import Call, Request, Response
+from repro.rpc.errors import RpcError, RpcFault, RpcTimeout
+from repro.rpc.faults import FaultInjector, FaultRule
+from repro.rpc.transport import (
+    InlineTransport,
+    ThreadedTransport,
+    Transport,
+    make_transport,
+)
+
+__all__ = [
+    "Call",
+    "EdgePolicy",
+    "Endpoint",
+    "FaultInjector",
+    "FaultRule",
+    "InlineTransport",
+    "MessagePlane",
+    "Request",
+    "Response",
+    "RpcError",
+    "RpcFault",
+    "RpcTimeout",
+    "ThreadedTransport",
+    "Transport",
+    "make_transport",
+]

@@ -1,0 +1,248 @@
+"""Endpoints and the message plane.
+
+An :class:`Endpoint` is one *edge* of the component graph -- e.g.
+``"coordinator->query_server"`` -- bound to the callee instances on that
+edge.  Callers use two verbs:
+
+* :meth:`Endpoint.call` -- synchronous round trip.  Runs on the caller's
+  thread under every transport, applies the edge's fault rules, and retries
+  transport failures (:class:`RpcTimeout` / :class:`RpcFault`) per the
+  edge's :class:`EdgePolicy` with exponential backoff.  Handler exceptions
+  propagate unretried.
+* :meth:`Endpoint.submit` -- asynchronous send returning a
+  :class:`~repro.rpc.envelope.Call`.  The transport schedules it (inline:
+  before ``submit`` returns; threaded: on the target server's worker); the
+  caller applies its own deadline/retry policy -- this is what the
+  coordinator's concurrent dispatch loop does.
+
+A :class:`MessagePlane` owns the transport, the fault injector and the
+per-edge policies, and mints endpoints.  Every component takes an optional
+plane and builds a private inline one when none is given, so components
+remain constructible standalone.
+
+Per-edge ``rpc.*`` instruments (calls, latency, retries, timeouts, faults)
+are registered at endpoint construction and follow the ``repro.obs``
+zero-cost-when-off contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.obs import metrics as _obs
+from repro.rpc.envelope import Call, Request
+from repro.rpc.errors import RpcFault, RpcTimeout
+from repro.rpc.faults import FaultInjector, FaultRule
+from repro.rpc.transport import Transport, make_transport
+
+_endpoint_ids = itertools.count(1)
+
+
+@dataclass
+class EdgePolicy:
+    """Per-edge delivery policy (mutable: tune a live plane in place).
+
+    ``timeout`` is the wall-clock deadline the *caller* enforces on the
+    concurrent fan-out path (None = wait forever; the inline transport
+    cannot preempt a running handler, so there it only caps retries of
+    dropped messages).  ``retries`` bounds re-sends after a transport
+    failure; ``backoff`` seconds (doubling each attempt) separate them.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.005
+    backoff_factor: float = 2.0
+
+
+class Endpoint:
+    """One edge of the message plane, bound to its callee instances."""
+
+    def __init__(
+        self,
+        plane: "MessagePlane",
+        edge: str,
+        instances: Sequence[Any],
+        policy: EdgePolicy,
+    ):
+        self.edge = edge
+        self.policy = policy
+        self._plane = plane
+        self._instances = list(instances)
+        self._id = next(_endpoint_ids)
+        self._methods: Dict[Tuple[int, str], Any] = {}
+        reg = _obs.registry()
+        self._m_calls = reg.counter("rpc.calls", edge=edge)
+        self._m_latency = reg.histogram("rpc.latency", edge=edge)
+        self._m_retries = reg.counter("rpc.retries", edge=edge)
+        self._m_timeouts = reg.counter("rpc.timeouts", edge=edge)
+        self._m_faults = reg.counter("rpc.faults", edge=edge)
+
+    # --- plumbing ---------------------------------------------------------------
+
+    def _bound(self, target: int, method: str):
+        key = (target, method)
+        fn = self._methods.get(key)
+        if fn is None:
+            fn = self._methods[key] = getattr(self._instances[target], method)
+        return fn
+
+    def _apply_fault(self, fault: FaultRule, req: Request) -> None:
+        """Realise a matched rule on the delivering thread."""
+        if fault.delay:
+            time.sleep(fault.delay)
+        if fault.drop:
+            if _obs.ENABLED:
+                self._m_timeouts.inc()
+            raise RpcTimeout(
+                f"{req.edge}[{req.target}].{req.method} was dropped"
+            )
+        if fault.fail:
+            raise RpcFault(
+                f"{req.edge}[{req.target}].{req.method} failed by injection"
+            )
+
+    # --- synchronous round trip ---------------------------------------------------
+
+    def call(self, target: int, method: str, *args: Any) -> Any:
+        """Send and wait; retries transport failures per the edge policy."""
+        policy = self.policy
+        attempts = policy.retries + 1
+        backoff = policy.backoff
+        for attempt in range(attempts):
+            try:
+                return self._attempt(target, method, args)
+            except (RpcTimeout, RpcFault):
+                if attempt + 1 >= attempts:
+                    raise
+                if _obs.ENABLED:
+                    self._m_retries.inc()
+                if backoff > 0.0:
+                    time.sleep(backoff)
+                    backoff *= policy.backoff_factor
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _attempt(self, target: int, method: str, args: tuple) -> Any:
+        enabled = _obs.ENABLED
+        if enabled:
+            self._m_calls.inc()
+        faults = self._plane.faults
+        if faults.active:
+            fault = faults.decide(self.edge, target, method)
+            if fault is not None:
+                if enabled:
+                    self._m_faults.inc()
+                self._apply_fault(
+                    fault, Request(self.edge, target, method, args)
+                )
+        if enabled:
+            started = time.perf_counter()
+            value = self._bound(target, method)(*args)
+            self._m_latency.observe(time.perf_counter() - started)
+            return value
+        return self._bound(target, method)(*args)
+
+    # --- asynchronous send ----------------------------------------------------------
+
+    def submit(self, target: int, method: str, *args: Any) -> Call:
+        """Send without waiting; returns the in-flight :class:`Call`.
+
+        A matched ``drop`` rule under a concurrent transport means the call
+        simply never completes -- the caller's deadline fires, exactly like
+        a lost message.  Under the inline transport the drop degenerates to
+        an immediate :class:`RpcTimeout` recorded on the call.
+        """
+        req = Request(self.edge, target, method, args)
+        call = Call(req, worker_key=(self._id, target))
+        enabled = _obs.ENABLED
+        if enabled:
+            self._m_calls.inc()
+        fault = None
+        faults = self._plane.faults
+        if faults.active:
+            fault = faults.decide(self.edge, target, method)
+            if fault is not None and enabled:
+                self._m_faults.inc()
+        transport = self._plane.transport
+        if fault is not None and fault.drop and transport.concurrent:
+            if fault.delay:
+                time.sleep(fault.delay)
+            return call  # lost in flight: never completes
+        bound = self._bound(target, method)
+
+        def run() -> None:
+            started = time.perf_counter()
+            try:
+                if fault is not None:
+                    self._apply_fault(fault, req)
+                value = bound(*args)
+            except BaseException as exc:  # noqa: BLE001 - delivered to caller
+                call._complete(None, exc)
+            else:
+                if _obs.ENABLED:
+                    self._m_latency.observe(time.perf_counter() - started)
+                call._complete(value, None)
+
+        try:
+            transport.submit(call.worker_key, run)
+        except RpcFault as exc:  # transport closed
+            call._complete(None, exc)
+        return call
+
+    # --- bookkeeping hooks (used by the concurrent dispatch loop) ---------------------
+
+    def note_timeout(self) -> None:
+        """Record a caller-side deadline expiry on this edge."""
+        if _obs.ENABLED:
+            self._m_timeouts.inc()
+
+    def note_retry(self) -> None:
+        """Record a caller-side re-send on this edge."""
+        if _obs.ENABLED:
+            self._m_retries.inc()
+
+
+class MessagePlane:
+    """Transport + fault injector + per-edge policies; mints endpoints."""
+
+    def __init__(
+        self,
+        transport: Union[str, Transport, None] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.transport = make_transport(transport)
+        self.faults = faults or FaultInjector()
+        self._policies: Dict[str, EdgePolicy] = {}
+
+    @property
+    def concurrent(self) -> bool:
+        """Whether submissions may run concurrently with the caller."""
+        return self.transport.concurrent
+
+    def policy(self, edge: str) -> EdgePolicy:
+        """The (shared, mutable) policy object for an edge."""
+        pol = self._policies.get(edge)
+        if pol is None:
+            pol = self._policies[edge] = EdgePolicy()
+        return pol
+
+    def set_policy(self, edge: str, **overrides: Any) -> EdgePolicy:
+        """Tune an edge in place: ``set_policy("coordinator->query_server",
+        timeout=0.2, retries=1)``.  Live endpoints see the change."""
+        pol = self.policy(edge)
+        for key, value in overrides.items():
+            if not hasattr(pol, key):
+                raise ValueError(f"unknown policy field {key!r}")
+            setattr(pol, key, value)
+        return pol
+
+    def endpoint(self, edge: str, instances: Sequence[Any]) -> Endpoint:
+        """Bind an edge to its callee instances."""
+        return Endpoint(self, edge, instances, self.policy(edge))
+
+    def close(self) -> None:
+        """Release transport resources (worker threads); idempotent."""
+        self.transport.close()

@@ -1,0 +1,131 @@
+"""Typed request/response envelopes and the :class:`Call` handle.
+
+Every hop through the message plane is an envelope exchange:
+
+* :class:`Request` -- what the caller sent: the edge name (who -> whom),
+  the target instance, the method and its arguments.
+* :class:`Response` -- what came back: the value, or the error, plus which
+  attempt produced it.
+* :class:`Call` -- the in-flight handle.  Synchronous callers block on
+  :meth:`Call.result`; the coordinator's fan-out path instead attaches a
+  completion callback and merges subquery results as they arrive.
+
+``Call`` is a deliberately small future: completed exactly once (by the
+transport worker or inline at submit time), waitable with a wall-clock
+timeout, and callback-safe from any thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.rpc.errors import RpcTimeout
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One message sent down an edge of the message plane."""
+
+    edge: str
+    target: int
+    method: str
+    args: Tuple[Any, ...] = ()
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+
+@dataclass(frozen=True)
+class Response:
+    """The answer to a :class:`Request`: a value or an error."""
+
+    request_id: int
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+class Call:
+    """Handle for one in-flight request (a small single-shot future)."""
+
+    __slots__ = (
+        "request", "worker_key", "_event", "_lock", "_response", "_callbacks",
+    )
+
+    def __init__(self, request: Request, worker_key: object = None):
+        self.request = request
+        #: Transports that run per-server workers key their queues on this.
+        self.worker_key = worker_key
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._response: Optional[Response] = None
+        self._callbacks: List[Callable[["Call"], None]] = []
+
+    # --- completion (transport side) ------------------------------------------
+
+    def _complete(self, value: Any, error: Optional[BaseException]) -> None:
+        """Resolve the call exactly once; later completions are dropped
+        (e.g. a worker finishing a request the caller already timed out)."""
+        with self._lock:
+            if self._response is not None:
+                return
+            self._response = Response(
+                self.request.request_id, error is None, value, error
+            )
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for cb in callbacks:
+            cb(self)
+
+    # --- caller side ------------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once a response (value or error) is recorded."""
+        return self._event.is_set()
+
+    @property
+    def response(self) -> Optional[Response]:
+        """The completed :class:`Response`, or None while in flight."""
+        return self._response
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the response; return its value or raise its error.
+
+        Raises :class:`RpcTimeout` if no response lands within ``timeout``
+        wall-clock seconds (the call itself stays in flight -- late
+        completions are recorded but this caller has moved on).
+        """
+        if not self._event.wait(timeout):
+            req = self.request
+            raise RpcTimeout(
+                f"{req.edge}[{req.target}].{req.method} did not answer "
+                f"within {timeout}s"
+            )
+        resp = self._response
+        if resp.error is not None:
+            raise resp.error
+        return resp.value
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        """Block for the response; return its error (None on success)."""
+        if not self._event.wait(timeout):
+            req = self.request
+            raise RpcTimeout(
+                f"{req.edge}[{req.target}].{req.method} did not answer "
+                f"within {timeout}s"
+            )
+        return self._response.error
+
+    def add_done_callback(self, fn: Callable[["Call"], None]) -> None:
+        """Run ``fn(call)`` when the response lands (immediately if it
+        already has).  Callbacks run on the completing thread."""
+        with self._lock:
+            if self._response is None:
+                self._callbacks.append(fn)
+                return
+        fn(self)

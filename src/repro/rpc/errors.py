@@ -1,0 +1,28 @@
+"""Message-plane error types.
+
+The retry contract hangs off this hierarchy: an :class:`Endpoint` retries a
+call only when the *transport* failed it -- :class:`RpcTimeout` (the edge
+never answered) or :class:`RpcFault` (the edge answered garbage / was
+injected to fail).  Exceptions raised by the remote handler itself (for
+example ``ServerDownError`` or ``ChunkUnavailable``) propagate to the caller
+unretried: they are application answers, not transport losses, and the
+policy for them lives with the caller (the dispatch loop re-routes
+``ServerDownError``, the coordinator turns ``ChunkUnavailable`` into a
+partial result).
+"""
+
+from __future__ import annotations
+
+
+class RpcError(RuntimeError):
+    """Base class for transport-level failures of a message-plane call."""
+
+
+class RpcTimeout(RpcError):
+    """The edge did not answer within the policy deadline (or a ``drop``
+    fault ate the message)."""
+
+
+class RpcFault(RpcError):
+    """The edge failed the message (injected ``fail`` fault, or the
+    transport is closed)."""

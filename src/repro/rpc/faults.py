@@ -1,0 +1,106 @@
+"""Fault injection for the message plane.
+
+A :class:`FaultInjector` holds a list of rules; every request consults it
+(cheaply -- one truthiness check when no rules are armed) and the first
+matching rule decides the message's fate:
+
+* ``delay`` -- sleep that many wall-clock seconds before delivering;
+* ``drop``  -- the message vanishes: under a concurrent transport the call
+  simply never completes (the caller's deadline fires), under the inline
+  transport it degenerates to an immediate :class:`~repro.rpc.errors.RpcTimeout`;
+* ``fail``  -- the edge answers with :class:`~repro.rpc.errors.RpcFault`.
+
+Rules match on any combination of edge name, target instance and method
+(``None`` = wildcard) and can be limited to the next ``times`` matching
+messages -- e.g. *drop the first two subqueries sent to query server 0* is
+``inject(edge="coordinator->query_server", target=0, drop=True, times=2)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: match fields (None = any) plus the effect."""
+
+    edge: Optional[str] = None
+    target: Optional[int] = None
+    method: Optional[str] = None
+    delay: float = 0.0
+    drop: bool = False
+    fail: bool = False
+    #: Remaining matches before the rule disarms itself; None = forever.
+    times: Optional[int] = None
+
+    def matches(self, edge: str, target: int, method: str) -> bool:
+        return (
+            (self.edge is None or self.edge == edge)
+            and (self.target is None or self.target == target)
+            and (self.method is None or self.method == method)
+        )
+
+
+class FaultInjector:
+    """Process-wide switchboard for breaking message-plane edges."""
+
+    def __init__(self):
+        self._rules: List[FaultRule] = []
+        self._lock = threading.Lock()
+
+    def inject(
+        self,
+        edge: Optional[str] = None,
+        target: Optional[int] = None,
+        method: Optional[str] = None,
+        *,
+        delay: float = 0.0,
+        drop: bool = False,
+        fail: bool = False,
+        times: Optional[int] = None,
+    ) -> FaultRule:
+        """Arm a rule; returns it (pass to :meth:`remove` to disarm)."""
+        rule = FaultRule(edge, target, method, delay, drop, fail, times)
+        with self._lock:
+            self._rules.append(rule)
+        return rule
+
+    def remove(self, rule: FaultRule) -> None:
+        """Disarm one rule (no-op if already gone)."""
+        with self._lock:
+            try:
+                self._rules.remove(rule)
+            except ValueError:
+                pass
+
+    def clear(self) -> None:
+        """Disarm every rule (heal the plane)."""
+        with self._lock:
+            self._rules.clear()
+
+    @property
+    def active(self) -> bool:
+        """True when at least one rule is armed."""
+        return bool(self._rules)
+
+    def decide(self, edge: str, target: int, method: str) -> Optional[FaultRule]:
+        """The first matching armed rule for this message, or None.
+
+        Consumes one ``times`` charge of the matched rule; exhausted rules
+        disarm themselves.
+        """
+        if not self._rules:  # fast path: a healthy plane takes no lock
+            return None
+        with self._lock:
+            for rule in self._rules:
+                if not rule.matches(edge, target, method):
+                    continue
+                if rule.times is not None:
+                    rule.times -= 1
+                    if rule.times <= 0:
+                        self._rules.remove(rule)
+                return rule
+        return None

@@ -1,0 +1,138 @@
+"""Interchangeable transports for the message plane.
+
+A transport schedules *asynchronous* submissions (``Endpoint.submit``):
+
+* :class:`InlineTransport` -- runs the handler immediately on the caller's
+  thread.  Deterministic, zero threads, and the default everywhere; with it
+  the whole system behaves exactly like direct method calls (property-tested
+  in ``tests/test_rpc_equivalence.py``).
+* :class:`ThreadedTransport` -- one daemon worker thread per (endpoint,
+  target instance), fed by a bounded FIFO queue.  Submissions to the same
+  server execute in order on its worker; submissions to different servers
+  run concurrently -- this is what lets the coordinator fan chunk subqueries
+  out over the query servers and merge completions as they arrive.
+
+Synchronous ``Endpoint.call``s execute on the caller's thread under *every*
+transport (a blocking round trip gains nothing from a queue hop); the
+transport only governs fan-out.  Workers are spawned lazily on first use, so
+an inline-driven system never pays for them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, Tuple, Union
+
+from repro.rpc.errors import RpcFault
+
+#: Sentinel that tells a worker thread to exit its loop.
+_STOP = object()
+
+
+class Transport:
+    """Base transport: schedule a unit of work for a call."""
+
+    #: Whether submissions may run concurrently with the caller.  The
+    #: coordinator uses this to pick between the deterministic virtual-time
+    #: dispatch loop and the completion-driven concurrent one.
+    concurrent = False
+    name = "base"
+
+    def submit(self, worker_key: object, run: Callable[[], None]) -> None:
+        """Schedule ``run`` (which executes the request and completes its
+        call).  ``worker_key`` identifies the logical server the request
+        is addressed to."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+class InlineTransport(Transport):
+    """Direct calls: ``run`` executes before ``submit`` returns."""
+
+    concurrent = False
+    name = "inline"
+
+    def submit(self, worker_key: object, run: Callable[[], None]) -> None:  # noqa: ARG002
+        run()
+
+
+class ThreadedTransport(Transport):
+    """Per-server worker threads with bounded FIFO queues.
+
+    ``queue_depth`` bounds each server's inbox; a full queue back-pressures
+    the submitter (``submit`` blocks) rather than dropping messages.
+    """
+
+    concurrent = True
+    name = "threaded"
+
+    def __init__(self, queue_depth: int = 64):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._queue_depth = queue_depth
+        self._lock = threading.Lock()
+        self._workers: Dict[object, Tuple[queue.Queue, threading.Thread]] = {}
+        self._closed = False
+
+    def _inbox(self, worker_key: object) -> queue.Queue:
+        with self._lock:
+            if self._closed:
+                raise RpcFault("transport is closed")
+            entry = self._workers.get(worker_key)
+            if entry is None:
+                inbox: queue.Queue = queue.Queue(self._queue_depth)
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(inbox,),
+                    name=f"rpc-{worker_key}",
+                    daemon=True,
+                )
+                self._workers[worker_key] = entry = (inbox, thread)
+                thread.start()
+            return entry[0]
+
+    @staticmethod
+    def _worker_loop(inbox: queue.Queue) -> None:
+        while True:
+            run = inbox.get()
+            if run is _STOP:
+                return
+            run()
+
+    def submit(self, worker_key: object, run: Callable[[], None]) -> None:
+        self._inbox(worker_key).put(run)
+
+    @property
+    def worker_count(self) -> int:
+        """Worker threads spawned so far (introspection / tests)."""
+        return len(self._workers)
+
+    def close(self) -> None:
+        """Stop every worker; later submissions raise :class:`RpcFault`."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for inbox, _thread in workers:
+            inbox.put(_STOP)
+        for _inbox, thread in workers:
+            thread.join(timeout=5.0)
+
+
+def make_transport(spec: Union[str, Transport, None]) -> Transport:
+    """Resolve a transport from its name (``"inline"`` / ``"threaded"``),
+    pass an existing instance through, or default to inline on ``None``."""
+    if spec is None:
+        return InlineTransport()
+    if isinstance(spec, Transport):
+        return spec
+    if spec == "inline":
+        return InlineTransport()
+    if spec == "threaded":
+        return ThreadedTransport()
+    raise ValueError(f"unknown transport {spec!r} (inline | threaded)")

@@ -16,13 +16,24 @@ Groupings mirror Storm's:
 * :class:`AllGrouping`     -- broadcast to every instance;
 * :class:`DirectGrouping`  -- the *emitter* names the target instance
   (``ctx.emit_direct``), used when routing is computed upstream.
+
+Delivery rides the message plane (:mod:`repro.rpc`): every bolt component
+is an endpoint ``topology.<name>`` and each emitted message is one
+``submit`` on that endpoint, so fault injection and ``rpc.*`` metrics
+apply to dataflow edges exactly as to server-to-server calls.  Under the
+inline transport a message is processed synchronously at emit time
+(deterministic depth-first delivery); under the threaded transport each
+bolt instance processes on its own worker thread, per-instance FIFO, and
+:meth:`LocalRuntime.run` waits for quiescence between spout batches.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.rpc import Endpoint, MessagePlane
 
 
 class Operator:
@@ -63,7 +74,12 @@ class Grouping:
 
 
 class ShuffleGrouping(Grouping):
-    """Round-robin across downstream instances."""
+    """Round-robin across downstream instances.
+
+    Under the threaded transport concurrent emitters may interleave the
+    counter, so the distribution is only approximately even -- the same
+    slack a real Storm shuffle grouping has.
+    """
     def __init__(self):
         self._next = 0
 
@@ -177,39 +193,94 @@ class Topology:
         return dict(self._components)
 
 
-class LocalRuntime:
-    """Deterministic single-process executor for a :class:`Topology`.
+class _BoltRunner:
+    """Message-plane handler for one bolt instance: counts and processes."""
 
-    Messages flow through per-instance FIFO queues; the scheduler drains
-    bolts between spout batches so delivery order is reproducible.  This is
-    the "local mode" a Storm developer tests with, which is exactly the
-    fidelity the reproduction needs (resource allocation and transport,
-    not distribution).
+    __slots__ = ("op", "ctx")
+
+    def __init__(self, op: Operator, ctx: "OperatorContext"):
+        self.op = op
+        self.ctx = ctx
+
+    def deliver(self, message: Any) -> None:
+        self.ctx.processed += 1
+        self.op.process(message, self.ctx)
+
+
+class LocalRuntime:
+    """Single-process executor for a :class:`Topology`.
+
+    Every delivery is a message-plane ``submit`` on the consumer bolt's
+    ``topology.<name>`` endpoint.  With the default inline plane the
+    message is processed synchronously at emit time, so execution is fully
+    deterministic -- the "local mode" a Storm developer tests with.  Pass a
+    plane with a :class:`~repro.rpc.ThreadedTransport` (e.g. a
+    ``Waterwheel`` system's ``plane``) and each bolt instance runs on its
+    own worker thread with per-instance FIFO delivery; the scheduler then
+    waits for quiescence between spout batches and re-raises the first
+    bolt error on the caller.
     """
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, plane: Optional[MessagePlane] = None):
         self.topology = topology
-        self._queues: Dict[Tuple[str, int], deque] = {}
+        self.plane = plane or MessagePlane()
         self._contexts: Dict[Tuple[str, int], OperatorContext] = {}
         self._consumers: Dict[str, List[Tuple[str, Grouping]]] = {}
+        self._endpoints: Dict[str, Endpoint] = {}
         for name, component in topology.components.items():
             for upstream, grouping in component.inputs:
                 self._consumers.setdefault(upstream, []).append((name, grouping))
             for instance in range(len(component.instances)):
-                self._queues[(name, instance)] = deque()
                 self._contexts[(name, instance)] = OperatorContext(
                     self, name, instance
                 )
+            if not component.is_spout:
+                runners = [
+                    _BoltRunner(op, self._contexts[(name, instance)])
+                    for instance, op in enumerate(component.instances)
+                ]
+                self._endpoints[name] = self.plane.endpoint(
+                    f"topology.{name}", runners
+                )
+        self._inflight = 0
+        self._quiet = threading.Condition()
+        self._error: Optional[BaseException] = None
         self._opened = False
 
     # --- routing (called by OperatorContext) --------------------------------------
+
+    def _deliver(self, consumer: str, instance: int, message: Any) -> None:
+        """One message-plane hop to a bolt instance."""
+        endpoint = self._endpoints[consumer]
+        if not self.plane.concurrent:
+            call = endpoint.submit(instance, "deliver", message)
+            exc = call.exception()
+            if exc is not None:
+                raise exc
+            return
+        # Concurrent transport: track the in-flight count so the scheduler
+        # can wait for quiescence.  A cascaded emit increments before its
+        # parent delivery completes, so the count never falsely hits zero.
+        with self._quiet:
+            self._inflight += 1
+        call = endpoint.submit(instance, "deliver", message)
+        call.add_done_callback(self._delivery_done)
+
+    def _delivery_done(self, call) -> None:
+        exc = call.exception()
+        with self._quiet:
+            if exc is not None and self._error is None:
+                self._error = exc
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._quiet.notify_all()
 
     def _route(self, emitter: str, emitter_instance: int, message: Any) -> None:
         for consumer, grouping in self._consumers.get(emitter, []):
             n = len(self.topology.components[consumer].instances)
             if grouping.broadcast:
                 for instance in range(n):
-                    self._queues[(consumer, instance)].append(message)
+                    self._deliver(consumer, instance, message)
             elif grouping.direct:
                 raise TopologyError(
                     f"{emitter!r}->{consumer!r} is direct-grouped; "
@@ -217,7 +288,7 @@ class LocalRuntime:
                 )
             else:
                 instance = grouping.choose(message, n, emitter_instance)
-                self._queues[(consumer, instance)].append(message)
+                self._deliver(consumer, instance, message)
 
     def _route_direct(self, emitter: str, target_instance: int, message: Any) -> None:
         routed = False
@@ -230,7 +301,7 @@ class LocalRuntime:
                     f"direct target {target_instance} out of range for "
                     f"{consumer!r} ({n} instances)"
                 )
-            self._queues[(consumer, target_instance)].append(message)
+            self._deliver(consumer, target_instance, message)
             routed = True
         if not routed:
             raise TopologyError(
@@ -246,21 +317,21 @@ class LocalRuntime:
         self._opened = True
 
     def _drain_bolts(self) -> None:
-        """Process queued messages until every bolt queue is empty."""
-        progressed = True
-        while progressed:
-            progressed = False
-            for name, component in self.topology.components.items():
-                if component.is_spout:
-                    continue
-                for instance, op in enumerate(component.instances):
-                    queue = self._queues[(name, instance)]
-                    ctx = self._contexts[(name, instance)]
-                    while queue:
-                        message = queue.popleft()
-                        ctx.processed += 1
-                        op.process(message, ctx)
-                        progressed = True
+        """Wait until every in-flight delivery (and its cascade) lands.
+
+        Inline transport processes messages at emit time, so there is
+        nothing to wait for; under a concurrent transport this blocks
+        until the in-flight count reaches zero, then re-raises the first
+        bolt error captured by the workers.
+        """
+        if not self.plane.concurrent:
+            return
+        with self._quiet:
+            while self._inflight:
+                self._quiet.wait()
+            exc, self._error = self._error, None
+        if exc is not None:
+            raise exc
 
     def run(self, max_batches: Optional[int] = None) -> Dict[str, Dict[str, int]]:
         """Run spouts to exhaustion (or ``max_batches``), draining bolts

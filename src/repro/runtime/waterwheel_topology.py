@@ -118,7 +118,9 @@ def run_insertion_topology(
     topology = build_insertion_topology(
         system, records, batch_size, flush_on_close
     )
-    runtime = LocalRuntime(topology)
+    # Ride the system's message plane so the topology inherits its
+    # transport (and any injected faults).
+    runtime = LocalRuntime(topology, plane=system.plane)
     metrics = runtime.run()
     system.tuples_inserted += metrics["indexing"]["processed"]
     return metrics

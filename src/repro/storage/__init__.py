@@ -11,6 +11,7 @@ from repro.storage.dfs import (
     ChunkLocation,
     ChunkNotFound,
     ChunkUnavailable,
+    ReplicaUnavailableError,
     SimulatedDFS,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "ChunkLocation",
     "ChunkNotFound",
     "ChunkUnavailable",
+    "ReplicaUnavailableError",
     "SimulatedDFS",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import sleep as _sleep
 from typing import Dict, List, Optional
 
 from repro.hashing import stable_hash64
@@ -30,6 +31,10 @@ class ChunkNotFound(KeyError):
 
 class ChunkUnavailable(RuntimeError):
     """All replicas of the chunk live on failed nodes."""
+
+
+#: HDFS-flavoured alias: the error a reader sees when no replica answers.
+ReplicaUnavailableError = ChunkUnavailable
 
 
 @dataclass
@@ -49,16 +54,25 @@ class SimulatedDFS:
         costs: Optional[CostModel] = None,
         replication: int = 3,
         spill_dir: Optional[str] = None,
+        read_sleep: float = 0.0,
     ):
         """``spill_dir`` (optional) keeps chunk bytes on the local disk
         instead of in memory -- useful for experiments whose total chunk
         volume would not fit in RAM.  The NameNode metadata stays in
-        memory either way."""
+        memory either way.
+
+        ``read_sleep`` (seconds, default 0) makes every data-plane read
+        *realise* an access-latency floor by sleeping, instead of only
+        pricing it in simulated seconds.  The in-memory store otherwise
+        hides the I/O shape HDFS has (the paper observes 2-50 ms per
+        access); transport benchmarks switch this on so concurrent
+        subquery fan-out has real waiting to overlap."""
         if replication < 1:
             raise ValueError("replication must be >= 1")
         self._cluster = cluster
         self._costs = costs or CostModel()
         self._replication = replication
+        self._read_sleep = read_sleep
         self._blocks: Dict[str, bytes] = {}
         self._locations: Dict[str, ChunkLocation] = {}
         self._access_counter = itertools.count()
@@ -157,6 +171,8 @@ class SimulatedDFS:
                 raise ChunkUnavailable(
                     f"all replicas of {chunk_id!r} are on failed nodes"
                 )
+            if self._read_sleep:
+                _sleep(self._read_sleep)
             if self._spill_dir is not None:
                 with open(self._spill_path(chunk_id), "rb") as fh:
                     data = fh.read()

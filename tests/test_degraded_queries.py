@@ -1,0 +1,198 @@
+"""Queries against a degraded cluster: partial results, retries, faults.
+
+Section V fault tolerance, exercised end to end: DFS nodes fail out from
+under flushed chunks (every replica dead -> ``ChunkUnavailable``), query
+servers drop off the message plane (injected drops / fails on the
+``coordinator->query_server`` edge), and in each case the query must
+degrade -- not abort.  Readable chunks and fresh in-memory data still
+arrive; the lost chunks are named in ``QueryResult.unreadable_chunks``;
+the retry/timeout/fault traffic shows up in the ``rpc.*`` counters and
+``coordinator.partial_queries``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Waterwheel, obs, small_config
+from repro.core.model import DataTuple
+from conftest import make_tuples
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _loaded_system(transport="inline", n=4_000, nodes=6):
+    """A system with several flushed chunks plus a fresh in-memory tail."""
+    ww = Waterwheel(small_config(n_nodes=nodes), transport=transport)
+    data = make_tuples(n)
+    ww.insert_many(data)
+    now = max(t.ts for t in data)
+    # A fresh tail that stays in memory: the degraded queries below must
+    # still return it untouched.
+    fresh = [
+        DataTuple(key=37 + 100 * i, ts=now + 0.5 + 0.001 * i, payload=f"fresh-{i}")
+        for i in range(50)
+    ]
+    for t in fresh:
+        ww.insert(t)
+    assert ww.in_memory_tuples >= len(fresh)
+    assert ww.chunk_count > 1
+    return ww, now + 1.0, {t.payload for t in fresh}
+
+
+def _kill_all_replicas(ww, chunk_id):
+    for node in ww.dfs.location(chunk_id).replicas:
+        if ww.cluster.is_alive(node):
+            ww.cluster.kill(node)
+
+
+class TestUnreadableChunks:
+    """Satellite bugfix: ``ChunkUnavailable`` from ``dfs.get_bytes`` used to
+    propagate out of ``QueryServer.execute`` and abort the whole query."""
+
+    @pytest.mark.parametrize("transport", ["inline", "threaded"])
+    def test_dead_replica_set_degrades_to_partial(self, transport):
+        obs.enable(metrics_on=True, tracing_on=False)
+        ww, now, fresh_payloads = _loaded_system(transport)
+        try:
+            chunks = [
+                key[len("/chunks/") :]
+                for key in sorted(ww.metastore.list_prefix("/chunks/"))
+            ]
+            victim = chunks[0]
+            _kill_all_replicas(ww, victim)
+            assert ww.cluster.failed_nodes  # mid-workload node failures
+            assert ww.dfs.live_replicas(victim) == []
+
+            res = ww.query(0, 10_000, 0.0, now)
+            assert res.partial
+            assert victim in res.unreadable_chunks
+            # Only chunks whose whole replica sets died are lost.
+            for lost in res.unreadable_chunks:
+                assert ww.dfs.live_replicas(lost) == []
+            # Every readable chunk still contributed ...
+            assert len(res) > 0
+            got = {t.payload for t in res.tuples}
+            # ... and the fresh branch is untouched by DFS failures.
+            assert fresh_payloads <= got
+
+            snap = ww.metrics()
+            assert snap["coordinator.partial_queries"]["value"] == 1
+        finally:
+            ww.close()
+
+    def test_healthy_cluster_is_not_partial(self):
+        ww, now, _fresh = _loaded_system()
+        res = ww.query(0, 10_000, 0.0, now)
+        assert not res.partial
+        assert res.unreadable_chunks == []
+
+    def test_replica_unavailable_error_alias(self):
+        from repro.storage import ChunkUnavailable
+        from repro.storage.dfs import ReplicaUnavailableError
+
+        assert ReplicaUnavailableError is ChunkUnavailable
+
+
+class TestEdgeFaults:
+    """Timeout -> retry -> partial degradation on broken message-plane
+    edges, with the traffic visible in the ``rpc.*`` counters."""
+
+    def test_threaded_single_server_drop_reroutes_to_full_result(self):
+        obs.enable(metrics_on=True, tracing_on=False)
+        ww, now, _fresh = _loaded_system("threaded")
+        try:
+            total = ww.tuples_inserted
+            ww.plane.set_policy(
+                "coordinator->query_server", timeout=0.2, retries=1
+            )
+            ww.faults.inject(
+                edge="coordinator->query_server", target=0, drop=True
+            )
+            res = ww.query(0, 10_000, 0.0, now)
+            # Server 0's subqueries timed out, were re-routed and answered
+            # by the other servers: the result is complete.
+            assert len(res) == total
+            assert not res.partial
+            snap = ww.metrics()
+            edge = "{edge=coordinator->query_server}"
+            assert snap[f"rpc.faults{edge}"]["value"] > 0
+            assert snap[f"rpc.timeouts{edge}"]["value"] > 0
+            assert snap[f"rpc.retries{edge}"]["value"] > 0
+        finally:
+            ww.close()
+
+    def test_threaded_whole_edge_drop_degrades_to_partial(self):
+        obs.enable(metrics_on=True, tracing_on=False)
+        ww, now, fresh_payloads = _loaded_system("threaded")
+        try:
+            ww.plane.set_policy(
+                "coordinator->query_server", timeout=0.1, retries=1
+            )
+            ww.faults.inject(edge="coordinator->query_server", drop=True)
+            res = ww.query(0, 10_000, 0.0, now)
+            # Every chunk subquery timed out on every route: the chunk
+            # branch is gone, the fresh branch still answers.
+            assert res.partial
+            assert set(res.unreadable_chunks)
+            got = {t.payload for t in res.tuples}
+            assert fresh_payloads <= got
+            snap = ww.metrics()
+            assert snap["coordinator.partial_queries"]["value"] == 1
+            edge = "{edge=coordinator->query_server}"
+            assert snap[f"rpc.timeouts{edge}"]["value"] > 0
+        finally:
+            ww.close()
+
+    def test_inline_transient_drop_recovers_via_endpoint_retries(self):
+        obs.enable(metrics_on=True, tracing_on=False)
+        ww, now, _fresh = _loaded_system("inline")
+        total = ww.tuples_inserted
+        ww.plane.set_policy(
+            "coordinator->query_server", retries=2, backoff=0.0
+        )
+        # The first two sends vanish; the endpoint's own retry loop makes
+        # the third attempt deliver.
+        ww.faults.inject(
+            edge="coordinator->query_server", drop=True, times=2
+        )
+        res = ww.query(0, 10_000, 0.0, now)
+        assert len(res) == total
+        assert not res.partial
+        assert not ww.faults.active  # the times budget is spent
+        snap = ww.metrics()
+        edge = "{edge=coordinator->query_server}"
+        assert snap[f"rpc.timeouts{edge}"]["value"] == 2
+        assert snap[f"rpc.retries{edge}"]["value"] == 2
+
+    def test_inline_hard_fail_on_one_server_still_completes(self):
+        ww, now, _fresh = _loaded_system("inline")
+        total = ww.tuples_inserted
+        ww.plane.set_policy(
+            "coordinator->query_server", retries=0
+        )
+        # Server 0's edge is permanently broken: the dispatch loop
+        # quarantines its slot and re-routes its subqueries.
+        ww.faults.inject(
+            edge="coordinator->query_server", target=0, fail=True
+        )
+        res = ww.query(0, 10_000, 0.0, now)
+        assert len(res) == total
+        assert not res.partial
+
+    def test_killed_query_server_retries_visible_in_dispatch_counters(self):
+        obs.enable(metrics_on=True, tracing_on=False)
+        ww, now, _fresh = _loaded_system("inline")
+        total = ww.tuples_inserted
+        ww.kill_query_server(0)
+        ww.kill_query_server(1)
+        res = ww.query(0, 10_000, 0.0, now)
+        assert len(res) == total
+        assert not res.partial  # surviving servers absorb the work

@@ -95,7 +95,7 @@ def test_observability_doc_names_real_metrics():
     doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
     listed = set(
         re.findall(r"`((?:ingest|query|btree|chunk|dfs|dispatch|dispatcher|"
-                   r"coordinator|query_server|subquery)\.[\w.]+)`", doc)
+                   r"coordinator|query_server|subquery|rpc)\.[\w.]+)`", doc)
     )
     unknown = {
         name for name in listed

@@ -292,8 +292,8 @@ class TestDisabledNoOp:
 
 
 class TestWaterwheelObservability:
-    def _run_workload(self, n=2_000):
-        ww = Waterwheel(small_config(chunk_bytes=16 * 1024))
+    def _run_workload(self, n=2_000, transport=None):
+        ww = Waterwheel(small_config(chunk_bytes=16 * 1024), transport=transport)
         data = make_tuples(n)
         ww.insert_many(data)
         now = max(t.ts for t in data)
@@ -337,8 +337,10 @@ class TestWaterwheelObservability:
         assert root.attrs["query_id"] == 1
 
     def test_trace_subquery_spans_carry_cache_attribution(self):
+        # Pinned to the inline plane: under a threaded transport subquery
+        # spans run on worker threads and form their own trace trees.
         obs.enable()
-        ww, res = self._run_workload()
+        ww, res = self._run_workload(transport="inline")
         root = ww.last_trace()
         dispatch = root.child("dispatch")
         assert dispatch is not None

@@ -1,0 +1,374 @@
+"""The message plane: envelopes, transports, endpoints, fault injection.
+
+Unit coverage for :mod:`repro.rpc` plus integration spot checks: a
+``Waterwheel`` built on the threaded transport answers queries identically
+to the inline default, and the dataflow runtime delivers through whichever
+plane it is handed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Waterwheel, obs, small_config
+from repro.rpc import (
+    Call,
+    FaultInjector,
+    InlineTransport,
+    MessagePlane,
+    Request,
+    RpcError,
+    RpcFault,
+    RpcTimeout,
+    ThreadedTransport,
+    make_transport,
+)
+from conftest import make_tuples
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class Arith:
+    """Tiny rpc target used throughout these tests."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def add(self, a, b):
+        self.calls += 1
+        return a + b
+
+    def boom(self):
+        self.calls += 1
+        raise ValueError("boom")
+
+    def whoami(self):
+        return threading.current_thread().name
+
+
+# --- envelopes & calls --------------------------------------------------------
+
+
+class TestCall:
+    def _call(self):
+        return Call(Request("a->b", 0, "add", (1, 2)))
+
+    def test_completes_exactly_once(self):
+        call = self._call()
+        call._complete(3, None)
+        call._complete(99, None)  # late completion dropped
+        assert call.done()
+        assert call.result() == 3
+        assert call.response.ok
+
+    def test_error_completion_raises_from_result(self):
+        call = self._call()
+        err = ValueError("nope")
+        call._complete(None, err)
+        assert call.exception() is err
+        with pytest.raises(ValueError):
+            call.result()
+
+    def test_result_times_out_while_in_flight(self):
+        call = self._call()
+        with pytest.raises(RpcTimeout):
+            call.result(timeout=0.01)
+        # The call stays in flight; a late completion is still recorded.
+        call._complete(3, None)
+        assert call.result() == 3
+
+    def test_done_callback_fires_on_completion_and_when_already_done(self):
+        call = self._call()
+        seen = []
+        call.add_done_callback(lambda c: seen.append(("pre", c.response.value)))
+        call._complete(3, None)
+        call.add_done_callback(lambda c: seen.append(("post", c.response.value)))
+        assert seen == [("pre", 3), ("post", 3)]
+
+    def test_request_ids_are_unique(self):
+        a = Request("e", 0, "m")
+        b = Request("e", 0, "m")
+        assert a.request_id != b.request_id
+
+
+# --- transports ---------------------------------------------------------------
+
+
+class TestTransports:
+    def test_make_transport_resolution(self):
+        assert isinstance(make_transport(None), InlineTransport)
+        assert isinstance(make_transport("inline"), InlineTransport)
+        assert isinstance(make_transport("threaded"), ThreadedTransport)
+        existing = InlineTransport()
+        assert make_transport(existing) is existing
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon")
+
+    def test_inline_runs_before_submit_returns(self):
+        ran = []
+        InlineTransport().submit("k", lambda: ran.append(1))
+        assert ran == [1]
+
+    def test_threaded_same_key_same_worker_in_order(self):
+        transport = ThreadedTransport()
+        try:
+            seen = []
+            done = threading.Event()
+
+            def job(i):
+                def run():
+                    seen.append((i, threading.current_thread().name))
+                    if i == 9:
+                        done.set()
+                return run
+
+            for i in range(10):
+                transport.submit(("ep", 0), job(i))
+            assert done.wait(5.0)
+            assert [i for i, _name in seen] == list(range(10))  # FIFO
+            assert len({name for _i, name in seen}) == 1  # one worker
+            assert transport.worker_count == 1
+        finally:
+            transport.close()
+
+    def test_threaded_distinct_keys_distinct_workers(self):
+        transport = ThreadedTransport()
+        try:
+            names = {}
+            done = threading.Barrier(3, timeout=5.0)
+
+            def job(key):
+                def run():
+                    names[key] = threading.current_thread().name
+                    done.wait()
+                return run
+
+            transport.submit(("ep", 0), job("a"))
+            transport.submit(("ep", 1), job("b"))
+            done.wait()
+            assert names["a"] != names["b"]
+            assert transport.worker_count == 2
+        finally:
+            transport.close()
+
+    def test_close_is_idempotent_and_rejects_later_submits(self):
+        transport = ThreadedTransport()
+        transport.submit("k", lambda: None)
+        transport.close()
+        transport.close()
+        with pytest.raises(RpcFault):
+            transport.submit("k", lambda: None)
+
+
+# --- endpoints ----------------------------------------------------------------
+
+
+class TestEndpoint:
+    def _plane(self, transport=None):
+        plane = MessagePlane(transport)
+        target = Arith()
+        return plane, target, plane.endpoint("test->arith", [target])
+
+    def test_call_round_trip(self):
+        _plane, target, ep = self._plane()
+        assert ep.call(0, "add", 2, 3) == 5
+        assert target.calls == 1
+
+    def test_handler_exception_propagates_unretried(self):
+        _plane, target, ep = self._plane()
+        with pytest.raises(ValueError):
+            ep.call(0, "boom")
+        assert target.calls == 1  # no retry for handler errors
+
+    def test_submit_inline_completes_immediately(self):
+        _plane, _target, ep = self._plane()
+        call = ep.submit(0, "add", 4, 5)
+        assert call.done()
+        assert call.result() == 9
+
+    def test_submit_threaded_runs_on_worker(self):
+        plane, _target, ep = self._plane("threaded")
+        try:
+            worker = ep.call(0, "whoami")  # sync call: caller's thread
+            assert worker == threading.current_thread().name
+            name = ep.submit(0, "whoami").result(5.0)
+            assert name != threading.current_thread().name
+            assert name.startswith("rpc-")
+        finally:
+            plane.close()
+
+    def test_set_policy_rejects_unknown_fields(self):
+        plane = MessagePlane()
+        pol = plane.set_policy("some->edge", timeout=0.5, retries=1)
+        assert pol.timeout == 0.5 and pol.retries == 1
+        # Live endpoints share the policy object.
+        assert plane.policy("some->edge") is pol
+        with pytest.raises(ValueError):
+            plane.set_policy("some->edge", jitter=1.0)
+
+
+# --- fault injection ----------------------------------------------------------
+
+
+class TestFaultInjection:
+    def _plane(self):
+        plane = MessagePlane()
+        target = Arith()
+        return plane, target, plane.endpoint("test->arith", [target])
+
+    def test_fail_rule_exhausts_retries_then_raises(self):
+        plane, target, ep = self._plane()
+        plane.set_policy("test->arith", retries=1, backoff=0.0)
+        plane.faults.inject(edge="test->arith", fail=True)
+        with pytest.raises(RpcFault):
+            ep.call(0, "add", 1, 1)
+        assert target.calls == 0  # never delivered
+
+    def test_fail_rule_times_budget_allows_recovery(self):
+        plane, _target, ep = self._plane()
+        plane.set_policy("test->arith", retries=2, backoff=0.0)
+        plane.faults.inject(edge="test->arith", fail=True, times=2)
+        assert ep.call(0, "add", 1, 1) == 2  # third attempt succeeds
+        assert not plane.faults.active  # exhausted rule disarmed itself
+
+    def test_drop_under_inline_is_a_timeout(self):
+        plane, _target, ep = self._plane()
+        plane.set_policy("test->arith", retries=0)
+        plane.faults.inject(edge="test->arith", drop=True)
+        with pytest.raises(RpcTimeout):
+            ep.call(0, "add", 1, 1)
+
+    def test_drop_under_threaded_never_completes(self):
+        plane = MessagePlane("threaded")
+        try:
+            target = Arith()
+            ep = plane.endpoint("test->arith", [target])
+            plane.faults.inject(edge="test->arith", drop=True)
+            call = ep.submit(0, "add", 1, 1)
+            with pytest.raises(RpcTimeout):
+                call.result(timeout=0.05)
+            assert not call.done()
+            assert target.calls == 0
+        finally:
+            plane.close()
+
+    def test_delay_rule_delays_delivery(self):
+        plane, _target, ep = self._plane()
+        plane.faults.inject(edge="test->arith", delay=0.05)
+        started = time.perf_counter()
+        assert ep.call(0, "add", 1, 1) == 2
+        assert time.perf_counter() - started >= 0.05
+
+    def test_rules_match_target_and_method(self):
+        plane = MessagePlane()
+        targets = [Arith(), Arith()]
+        ep = plane.endpoint("test->arith", targets)
+        plane.set_policy("test->arith", retries=0)
+        plane.faults.inject(edge="test->arith", target=0, fail=True)
+        with pytest.raises(RpcFault):
+            ep.call(0, "add", 1, 1)
+        assert ep.call(1, "add", 1, 1) == 2  # other instance unaffected
+        plane.faults.clear()
+        plane.faults.inject(method="boom", fail=True)
+        assert ep.call(0, "add", 1, 1) == 2  # other method unaffected
+
+    def test_remove_heals_the_edge(self):
+        plane, _target, ep = self._plane()
+        plane.set_policy("test->arith", retries=0)
+        rule = plane.faults.inject(edge="test->arith", fail=True)
+        with pytest.raises(RpcFault):
+            ep.call(0, "add", 1, 1)
+        plane.faults.remove(rule)
+        assert ep.call(0, "add", 1, 1) == 2
+
+    def test_rpc_metrics_count_calls_retries_and_faults(self):
+        obs.enable()
+        plane, _target, ep = self._plane()
+        plane.set_policy("test->arith", retries=2, backoff=0.0)
+        plane.faults.inject(edge="test->arith", fail=True, times=2)
+        ep.call(0, "add", 1, 1)
+        snap = obs.metrics.registry().snapshot()
+        assert snap["rpc.calls{edge=test->arith}"]["value"] == 3
+        assert snap["rpc.retries{edge=test->arith}"]["value"] == 2
+        assert snap["rpc.faults{edge=test->arith}"]["value"] == 2
+        assert snap["rpc.latency{edge=test->arith}"]["count"] == 1
+
+    def test_rpc_error_hierarchy(self):
+        assert issubclass(RpcTimeout, RpcError)
+        assert issubclass(RpcFault, RpcError)
+        assert issubclass(RpcError, RuntimeError)
+
+
+# --- end-to-end over a real system --------------------------------------------
+
+
+def _workload_results(transport, n=3_000):
+    ww = Waterwheel(small_config(), transport=transport)
+    try:
+        data = make_tuples(n)
+        ww.insert_many(data)
+        now = max(t.ts for t in data)
+        res = ww.query(500, 9_000, 0.0, now)
+        return ww, sorted((t.key, t.ts, t.payload) for t in res.tuples)
+    finally:
+        ww.close()
+
+
+class TestSystemOverTransports:
+    def test_threaded_system_matches_inline_results(self):
+        ww_inline, inline = _workload_results("inline")
+        ww_threaded, threaded = _workload_results("threaded")
+        assert inline == threaded
+        assert ww_inline.chunk_count == ww_threaded.chunk_count
+
+    def test_threaded_fans_chunk_subqueries_over_workers(self):
+        ww = Waterwheel(small_config(), transport="threaded")
+        try:
+            data = make_tuples(4_000)
+            ww.insert_many(data)
+            now = max(t.ts for t in data)
+            res = ww.query(0, 10_000, 0.0, now)
+            assert len(res) == 4_000
+            assert not res.partial
+            # The fan-out edge spawned per-query-server workers.
+            assert ww.plane.transport.worker_count > 1
+        finally:
+            ww.close()
+
+    def test_close_is_safe_and_repeatable(self):
+        ww = Waterwheel(small_config(), transport="threaded")
+        ww.insert_many(make_tuples(200))
+        ww.close()
+        ww.close()
+
+
+class TestTopologyOverThreadedPlane:
+    def test_insertion_topology_rides_the_system_plane(self):
+        from repro.runtime import run_insertion_topology
+
+        records = make_tuples(2_000)
+        direct = Waterwheel(small_config())
+        direct.insert_many(records)
+
+        ww = Waterwheel(small_config(), transport="threaded")
+        try:
+            metrics = run_insertion_topology(ww, records)
+            assert metrics["indexing"]["processed"] == 2_000
+            now = max(t.ts for t in records)
+            a = direct.query(0, 10_000, 0.0, now)
+            b = ww.query(0, 10_000, 0.0, now)
+            assert sorted(t.payload for t in a.tuples) == sorted(
+                t.payload for t in b.tuples
+            )
+        finally:
+            ww.close()

@@ -1,0 +1,296 @@
+"""Inline message plane vs. the pre-refactor direct-call path.
+
+The message-plane refactor routed every cross-component hop through
+:class:`~repro.rpc.Endpoint` objects.  Under the default
+:class:`~repro.rpc.InlineTransport` that must be *observably identical* to
+calling the component methods directly, as the code did before the
+refactor: same routing, flush points, durable-log contents, chunk bytes,
+query results, simulated latencies and component-level metrics counters.
+
+The "direct" driver below is a frozen replica of the pre-refactor call
+path -- dispatcher/indexing-server/query-server methods invoked directly,
+with the coordinator's decompose/merge arithmetic inlined -- property-
+tested against the endpoint-driven system in the style of
+``tests/test_batch_ingest.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Waterwheel, obs, small_config
+from repro.core.dispatch import run_dispatch
+from repro.core.model import (
+    DataTuple,
+    KeyInterval,
+    Query,
+    QueryResult,
+    SubQuery,
+    TimeInterval,
+)
+from repro.core.system import _BALANCE_CHECK_EVERY
+from repro.storage import ChunkReader
+
+_TOPIC = "tuples"
+
+#: Facade/coordinator-level instruments the direct driver legitimately
+#: bypasses (they are emitted by ``Waterwheel.insert`` / the coordinator's
+#: ``execute``, not by the components both drivers traverse), plus the
+#: plane's own ``rpc.*`` instruments which exist only on the endpoint path.
+_EXCLUDED_METRIC_PREFIXES = (
+    "rpc.",
+    "ingest.inserted",
+    "ingest.insert_wall_sampled",
+    "ingest.batches",
+    "ingest.batch_size",
+    "coordinator.",
+    "query.",
+)
+
+
+# --- the frozen pre-refactor direct-call driver -------------------------------
+
+
+def _direct_insert(ww: Waterwheel, t: DataTuple):
+    """``Waterwheel.insert`` as written before the message-plane refactor:
+    direct method calls on the dispatcher and indexing server."""
+    dispatcher = ww.dispatchers[next(ww._dispatcher_rr)]
+    server_id, offset = dispatcher.dispatch(t)
+    chunk_id = ww.indexing_servers[server_id].ingest(t, offset)
+    ww.tuples_inserted += 1
+    ww._since_balance_check += 1
+    if ww._since_balance_check >= _BALANCE_CHECK_EVERY:
+        ww._since_balance_check = 0
+        ww.balancer.maybe_rebalance()
+    return chunk_id
+
+
+def _direct_query(ww: Waterwheel, key_lo, key_hi, t_lo, t_hi) -> QueryResult:
+    """The coordinator's decompose/dispatch/merge as direct calls."""
+    q = Query(
+        keys=KeyInterval.closed(key_lo, key_hi),
+        times=TimeInterval(t_lo, t_hi),
+        query_id=1,
+    )
+    coord = ww.coordinator
+    cfg = ww.config
+    costs = cfg.costs
+    region = q.region()
+    result = QueryResult(query_id=q.query_id)
+
+    # Fresh branch: direct fresh_region / query_fresh calls.
+    fresh_latency = 0.0
+    n_fresh = 0
+    for server in ww.indexing_servers:
+        live = server.fresh_region()
+        if live is None or not live.overlaps(region):
+            continue
+        keys = q.keys.intersect(live.keys)
+        if keys.is_empty():
+            continue
+        n_fresh += 1
+        sq = SubQuery(
+            query_id=q.query_id,
+            keys=keys,
+            times=q.times,
+            predicate=q.predicate,
+            chunk_id=None,
+            indexing_server=server.server_id,
+        )
+        tuples, examined = server.query_fresh(sq)
+        result.tuples.extend(tuples)
+        branch = (
+            2 * costs.network_latency
+            + examined * costs.scan_cpu
+            + costs.network_transfer(len(tuples) * cfg.tuple_size)
+        )
+        fresh_latency = max(fresh_latency, branch)
+
+    # Chunk branch: catalog search + the virtual-time dispatch loop with
+    # its default (direct ``server.execute``) executor.
+    chunk_sqs = []
+    for chunk_region, chunk_id in coord._catalog.search(region):
+        keys = q.keys.intersect(chunk_region.keys)
+        times = q.times.intersect(chunk_region.times)
+        if keys.is_empty() or times is None:
+            continue
+        chunk_sqs.append(
+            SubQuery(
+                query_id=q.query_id,
+                keys=keys,
+                times=times,
+                predicate=q.predicate,
+                chunk_id=chunk_id,
+            )
+        )
+    result.subquery_count = n_fresh + len(chunk_sqs)
+    chunk_latency = 0.0
+    if chunk_sqs:
+        outcome = run_dispatch(chunk_sqs, ww.query_servers, coord.policy)
+        chunk_latency = outcome.makespan
+        for sub in outcome.results:
+            if sub is None:
+                continue
+            result.tuples.extend(sub.tuples)
+            result.bytes_read += sub.bytes_read
+            result.leaves_read += sub.leaves_read
+            result.leaves_skipped += sub.leaves_skipped
+            result.cache_hits += sub.cache_hits
+            result.cache_misses += sub.cache_misses
+
+    transfer = costs.network_transfer(len(result.tuples) * cfg.tuple_size)
+    result.latency = max(fresh_latency, chunk_latency) + transfer
+    return result
+
+
+# --- drivers ------------------------------------------------------------------
+
+
+_QUERIES = [
+    (0, 9_999, float("-inf"), float("inf")),
+    (2_500, 7_500, 0.0, 1e6),
+    (0, 1_000, 50.0, 200.0),
+]
+
+
+def _build_stream(n, seed=11):
+    import random
+
+    rng = random.Random(seed)
+    clock = 100.0
+    out = []
+    for i in range(n):
+        clock += rng.random()
+        out.append(DataTuple(rng.randrange(0, 10_000), clock, payload=i))
+    return out
+
+
+def _drive_endpoints(stream):
+    ww = Waterwheel(small_config(), transport="inline")
+    for t in stream:
+        ww.insert(t)
+    results = [ww.query(*q) for q in _QUERIES]
+    return ww, results
+
+
+def _drive_direct(stream):
+    ww = Waterwheel(small_config(), transport="inline")
+    for t in stream:
+        _direct_insert(ww, t)
+    results = [_direct_query(ww, *q) for q in _QUERIES]
+    return ww, results
+
+
+def _chunk_tuples(ww, chunk_id):
+    reader = ChunkReader(ww.dfs.get_bytes(chunk_id))
+    return sorted((t.key, t.ts, t.payload) for t in reader.all_tuples())
+
+
+def _assert_state_equivalent(a: Waterwheel, b: Waterwheel):
+    assert [s.flush_count for s in a.indexing_servers] == [
+        s.flush_count for s in b.indexing_servers
+    ]
+    assert a.in_memory_tuples == b.in_memory_tuples
+    assert a.tuples_inserted == b.tuples_inserted
+    chunks_a = sorted(a.metastore.list_prefix("/chunks/"))
+    chunks_b = sorted(b.metastore.list_prefix("/chunks/"))
+    assert chunks_a == chunks_b
+    for key in chunks_a:
+        chunk_id = key[len("/chunks/") :]
+        assert _chunk_tuples(a, chunk_id) == _chunk_tuples(b, chunk_id)
+    for partition in range(len(a.indexing_servers)):
+        recs_a = a.log._partition(_TOPIC, partition).records
+        recs_b = b.log._partition(_TOPIC, partition).records
+        assert [(t.key, t.ts, t.payload) for t in recs_a] == [
+            (t.key, t.ts, t.payload) for t in recs_b
+        ]
+    assert [s._last_offset for s in a.indexing_servers] == [
+        s._last_offset for s in b.indexing_servers
+    ]
+
+
+def _assert_results_equivalent(res_a, res_b):
+    for a, b in zip(res_a, res_b):
+        assert sorted((t.key, t.ts, t.payload) for t in a.tuples) == sorted(
+            (t.key, t.ts, t.payload) for t in b.tuples
+        )
+        assert a.latency == b.latency
+        assert a.subquery_count == b.subquery_count
+        assert a.bytes_read == b.bytes_read
+        assert a.leaves_read == b.leaves_read
+        assert a.leaves_skipped == b.leaves_skipped
+        assert a.cache_hits == b.cache_hits
+        assert a.cache_misses == b.cache_misses
+        assert a.partial == b.partial == False  # noqa: E712
+
+
+step_strategy = st.tuples(
+    st.integers(0, 9_999),  # key
+    st.floats(0.0, 2.0, allow_nan=False),  # clock advance
+)
+
+
+class TestInlineEqualsDirect:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(step_strategy, min_size=1, max_size=400))
+    def test_property_endpoint_path_equals_direct_path(self, steps):
+        clock = 100.0
+        stream = []
+        for i, (key, delta) in enumerate(steps):
+            clock += delta
+            stream.append(DataTuple(key, clock, payload=i))
+        a, res_a = _drive_endpoints(stream)
+        b, res_b = _drive_direct(stream)
+        _assert_state_equivalent(a, b)
+        _assert_results_equivalent(res_a, res_b)
+
+    def test_multi_flush_workload_deterministic(self):
+        stream = _build_stream(2_000)
+        a, res_a = _drive_endpoints(stream)
+        b, res_b = _drive_direct(stream)
+        assert sum(s.flush_count for s in a.indexing_servers) > 0
+        _assert_state_equivalent(a, b)
+        _assert_results_equivalent(res_a, res_b)
+
+    def test_component_metrics_match_direct_path(self):
+        """Counters emitted by the components both drivers traverse (trees,
+        chunks, DFS, dispatch loop, query servers) must agree exactly; only
+        ``rpc.*`` and facade-level instruments are endpoint-path-only."""
+        stream = _build_stream(1_200, seed=23)
+
+        def _component_metrics(snapshot):
+            out = {}
+            for key, val in snapshot.items():
+                if key.startswith(_EXCLUDED_METRIC_PREFIXES):
+                    continue
+                # Counters compare by value; histograms by sample count
+                # (wall-clock histogram values are not deterministic).
+                out[key] = val.get("value", val.get("count"))
+            return out
+
+        obs.disable()
+        obs.reset()
+        obs.enable(metrics_on=True, tracing_on=False)
+        try:
+            _ww, _res = _drive_endpoints(stream)
+            endpoint_metrics = _component_metrics(
+                obs.metrics.registry().snapshot()
+            )
+            assert any(k.startswith("rpc.") for k in obs.metrics.registry().snapshot())
+            obs.reset()
+            _ww, _res = _drive_direct(stream)
+            direct_metrics = _component_metrics(
+                obs.metrics.registry().snapshot()
+            )
+            # The direct driver bypasses every facade/coordinator edge; the
+            # only rpc traffic left is the query server's own DFS endpoint.
+            assert not any(
+                "coordinator" in k or "waterwheel" in k or "dispatcher->" in k
+                for k in obs.metrics.registry().snapshot()
+                if k.startswith("rpc.")
+            )
+            assert endpoint_metrics == direct_metrics
+        finally:
+            obs.disable()
+            obs.reset()
