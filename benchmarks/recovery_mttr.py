@@ -1,0 +1,180 @@
+"""Recovery MTTR: supervised crash recovery cost vs. indexing-tree size.
+
+Section V's recovery story is durable-log replay: an indexing server's
+volatile state (its template B+tree plus late buffer) is rebuilt by
+replaying its log partition from the last flush checkpoint.  This
+benchmark measures, as a function of the replayable backlog (= tuples
+resident in the tree at crash time):
+
+* **time to recover** -- wall seconds from the crash until the supervisor
+  has detected the death (heartbeat poll), replayed the log and lifted the
+  dispatcher quarantine;
+* **replay throughput** -- tuples replayed per wall second.
+
+A second table times standby-coordinator promotion (R-tree catalog rebuilt
+from the metastore) against the number of registered chunks.
+
+Writes ``BENCH_recovery.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/recovery_mttr.py [--sizes N1,N2,...] [--repeats R]
+        [--out PATH]
+
+CI smoke runs use small ``--sizes`` to keep runtime negligible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro import Waterwheel, small_config
+from repro.workloads import uniform_records
+
+DEFAULT_SIZES = (5_000, 20_000, 50_000)
+DEFAULT_REPEATS = 3
+
+#: One indexing server holds the whole backlog (single node) and chunks
+#: are kept large so the tree -- not flushed chunks -- carries the state:
+#: replay size equals tree size, the quantity the paper's recovery pays for.
+BENCH_CONFIG = dict(n_nodes=1, key_hi=1 << 20, chunk_bytes=1 << 22)
+
+#: Chunk-count sweep for the coordinator-promotion table (small chunks so
+#: the catalog actually grows).
+COORD_CONFIG = dict(n_nodes=3, key_hi=1 << 20, chunk_bytes=8192)
+
+
+def time_recovery(n_records: int, repeats: int) -> dict:
+    """Best-of-``repeats`` supervised recovery of one crashed server."""
+    best = None
+    for attempt in range(repeats):
+        ww = Waterwheel(small_config(**BENCH_CONFIG))
+        supervisor = ww.supervise(suspect_after=1, dead_after=1)
+        stream = uniform_records(n_records, key_hi=1 << 20, seed=11 + attempt)
+        ww.insert_batch(stream)
+        backlog = ww.indexing_servers[0].in_memory_tuples
+        ww.kill_indexing_server(0)
+
+        started = time.perf_counter()
+        reports = supervisor.poll_until_quiet()
+        elapsed = time.perf_counter() - started
+
+        replayed = sum(r.tuples_replayed for r in reports)
+        assert ww.indexing_servers[0].alive
+        assert replayed == backlog, (replayed, backlog)
+        row = {
+            "tree_tuples": backlog,
+            "mttr_s": elapsed,
+            "replayed_per_s": replayed / elapsed if elapsed else 0.0,
+        }
+        if best is None or row["mttr_s"] < best["mttr_s"]:
+            best = row
+        ww.close()
+    return best
+
+
+def time_promotion(n_records: int, repeats: int) -> dict:
+    """Best-of-``repeats`` standby-coordinator catalog rebuild."""
+    ww = Waterwheel(small_config(**COORD_CONFIG))
+    ww.insert_batch(uniform_records(n_records, key_hi=1 << 20, seed=23))
+    chunks = ww.chunk_count
+    best = None
+    for _ in range(repeats):
+        ww.kill_coordinator()
+        started = time.perf_counter()
+        ww.promote_coordinator()
+        elapsed = time.perf_counter() - started
+        assert ww.coordinator.catalog_size == chunks
+        if best is None or elapsed < best:
+            best = elapsed
+    ww.close()
+    return {
+        "chunks": chunks,
+        "promote_s": best,
+        "chunks_per_s": chunks / best if best else 0.0,
+    }
+
+
+def run_experiment(sizes, repeats):
+    recovery_rows = [time_recovery(n, repeats) for n in sizes]
+    promotion_rows = [
+        time_promotion(n, repeats) for n in (sizes[0], sizes[-1])
+    ]
+    return {
+        "sizes": list(sizes),
+        "repeats": repeats,
+        "config": dict(BENCH_CONFIG),
+        "recovery": recovery_rows,
+        "coordinator_promotion": promotion_rows,
+        "replayed_per_s": recovery_rows[-1]["replayed_per_s"],
+    }
+
+
+def _parse_args(argv):
+    sizes = list(DEFAULT_SIZES)
+    repeats = DEFAULT_REPEATS
+    out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_recovery.json",
+    )
+    it = iter(argv)
+    for arg in it:
+        if arg == "--sizes":
+            sizes = [int(s) for s in next(it).split(",")]
+        elif arg == "--repeats":
+            repeats = int(next(it))
+        elif arg == "--out":
+            out = next(it)
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+    return sizes, repeats, out
+
+
+def main():
+    sizes, repeats, out = _parse_args(sys.argv[1:])
+    result = run_experiment(sizes, repeats)
+    print_table(
+        f"Supervised recovery MTTR (wall clock, best of {repeats})",
+        ["tree tuples", "MTTR (s)", "replayed/s"],
+        [
+            [r["tree_tuples"], r["mttr_s"], r["replayed_per_s"]]
+            for r in result["recovery"]
+        ],
+    )
+    print_table(
+        "Standby-coordinator promotion (catalog rebuild from metastore)",
+        ["chunks", "promote (s)", "chunks/s"],
+        [
+            [r["chunks"], r["promote_s"], r["chunks_per_s"]]
+            for r in result["coordinator_promotion"]
+        ],
+    )
+    with open(out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print(f"\nwrote {out}")
+    return 0
+
+
+# --- pytest entry point -------------------------------------------------------
+
+
+def test_recovery_scales_with_tree_size():
+    """Replay-driven MTTR grows with the backlog; throughput stays within
+    an order of magnitude across sizes (no superlinear cliff)."""
+    small, large = 2_000, 8_000
+    row_small = time_recovery(small, repeats=2)
+    row_large = time_recovery(large, repeats=2)
+    assert row_small["tree_tuples"] == small
+    assert row_large["tree_tuples"] == large
+    assert row_large["mttr_s"] > 0
+    assert row_large["replayed_per_s"] > row_small["replayed_per_s"] / 10
+
+
+if __name__ == "__main__":
+    sys.exit(main())

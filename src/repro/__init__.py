@@ -28,6 +28,7 @@ from repro.core.stats import collect, snapshot
 from repro.core.system import Waterwheel
 from repro.core.verify import verify_system
 from repro.secondary import AttributeSpec
+from repro.supervision import ChaosReport, Supervisor, run_chaos
 
 __all__ = [
     "DataTuple",
@@ -41,8 +42,11 @@ __all__ = [
     "WaterwheelConfig",
     "small_config",
     "AttributeSpec",
+    "ChaosReport",
     "ChunkCompactor",
+    "Supervisor",
     "collect",
+    "run_chaos",
     "geo_query",
     "obs",
     "snapshot",

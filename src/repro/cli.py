@@ -9,6 +9,11 @@ Commands:
                   latency percentiles.
 * ``verify``   -- ingest a workload, optionally inject failures, then run
                   the consistency checker (fsck) and print its report.
+* ``failures`` -- ingest a workload, apply a scripted kill/recover/corrupt
+                  sequence (optionally under a supervisor), then verify.
+* ``chaos``    -- seeded chaos runs: random faults under live traffic with
+                  supervised recovery, audited end to end (exit 1 on any
+                  violated invariant).
 * ``metrics``  -- run an ingest + query workload with the metrics registry
                   enabled, print (or dump as JSON) every counter/histogram.
 * ``trace``    -- run a workload, trace one range query, print its span
@@ -155,6 +160,144 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _apply_failure_action(ww: Waterwheel, action: str) -> str:
+    """Apply one ``--do`` action; returns a human-readable description.
+
+    Raises :class:`ValueError` for unknown verbs or server/node ids (the
+    facade's failure APIs validate ids instead of wrapping around).
+    """
+    verb, _, arg = action.partition(":")
+    needs_id = {
+        "kill-indexing", "recover-indexing", "kill-query", "recover-query",
+        "kill-node", "revive-node", "corrupt-chunk",
+    }
+    if verb in needs_id and not arg:
+        raise ValueError(f"action {verb!r} needs an id: {verb}:<id>")
+    if verb == "kill-indexing":
+        ww.kill_indexing_server(int(arg))
+        return f"killed indexing server {arg}"
+    if verb == "recover-indexing":
+        replayed = ww.recover_indexing_server(int(arg))
+        return f"recovered indexing server {arg} ({replayed} tuples replayed)"
+    if verb == "kill-query":
+        ww.kill_query_server(int(arg))
+        return f"killed query server {arg}"
+    if verb == "recover-query":
+        ww.recover_query_server(int(arg))
+        return f"recovered query server {arg} (cold cache)"
+    if verb == "kill-coordinator":
+        ww.kill_coordinator()
+        return "killed coordinator"
+    if verb == "promote-coordinator":
+        ww.promote_coordinator()
+        return "promoted standby coordinator"
+    if verb == "kill-node":
+        node = int(arg)
+        if not 0 <= node < len(ww.cluster.nodes):
+            raise ValueError(
+                f"unknown node {node} (valid: 0..{len(ww.cluster.nodes) - 1})"
+            )
+        ww.cluster.kill(node)
+        return f"killed node {arg}"
+    if verb == "revive-node":
+        node = int(arg)
+        if not 0 <= node < len(ww.cluster.nodes):
+            raise ValueError(
+                f"unknown node {node} (valid: 0..{len(ww.cluster.nodes) - 1})"
+            )
+        ww.cluster.revive(node)
+        return f"revived node {arg}"
+    if verb == "corrupt-chunk":
+        chunk_ids = sorted(ww.dfs.chunk_ids())
+        idx = int(arg)
+        if not 0 <= idx < len(chunk_ids):
+            raise ValueError(
+                f"no chunk #{idx} (have {len(chunk_ids)} objects)"
+            )
+        node = ww.dfs.corrupt_replica(chunk_ids[idx])
+        return f"corrupted replica of {chunk_ids[idx]} on node {node}"
+    raise ValueError(
+        f"unknown action {verb!r} (kill-indexing:<id> | recover-indexing:<id> "
+        f"| kill-query:<id> | recover-query:<id> | kill-coordinator "
+        f"| promote-coordinator | kill-node:<id> | revive-node:<id> "
+        f"| corrupt-chunk:<n>)"
+    )
+
+
+def cmd_failures(args) -> int:
+    """``failures``: scripted fault sequence + (optional) supervision + fsck."""
+    from repro.core.verify import verify_system
+
+    records, key_lo, key_hi, tuple_size = _make_workload(
+        args.workload, args.records, args.seed
+    )
+    ww = _build_system(args, key_lo, key_hi, tuple_size)
+    half = len(records) // 2
+    ww.insert_many(records[:half])
+    supervisor = ww.supervise() if args.supervise else None
+    for action in args.do or []:
+        try:
+            print(_apply_failure_action(ww, action))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    ww.insert_many(records[half:])  # traffic keeps flowing over the faults
+    if supervisor is not None:
+        for poll in supervisor.poll_until_quiet():
+            for repair in poll.repairs:
+                print(
+                    f"supervisor: {repair.action} {repair.component} "
+                    f"{repair.index}"
+                    + (
+                        f" ({repair.tuples_replayed} tuples replayed)"
+                        if repair.tuples_replayed
+                        else ""
+                    )
+                )
+        if ww.dfs.under_replicated():
+            print("supervisor: re-replication still pending (failed nodes?)")
+    report = verify_system(ww)
+    print(report.summary())
+    for problem in report.problems:
+        print(f"  PROBLEM: {problem}")
+    if ww.quarantined_servers:
+        print(f"  quarantined: {sorted(ww.quarantined_servers)}")
+    return 0 if report.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    """``chaos``: seeded chaos runs; exit 1 if any run violates an invariant."""
+    from repro.supervision import run_chaos
+
+    reports = []
+    failures = 0
+    for run in range(args.runs):
+        seed = args.seed + run
+        report = run_chaos(
+            seed=seed,
+            records=args.records,
+            steps=args.steps,
+            events=args.events,
+            transport=args.transport,
+        )
+        reports.append(report)
+        print(report.summary())
+        if args.verbose:
+            for event in report.events:
+                print(f"  {event}")
+        for problem in report.problems:
+            print(f"  PROBLEM: {problem}")
+        if not report.ok:
+            failures += 1
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([r.as_dict() for r in reports], fh, indent=2)
+        print(f"wrote {len(reports)} report(s) to {args.json}")
+    if failures:
+        print(f"{failures}/{args.runs} chaos run(s) FAILED", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_metrics(args) -> int:
     """``metrics``: ingest + query with the registry on, print every metric."""
     records, key_lo, key_hi, tuple_size = _make_workload(
@@ -287,6 +430,51 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(verify)
     verify.add_argument("--inject-failure", action="store_true")
     verify.set_defaults(func=cmd_verify)
+
+    failures = sub.add_parser(
+        "failures",
+        help="apply a scripted kill/recover sequence, then verify",
+    )
+    add_common(failures)
+    failures.add_argument(
+        "--do",
+        action="append",
+        metavar="ACTION",
+        help="fault action, repeatable, applied in order after half the "
+             "workload: kill-indexing:<id> recover-indexing:<id> "
+             "kill-query:<id> recover-query:<id> kill-coordinator "
+             "promote-coordinator kill-node:<id> revive-node:<id> "
+             "corrupt-chunk:<n>",
+    )
+    failures.add_argument(
+        "--supervise",
+        action="store_true",
+        help="attach a supervisor and let it repair before verifying",
+    )
+    failures.set_defaults(func=cmd_failures)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos runs with supervised recovery + full audit",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--runs", type=int, default=1,
+                       help="consecutive seeds starting at --seed")
+    chaos.add_argument("--records", type=int, default=3000)
+    chaos.add_argument("--steps", type=int, default=15)
+    chaos.add_argument("--events", type=int, default=6)
+    chaos.add_argument(
+        "--transport",
+        default=None,
+        choices=("inline", "threaded"),
+        help="message-plane transport (default: inline, or "
+             "$REPRO_TRANSPORT when set)",
+    )
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print every fault event")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="dump the run reports as JSON")
+    chaos.set_defaults(func=cmd_chaos)
 
     metrics = sub.add_parser(
         "metrics", help="run a workload with the metrics registry, print it"

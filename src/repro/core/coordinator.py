@@ -69,6 +69,7 @@ class QueryCoordinator:
             "coordinator->query_server", self.query_servers
         )
         self._query_ids = itertools.count(1)
+        self.alive = True
         self.queries_executed = 0
         self.last_trace: Optional[_trace.Span] = None
         # Instruments are resolved once here; execute() only checks the
@@ -129,6 +130,26 @@ class QueryCoordinator:
     def close(self) -> None:
         """Detach from the metadata store (used when failing over)."""
         self._unwatch()
+
+    def heartbeat(self) -> dict:
+        """Liveness probe answered over the message plane (supervision)."""
+        if not self.alive:
+            raise ServerDownError("coordinator is down")
+        return {
+            "component": "coordinator",
+            "queries_executed": self.queries_executed,
+            "catalog_regions": len(self._catalog),
+        }
+
+    def fail(self) -> None:
+        """Crash the coordinator: it stops answering queries and detaches
+        its metastore watch.  Idempotent.  The catalog it held is volatile
+        -- a standby rebuilds its own from the metastore
+        (:meth:`_bootstrap_catalog`)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.close()
 
     @property
     def catalog_size(self) -> int:
@@ -204,7 +225,11 @@ class QueryCoordinator:
             "chunks": [],
             "subquery_count": len(fresh_sqs) + len(chunk_sqs),
         }
-        for sq in chunk_sqs:
+        # R-tree search order depends on insertion history, which differs
+        # between a catalog grown chunk-by-chunk and one rebuilt from the
+        # metastore after a coordinator failover; sort so the *plan* is a
+        # stable artifact (diffable across takeovers) either way.
+        for sq in sorted(chunk_sqs, key=lambda sq: sq.chunk_id):
             info = self.metastore.get(f"/chunks/{sq.chunk_id}", {})
             replicas = []
             for server in self.query_servers:
@@ -251,6 +276,8 @@ class QueryCoordinator:
 
     def execute(self, query: Query) -> QueryResult:
         """Run the full query workflow; returns merged results + metrics."""
+        if not self.alive:
+            raise ServerDownError("coordinator is down")
         if query.query_id == 0:
             query = Query(
                 query.keys,

@@ -521,8 +521,28 @@ class IndexingServer:
 
     # --- failure & recovery -------------------------------------------------------------
 
+    def heartbeat(self) -> dict:
+        """Liveness probe answered over the message plane (supervision).
+
+        Raises :class:`ServerDownError` when crashed, so a missed beat and
+        a dead server look identical to the failure detector.
+        """
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        return {
+            "component": "indexing",
+            "server_id": self.server_id,
+            "tuples_ingested": self.tuples_ingested,
+            "in_memory_tuples": self.in_memory_tuples,
+        }
+
     def fail(self) -> None:
-        """Crash: all volatile state (the in-memory trees) is lost."""
+        """Crash: all volatile state (the in-memory trees) is lost.
+
+        Idempotent -- killing an already-dead server changes nothing.
+        """
+        if not self.alive:
+            return
         self.alive = False
         self._tree = self._new_tree(self.assigned)
         self._late_tree = None
@@ -532,7 +552,13 @@ class IndexingServer:
 
     def recover(self, log: DurableLog, topic: str) -> int:
         """Relaunch and rebuild the in-memory tree by replaying the durable
-        log from the last checkpointed offset; returns tuples replayed."""
+        log from the last checkpointed offset; returns tuples replayed.
+
+        A no-op on an alive server (returns 0): replaying the log on top
+        of live in-memory state would duplicate every unflushed tuple.
+        """
+        if self.alive:
+            return 0
         self.alive = True
         start = self.metastore.get(self._offset_key, 0)
         replayed = 0

@@ -393,13 +393,25 @@ class QueryServer:
 
     # --- failure ----------------------------------------------------------------------
 
+    def heartbeat(self) -> dict:
+        """Liveness probe answered over the message plane (supervision)."""
+        if not self.alive:
+            raise ServerDownError(f"query server {self.server_id} is down")
+        return {
+            "component": "query_server",
+            "server_id": self.server_id,
+            "subqueries_executed": self.subqueries_executed,
+        }
+
     def fail(self) -> None:
-        """Crash: the cache (volatile state) is lost."""
+        """Crash: the cache (volatile state) is lost.  Idempotent."""
+        if not self.alive:
+            return
         self.alive = False
         self.cache = LRUCache(self.config.cache_bytes)
         self._readers.clear()
         self._sidecars.clear()
 
     def recover(self) -> None:
-        """Bring the server back (with a cold cache)."""
+        """Bring the server back (with a cold cache); no-op when alive."""
         self.alive = True

@@ -73,6 +73,7 @@ class SystemSnapshot:
     log_backlog: int
     dead_indexing_servers: int = 0
     dead_query_servers: int = 0
+    quarantined_indexing_servers: int = 0
     indexing: List[IndexingServerStats] = field(default_factory=list)
     query: List[QueryServerStats] = field(default_factory=list)
     dispatchers: List[DispatcherStats] = field(default_factory=list)
@@ -92,6 +93,7 @@ class SystemSnapshot:
             "log_backlog": self.log_backlog,
             "dead_indexing_servers": self.dead_indexing_servers,
             "dead_query_servers": self.dead_query_servers,
+            "quarantined_indexing_servers": self.quarantined_indexing_servers,
             "indexing": [vars(s) for s in self.indexing],
             "query": [vars(s) for s in self.query],
             "dispatchers": [vars(s) for s in self.dispatchers],
@@ -122,6 +124,9 @@ def snapshot(system) -> SystemSnapshot:
             1 for s in system.indexing_servers if not s.alive
         ),
         dead_query_servers=sum(1 for s in system.query_servers if not s.alive),
+        quarantined_indexing_servers=len(
+            getattr(system, "quarantined_servers", ())
+        ),
     )
     for server in system.indexing_servers:
         snap.indexing.append(

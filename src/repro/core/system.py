@@ -28,7 +28,7 @@ from repro.core.config import WaterwheelConfig
 from repro.core.coordinator import QueryCoordinator
 from repro.core.dispatch import DispatchPolicy, LadaDispatch
 from repro.core.dispatcher import Dispatcher, SharedPartition
-from repro.core.indexing_server import IndexingServer
+from repro.core.indexing_server import IndexingServer, ServerDownError
 from repro.core.model import DataTuple, KeyInterval, Predicate, Query, QueryResult, TimeInterval
 from repro.core.partitioning import KeyPartition
 from repro.core.query_server import QueryServer
@@ -158,6 +158,12 @@ class Waterwheel:
 
         self.tuples_inserted = 0
         self._since_balance_check = 0
+        #: Indexing servers whose key interval is quarantined: their tuples
+        #: are appended to the durable log (durable, hence acknowledged)
+        #: but not delivered; recovery replays them from the checkpoint.
+        self._quarantined: set = set()
+        #: The optional supervision loop (see :meth:`supervise`).
+        self.supervisor = None
         reg = _obs.registry()
         self._m_inserted = reg.counter("ingest.inserted")
         self._m_insert_wall = reg.histogram("ingest.insert_wall_sampled")
@@ -165,6 +171,7 @@ class Waterwheel:
         self._m_batch_size = reg.histogram(
             "ingest.batch_size", scale=1.0, unit="tuples"
         )
+        self._m_quarantined = reg.counter("dispatch.quarantined")
 
     # --- ingestion ---------------------------------------------------------------
 
@@ -177,7 +184,20 @@ class Waterwheel:
         server_id, offset = self._ep_dispatch.call(
             next(self._dispatcher_rr), "dispatch", t
         )
-        chunk_id = self._ep_index.call(server_id, "ingest", t, offset)
+        # The tuple is durable in the log the moment dispatch returns; a
+        # dead indexing server quarantines its key interval instead of
+        # raising -- the buffered (= logged, undelivered) suffix is drained
+        # by the recovery replay, so acknowledged tuples are never lost.
+        if self._quarantined and server_id in self._quarantined:
+            chunk_id = None
+            if _obs.ENABLED:
+                self._m_quarantined.inc()
+        else:
+            try:
+                chunk_id = self._ep_index.call(server_id, "ingest", t, offset)
+            except ServerDownError:
+                self._quarantine(server_id)
+                chunk_id = None
         self.tuples_inserted += 1
         if _obs.ENABLED:
             self._m_inserted.inc()
@@ -268,9 +288,20 @@ class Waterwheel:
         chunk_ids: List[str] = []
         for server_id in sorted(per_server):
             run, first_offset = per_server[server_id]
-            chunk_ids.extend(
-                self._ep_index.call(server_id, "ingest_run", run, first_offset)
-            )
+            if self._quarantined and server_id in self._quarantined:
+                if _obs.ENABLED:
+                    self._m_quarantined.inc(len(run))
+                continue
+            try:
+                chunk_ids.extend(
+                    self._ep_index.call(
+                        server_id, "ingest_run", run, first_offset
+                    )
+                )
+            except ServerDownError:
+                self._quarantine(server_id)
+                if _obs.ENABLED:
+                    self._m_quarantined.inc(len(run))
         return chunk_ids
 
     def compact_log(self) -> int:
@@ -279,9 +310,19 @@ class Waterwheel:
         Everything before a checkpoint is already durable in chunks
         (Section V), so retention only needs the unflushed suffix.  Returns
         the number of records dropped across all partitions.
+
+        Partitions whose indexing server is currently failed (or
+        quarantined) are skipped: the checkpoint is the *only* durable
+        record of where that server's pending replay must start, and its
+        in-memory suffix exists nowhere but the log -- truncating while a
+        recovery is pending could race the replay and silently lose
+        replayable tuples (the conservation invariant ``verify_system``
+        audits).  They compact on the next call after recovery.
         """
         dropped = 0
         for server in self.indexing_servers:
+            if not server.alive or server.server_id in self._quarantined:
+                continue
             checkpoint = self.metastore.get(
                 f"/indexing/{server.server_id}/offset", 0
             )
@@ -373,27 +414,73 @@ class Waterwheel:
 
     # --- failure injection & recovery (Section V) --------------------------------------
 
+    def _check_server_id(self, server_id: int, servers, kind: str) -> None:
+        """Failure-injection ids must name a real server -- a typo must not
+        silently wrap around (negative indexing) to some innocent victim."""
+        if not isinstance(server_id, int) or isinstance(server_id, bool):
+            raise ValueError(f"{kind} server id must be an int, got {server_id!r}")
+        if not 0 <= server_id < len(servers):
+            raise ValueError(
+                f"unknown {kind} server {server_id} "
+                f"(valid: 0..{len(servers) - 1})"
+            )
+
+    def _quarantine(self, server_id: int) -> None:
+        """Stop delivering to a dead indexing server; its tuples keep
+        accumulating (durably) in its log partition until recovery."""
+        self._quarantined.add(server_id)
+
+    @property
+    def quarantined_servers(self) -> "set[int]":
+        """Indexing servers currently buffering to the log only."""
+        return set(self._quarantined)
+
     def kill_indexing_server(self, server_id: int) -> None:
-        """Crash an indexing server (volatile state lost)."""
+        """Crash an indexing server (volatile state lost).  Idempotent on
+        an already-dead server; unknown ids raise :class:`ValueError`."""
+        self._check_server_id(server_id, self.indexing_servers, "indexing")
         self.indexing_servers[server_id].fail()
+        self._quarantine(server_id)
 
     def recover_indexing_server(self, server_id: int) -> int:
-        """Replays the durable log; returns tuples replayed."""
-        return self.indexing_servers[server_id].recover(self.log, _TOPIC)
+        """Replays the durable log; returns tuples replayed.
+
+        A no-op (returning 0) on an alive server -- replaying on top of
+        live state would duplicate tuples.  Unknown ids raise
+        :class:`ValueError`.  Lifts the dispatcher quarantine: the replay
+        drains every tuple buffered in the log while the server was down.
+        """
+        self._check_server_id(server_id, self.indexing_servers, "indexing")
+        replayed = self.indexing_servers[server_id].recover(self.log, _TOPIC)
+        self._quarantined.discard(server_id)
+        return replayed
 
     def kill_query_server(self, server_id: int) -> None:
-        """Crash a query server (cache lost)."""
+        """Crash a query server (cache lost).  Idempotent; unknown ids
+        raise :class:`ValueError`."""
+        self._check_server_id(server_id, self.query_servers, "query")
         self.query_servers[server_id].fail()
 
     def recover_query_server(self, server_id: int) -> None:
-        """Bring a query server back (cold cache)."""
+        """Bring a query server back (cold cache).  No-op on an alive
+        server; unknown ids raise :class:`ValueError`."""
+        self._check_server_id(server_id, self.query_servers, "query")
         self.query_servers[server_id].recover()
 
-    def crash_coordinator(self) -> None:
-        """Drop the coordinator; a standby takes over from the metadata
-        store (running queries would be cancelled and re-issued)."""
+    def kill_coordinator(self) -> None:
+        """Crash the coordinator: queries raise until a standby takes over
+        (:meth:`promote_coordinator` -- the supervisor drives this
+        automatically).  Idempotent."""
+        self.coordinator.fail()
+
+    def promote_coordinator(self) -> QueryCoordinator:
+        """Promote a standby coordinator: a fresh instance rebuilds its
+        R-tree catalog from the metastore's persisted chunk regions
+        (Section V's coordinator recovery).  Returns the new coordinator.
+        No-op when the current coordinator is alive."""
+        if self.coordinator.alive:
+            return self.coordinator
         policy = self.coordinator.policy
-        self.coordinator.close()
         self.coordinator = QueryCoordinator(
             self.config,
             self.metastore,
@@ -402,6 +489,27 @@ class Waterwheel:
             policy,
             plane=self.plane,
         )
+        if self.supervisor is not None:
+            self.supervisor.rebind_coordinator()
+        return self.coordinator
+
+    def crash_coordinator(self) -> None:
+        """Drop the coordinator; a standby takes over from the metadata
+        store (running queries would be cancelled and re-issued)."""
+        self.kill_coordinator()
+        self.promote_coordinator()
+
+    def supervise(self, **kwargs) -> "Supervisor":
+        """Attach (and return) a :class:`~repro.supervision.Supervisor`
+        closing the detect -> recover -> verify loop over this deployment.
+        Heartbeats are poll-driven (``supervisor.poll()`` or
+        ``supervisor.start(interval)``) -- nothing touches the ingest or
+        query hot path.  Idempotent: returns the existing supervisor."""
+        if self.supervisor is None:
+            from repro.supervision import Supervisor
+
+            self.supervisor = Supervisor(self, **kwargs)
+        return self.supervisor
 
     def close(self) -> None:
         """Release message-plane resources (threaded-transport workers).
@@ -410,6 +518,8 @@ class Waterwheel:
         collected.  The inline transport holds nothing, so inline systems
         never need this.
         """
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.plane.close()
 
     # --- observability --------------------------------------------------------------------

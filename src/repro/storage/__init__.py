@@ -8,6 +8,7 @@ from repro.storage.chunk import (
     serialize_chunk,
 )
 from repro.storage.dfs import (
+    ChunkCorrupt,
     ChunkLocation,
     ChunkNotFound,
     ChunkUnavailable,
@@ -21,6 +22,7 @@ __all__ = [
     "ChunkReader",
     "LeafEntry",
     "serialize_chunk",
+    "ChunkCorrupt",
     "ChunkLocation",
     "ChunkNotFound",
     "ChunkUnavailable",

@@ -9,14 +9,22 @@ co-located with a replica (chunk locality, Section IV-C).
 Data-plane reads return real bytes (query correctness is exercised on real
 chunk decoding); the *cost* of an access is returned separately so callers
 charge their virtual clock.
+
+Every chunk carries a CRC32 recorded at :meth:`SimulatedDFS.put` time.
+Reads verify it per replica: a corrupted copy is skipped (and repaired in
+place from a healthy replica -- read repair), so a query only ever sees
+bytes that pass the checksum.  :meth:`SimulatedDFS.re_replicate` restores
+under-replicated chunks to the replication factor after node failures --
+the half of HDFS's self-healing the paper's Section V leans on.
 """
 
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass
 from time import sleep as _sleep
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.hashing import stable_hash64
 from repro.obs import metrics as _obs
@@ -33,16 +41,26 @@ class ChunkUnavailable(RuntimeError):
     """All replicas of the chunk live on failed nodes."""
 
 
+class ChunkCorrupt(ChunkUnavailable):
+    """Every live replica of the chunk fails its checksum.
+
+    Subclasses :class:`ChunkUnavailable` so callers that already degrade
+    to partial results on unreadable chunks handle corruption the same
+    way -- corrupt bytes are never returned to a reader.
+    """
+
+
 #: HDFS-flavoured alias: the error a reader sees when no replica answers.
 ReplicaUnavailableError = ChunkUnavailable
 
 
 @dataclass
 class ChunkLocation:
-    """NameNode record: object size and replica node ids."""
+    """NameNode record: object size, checksum and replica node ids."""
     chunk_id: str
     size: int
     replicas: List[int]
+    checksum: int = 0
 
 
 class SimulatedDFS:
@@ -75,6 +93,10 @@ class SimulatedDFS:
         self._read_sleep = read_sleep
         self._blocks: Dict[str, bytes] = {}
         self._locations: Dict[str, ChunkLocation] = {}
+        #: (chunk_id, node) -> that replica's divergent bytes.  Healthy
+        #: replicas share the canonical copy; only corrupted ones own a
+        #: private (bit-flipped) buffer, dropped again on read repair.
+        self._replica_overrides: Dict[Tuple[str, int], bytes] = {}
         self._access_counter = itertools.count()
         self._spill_dir = None
         if spill_dir is not None:
@@ -93,6 +115,9 @@ class SimulatedDFS:
         self._m_remote_reads = reg.counter("dfs.remote_reads")
         self._m_write_cost = reg.histogram("dfs.write_cost_sim")
         self._m_read_cost = reg.histogram("dfs.read_cost_sim")
+        self._m_checksum_failures = reg.counter("dfs.checksum_failures")
+        self._m_read_repairs = reg.counter("dfs.read_repairs")
+        self._m_re_replications = reg.counter("dfs.re_replications")
 
     def _spill_path(self, chunk_id: str) -> str:
         import os
@@ -111,7 +136,9 @@ class SimulatedDFS:
         replicas = self._cluster.pick_replica_nodes(
             self._replication, seed=stable_hash64(chunk_id)
         )
-        location = ChunkLocation(chunk_id, len(data), replicas)
+        location = ChunkLocation(
+            chunk_id, len(data), replicas, checksum=zlib.crc32(data)
+        )
         if self._spill_dir is not None:
             with open(self._spill_path(chunk_id), "wb") as fh:
                 fh.write(data)
@@ -136,7 +163,10 @@ class SimulatedDFS:
             except FileNotFoundError:
                 pass
         self._blocks.pop(chunk_id, None)
-        self._locations.pop(chunk_id, None)
+        location = self._locations.pop(chunk_id, None)
+        if location is not None:
+            for node in location.replicas:
+                self._replica_overrides.pop((chunk_id, node), None)
 
     # --- read path -------------------------------------------------------------
 
@@ -163,9 +193,30 @@ class SimulatedDFS:
         """True when ``node`` holds a live replica."""
         return node in self.live_replicas(chunk_id)
 
+    def _canonical_bytes(self, chunk_id: str) -> bytes:
+        if self._spill_dir is not None:
+            with open(self._spill_path(chunk_id), "rb") as fh:
+                return fh.read()
+        return self._blocks[chunk_id]
+
+    def _replica_bytes(self, chunk_id: str, node: int) -> bytes:
+        override = self._replica_overrides.get((chunk_id, node))
+        if override is not None:
+            return override
+        return self._canonical_bytes(chunk_id)
+
     def get_bytes(self, chunk_id: str) -> bytes:
-        """Data plane: the chunk's raw bytes (no cost accounting)."""
+        """Data plane: the chunk's raw bytes (no cost accounting).
+
+        Each live replica's copy is verified against the checksum recorded
+        at write time; a corrupted copy is skipped and the read falls back
+        to the next replica.  Once a healthy copy is found, every corrupted
+        copy encountered on the way is overwritten from it (read repair).
+        Raises :class:`ChunkCorrupt` when *every* live replica fails its
+        checksum -- corrupt bytes never reach the caller.
+        """
         with _trace.span("dfs_read", chunk=chunk_id) as sp:
+            location = self.location(chunk_id)
             replicas = self.live_replicas(chunk_id)
             if not replicas:
                 raise ChunkUnavailable(
@@ -173,14 +224,31 @@ class SimulatedDFS:
                 )
             if self._read_sleep:
                 _sleep(self._read_sleep)
-            if self._spill_dir is not None:
-                with open(self._spill_path(chunk_id), "rb") as fh:
-                    data = fh.read()
-            else:
-                data = self._blocks[chunk_id]
+            data = None
+            bad_nodes: List[int] = []
+            for node in replicas:
+                candidate = self._replica_bytes(chunk_id, node)
+                if zlib.crc32(candidate) == location.checksum:
+                    data = candidate
+                    break
+                bad_nodes.append(node)
+                if _obs.ENABLED:
+                    self._m_checksum_failures.inc()
+            if data is None:
+                raise ChunkCorrupt(
+                    f"every live replica of {chunk_id!r} fails its checksum "
+                    f"(nodes {bad_nodes})"
+                )
+            for node in bad_nodes:
+                # Read repair: the healthy copy replaces the corrupt one.
+                self._replica_overrides.pop((chunk_id, node), None)
+                if _obs.ENABLED:
+                    self._m_read_repairs.inc()
             if sp is not None:
                 sp.set_attr("bytes", len(data))
                 sp.set_attr("spilled", self._spill_dir is not None)
+                if bad_nodes:
+                    sp.set_attr("read_repaired", len(bad_nodes))
             return data
 
     def read_cost(self, chunk_id: str, nbytes: int, reader_node: int) -> float:
@@ -200,6 +268,105 @@ class SimulatedDFS:
             (self._m_local_reads if local else self._m_remote_reads).inc()
             self._m_read_cost.observe(cost)
         return cost
+
+    # --- corruption & repair -------------------------------------------------
+
+    def corrupt_replica(self, chunk_id: str, node: Optional[int] = None) -> int:
+        """Flip a byte in one replica's copy (fault injection for tests and
+        the chaos harness).  ``node`` defaults to the first replica; returns
+        the node whose copy was corrupted.  Raises :class:`ValueError` when
+        the node holds no replica of the chunk."""
+        location = self.location(chunk_id)
+        if node is None:
+            node = location.replicas[0]
+        if node not in location.replicas:
+            raise ValueError(
+                f"node {node} holds no replica of {chunk_id!r} "
+                f"(replicas: {location.replicas})"
+            )
+        data = bytearray(self._canonical_bytes(chunk_id))
+        if not data:
+            raise ValueError(f"chunk {chunk_id!r} is empty")
+        flip_at = stable_hash64(chunk_id) % len(data)
+        data[flip_at] ^= 0xFF
+        self._replica_overrides[(chunk_id, node)] = bytes(data)
+        return node
+
+    def corrupted_replicas(self, chunk_id: str) -> List[int]:
+        """Nodes whose copy of the chunk currently fails its checksum."""
+        location = self.location(chunk_id)
+        return [
+            node
+            for node in location.replicas
+            if zlib.crc32(self._replica_bytes(chunk_id, node))
+            != location.checksum
+        ]
+
+    def scrub(self) -> int:
+        """Verify every replica copy and repair the corrupt ones from the
+        canonical bytes; returns the number of copies repaired.  The
+        background half of read repair -- :meth:`get_bytes` only fixes the
+        copies a read happens to touch."""
+        repaired = 0
+        for (chunk_id, node) in list(self._replica_overrides):
+            location = self._locations.get(chunk_id)
+            if location is None:
+                self._replica_overrides.pop((chunk_id, node), None)
+                continue
+            data = self._replica_overrides[(chunk_id, node)]
+            if zlib.crc32(data) != location.checksum:
+                self._replica_overrides.pop((chunk_id, node))
+                repaired += 1
+                if _obs.ENABLED:
+                    self._m_checksum_failures.inc()
+                    self._m_read_repairs.inc()
+        return repaired
+
+    def under_replicated(self) -> List[str]:
+        """Chunk ids with fewer live replicas than the replication factor
+        currently allows (capped by the number of alive nodes)."""
+        n_alive = sum(1 for n in self._cluster.nodes if n.alive)
+        target = min(self._replication, n_alive)
+        return [
+            chunk_id
+            for chunk_id in self._locations
+            if len(self.live_replicas(chunk_id)) < target
+        ]
+
+    def re_replicate(self) -> int:
+        """Restore under-replicated chunks to the replication factor.
+
+        For each chunk with fewer live replicas than
+        ``min(replication, alive nodes)``, copies are placed on alive nodes
+        not already holding one (replicas on failed nodes stay registered:
+        they come back if the node revives, exactly like HDFS block
+        reports).  Returns the number of new replica copies created.
+        Chunks with *no* live replica cannot be repaired and are skipped.
+        """
+        n_alive = sum(1 for n in self._cluster.nodes if n.alive)
+        target = min(self._replication, n_alive)
+        created = 0
+        for chunk_id, location in self._locations.items():
+            live = [
+                n for n in location.replicas if self._cluster.is_alive(n)
+            ]
+            if not live or len(live) >= target:
+                continue
+            candidates = [
+                n.node_id
+                for n in self._cluster.nodes
+                if n.alive and n.node_id not in location.replicas
+            ]
+            rng_seed = stable_hash64(chunk_id) ^ len(location.replicas)
+            candidates.sort(key=lambda n: stable_hash64(f"{rng_seed}-{n}"))
+            for node in candidates[: target - len(live)]:
+                location.replicas.append(node)
+                created += 1
+                self.total_bytes_written += location.size
+                if _obs.ENABLED:
+                    self._m_re_replications.inc()
+                    self._m_bytes_written.inc(location.size)
+        return created
 
     # --- introspection -----------------------------------------------------------
 

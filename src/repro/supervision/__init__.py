@@ -1,0 +1,49 @@
+"""Supervision: failure detection, automatic recovery, chaos testing.
+
+The paper's deployment inherits self-healing from its substrate (Storm
+restarts workers, HDFS re-replicates blocks, ZooKeeper elects leaders);
+this package is our single-process equivalent, closing the
+detect -> recover -> verify loop over a running
+:class:`~repro.core.system.Waterwheel`:
+
+* :class:`FailureDetector` -- heartbeat probes over the message plane with
+  deadline/phi-style suspicion levels;
+* :class:`Supervisor` -- turns DEAD verdicts into the matching repair
+  (durable-log replay, cold-cache restart, standby-coordinator promotion)
+  plus a storage scrub/re-replication pass each cycle;
+* :func:`run_chaos` -- a seeded chaos harness that randomizes faults under
+  live traffic and audits the healed system end to end.
+
+Attach a supervisor with ``ww.supervise()`` (see
+``docs/ARCHITECTURE.md``'s fault-tolerance section).
+"""
+
+from repro.supervision.chaos import (
+    ChaosEvent,
+    ChaosReport,
+    run_chaos,
+)
+from repro.supervision.detector import (
+    FailureDetector,
+    Health,
+    TargetState,
+    Transition,
+)
+from repro.supervision.supervisor import (
+    PollReport,
+    RepairAction,
+    Supervisor,
+)
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosReport",
+    "FailureDetector",
+    "Health",
+    "PollReport",
+    "RepairAction",
+    "Supervisor",
+    "TargetState",
+    "Transition",
+    "run_chaos",
+]

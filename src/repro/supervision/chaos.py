@@ -1,0 +1,387 @@
+"""Seeded chaos harness: random faults + supervised recovery + full audit.
+
+One :func:`run_chaos` call drives a complete Waterwheel deployment through
+a randomized fault schedule while ingest and queries keep flowing, with a
+:class:`~repro.supervision.supervisor.Supervisor` polling between steps,
+then heals everything and audits the end state:
+
+* ``verify_system`` passes (conservation: durable log == chunks + memory);
+* zero acknowledged-tuple loss -- every tuple whose insert returned
+  normally appears in a final full-range query, and the final result holds
+  exactly the durable log's tuples (nothing lost, nothing invented);
+* every chunk is back at the replication factor and no replica copy fails
+  its checksum;
+* no corrupt or fabricated bytes ever surfaced in a query result.
+
+Fault kinds: indexing-server / query-server / coordinator crashes, DFS
+node failures and revivals, replica bit-flips, and RPC delay/drop/fail
+rules on message-plane edges.  Drop/fail rules are only armed on query and
+supervisor edges: the ingest path hands durability to the log *before*
+delivery, and this reproduction pushes tuples to indexing servers instead
+of having them pull from the log (the paper's design), so an injected
+transport loss between the log append and an *alive* server's delivery
+would strand a durable tuple with no recovery to drain it.  Delay rules
+may hit any edge.
+
+Everything is derived from ``seed`` -- same seed, same schedule, same
+workload -- so a failing run is replayable with ``repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import WaterwheelConfig, small_config
+from repro.core.indexing_server import ServerDownError as _IndexingDown
+from repro.core.query_server import ServerDownError as _QueryDown
+from repro.core.system import Waterwheel
+from repro.core.verify import verify_system
+from repro.rpc import RpcError
+from repro.workloads import uniform_records
+
+#: Edges that may receive delay rules (any edge is safe to slow down).
+DELAY_EDGES = (
+    "waterwheel->dispatcher",
+    "dispatcher->indexing",
+    "coordinator->indexing",
+    "coordinator->query_server",
+    "query_server->dfs",
+    "supervisor->indexing",
+    "supervisor->query_server",
+    "supervisor->coordinator",
+)
+
+#: Edges that may receive drop/fail rules (see module docstring for why
+#: the ingest edges are excluded).
+BREAK_EDGES = (
+    "coordinator->indexing",
+    "coordinator->query_server",
+    "query_server->dfs",
+    "supervisor->indexing",
+    "supervisor->query_server",
+    "supervisor->coordinator",
+)
+
+#: Weighted event palette: crashes dominate, network weather rides along.
+_EVENT_KINDS = (
+    ["kill_indexing"] * 3
+    + ["kill_query"] * 2
+    + ["kill_coordinator"]
+    + ["kill_node"] * 2
+    + ["revive_node"]
+    + ["corrupt_replica"] * 2
+    + ["rpc_delay"]
+    + ["rpc_drop"]
+    + ["rpc_fail"]
+)
+
+_QUERY_ERRORS = (RpcError, _IndexingDown, _QueryDown)
+
+
+@dataclass
+class ChaosEvent:
+    """One fault the schedule fired (or skipped, with the reason)."""
+
+    step: int
+    kind: str
+    detail: str = ""
+    fired: bool = True
+
+    def __str__(self) -> str:
+        status = "" if self.fired else " [skipped]"
+        return f"step {self.step}: {self.kind} {self.detail}{status}"
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run; ``ok`` means every invariant held."""
+
+    seed: int
+    steps: int
+    transport: str
+    tuples_offered: int = 0
+    tuples_acked: int = 0
+    tuples_unacked: int = 0
+    tuples_in_log: int = 0
+    tuples_in_final_result: int = 0
+    queries_run: int = 0
+    queries_failed: int = 0
+    queries_partial: int = 0
+    recoveries: int = 0
+    tuples_replayed: int = 0
+    replicas_restored: int = 0
+    replicas_scrubbed: int = 0
+    events: List[ChaosEvent] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run ended fully consistent."""
+        return not self.problems
+
+    def summary(self) -> str:
+        """One-line report for logs/CLIs."""
+        status = "OK" if self.ok else f"{len(self.problems)} PROBLEM(S)"
+        fired = sum(1 for e in self.events if e.fired)
+        return (
+            f"[{status}] seed={self.seed} transport={self.transport} "
+            f"acked={self.tuples_acked}/{self.tuples_offered} "
+            f"events={fired} queries={self.queries_run} "
+            f"(failed={self.queries_failed} partial={self.queries_partial}) "
+            f"recoveries={self.recoveries} replayed={self.tuples_replayed}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (the CLI's ``--json`` output)."""
+        out = {
+            k: v
+            for k, v in vars(self).items()
+            if k not in ("events", "problems")
+        }
+        out["ok"] = self.ok
+        out["events"] = [str(e) for e in self.events]
+        out["problems"] = list(self.problems)
+        return out
+
+
+def _fire(
+    ww: Waterwheel, rng: random.Random, kind: str, step: int
+) -> ChaosEvent:
+    """Apply one fault, honouring safety guards (never unrecoverable)."""
+    event = ChaosEvent(step, kind)
+    if kind == "kill_indexing":
+        alive = [s.server_id for s in ww.indexing_servers if s.alive]
+        if not alive:
+            event.fired, event.detail = False, "all already dead"
+        else:
+            sid = rng.choice(alive)
+            ww.kill_indexing_server(sid)
+            event.detail = f"server {sid}"
+    elif kind == "kill_query":
+        alive = [s.server_id for s in ww.query_servers if s.alive]
+        if len(alive) <= 1:
+            event.fired, event.detail = False, "would kill last query server"
+        else:
+            sid = rng.choice(alive)
+            ww.kill_query_server(sid)
+            event.detail = f"server {sid}"
+    elif kind == "kill_coordinator":
+        if not ww.coordinator.alive:
+            event.fired, event.detail = False, "already dead"
+        else:
+            ww.kill_coordinator()
+    elif kind == "kill_node":
+        alive = [n.node_id for n in ww.cluster.nodes if n.alive]
+        if len(alive) <= 2:
+            event.fired, event.detail = False, "too few alive nodes"
+        else:
+            node = rng.choice(alive)
+            ww.cluster.kill(node)
+            event.detail = f"node {node}"
+    elif kind == "revive_node":
+        failed = sorted(ww.cluster.failed_nodes)
+        if not failed:
+            event.fired, event.detail = False, "no failed node"
+        else:
+            node = rng.choice(failed)
+            ww.cluster.revive(node)
+            event.detail = f"node {node}"
+    elif kind == "corrupt_replica":
+        chunk_ids = ww.dfs.chunk_ids()
+        if not chunk_ids:
+            event.fired, event.detail = False, "no chunks yet"
+        else:
+            chunk_id = rng.choice(sorted(chunk_ids))
+            node = rng.choice(ww.dfs.location(chunk_id).replicas)
+            ww.dfs.corrupt_replica(chunk_id, node)
+            event.detail = f"{chunk_id} on node {node}"
+    elif kind == "rpc_delay":
+        edge = rng.choice(DELAY_EDGES)
+        times = rng.randint(2, 6)
+        ww.faults.inject(edge=edge, delay=0.001, times=times)
+        event.detail = f"{edge} x{times}"
+    elif kind in ("rpc_drop", "rpc_fail"):
+        edge = rng.choice(BREAK_EDGES)
+        times = rng.randint(1, 4)
+        ww.faults.inject(
+            edge=edge,
+            drop=(kind == "rpc_drop"),
+            fail=(kind == "rpc_fail"),
+            times=times,
+        )
+        event.detail = f"{edge} x{times}"
+    else:  # pragma: no cover - schedule only emits known kinds
+        event.fired, event.detail = False, "unknown kind"
+    return event
+
+
+def run_chaos(
+    seed: int = 7,
+    *,
+    records: int = 3000,
+    steps: int = 15,
+    events: int = 6,
+    transport: Optional[str] = "inline",
+    config: Optional[WaterwheelConfig] = None,
+    supervisor_kwargs: Optional[dict] = None,
+) -> ChaosReport:
+    """Run one seeded chaos scenario end to end; returns the audit report.
+
+    ``records`` tuples are ingested over ``steps`` steps (alternating the
+    per-tuple and batched paths), each step runs a couple of range queries
+    and one supervisor poll, and ``events`` faults fire at seeded steps.
+    After the schedule, every fault is healed (rules cleared, nodes
+    revived), the supervisor polls until quiet, and the final audit fills
+    ``ChaosReport.problems`` with every violated invariant (empty = pass).
+    """
+    rng = random.Random(seed)
+    cfg = config or small_config(n_nodes=5)
+    report = ChaosReport(seed=seed, steps=steps, transport=transport or "inline")
+
+    data = uniform_records(
+        records, key_lo=cfg.key_lo, key_hi=cfg.key_hi, seed=seed ^ 0x5EED
+    )
+    offered = {(t.key, t.ts) for t in data}
+    acked: set = set()
+
+    schedule: dict = {}
+    for _ in range(events):
+        step = rng.randrange(steps)
+        schedule.setdefault(step, []).append(rng.choice(_EVENT_KINDS))
+
+    ww = Waterwheel(cfg, transport=transport)
+    supervisor = ww.supervise(**(supervisor_kwargs or {}))
+    try:
+        per_step = max(1, records // steps)
+        for step in range(steps):
+            for kind in schedule.get(step, ()):
+                report.events.append(_fire(ww, rng, kind, step))
+
+            batch = data[step * per_step : (step + 1) * per_step]
+            if step == steps - 1:
+                batch = data[step * per_step :]
+            report.tuples_offered += len(batch)
+            if rng.random() < 0.5:
+                try:
+                    ww.insert_batch(batch)
+                except _QUERY_ERRORS:
+                    report.tuples_unacked += len(batch)
+                else:
+                    report.tuples_acked += len(batch)
+                    acked.update((t.key, t.ts) for t in batch)
+            else:
+                for t in batch:
+                    try:
+                        ww.insert(t)
+                    except _QUERY_ERRORS:
+                        report.tuples_unacked += 1
+                    else:
+                        report.tuples_acked += 1
+                        acked.add((t.key, t.ts))
+
+            for _ in range(2):
+                lo = rng.randrange(cfg.key_lo, cfg.key_hi)
+                hi = min(cfg.key_hi - 1, lo + rng.randrange(200, 2000))
+                t_hi = (step + 1) * per_step / 1000.0
+                report.queries_run += 1
+                try:
+                    result = ww.query(lo, hi, 0.0, t_hi)
+                except _QUERY_ERRORS:
+                    report.queries_failed += 1
+                    continue
+                if result.partial:
+                    report.queries_partial += 1
+                for t in result.tuples:
+                    if (t.key, t.ts) not in offered:
+                        report.problems.append(
+                            f"query surfaced fabricated tuple "
+                            f"({t.key}, {t.ts}) at step {step}"
+                        )
+
+            poll = supervisor.poll()
+            report.recoveries += len(poll.repairs)
+            report.tuples_replayed += poll.tuples_replayed
+            report.replicas_restored += poll.replicas_restored
+            report.replicas_scrubbed += poll.replicas_scrubbed
+
+        # --- heal everything, then audit the end state ---------------------
+        ww.faults.clear()
+        for node in sorted(ww.cluster.failed_nodes):
+            ww.cluster.revive(node)
+        for poll in supervisor.poll_until_quiet():
+            report.recoveries += len(poll.repairs)
+            report.tuples_replayed += poll.tuples_replayed
+            report.replicas_restored += poll.replicas_restored
+            report.replicas_scrubbed += poll.replicas_scrubbed
+
+        for server in ww.indexing_servers:
+            if not server.alive:
+                report.problems.append(
+                    f"indexing server {server.server_id} still dead after heal"
+                )
+        for server in ww.query_servers:
+            if not server.alive:
+                report.problems.append(
+                    f"query server {server.server_id} still dead after heal"
+                )
+        if not ww.coordinator.alive:
+            report.problems.append("coordinator still dead after heal")
+        if ww.quarantined_servers:
+            report.problems.append(
+                f"quarantine not drained: {sorted(ww.quarantined_servers)}"
+            )
+
+        audit = verify_system(ww)
+        report.tuples_in_log = audit.tuples_in_log
+        report.problems.extend(audit.problems)
+
+        under = ww.dfs.under_replicated()
+        if under:
+            report.problems.append(
+                f"{len(under)} chunk(s) under-replicated after heal: "
+                f"{under[:3]}..."
+            )
+        still_corrupt = [
+            chunk_id
+            for chunk_id in ww.dfs.chunk_ids()
+            if ww.dfs.corrupted_replicas(chunk_id)
+        ]
+        if still_corrupt:
+            report.problems.append(
+                f"replica copies still corrupt after heal: {still_corrupt}"
+            )
+
+        final = ww.query(
+            cfg.key_lo,
+            cfg.key_hi - 1,
+            0.0,
+            data[-1].ts + cfg.late_delta + 1.0,
+        )
+        report.tuples_in_final_result = len(final.tuples)
+        if final.partial:
+            report.problems.append(
+                f"final query is partial (unreadable: {final.unreadable_chunks})"
+            )
+        got = {(t.key, t.ts) for t in final.tuples}
+        lost = acked - got
+        if lost:
+            report.problems.append(
+                f"{len(lost)} acknowledged tuple(s) lost: "
+                f"{sorted(lost)[:3]}..."
+            )
+        if len(final.tuples) != audit.tuples_in_log:
+            report.problems.append(
+                f"final query returned {len(final.tuples)} tuples, "
+                f"durable log holds {audit.tuples_in_log}"
+            )
+        fabricated = got - offered
+        if fabricated:
+            report.problems.append(
+                f"final query surfaced fabricated tuples: "
+                f"{sorted(fabricated)[:3]}..."
+            )
+    finally:
+        ww.close()
+    return report

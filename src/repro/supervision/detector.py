@@ -1,0 +1,187 @@
+"""Heartbeat failure detection over the message plane.
+
+The paper (Section V) inherits failure detection from its substrate --
+Storm supervisors and ZooKeeper ephemeral nodes notice dead workers.  This
+module is our equivalent: every supervised component (indexing servers,
+query servers, the coordinator) answers a ``heartbeat()`` probe over a
+dedicated message-plane edge (``supervisor->indexing``,
+``supervisor->query_server``, ``supervisor->coordinator``), so the
+detector sees exactly the RPC weather the data path sees -- injected
+delay/drop/fail rules on those edges produce missed beats, just like a
+real network partition.
+
+The detector is *deadline-style* with a phi-like suspicion level: each
+:meth:`FailureDetector.poll` probes every target once; a probe that raises
+(dead server or broken edge) counts as a miss.  ``misses / dead_after``
+is the target's suspicion ``phi``: at ``suspect_after`` consecutive misses
+the target is SUSPECT, at ``dead_after`` it is declared DEAD and the
+supervisor may act.  A successful probe resets the count (a SUSPECT
+target recovers silently; a DEAD one is reported back as recovered).
+
+Nothing here runs on the ingest or query hot path: probes happen only
+when :meth:`poll` is called (directly, or by the supervisor's optional
+background thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.obs import metrics as _obs
+from repro.rpc import MessagePlane, RpcError
+
+
+class Health(Enum):
+    """Detector verdict for one supervised target."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class TargetState:
+    """Rolling detector state for one supervised component."""
+
+    kind: str
+    index: int
+    misses: int = 0
+    health: Health = Health.ALIVE
+    last_beat: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Transition:
+    """One health-state change observed during a poll."""
+
+    kind: str
+    index: int
+    health: Health
+    previous: Health
+
+
+class FailureDetector:
+    """Deadline/phi-style failure detector over message-plane heartbeats."""
+
+    def __init__(
+        self,
+        plane: MessagePlane,
+        *,
+        suspect_after: int = 1,
+        dead_after: int = 2,
+    ):
+        if not 1 <= suspect_after <= dead_after:
+            raise ValueError("need 1 <= suspect_after <= dead_after")
+        self.plane = plane
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self._groups: List[Tuple[str, Any, List[TargetState]]] = []
+        reg = _obs.registry()
+        self._m_beats = reg.counter("supervisor.heartbeats")
+        self._m_misses = reg.counter("supervisor.missed_heartbeats")
+        self._m_suspects = reg.counter("supervisor.suspects")
+        self._m_deaths = reg.counter("supervisor.deaths")
+
+    def watch(self, kind: str, instances: Sequence[Any]) -> None:
+        """Supervise ``instances`` (each answering ``heartbeat()``) under
+        the ``supervisor-><kind>`` edge.  Heartbeats are cheap liveness
+        probes, so the edge gets a no-retry policy: one lost probe is one
+        missed beat, not three."""
+        edge = f"supervisor->{kind}"
+        self.plane.set_policy(edge, retries=0, backoff=0.0)
+        endpoint = self.plane.endpoint(edge, instances)
+        states = [TargetState(kind, i) for i in range(len(instances))]
+        self._groups.append((kind, endpoint, states))
+
+    def rebind(self, kind: str, instances: Sequence[Any]) -> None:
+        """Point an existing watch at replacement instances (e.g. a
+        promoted standby coordinator), keeping the detector state."""
+        for i, (group_kind, _ep, states) in enumerate(self._groups):
+            if group_kind == kind:
+                edge = f"supervisor->{kind}"
+                endpoint = self.plane.endpoint(edge, instances)
+                self._groups[i] = (kind, endpoint, states)
+                return
+        raise ValueError(f"no watch registered for kind {kind!r}")
+
+    # --- probing --------------------------------------------------------------
+
+    def poll(self) -> List[Transition]:
+        """Probe every target once; returns the health transitions."""
+        transitions: List[Transition] = []
+        for kind, endpoint, states in self._groups:
+            for state in states:
+                previous = state.health
+                try:
+                    beat = endpoint.call(state.index, "heartbeat")
+                except (RpcError, RuntimeError):
+                    # ServerDownError (either flavour) or a transport
+                    # failure: indistinguishable to a remote detector.
+                    state.misses += 1
+                    if _obs.ENABLED:
+                        self._m_misses.inc()
+                    if state.misses >= self.dead_after:
+                        state.health = Health.DEAD
+                    elif state.misses >= self.suspect_after:
+                        state.health = Health.SUSPECT
+                else:
+                    state.misses = 0
+                    state.health = Health.ALIVE
+                    state.last_beat = beat if isinstance(beat, dict) else {}
+                    if _obs.ENABLED:
+                        self._m_beats.inc()
+                if state.health is not previous:
+                    transitions.append(
+                        Transition(kind, state.index, state.health, previous)
+                    )
+                    if _obs.ENABLED:
+                        if state.health is Health.SUSPECT:
+                            self._m_suspects.inc()
+                        elif state.health is Health.DEAD:
+                            self._m_deaths.inc()
+        return transitions
+
+    def reset(self, kind: str, index: int) -> None:
+        """Mark a target healthy again (misses cleared, ALIVE).
+
+        The supervisor calls this after repairing a DEAD target: repairs
+        fire on the ALIVE/SUSPECT -> DEAD *transition*, so without the
+        reset a component that dies again before its next successful
+        heartbeat would sit at DEAD with no new transition -- and never be
+        repaired again.  If the repair did not actually take (e.g. the
+        detector was fooled by a broken supervisor edge), the next polls
+        simply re-detect and re-repair.
+        """
+        for group_kind, _ep, states in self._groups:
+            if group_kind == kind:
+                states[index].misses = 0
+                states[index].health = Health.ALIVE
+                return
+        raise ValueError(f"no watch registered for kind {kind!r}")
+
+    # --- introspection --------------------------------------------------------
+
+    def health(self, kind: str, index: int) -> Health:
+        """Current verdict for one target."""
+        for group_kind, _ep, states in self._groups:
+            if group_kind == kind:
+                return states[index].health
+        raise ValueError(f"no watch registered for kind {kind!r}")
+
+    def state_view(self) -> List[dict]:
+        """JSON-friendly dump of every target's detector state."""
+        out = []
+        for kind, _ep, states in self._groups:
+            for state in states:
+                out.append(
+                    {
+                        "kind": kind,
+                        "index": state.index,
+                        "health": state.health.value,
+                        "misses": state.misses,
+                        "phi": min(1.0, state.misses / self.dead_after),
+                    }
+                )
+        return out

@@ -138,3 +138,111 @@ class TestSpillToDisk:
             dfs._cluster.kill(node)
         with pytest.raises(ChunkUnavailable):
             dfs.get_bytes("c1")
+
+
+class TestChecksumRepair:
+    """Per-replica CRCs: corrupt copies are skipped, repaired, never served."""
+
+    def test_corrupt_replica_is_skipped_and_repaired(self, dfs):
+        dfs.put("c1", b"precious bytes")
+        node = dfs.corrupt_replica("c1")
+        assert dfs.corrupted_replicas("c1") == [node]
+        # The read falls back to a healthy replica and repairs in place.
+        assert dfs.get_bytes("c1") == b"precious bytes"
+        assert dfs.corrupted_replicas("c1") == []
+
+    def test_corrupt_specific_replica(self, dfs):
+        location, _cost = dfs.put("c1", b"payload")
+        victim = location.replicas[2]
+        assert dfs.corrupt_replica("c1", victim) == victim
+        assert dfs.corrupted_replicas("c1") == [victim]
+
+    def test_corrupt_on_non_replica_node_rejected(self, dfs):
+        location, _cost = dfs.put("c1", b"payload")
+        outsider = next(
+            n.node_id for n in dfs._cluster.nodes
+            if n.node_id not in location.replicas
+        )
+        with pytest.raises(ValueError):
+            dfs.corrupt_replica("c1", outsider)
+
+    def test_all_live_replicas_corrupt_raises(self, dfs):
+        from repro.storage import ChunkCorrupt
+
+        location, _cost = dfs.put("c1", b"doomed")
+        for node in location.replicas:
+            dfs.corrupt_replica("c1", node)
+        with pytest.raises(ChunkCorrupt):
+            dfs.get_bytes("c1")
+        # Corruption is a flavour of unavailability: existing partial-result
+        # degradation paths handle it without new except clauses.
+        assert issubclass(ChunkCorrupt, ChunkUnavailable)
+
+    def test_corruption_recoverable_when_one_copy_survives(self, dfs):
+        location, _cost = dfs.put("c1", b"doomed?")
+        for node in location.replicas[:-1]:
+            dfs.corrupt_replica("c1", node)
+        assert dfs.get_bytes("c1") == b"doomed?"
+        assert dfs.corrupted_replicas("c1") == []
+
+    def test_scrub_repairs_without_reads(self, dfs):
+        dfs.put("c1", b"one")
+        dfs.put("c2", b"two")
+        dfs.corrupt_replica("c1")
+        dfs.corrupt_replica("c2")
+        assert dfs.scrub() == 2
+        assert dfs.corrupted_replicas("c1") == []
+        assert dfs.corrupted_replicas("c2") == []
+        assert dfs.scrub() == 0  # idempotent
+
+    def test_delete_drops_corruption_state(self, dfs):
+        dfs.put("c1", b"x")
+        dfs.corrupt_replica("c1")
+        dfs.delete("c1")
+        assert dfs.scrub() == 0
+
+
+class TestReReplication:
+    """Node failures shrink replica sets; re_replicate restores the factor."""
+
+    def test_under_replicated_after_node_failure(self, dfs):
+        location, _cost = dfs.put("c1", b"data")
+        assert dfs.under_replicated() == []
+        dfs._cluster.kill(location.replicas[0])
+        assert dfs.under_replicated() == ["c1"]
+
+    def test_re_replicate_restores_factor(self, dfs):
+        location, _cost = dfs.put("c1", b"data")
+        before = dfs.total_bytes_written
+        dfs._cluster.kill(location.replicas[0])
+        assert dfs.re_replicate() == 1
+        assert len(dfs.live_replicas("c1")) == 3
+        assert dfs.under_replicated() == []
+        # The copy costs a real write.
+        assert dfs.total_bytes_written == before + location.size
+
+    def test_re_replicate_caps_at_alive_nodes(self):
+        dfs = SimulatedDFS(Cluster(3, seed=1), replication=3)
+        location, _cost = dfs.put("c1", b"data")
+        dfs._cluster.kill(location.replicas[0])
+        # Only two nodes remain and both already hold replicas: nothing to do.
+        assert dfs.re_replicate() == 0
+        assert dfs.under_replicated() == []
+
+    def test_no_live_replica_cannot_be_repaired(self, dfs):
+        location, _cost = dfs.put("c1", b"data")
+        for node in location.replicas:
+            dfs._cluster.kill(node)
+        assert dfs.re_replicate() == 0
+        with pytest.raises(ChunkUnavailable):
+            dfs.get_bytes("c1")
+
+    def test_replicas_return_with_revived_node(self, dfs):
+        location, _cost = dfs.put("c1", b"data")
+        dead = location.replicas[0]
+        dfs._cluster.kill(dead)
+        dfs.re_replicate()
+        dfs._cluster.revive(dead)
+        # HDFS-style block report: the revived node's copy is live again.
+        assert dead in dfs.live_replicas("c1")
+        assert len(dfs.live_replicas("c1")) == 4
