@@ -1,0 +1,311 @@
+"""Multi-query scheduler throughput and result-cache effectiveness.
+
+Two claims, both measured in wall clock on the threaded message plane:
+
+1. **Concurrent scheduling wins.**  Running a mixed query batch through
+   the :class:`~repro.core.scheduler.QueryScheduler` with 8 workers keeps
+   every query server busy -- one query's DFS waits overlap another
+   query's decode -- where serial submission leaves servers idle between
+   queries.  Target: >= 1.5x aggregate throughput at 8 concurrent
+   queries vs the same batch serially.
+
+2. **The result cache skips repeat chunk reads.**  Chunks are immutable,
+   so the coordinator's subquery result cache answers repeated
+   historical subqueries without touching the query servers at all.
+   Target: >= 30% chunk-read reduction (bytes) on a repeated batch with
+   the cache warm vs the same repeat with the cache disabled.
+
+Both scheduled and serial executions are cross-checked for identical
+query results before any timing is trusted.  Results are merged into
+``BENCH_query.json`` under a ``concurrent_queries`` key (the transport
+benchmark's rows are preserved under ``query_transport``).
+
+Usage::
+
+    python benchmarks/concurrent_queries.py [--records N] [--queries Q]
+        [--concurrency C] [--repeats R] [--sleep S] [--out PATH]
+
+CI smoke runs use small ``--records`` / ``--sleep`` to keep runtime low.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro import DataTuple, Waterwheel, small_config
+
+DEFAULT_RECORDS = 16_000
+DEFAULT_QUERIES = 24
+DEFAULT_CONCURRENCY = 8
+DEFAULT_REPEATS = 3
+#: Per-chunk DFS access floor (seconds); see query_transport.py.  Higher
+#: than the transport benchmark's default because selective queries read
+#: few chunks each -- the floor, not decode CPU, must dominate for the
+#: scheduling comparison to reflect an I/O-bound deployment.
+DEFAULT_READ_SLEEP = 0.01
+RESULT_CACHE_BYTES = 8 << 20
+
+
+def make_stream(n, seed=13):
+    rng = random.Random(seed)
+    clock = 0.0
+    out = []
+    for i in range(n):
+        clock += rng.expovariate(1000.0)
+        out.append(DataTuple(rng.randrange(0, 10_000), clock, payload=i))
+    return out
+
+
+def make_queries(n_queries, now, seed=17):
+    """A mixed batch the way concurrent clients offer it: mostly selective
+    drill-downs (a narrow key slice over a short historical window, each
+    touching a couple of chunks on a couple of query servers) plus an
+    occasional medium scan.  Selective queries are where scheduling pays:
+    serially each one occupies one or two servers and leaves the rest
+    idle; eight in flight keep every server's DFS pipeline busy."""
+    rng = random.Random(seed)
+    specs = []
+    for i in range(n_queries):
+        if i % 12 == 0:  # medium scan: a fifth of the keys, longer window
+            lo = rng.randrange(0, 7_000)
+            hi = lo + rng.randrange(2_000, 3_000)
+            frac = 0.15
+        else:  # selective drill-down
+            lo = rng.randrange(0, 9_500)
+            hi = lo + rng.randrange(100, 800)
+            frac = rng.uniform(0.03, 0.12)
+        t_lo = rng.uniform(0.0, now * (1.0 - frac))
+        specs.append((lo, min(hi, 10_000), t_lo, t_lo + now * frac))
+    return specs
+
+
+def build_system(stream, read_sleep, result_cache_bytes=0):
+    ww = Waterwheel(
+        small_config(
+            dfs_read_sleep=read_sleep,
+            result_cache_bytes=result_cache_bytes,
+        ),
+        transport="threaded",
+    )
+    ww.insert_many(stream)
+    # The batch targets historical windows; flush so every subquery is a
+    # chunk read (the resource both claims are about).
+    ww.flush_all()
+    return ww
+
+
+def clear_caches(ww):
+    for server in ww.query_servers:
+        server.clear_cache()
+    ww.coordinator.result_cache.clear()
+
+
+def run_serial(ww, specs):
+    clear_caches(ww)
+    started = time.perf_counter()
+    results = [ww.query(*s) for s in specs]
+    return time.perf_counter() - started, results
+
+
+def run_scheduled(ww, specs, concurrency):
+    clear_caches(ww)
+    sched = ww.scheduler(
+        max_concurrency=concurrency, queue_limit=max(len(specs), 1)
+    )
+    started = time.perf_counter()
+    tickets = [ww.submit(*s) for s in specs]
+    results = [t.result() for t in tickets]
+    wall = time.perf_counter() - started
+    if sched.shed:
+        raise AssertionError("benchmark batch should never shed")
+    return wall, results
+
+
+def check_equivalent(res_a, res_b):
+    for a, b in zip(res_a, res_b):
+        if sorted((t.key, t.ts) for t in a.tuples) != sorted(
+            (t.key, t.ts) for t in b.tuples
+        ):
+            raise AssertionError("scheduled and serial results disagree")
+        if a.partial or b.partial:
+            raise AssertionError("unexpected partial result on healthy cluster")
+
+
+def measure_repeat_bytes(ww, specs):
+    """Bytes read by a *repeated* batch (first run warms every cache)."""
+    clear_caches(ww)
+    for s in specs:
+        ww.query(*s)
+    repeat = [ww.query(*s) for s in specs]
+    return sum(r.bytes_read for r in repeat), repeat
+
+
+def run_experiment(n_records, n_queries, concurrency, repeats, read_sleep):
+    stream = make_stream(n_records)
+    now = max(t.ts for t in stream)
+    specs = make_queries(n_queries, now)
+
+    # --- claim 1: scheduler throughput (cache off isolates scheduling) ---
+    ww = build_system(stream, read_sleep)
+    try:
+        serial_wall, serial_res = run_serial(ww, specs)
+        sched_wall, sched_res = run_scheduled(ww, specs, concurrency)
+        check_equivalent(serial_res, sched_res)
+        for _ in range(repeats - 1):
+            s, _ = run_serial(ww, specs)
+            serial_wall = min(serial_wall, s)
+            s, _ = run_scheduled(ww, specs, concurrency)
+            sched_wall = min(sched_wall, s)
+        chunk_count = ww.chunk_count
+        n_nodes = ww.config.n_nodes
+        chunk_bytes = ww.config.chunk_bytes
+    finally:
+        ww.close()
+
+    # --- claim 2: warm result cache vs no result cache on a repeat ------
+    ww_nocache = build_system(stream, read_sleep)
+    try:
+        bytes_nocache, _ = measure_repeat_bytes(ww_nocache, specs)
+    finally:
+        ww_nocache.close()
+    ww_cache = build_system(stream, read_sleep, RESULT_CACHE_BYTES)
+    try:
+        bytes_cache, repeat_res = measure_repeat_bytes(ww_cache, specs)
+        cache_stats = ww_cache.coordinator.result_cache.stats()
+        result_cache_hits = sum(r.result_cache_hits for r in repeat_res)
+    finally:
+        ww_cache.close()
+
+    speedup = serial_wall / sched_wall
+    read_reduction = (
+        1.0 - (bytes_cache / bytes_nocache) if bytes_nocache else 0.0
+    )
+    return {
+        "records": n_records,
+        "queries": n_queries,
+        "concurrency": concurrency,
+        "repeats": repeats,
+        "config": {
+            "n_nodes": n_nodes,
+            "chunk_bytes": chunk_bytes,
+            "dfs_read_sleep": read_sleep,
+            "result_cache_bytes": RESULT_CACHE_BYTES,
+        },
+        "chunk_count": chunk_count,
+        "rows": [
+            {
+                "mode": "serial",
+                "batch_wall_s": serial_wall,
+                "queries_per_s": n_queries / serial_wall,
+                "speedup_vs_serial": 1.0,
+            },
+            {
+                "mode": f"scheduled x{concurrency}",
+                "batch_wall_s": sched_wall,
+                "queries_per_s": n_queries / sched_wall,
+                "speedup_vs_serial": speedup,
+            },
+        ],
+        "speedup": speedup,
+        "result_cache": {
+            "repeat_bytes_read_nocache": bytes_nocache,
+            "repeat_bytes_read_cache": bytes_cache,
+            "read_reduction": read_reduction,
+            "result_cache_hits": result_cache_hits,
+            "stats": cache_stats,
+        },
+    }
+
+
+def merge_into_bench_file(result, out):
+    """Keep the transport benchmark's section; add/replace ours."""
+    merged = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+        if "rows" in existing:  # flat query_transport layout
+            merged["query_transport"] = existing
+        elif isinstance(existing, dict):
+            merged.update(existing)
+    merged["concurrent_queries"] = result
+    with open(out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+
+
+def _parse_args(argv):
+    records = DEFAULT_RECORDS
+    queries = DEFAULT_QUERIES
+    concurrency = DEFAULT_CONCURRENCY
+    repeats = DEFAULT_REPEATS
+    sleep = DEFAULT_READ_SLEEP
+    out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_query.json",
+    )
+    it = iter(argv)
+    for arg in it:
+        if arg == "--records":
+            records = int(next(it))
+        elif arg == "--queries":
+            queries = int(next(it))
+        elif arg == "--concurrency":
+            concurrency = int(next(it))
+        elif arg == "--repeats":
+            repeats = int(next(it))
+        elif arg == "--sleep":
+            sleep = float(next(it))
+        elif arg == "--out":
+            out = next(it)
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+    return records, queries, concurrency, repeats, sleep, out
+
+
+def main():
+    records, queries, concurrency, repeats, sleep, out = _parse_args(
+        sys.argv[1:]
+    )
+    result = run_experiment(records, queries, concurrency, repeats, sleep)
+    print_table(
+        f"Mixed query batch, {queries} queries over "
+        f"{result['chunk_count']} chunks (wall clock, best of {repeats})",
+        ["mode", "batch wall (s)", "queries/s", "speedup"],
+        [
+            (
+                row["mode"],
+                row["batch_wall_s"],
+                row["queries_per_s"],
+                row["speedup_vs_serial"],
+            )
+            for row in result["rows"]
+        ],
+    )
+    rc = result["result_cache"]
+    print(
+        f"\nrepeat-batch chunk reads: {rc['repeat_bytes_read_nocache']} B "
+        f"uncached vs {rc['repeat_bytes_read_cache']} B with result cache "
+        f"({rc['read_reduction']:.0%} reduction, "
+        f"{rc['result_cache_hits']} subquery hits)"
+    )
+    merge_into_bench_file(result, out)
+    print(
+        f"wrote {out} (scheduled speedup {result['speedup']:.2f}x, "
+        f"read reduction {rc['read_reduction']:.0%})"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from _common import bench_entry
+
+    bench_entry(main)

@@ -187,8 +187,20 @@ def main():
             for row in result["rows"]
         ],
     )
+    # BENCH_query.json is shared with concurrent_queries.py: each
+    # benchmark owns one top-level section and preserves the other's.
+    merged = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+        if isinstance(existing, dict) and "rows" not in existing:
+            merged.update(existing)
+    merged["query_transport"] = result
     with open(out, "w") as fh:
-        json.dump(result, fh, indent=2)
+        json.dump(merged, fh, indent=2)
     print(f"\nwrote {out} (threaded speedup {result['speedup']:.2f}x)")
     return result
 

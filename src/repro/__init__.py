@@ -24,6 +24,13 @@ from repro.core.model import (
     TimeInterval,
 )
 from repro import obs
+from repro.core.result_cache import SubQueryResultCache
+from repro.core.scheduler import (
+    OverloadShedError,
+    DeadlineExceededError,
+    QueryScheduler,
+    ScheduledQuery,
+)
 from repro.core.stats import collect, snapshot
 from repro.core.system import Waterwheel
 from repro.core.verify import verify_system
@@ -44,6 +51,11 @@ __all__ = [
     "AttributeSpec",
     "ChaosReport",
     "ChunkCompactor",
+    "DeadlineExceededError",
+    "OverloadShedError",
+    "QueryScheduler",
+    "ScheduledQuery",
+    "SubQueryResultCache",
     "Supervisor",
     "collect",
     "run_chaos",

@@ -63,6 +63,7 @@ def _build_system(args, key_lo: int, key_hi: int, tuple_size: int) -> Waterwheel
             n_nodes=args.nodes,
             chunk_bytes=args.chunk_kb * 1024,
             tuple_size=tuple_size,
+            result_cache_bytes=getattr(args, "result_cache_kb", 0) * 1024,
         ),
         transport=getattr(args, "transport", None),
     )
@@ -122,10 +123,37 @@ def cmd_query(args) -> int:
     specs = qgen.batch(args.queries, args.selectivity, args.mode, now=now)
     latencies = []
     total = 0
-    for spec in specs:
-        res = ww.query(spec.key_lo, spec.key_hi, spec.t_lo, spec.t_hi)
-        latencies.append(res.latency * 1000)
-        total += len(res)
+    if args.concurrency > 1:
+        # Route the batch through the multi-query scheduler: admission
+        # control plus (on the threaded transport) overlapped execution.
+        sched = ww.scheduler(
+            max_concurrency=args.concurrency,
+            queue_limit=max(len(specs), 1),
+        )
+        tickets = [
+            ww.submit(spec.key_lo, spec.key_hi, spec.t_lo, spec.t_hi)
+            for spec in specs
+        ]
+        for ticket in tickets:
+            res = ticket.result()
+            latencies.append(res.latency * 1000)
+            total += len(res)
+        print(
+            f"scheduler        : {sched.max_concurrency} worker(s), "
+            f"{sched.completed} completed, {sched.shed} shed"
+        )
+    else:
+        for spec in specs:
+            res = ww.query(spec.key_lo, spec.key_hi, spec.t_lo, spec.t_hi)
+            latencies.append(res.latency * 1000)
+            total += len(res)
+    if getattr(args, "result_cache_kb", 0) > 0:
+        stats = ww.coordinator.result_cache.stats()
+        print(
+            f"result cache     : {stats['hits']} hits / "
+            f"{stats['misses']} misses, {stats['bytes']} bytes resident"
+        )
+    ww.close()
     latencies.sort()
 
     def pct(p: float) -> float:
@@ -419,6 +447,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(query)
     query.add_argument("--queries", type=int, default=100)
     query.add_argument("--selectivity", type=float, default=0.1)
+    query.add_argument(
+        "--concurrency", type=int, default=1,
+        help="route the batch through the multi-query scheduler with this "
+             "many workers (1 = direct serial execution)",
+    )
+    query.add_argument(
+        "--result-cache-kb", type=int, default=0,
+        help="coordinator subquery result cache size in KB (0 = disabled)",
+    )
     query.add_argument(
         "--mode",
         default="recent_60s",

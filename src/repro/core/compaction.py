@@ -167,3 +167,8 @@ class ChunkCompactor:
         sidecar = f"{chunk_id}.sidx"
         if self.system.dfs.exists(sidecar):
             self.system.dfs.delete(sidecar)
+        # Belt and braces: the metastore watch and the DFS delete listener
+        # both invalidate too, but a coordinator whose watch is detached
+        # (failover window) must still never serve a dropped chunk's
+        # cached answers.
+        self.system.coordinator.result_cache.invalidate_chunk(chunk_id)

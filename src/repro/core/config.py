@@ -52,6 +52,20 @@ class WaterwheelConfig:
     late_delta: float = 5.0  # Delta-t late-arrival visibility window
     cache_bytes: int = 1 << 30  # per query server (paper: 1 GB)
 
+    # --- multi-query scheduling -----------------------------------------------------
+    #: Coordinator-level subquery result cache over immutable chunks;
+    #: 0 disables it (every chunk subquery reads the DFS).
+    result_cache_bytes: int = 0
+    #: Worker threads draining the scheduler's admission queue (clamped
+    #: to 1 on transports that cannot execute queries concurrently).
+    scheduler_max_concurrency: int = 8
+    #: Bound on queries waiting for a scheduler worker; submissions past
+    #: it are shed (or degraded) rather than queued.
+    scheduler_queue_limit: int = 64
+    #: Overload policy: "shed" rejects excess queries with an error,
+    #: "degrade" answers them immediately with an empty partial result.
+    scheduler_overload: str = "shed"
+
     # --- durability ------------------------------------------------------------------
     #: When set, every metadata mutation is journaled to this file so a
     #: restarted deployment can recover its metadata (ZooKeeper-style
@@ -80,6 +94,16 @@ class WaterwheelConfig:
             raise ValueError("need at least one node")
         if not 0 < self.rebalance_threshold:
             raise ValueError("rebalance_threshold must be positive")
+        if self.result_cache_bytes < 0:
+            raise ValueError("result_cache_bytes must be >= 0")
+        if self.scheduler_max_concurrency < 1:
+            raise ValueError("scheduler_max_concurrency must be >= 1")
+        if self.scheduler_queue_limit < 1:
+            raise ValueError("scheduler_queue_limit must be >= 1")
+        if self.scheduler_overload not in ("shed", "degrade"):
+            raise ValueError(
+                f"unknown scheduler_overload {self.scheduler_overload!r}"
+            )
 
     # --- derived sizes ---------------------------------------------------------------
 

@@ -14,6 +14,7 @@ the slower of the fresh branch and the chunk branch plus result transfer.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import WaterwheelConfig
@@ -33,6 +34,7 @@ from repro.core.model import (
     TimeInterval,
 )
 from repro.core.query_server import QueryServer
+from repro.core.result_cache import SubQueryResultCache
 from repro.metastore import MetadataStore
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _trace
@@ -72,6 +74,19 @@ class QueryCoordinator:
         self.alive = True
         self.queries_executed = 0
         self.last_trace: Optional[_trace.Span] = None
+        #: Subquery answers over immutable chunks, reused across queries
+        #: (disabled when ``config.result_cache_bytes`` is 0).  Invalidated
+        #: through the metastore watch below and -- belt and braces -- by
+        #: the compactor and the DFS's re-replication listeners.
+        self.result_cache = SubQueryResultCache(
+            getattr(config, "result_cache_bytes", 0)
+        )
+        # The scheduler executes queries from worker threads while ingest
+        # keeps mutating the catalog through the metastore watch; catalog
+        # reads/writes take this lock (queries hold it only to *collect*
+        # overlapping regions, never while executing subqueries).
+        self._catalog_lock = threading.Lock()
+        self._exec_lock = threading.Lock()
         # Instruments are resolved once here; execute() only checks the
         # module flag and pokes these handles (no registry lookups per query).
         reg = _obs.registry()
@@ -113,9 +128,14 @@ class QueryCoordinator:
     def _on_chunk_event(self, key: str, value: Optional[dict]) -> None:
         chunk_id = key.rsplit("/", 1)[-1]
         if value is None:
-            region = self._catalog_regions.pop(chunk_id, None)
-            if region is not None:
-                self._catalog.delete(region, chunk_id)
+            with self._catalog_lock:
+                region = self._catalog_regions.pop(chunk_id, None)
+                if region is not None:
+                    self._catalog.delete(region, chunk_id)
+            # A deregistered chunk is gone (retention) or rewritten into a
+            # rollup output (compaction): its cached subquery answers must
+            # never be served again.
+            self.result_cache.invalidate_chunk(chunk_id)
         elif chunk_id not in self._catalog_regions:
             self._add_chunk(value)
 
@@ -124,8 +144,9 @@ class QueryCoordinator:
             KeyInterval(info["key_lo"], info["key_hi"]),
             TimeInterval(info["t_lo"], info["t_hi"]),
         )
-        self._catalog.insert(region, info["chunk_id"])
-        self._catalog_regions[info["chunk_id"]] = region
+        with self._catalog_lock:
+            self._catalog.insert(region, info["chunk_id"])
+            self._catalog_regions[info["chunk_id"]] = region
 
     def close(self) -> None:
         """Detach from the metadata store (used when failing over)."""
@@ -182,7 +203,12 @@ class QueryCoordinator:
                 )
             )
         chunks: List[SubQuery] = []
-        for chunk_region, chunk_id in self._catalog.search(region):
+        # Snapshot the R-tree search under the lock: the metastore watch
+        # mutates the catalog from whatever thread registers a chunk, and
+        # scheduler workers decompose queries concurrently.
+        with self._catalog_lock:
+            overlapping = list(self._catalog.search(region))
+        for chunk_region, chunk_id in overlapping:
             keys = query.keys.intersect(chunk_region.keys)
             times = query.times.intersect(chunk_region.times)
             if keys.is_empty() or times is None:
@@ -329,10 +355,21 @@ class QueryCoordinator:
             with _trace.span(
                 "dispatch", policy=self.policy.name, subqueries=len(chunk_sqs)
             ) as disp_sp:
-                if chunk_sqs:
-                    outcome = self._run_chunks(chunk_sqs)
+                # Answer what we can from the result cache; only the misses
+                # go to the query servers.  Cached answers contribute tuples
+                # but no I/O counters -- no chunk bytes were read for them.
+                run_sqs, cache_keys, cached = self._lookup_result_cache(
+                    chunk_sqs
+                )
+                for hit in cached:
+                    result.tuples.extend(hit.tuples)
+                result.result_cache_hits = len(cached)
+                if disp_sp is not None and cached:
+                    disp_sp.set_attr("result_cache_hits", len(cached))
+                if run_sqs:
+                    outcome = self._run_chunks(run_sqs)
                     chunk_latency = outcome.makespan
-                    for sub_result in outcome.results:
+                    for idx, sub_result in enumerate(outcome.results):
                         if sub_result is None:
                             continue
                         result.tuples.extend(sub_result.tuples)
@@ -341,9 +378,10 @@ class QueryCoordinator:
                         result.leaves_skipped += sub_result.leaves_skipped
                         result.cache_hits += sub_result.cache_hits
                         result.cache_misses += sub_result.cache_misses
+                        self.result_cache.put(cache_keys[idx], sub_result)
                     for idx in sorted(outcome.failed):
                         result.partial = True
-                        chunk_id = chunk_sqs[idx].chunk_id
+                        chunk_id = run_sqs[idx].chunk_id
                         if (
                             chunk_id is not None
                             and chunk_id not in result.unreadable_chunks
@@ -374,24 +412,45 @@ class QueryCoordinator:
                 if result.partial:
                     root.set_attr("partial", True)
 
-        self.queries_executed += 1
-        if root is not None:
-            self.last_trace = root
-        if _obs.ENABLED:
-            self._m_queries.inc()
-            if result.partial:
-                self._m_partial.inc()
-            self._m_subqueries.observe(result.subquery_count)
-            self._m_latency_sim.observe(result.latency)
+        # Bookkeeping is shared across scheduler workers; one lock keeps the
+        # counters exact and last_trace pointing at a fully-built span tree.
+        with self._exec_lock:
+            self.queries_executed += 1
             if root is not None:
-                # Stage-latency breakdown: span durations feed the registry
-                # so --metrics benchmark runs get per-stage histograms.
-                self._m_latency_wall.observe(root.duration)
-                for child in root.children:
-                    hist = self._m_stage.get(child.name)
-                    if hist is not None:
-                        hist.observe(child.duration)
+                self.last_trace = root
+            if _obs.ENABLED:
+                self._m_queries.inc()
+                if result.partial:
+                    self._m_partial.inc()
+                self._m_subqueries.observe(result.subquery_count)
+                self._m_latency_sim.observe(result.latency)
+                if root is not None:
+                    # Stage-latency breakdown: span durations feed the
+                    # registry so --metrics benchmark runs get per-stage
+                    # histograms.
+                    self._m_latency_wall.observe(root.duration)
+                    for child in root.children:
+                        hist = self._m_stage.get(child.name)
+                        if hist is not None:
+                            hist.observe(child.duration)
         return result
+
+    def _lookup_result_cache(self, chunk_sqs):
+        """Partition chunk subqueries into (to-run, their cache keys,
+        cached hits).  With the cache disabled this is the identity split:
+        every subquery runs, every key is None."""
+        if not self.result_cache.enabled or not chunk_sqs:
+            return chunk_sqs, [None] * len(chunk_sqs), []
+        run_sqs, keys, cached = [], [], []
+        for sq in chunk_sqs:
+            key = self.result_cache.key_for(sq)
+            hit = self.result_cache.get(key)
+            if hit is not None:
+                cached.append(hit)
+            else:
+                run_sqs.append(sq)
+                keys.append(key)
+        return run_sqs, keys, cached
 
     # --- branch runners ----------------------------------------------------------
 
@@ -457,12 +516,15 @@ class QueryCoordinator:
         """Dispatch chunk subqueries down the coordinator->query_server
         edge: the virtual-time loop under the inline transport, the
         completion-driven concurrent loop when the transport fans out."""
+        # Policies hold per-query prepared state; concurrent queries from
+        # scheduler workers must each dispatch through their own instance.
+        policy = self.policy.fresh()
         if self.plane.concurrent:
             pol = self.plane.policy("coordinator->query_server")
             return run_dispatch_concurrent(
                 chunk_sqs,
                 self.query_servers,
-                self.policy,
+                policy,
                 submit=lambda slot, sq: self._ep_chunk.submit(
                     slot, "execute", sq
                 ),
@@ -475,7 +537,7 @@ class QueryCoordinator:
         return run_dispatch(
             chunk_sqs,
             self.query_servers,
-            self.policy,
+            policy,
             execute=lambda server, sq: self._ep_chunk.call(
                 slot_of[id(server)], "execute", sq
             ),

@@ -19,6 +19,7 @@ latency component Figure 13 compares.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 import queue as _queue
@@ -54,6 +55,18 @@ class DispatchPolicy:
     """Base: subclasses pick the next subquery for an idle server."""
 
     name = "base"
+
+    def fresh(self) -> "DispatchPolicy":
+        """A per-query instance of this policy.
+
+        ``prepare()`` fills per-query state (preference arrays, static
+        assignments) on the policy object itself, so concurrent query
+        executions -- the scheduler runs several at once -- must each
+        dispatch through their own instance.  A shallow copy suffices:
+        ``prepare()`` reassigns the state attributes wholesale, while
+        configuration (e.g. LADA's locality oracle) is shared read-only.
+        """
+        return copy.copy(self)
 
     def prepare(
         self, subqueries: Sequence[SubQuery], servers: Sequence[QueryServer]

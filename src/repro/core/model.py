@@ -250,10 +250,16 @@ class QueryResult:
     leaves_skipped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Chunk subqueries answered from the coordinator's result cache
+    #: (their chunk reads were skipped entirely).
+    result_cache_hits: int = 0
     #: True when some subqueries could not be answered (all replicas of a
     #: chunk on failed nodes, or an unreachable query-server edge); the
     #: tuples above still cover every healthy region.
     partial: bool = False
+    #: True when the scheduler answered this query without executing it
+    #: (overload ``degrade`` policy); implies ``partial`` and zero tuples.
+    degraded: bool = False
     #: Chunk ids whose subqueries failed (deduplicated, insertion order).
     unreadable_chunks: list = field(default_factory=list)
 

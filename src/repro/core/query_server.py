@@ -82,6 +82,15 @@ class LRUCache:
         self._bytes += size
         return evicted
 
+    def discard(self, key: object) -> int:
+        """Drop a unit if resident (explicit invalidation, not eviction);
+        returns the bytes freed (0 when the key was absent)."""
+        size = self._units.pop(key, None)
+        if size is None:
+            return 0
+        self._bytes -= size
+        return size
+
     @property
     def used_bytes(self) -> int:
         """Bytes currently cached."""

@@ -1,0 +1,228 @@
+"""Coordinator-level subquery result cache over immutable chunks.
+
+Chunks are immutable once flushed (the point of Waterwheel's bi-layer
+partitioning), so the answer to a chunk subquery -- a (chunk_id,
+key-range, time-range, attribute-filter) rectangle -- never changes for
+as long as the chunk exists.  Repeated queries over the same historical
+windows therefore re-read exactly the same bytes from the DFS; this
+cache keeps the *decoded answers* instead, keyed by the clipped subquery
+rectangle, so a warm repeated workload skips the chunk read entirely.
+
+Two events can retire a cached answer, and both are wired to explicit
+invalidation rather than TTLs:
+
+* **compaction** rewrites chunks (rollup merges, retention drops) --
+  ``ChunkCompactor`` invalidates every dropped input chunk, and the
+  coordinator's metastore watch does the same when a chunk is
+  deregistered, so either path suffices on its own;
+* **re-replication** moves chunk replicas after node failures -- the
+  results themselves stay valid, but the DFS notifies its invalidation
+  listeners anyway so locality-sensitive cached state is never trusted
+  across a placement change.
+
+Byte accounting reuses the query servers' :class:`LRUCache` (the same
+unit-size-bounded LRU that holds chunk prefixes and leaf blocks), charged
+with the wire size of the cached tuples.  Hits/misses/evictions/
+invalidations are exported as ``cache.result.*`` metrics.
+
+Subqueries carrying an opaque user predicate are never cached: the
+predicate is an arbitrary callable with no stable identity, so two
+textually identical lambdas would alias each other's results.
+Attribute-filter subqueries are cacheable because ``attr_equals`` /
+``attr_ranges`` are plain value maps that participate in the key.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.model import SubQuery
+from repro.core.query_server import LRUCache, SubQueryResult
+from repro.obs import metrics as _obs
+
+#: Fixed per-entry overhead charged on top of the tuples' wire size
+#: (key, dict slots, interval objects).  Keeps zero-tuple answers --
+#: which are just as valuable to cache -- from being free.
+ENTRY_OVERHEAD_BYTES = 96
+
+
+class SubQueryResultCache:
+    """Byte-bounded cache of :class:`SubQueryResult` by subquery rectangle.
+
+    ``capacity_bytes=0`` disables the cache entirely: every lookup misses,
+    nothing is stored, and the coordinator's query path is byte-for-byte
+    the uncached one (the equivalence property tests rely on this).
+    Thread-safe: the scheduler executes queries from worker threads.
+    """
+
+    def __init__(self, capacity_bytes: int = 0):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity_bytes
+        self._lru = LRUCache(capacity_bytes)
+        self._entries: Dict[tuple, SubQueryResult] = {}
+        self._by_chunk: Dict[str, Set[tuple]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        reg = _obs.registry()
+        self._m_hits = reg.counter("cache.result.hits")
+        self._m_misses = reg.counter("cache.result.misses")
+        self._m_insertions = reg.counter("cache.result.insertions")
+        self._m_evictions = reg.counter("cache.result.evictions")
+        self._m_invalidations = reg.counter("cache.result.invalidations")
+        self._m_bytes = reg.gauge("cache.result.bytes")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the cache can hold anything at all."""
+        return self.capacity > 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged to cached results."""
+        return self._lru.used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # --- keying -----------------------------------------------------------------
+
+    @staticmethod
+    def key_for(sq: SubQuery) -> Optional[tuple]:
+        """The cache key for a chunk subquery, or None when uncacheable.
+
+        Uncacheable: fresh-data subqueries (no chunk id), subqueries with
+        an opaque predicate, and attribute filters whose values are not
+        hashable.
+        """
+        if sq.chunk_id is None or sq.predicate is not None:
+            return None
+        try:
+            eq = (
+                tuple(sorted(sq.attr_equals.items()))
+                if sq.attr_equals
+                else None
+            )
+            rng = (
+                tuple(sorted(sq.attr_ranges.items()))
+                if sq.attr_ranges
+                else None
+            )
+            key = (
+                sq.chunk_id, sq.keys.lo, sq.keys.hi,
+                sq.times.lo, sq.times.hi, eq, rng,
+            )
+            hash(key)  # unhashable attribute values disqualify the key
+            return key
+        except TypeError:
+            return None
+
+    @staticmethod
+    def _entry_size(result: SubQueryResult) -> int:
+        return ENTRY_OVERHEAD_BYTES + sum(t.size for t in result.tuples)
+
+    # --- lookup / insert -----------------------------------------------------------
+
+    def get(self, key: Optional[tuple]) -> Optional[SubQueryResult]:
+        """The cached result for ``key``, or None.  Counts a miss for
+        every cacheable lookup that finds nothing (disabled caches miss
+        everything)."""
+        if key is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._lru.touch(key):
+                self.hits += 1
+                if _obs.ENABLED:
+                    self._m_hits.inc()
+                return entry
+            self.misses += 1
+            if _obs.ENABLED:
+                self._m_misses.inc()
+            return None
+
+    def put(self, key: Optional[tuple], result: SubQueryResult) -> bool:
+        """Admit a subquery result; returns True when it was retained.
+
+        Oversized results (and everything, when disabled) are refused by
+        the LRU without disturbing the resident working set.
+        """
+        if key is None or not self.enabled:
+            return False
+        chunk_id = key[0]
+        size = self._entry_size(result)
+        with self._lock:
+            for evicted_key in self._lru.add(key, size):
+                self._forget(evicted_key)
+                self.evictions += 1
+                if _obs.ENABLED:
+                    self._m_evictions.inc()
+            if key not in self._lru:
+                return False
+            self._entries[key] = result
+            self._by_chunk.setdefault(chunk_id, set()).add(key)
+            if _obs.ENABLED:
+                self._m_insertions.inc()
+                self._m_bytes.set(self._lru.used_bytes)
+            return True
+
+    def _forget(self, key: tuple) -> None:
+        """Drop bookkeeping for a key already removed from the LRU."""
+        self._entries.pop(key, None)
+        keys = self._by_chunk.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_chunk[key[0]]
+
+    # --- invalidation ---------------------------------------------------------------
+
+    def invalidate_chunk(self, chunk_id: str) -> int:
+        """Drop every cached answer for ``chunk_id``; returns how many.
+
+        Called when compaction rewrites the chunk, when the metastore
+        deregisters it, or when re-replication moves its replicas.
+        Idempotent -- the three wirings overlap on purpose.
+        """
+        with self._lock:
+            keys = self._by_chunk.pop(chunk_id, None)
+            if not keys:
+                return 0
+            for key in keys:
+                self._entries.pop(key, None)
+                self._lru.discard(key)
+            self.invalidations += len(keys)
+            if _obs.ENABLED:
+                self._m_invalidations.inc(len(keys))
+                self._m_bytes.set(self._lru.used_bytes)
+            return len(keys)
+
+    def clear(self) -> int:
+        """Drop everything (benchmarks use this for cold-cache runs);
+        returns the number of entries dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._by_chunk.clear()
+            self._lru = LRUCache(self.capacity)
+            if _obs.ENABLED:
+                self._m_bytes.set(0)
+            return n
+
+    # --- introspection --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time counters (JSON-friendly)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self._lru.used_bytes,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,366 @@
+"""Multi-query scheduler: admission control, priorities, overload shedding.
+
+The coordinator executes one query per call; nothing in the base system
+stands between "heavy traffic from millions of users" and unbounded
+queueing.  The :class:`QueryScheduler` closes that gap at the coordinator
+boundary:
+
+* clients ``submit()`` queries with an optional **priority** (higher runs
+  sooner) and **deadline** (max seconds the query may wait for a worker);
+* a **bounded admission queue** holds at most ``queue_limit`` waiting
+  queries; ``max_concurrency`` workers drain it through
+  ``Coordinator.execute`` (whose chunk fan-out rides
+  ``run_dispatch_concurrent`` on a concurrency-capable message plane);
+* on overload the scheduler **sheds** -- excess submissions fail fast with
+  :class:`OverloadShedError` -- or **degrades** -- they complete
+  immediately with an empty ``partial=True``/``degraded=True`` result --
+  instead of queueing forever, so admitted-query latency stays bounded by
+  ``queue_limit / max_concurrency`` query times no matter the offered load;
+* everything is observable: ``scheduler.admitted`` / ``.shed`` /
+  ``.completed`` / ``.deadline_missed`` counters, a ``scheduler.queue_depth``
+  gauge, a ``scheduler.queue_wait`` histogram and per-priority
+  ``scheduler.latency{priority=p}`` histograms.
+
+Admission decisions happen synchronously on the submitting thread, so a
+full queue rejects deterministically; execution is asynchronous on the
+scheduler's worker threads and each :class:`ScheduledQuery` ticket is a
+future the caller can wait on.
+
+Concurrency only helps when query execution can actually overlap: on the
+threaded message plane each query server runs subqueries on its own
+worker, so several in-flight queries interleave their DFS waits across
+servers.  On the inline transport every call runs on the submitting
+thread and shared per-server caches are unsynchronised -- the
+``Waterwheel`` facade therefore clamps the worker pool to 1 there, keeping
+the admission-control semantics (bounded queue, shedding, priorities)
+without unsafe parallelism.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from time import monotonic as _monotonic
+from time import perf_counter as _perf
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.model import Query, QueryResult
+from repro.obs import metrics as _obs
+
+#: Overload policies: reject excess queries with an error, or answer them
+#: immediately with an empty partial result.
+OVERLOAD_POLICIES = ("shed", "degrade")
+
+
+class OverloadShedError(RuntimeError):
+    """The admission queue was full and the query was shed."""
+
+
+class DeadlineExceededError(OverloadShedError):
+    """The query waited past its deadline before a worker picked it up."""
+
+
+class ScheduledQuery:
+    """A submitted query's ticket: a waitable future over its result."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    SHED = "shed"
+    FAILED = "failed"
+
+    def __init__(self, query: Query, priority: int, deadline: Optional[float]):
+        self.query = query
+        self.priority = priority
+        #: Seconds the query may wait in the admission queue (None = forever).
+        self.deadline = deadline
+        self.submitted_at = _monotonic()
+        self.state = self.PENDING
+        #: Seconds spent waiting in the queue (set when a worker dequeues
+        #: or sheds the ticket).
+        self.queue_wait: Optional[float] = None
+        #: Wall seconds from submit to completion (set when done).
+        self.latency: Optional[float] = None
+        self._result: Optional[QueryResult] = None
+        self._error: Optional[BaseException] = None
+        self._event = threading.Event()
+
+    # --- caller side -----------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the ticket has a result or an error."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block for the result.  Raises :class:`OverloadShedError` (or the
+        execution error) when the query was shed or failed, and
+        :class:`TimeoutError` when ``timeout`` elapses first."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query still pending")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def error(self) -> Optional[BaseException]:
+        """The shed/execution error, or None (also None while pending)."""
+        return self._error
+
+    # --- scheduler side ----------------------------------------------------------
+
+    def _complete(self, result: QueryResult) -> None:
+        self.state = self.DONE
+        self.latency = _monotonic() - self.submitted_at
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException, state: str = FAILED) -> None:
+        self.state = state
+        self.latency = _monotonic() - self.submitted_at
+        self._error = error
+        self._event.set()
+
+
+class QueryScheduler:
+    """Bounded-concurrency query executor with admission control."""
+
+    def __init__(
+        self,
+        coordinator,
+        *,
+        max_concurrency: int = 4,
+        queue_limit: int = 64,
+        overload: str = "shed",
+    ):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload policy {overload!r} "
+                f"(expected one of {OVERLOAD_POLICIES})"
+            )
+        self.coordinator = coordinator
+        self.max_concurrency = max_concurrency
+        self.queue_limit = queue_limit
+        self.overload = overload
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.deadline_missed = 0
+        #: Highest queue depth ever observed (overload tests assert this
+        #: never exceeds ``queue_limit``).
+        self.max_queue_depth = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: Min-heap of (-priority, seq, ticket): higher priority first,
+        #: FIFO within a priority.
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._running = 0
+        self._idle = threading.Condition(self._lock)
+        self._workers: List[threading.Thread] = []
+        self._closed = False
+        reg = _obs.registry()
+        self._m_admitted = reg.counter("scheduler.admitted")
+        self._m_shed = reg.counter("scheduler.shed")
+        self._m_completed = reg.counter("scheduler.completed")
+        self._m_deadline = reg.counter("scheduler.deadline_missed")
+        self._m_depth = reg.gauge("scheduler.queue_depth")
+        self._m_wait = reg.histogram("scheduler.queue_wait")
+        self._m_latency: Dict[int, object] = {}
+
+    # --- submission ----------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently waiting for a worker (excludes running)."""
+        return len(self._heap)
+
+    @property
+    def in_flight(self) -> int:
+        """Queries currently executing on a worker."""
+        return self._running
+
+    def submit(
+        self,
+        query: Query,
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> ScheduledQuery:
+        """Admit (or shed) a query; returns its ticket immediately.
+
+        ``priority``: higher values are dequeued first (FIFO within a
+        level).  ``deadline``: max seconds the query may wait in the queue
+        before a worker starts it; missing it sheds the query with
+        :class:`DeadlineExceededError`.
+
+        Admission control runs synchronously: when ``queue_limit`` queries
+        are already waiting, the ticket is resolved on the spot -- with
+        :class:`OverloadShedError` under the ``"shed"`` policy, or with an
+        empty ``partial=True`` result under ``"degrade"``.
+        """
+        ticket = ScheduledQuery(query, priority, deadline)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if len(self._heap) >= self.queue_limit:
+                self._shed(ticket, "admission queue full")
+                return ticket
+            self.admitted += 1
+            heapq.heappush(
+                self._heap, (-priority, next(self._seq), ticket)
+            )
+            depth = len(self._heap)
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+            if _obs.ENABLED:
+                self._m_admitted.inc()
+                self._m_depth.set(depth)
+            self._ensure_workers()
+            self._not_empty.notify()
+        return ticket
+
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        *,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> List[QueryResult]:
+        """Submit a batch and wait for every result, in submission order.
+
+        Raises the first shed/execution error encountered (shed queries
+        under the ``"degrade"`` policy return normally with
+        ``degraded=True`` results instead).
+        """
+        tickets = [self.submit(q, priority=priority) for q in queries]
+        return [t.result(timeout) for t in tickets]
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no query is running;
+        returns False when ``timeout`` elapses first."""
+        deadline = None if timeout is None else _monotonic() + timeout
+        with self._idle:
+            while self._heap or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - _monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def rebind(self, coordinator) -> None:
+        """Point the workers at a new coordinator (standby promotion)."""
+        self.coordinator = coordinator
+
+    def close(self) -> None:
+        """Stop the workers; pending tickets are shed.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._heap:
+                _, _, ticket = heapq.heappop(self._heap)
+                self._shed(ticket, "scheduler closed")
+            self._not_empty.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers.clear()
+
+    # --- internals ---------------------------------------------------------------------
+
+    def _shed(
+        self,
+        ticket: ScheduledQuery,
+        reason: str,
+        error_cls=OverloadShedError,
+    ) -> None:
+        """Resolve a ticket as shed (caller holds the lock)."""
+        self.shed += 1
+        if _obs.ENABLED:
+            self._m_shed.inc()
+            if error_cls is DeadlineExceededError:
+                self._m_deadline.inc()
+        if error_cls is DeadlineExceededError:
+            self.deadline_missed += 1
+        if self.overload == "degrade" and error_cls is OverloadShedError:
+            # Degraded service: answer now, with nothing, marked as such.
+            result = QueryResult(query_id=ticket.query.query_id)
+            result.partial = True
+            result.degraded = True
+            ticket._complete(result)
+            ticket.state = ScheduledQuery.SHED
+            return
+        ticket._fail(
+            error_cls(f"query shed: {reason}"), state=ScheduledQuery.SHED
+        )
+
+    def _ensure_workers(self) -> None:
+        """Start worker threads lazily (caller holds the lock)."""
+        while len(self._workers) < self.max_concurrency:
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"query-scheduler-{len(self._workers)}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _latency_histogram(self, priority: int):
+        hist = self._m_latency.get(priority)
+        if hist is None:
+            hist = _obs.registry().histogram(
+                "scheduler.latency", priority=priority
+            )
+            self._m_latency[priority] = hist
+        return hist
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._heap and not self._closed:
+                    self._not_empty.wait()
+                if self._closed:
+                    return
+                _, _, ticket = heapq.heappop(self._heap)
+                now = _monotonic()
+                ticket.queue_wait = now - ticket.submitted_at
+                if _obs.ENABLED:
+                    self._m_depth.set(len(self._heap))
+                    self._m_wait.observe(ticket.queue_wait)
+                if (
+                    ticket.deadline is not None
+                    and ticket.queue_wait > ticket.deadline
+                ):
+                    self._shed(
+                        ticket,
+                        f"waited {ticket.queue_wait:.3f}s past its "
+                        f"{ticket.deadline:.3f}s deadline",
+                        error_cls=DeadlineExceededError,
+                    )
+                    continue
+                ticket.state = ScheduledQuery.RUNNING
+                self._running += 1
+                coordinator = self.coordinator
+            started = _perf()
+            try:
+                result = coordinator.execute(ticket.query)
+            except BaseException as exc:  # noqa: BLE001 - delivered to caller
+                ticket._fail(exc)
+            else:
+                ticket._complete(result)
+                with self._lock:
+                    self.completed += 1
+                    if _obs.ENABLED:
+                        self._m_completed.inc()
+                        self._latency_histogram(ticket.priority).observe(
+                            _perf() - started
+                        )
+            finally:
+                with self._idle:
+                    self._running -= 1
+                    if not self._heap and not self._running:
+                        self._idle.notify_all()

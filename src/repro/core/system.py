@@ -32,6 +32,7 @@ from repro.core.indexing_server import IndexingServer, ServerDownError
 from repro.core.model import DataTuple, KeyInterval, Predicate, Query, QueryResult, TimeInterval
 from repro.core.partitioning import KeyPartition
 from repro.core.query_server import QueryServer
+from repro.core.scheduler import QueryScheduler, ScheduledQuery
 from repro.messaging import DurableLog
 from repro.metastore import MetadataStore
 from repro.obs import metrics as _obs
@@ -144,6 +145,9 @@ class Waterwheel:
             dispatch_policy,
             plane=self.plane,
         )
+        #: Lazily-built multi-query scheduler (see :meth:`scheduler`).
+        self._scheduler = None
+        self._wire_result_cache_invalidation()
 
         # Ingest-path endpoints: the facade talks to dispatchers, and the
         # dispatch decision is delivered to indexing servers, through the
@@ -412,6 +416,86 @@ class Waterwheel:
         )
         return self.coordinator.explain(q)
 
+    # --- multi-query scheduling ----------------------------------------------------------
+
+    def _wire_result_cache_invalidation(self) -> None:
+        """Point DFS invalidation events at the current coordinator's
+        result cache.  The listener resolves ``self.coordinator`` at call
+        time so a promoted standby's cache is the one invalidated."""
+        self.dfs.add_invalidation_listener(
+            lambda chunk_id: self.coordinator.result_cache.invalidate_chunk(
+                chunk_id
+            )
+        )
+
+    def scheduler(self, **overrides) -> QueryScheduler:
+        """The deployment's :class:`QueryScheduler`, built on first use.
+
+        Keyword overrides (``max_concurrency``, ``queue_limit``,
+        ``overload``) beat the config knobs but only apply on the call
+        that builds the scheduler.  On transports that cannot execute
+        queries concurrently (inline), the worker pool is clamped to 1:
+        admission control still applies, execution is serial.
+        """
+        if self._scheduler is None:
+            max_concurrency = overrides.pop(
+                "max_concurrency", self.config.scheduler_max_concurrency
+            )
+            if not self.plane.concurrent:
+                # Per-server LRU caches are unsynchronised; only the
+                # threaded transport serialises access per server.
+                max_concurrency = 1
+            self._scheduler = QueryScheduler(
+                self.coordinator,
+                max_concurrency=max_concurrency,
+                queue_limit=overrides.pop(
+                    "queue_limit", self.config.scheduler_queue_limit
+                ),
+                overload=overrides.pop(
+                    "overload", self.config.scheduler_overload
+                ),
+                **overrides,
+            )
+        return self._scheduler
+
+    def submit(
+        self,
+        key_lo: int,
+        key_hi: int,
+        t_lo: float,
+        t_hi: float,
+        predicate: Optional[Predicate] = None,
+        attr_equals: Optional[dict] = None,
+        attr_ranges: Optional[dict] = None,
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> ScheduledQuery:
+        """Submit a query through the scheduler; returns its ticket.
+
+        Same query surface as :meth:`query` plus ``priority`` (higher runs
+        sooner) and ``deadline`` (max seconds in the admission queue).
+        Call ``.result()`` on the ticket to wait; a shed query raises
+        :class:`~repro.core.scheduler.OverloadShedError` there.
+        """
+        q = Query(
+            keys=KeyInterval.closed(key_lo, key_hi),
+            times=TimeInterval(t_lo, t_hi),
+            predicate=predicate,
+            attr_equals=attr_equals,
+            attr_ranges=attr_ranges,
+        )
+        return self.scheduler().submit(q, priority=priority, deadline=deadline)
+
+    def execute_many(
+        self, queries, *, priority: int = 0, timeout: Optional[float] = None
+    ) -> List[QueryResult]:
+        """Run a batch of :class:`Query` objects through the scheduler and
+        wait for all results, in submission order."""
+        return self.scheduler().execute_many(
+            queries, priority=priority, timeout=timeout
+        )
+
     # --- failure injection & recovery (Section V) --------------------------------------
 
     def _check_server_id(self, server_id: int, servers, kind: str) -> None:
@@ -491,6 +575,8 @@ class Waterwheel:
         )
         if self.supervisor is not None:
             self.supervisor.rebind_coordinator()
+        if self._scheduler is not None:
+            self._scheduler.rebind(self.coordinator)
         return self.coordinator
 
     def crash_coordinator(self) -> None:
@@ -520,6 +606,8 @@ class Waterwheel:
         """
         if self.supervisor is not None:
             self.supervisor.stop()
+        if self._scheduler is not None:
+            self._scheduler.close()
         self.plane.close()
 
     # --- observability --------------------------------------------------------------------

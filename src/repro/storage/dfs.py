@@ -118,6 +118,19 @@ class SimulatedDFS:
         self._m_checksum_failures = reg.counter("dfs.checksum_failures")
         self._m_read_repairs = reg.counter("dfs.read_repairs")
         self._m_re_replications = reg.counter("dfs.re_replications")
+        #: Callbacks fired with a chunk id when its stored state changes
+        #: (deletion, replica movement); the coordinator's result cache
+        #: subscribes so cached answers never outlive their chunk.
+        self._invalidation_listeners: List = []
+
+    def add_invalidation_listener(self, fn) -> None:
+        """Register ``fn(chunk_id)`` to run when a chunk is deleted or its
+        replica placement changes (re-replication)."""
+        self._invalidation_listeners.append(fn)
+
+    def _notify_invalidation(self, chunk_id: str) -> None:
+        for fn in self._invalidation_listeners:
+            fn(chunk_id)
 
     def _spill_path(self, chunk_id: str) -> str:
         import os
@@ -167,6 +180,7 @@ class SimulatedDFS:
         if location is not None:
             for node in location.replicas:
                 self._replica_overrides.pop((chunk_id, node), None)
+            self._notify_invalidation(chunk_id)
 
     # --- read path -------------------------------------------------------------
 
@@ -359,13 +373,19 @@ class SimulatedDFS:
             ]
             rng_seed = stable_hash64(chunk_id) ^ len(location.replicas)
             candidates.sort(key=lambda n: stable_hash64(f"{rng_seed}-{n}"))
+            moved = False
             for node in candidates[: target - len(live)]:
                 location.replicas.append(node)
                 created += 1
+                moved = True
                 self.total_bytes_written += location.size
                 if _obs.ENABLED:
                     self._m_re_replications.inc()
                     self._m_bytes_written.inc(location.size)
+            if moved:
+                # Replica placement changed: cached locality-sensitive
+                # state for this chunk must not be trusted.
+                self._notify_invalidation(chunk_id)
         return created
 
     # --- introspection -----------------------------------------------------------

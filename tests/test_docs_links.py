@@ -55,8 +55,9 @@ def test_repo_file_mentions_exist(doc):
     assert not missing, f"{doc.name}: nonexistent files mentioned: {missing}"
 
 
-def test_architecture_code_pointers_resolve():
-    doc = REPO / "docs" / "ARCHITECTURE.md"
+@pytest.mark.parametrize("doc_name", ["ARCHITECTURE.md", "QUERY_PATH.md"])
+def test_code_pointers_resolve(doc_name):
+    doc = REPO / "docs" / doc_name
     bad = []
     for module, line in _CODE_POINTER.findall(doc.read_text()):
         path = REPO / module
@@ -81,10 +82,18 @@ def test_observability_doc_names_real_metrics():
     # query.
     obs.enable()
     try:
-        ww = Waterwheel(small_config(chunk_bytes=16 * 1024))
+        ww = Waterwheel(
+            small_config(chunk_bytes=16 * 1024, result_cache_bytes=1 << 20)
+        )
         data = make_tuples(2_000)
         ww.insert_many(data)
-        ww.query(0, 10_000, 0.0, max(t.ts for t in data))
+        now = max(t.ts for t in data)
+        ww.query(0, 10_000, 0.0, now)
+        ww.query(0, 10_000, 0.0, now)  # result-cache hit path
+        # Scheduler instruments register when the scheduler is built and
+        # observe on the submit/complete path.
+        ww.submit(0, 10_000, 0.0, now).result(timeout=10.0)
+        ww.close()
     finally:
         obs.disable()
         obs.reset()
@@ -95,7 +104,8 @@ def test_observability_doc_names_real_metrics():
     doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
     listed = set(
         re.findall(r"`((?:ingest|query|btree|chunk|dfs|dispatch|dispatcher|"
-                   r"coordinator|query_server|subquery|rpc)\.[\w.]+)`", doc)
+                   r"coordinator|query_server|subquery|rpc|scheduler|"
+                   r"cache)\.[\w.]+)`", doc)
     )
     unknown = {
         name for name in listed

@@ -1,0 +1,248 @@
+"""Coordinator subquery result cache: unit behaviour and equivalence.
+
+The load-bearing property: a deployment with the result cache enabled
+returns byte-identical query answers to one without it, across ingest,
+compaction and re-replication -- chunks are immutable, so the only ways a
+cached answer could go stale are exactly the invalidation hooks under
+test here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ChunkCompactor, DataTuple, Waterwheel, small_config
+from repro.core.model import KeyInterval, Query, SubQuery, TimeInterval
+from repro.core.query_server import SubQueryResult
+from repro.core.result_cache import ENTRY_OVERHEAD_BYTES, SubQueryResultCache
+from tests.conftest import make_tuples
+
+
+def _sq(chunk="chunk-0-0", klo=0, khi=100, tlo=0.0, thi=1.0, **kw):
+    return SubQuery(
+        query_id=1,
+        keys=KeyInterval(klo, khi),
+        times=TimeInterval(tlo, thi),
+        predicate=kw.pop("predicate", None),
+        chunk_id=chunk,
+        **kw,
+    )
+
+
+def _result(n_tuples=3, size=32):
+    return SubQueryResult(
+        tuples=[DataTuple(i, float(i), size=size) for i in range(n_tuples)],
+        bytes_read=n_tuples * size,
+    )
+
+
+class TestKeying:
+    def test_fresh_subqueries_are_uncacheable(self):
+        assert SubQueryResultCache.key_for(_sq(chunk=None)) is None
+
+    def test_predicate_subqueries_are_uncacheable(self):
+        sq = _sq(predicate=lambda t: True)
+        assert SubQueryResultCache.key_for(sq) is None
+
+    def test_key_covers_rectangle_and_attr_filters(self):
+        base = SubQueryResultCache.key_for(_sq())
+        assert base is not None
+        assert SubQueryResultCache.key_for(_sq()) == base
+        assert SubQueryResultCache.key_for(_sq(khi=101)) != base
+        assert SubQueryResultCache.key_for(_sq(thi=2.0)) != base
+        assert SubQueryResultCache.key_for(_sq(chunk="chunk-0-1")) != base
+        with_eq = SubQueryResultCache.key_for(_sq(attr_equals={"a": 1}))
+        assert with_eq != base
+        assert SubQueryResultCache.key_for(_sq(attr_equals={"a": 2})) != with_eq
+        with_rng = SubQueryResultCache.key_for(_sq(attr_ranges={"a": (1, 5)}))
+        assert with_rng not in (base, with_eq)
+
+    def test_unhashable_attr_values_are_uncacheable(self):
+        sq = _sq(attr_equals={"a": [1, 2]})
+        assert SubQueryResultCache.key_for(sq) is None
+
+
+class TestCacheMechanics:
+    def test_disabled_cache_stores_nothing(self):
+        cache = SubQueryResultCache(0)
+        key = SubQueryResultCache.key_for(_sq())
+        assert not cache.enabled
+        assert not cache.put(key, _result())
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_put_get_roundtrip_and_counters(self):
+        cache = SubQueryResultCache(1 << 20)
+        key = SubQueryResultCache.key_for(_sq())
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        res = _result()
+        assert cache.put(key, res)
+        assert cache.get(key) is res
+        assert cache.hits == 1
+        assert cache.used_bytes == ENTRY_OVERHEAD_BYTES + sum(
+            t.size for t in res.tuples
+        )
+
+    def test_lru_eviction_accounts_bytes(self):
+        entry_bytes = ENTRY_OVERHEAD_BYTES + 2 * 32
+        cache = SubQueryResultCache(3 * entry_bytes)
+        keys = [
+            SubQueryResultCache.key_for(_sq(chunk=f"chunk-0-{i}"))
+            for i in range(4)
+        ]
+        for key in keys:
+            assert cache.put(key, _result(2))
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        assert cache.get(keys[0]) is None  # the LRU victim
+        assert cache.used_bytes == 3 * entry_bytes
+
+    def test_oversized_result_is_refused(self):
+        cache = SubQueryResultCache(64)
+        key = SubQueryResultCache.key_for(_sq())
+        assert not cache.put(key, _result(100))
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_invalidate_chunk_drops_only_that_chunk(self):
+        cache = SubQueryResultCache(1 << 20)
+        key_a = SubQueryResultCache.key_for(_sq(chunk="chunk-0-0"))
+        key_a2 = SubQueryResultCache.key_for(_sq(chunk="chunk-0-0", khi=50))
+        key_b = SubQueryResultCache.key_for(_sq(chunk="chunk-0-1"))
+        for key in (key_a, key_a2, key_b):
+            cache.put(key, _result())
+        assert cache.invalidate_chunk("chunk-0-0") == 2
+        assert cache.get(key_a) is None
+        assert cache.get(key_a2) is None
+        assert cache.get(key_b) is not None
+        assert cache.invalidate_chunk("chunk-0-0") == 0  # idempotent
+        assert cache.invalidations == 2
+
+    def test_clear_resets_bytes(self):
+        cache = SubQueryResultCache(1 << 20)
+        cache.put(SubQueryResultCache.key_for(_sq()), _result())
+        assert cache.clear() == 1
+        assert cache.used_bytes == 0
+        assert len(cache) == 0
+
+
+def _mixed_queries(now, n=12, seed=3):
+    rng = random.Random(seed)
+    specs = []
+    for _ in range(n):
+        lo = rng.randrange(0, 9_000)
+        hi = lo + rng.randrange(100, 4_000)
+        t_lo = rng.uniform(0.0, now / 2)
+        specs.append((lo, min(hi, 9_999), t_lo, now))
+    return specs
+
+
+def _answers(ww, specs):
+    return [
+        sorted((t.key, t.ts) for t in ww.query(*s).tuples) for s in specs
+    ]
+
+
+class TestSystemIntegration:
+    @pytest.fixture
+    def pair(self):
+        """Two deployments over the same stream: cache on vs cache off."""
+        stream = make_tuples(4_000)
+        plain = Waterwheel(small_config())
+        cached = Waterwheel(small_config(result_cache_bytes=4 << 20))
+        for ww in (plain, cached):
+            ww.insert_batch(stream)
+            ww.flush_all()
+        yield plain, cached
+        plain.close()
+        cached.close()
+
+    def test_warm_cache_skips_chunk_reads_but_answers_identically(self, pair):
+        plain, cached = pair
+        specs = _mixed_queries(10.0)
+        assert _answers(cached, specs) == _answers(plain, specs)
+        # Second pass: warm result cache answers without chunk reads.
+        warm = [cached.query(*s) for s in specs]
+        assert [
+            sorted((t.key, t.ts) for t in r.tuples) for r in warm
+        ] == _answers(plain, specs)
+        assert sum(r.result_cache_hits for r in warm) > 0
+        assert sum(r.bytes_read for r in warm) == 0
+
+    def test_equivalence_across_ingest(self, pair):
+        plain, cached = pair
+        specs = _mixed_queries(20.0)
+        _answers(cached, specs)  # warm
+        late = make_tuples(2_000, t0=10.0, seed=9)
+        for ww in pair:
+            ww.insert_batch(late)
+            ww.flush_all()
+        assert _answers(cached, specs) == _answers(plain, specs)
+
+    def test_equivalence_across_compaction(self, pair):
+        plain, cached = pair
+        # Fragment the chunk set: several small ingest rounds, each
+        # force-flushed, leave undersized chunks for rollup to merge.
+        for round_no in range(3):
+            extra = make_tuples(
+                300, t0=20.0 + round_no, seed=100 + round_no
+            )
+            for ww in pair:
+                ww.insert_batch(extra)
+                ww.flush_all()
+        specs = _mixed_queries(30.0)
+        _answers(cached, specs)  # warm
+        for ww in pair:
+            report = ChunkCompactor(ww, target_bytes=16 << 10).rollup()
+            assert report.chunks_merged > 0
+        # Rollup rewrote chunks: stale entries must be gone, answers equal.
+        assert _answers(cached, specs) == _answers(plain, specs)
+        assert cached.coordinator.result_cache.invalidations > 0
+
+    def test_equivalence_across_retention(self, pair):
+        plain, cached = pair
+        specs = _mixed_queries(10.0)
+        _answers(cached, specs)  # warm
+        for ww in pair:
+            ChunkCompactor(ww).expire(older_than_ts=2.0)
+        assert _answers(cached, specs) == _answers(plain, specs)
+
+    def test_equivalence_across_re_replication(self, pair):
+        plain, cached = pair
+        specs = _mixed_queries(10.0)
+        _answers(cached, specs)  # warm
+        for ww in pair:
+            ww.cluster.kill(0)
+            ww.dfs.re_replicate()
+            ww.cluster.revive(0)
+        assert _answers(cached, specs) == _answers(plain, specs)
+
+    def test_scheduler_path_hits_result_cache(self, pair):
+        _plain, cached = pair
+        specs = _mixed_queries(10.0, n=6)
+        direct = _answers(cached, specs)  # warm the cache
+        tickets = [cached.submit(*s) for s in specs]
+        scheduled = [t.result(timeout=10.0) for t in tickets]
+        assert [
+            sorted((t.key, t.ts) for t in r.tuples) for r in scheduled
+        ] == direct
+        assert sum(r.result_cache_hits for r in scheduled) > 0
+
+    def test_result_cache_metrics_registered(self, pair):
+        from repro import obs
+
+        _plain, cached = pair
+        specs = _mixed_queries(10.0, n=4)
+        obs.enable()
+        try:
+            _answers(cached, specs)
+            _answers(cached, specs)
+            snap = obs.registry().snapshot()
+        finally:
+            obs.disable()
+        assert snap["cache.result.hits"]["value"] > 0
+        assert snap["cache.result.insertions"]["value"] > 0
+        assert snap["cache.result.bytes"]["value"] > 0
