@@ -170,8 +170,18 @@ def main():
             for row in result["rows"]
         ],
     )
+    # Other harnesses (skew_drift.py) own their namespaced keys of this
+    # file; merge over the existing content instead of clobbering them.
+    merged = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(result)
     with open(out, "w") as fh:
-        json.dump(result, fh, indent=2)
+        json.dump(merged, fh, indent=2)
     print(f"\nwrote {out} (headline speedup {result['speedup']:.2f}x "
           f"at batch {result['best_batch_size']})")
     return result

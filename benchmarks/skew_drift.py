@@ -1,0 +1,221 @@
+"""Sustained ingest throughput under a drifting hot key range.
+
+Reproduces the shape of the paper's key-distribution-drift experiment
+(Section III-D): throughput with vs. without adaptive repartitioning while
+the hot range moves.
+
+A normal key cluster (sigma ~4% of the domain) drifts across 60% of the key
+domain over the stream, so *no* static partition stays balanced: whichever
+server owns the hot range saturates, and the hot range keeps moving.  The
+adaptive balancer re-cuts boundaries as the dispatchers' frequency windows
+track the drift; the in-flight data for moved intervals stays on its old
+server (the *actual* regions overlap) so queries remain exact mid-migration.
+
+Both deployments (balancer enabled vs. disabled) ingest the same stream
+through the real system.  Per measurement window we record the per-server
+delivery shares the live partition actually produced, feed them to the
+shared pipeline model at the deployment's topology (the most-loaded server
+bounds each window), and report the *sustained* rate: total tuples divided
+by the summed per-window window/rate times -- so a single unbalanced window
+drags the whole run, exactly as a backlogged server would.
+
+Results land under the ``"skew_drift"`` key of BENCH_ingest.json; both
+this harness and ``ingest_throughput.py`` merge over the existing file,
+so they can be regenerated in either order.
+
+Usage:
+    PYTHONPATH=src python benchmarks/skew_drift.py
+        [--records N] [--window W] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import print_table
+
+from repro import Waterwheel, small_config
+from repro.simulation import PipelineTopology, system_insertion_rate
+from repro.workloads import SYNTHETIC_TUPLE_BYTES, DriftingKeyGenerator
+
+KEY_DOMAIN = 1 << 16
+SIGMA = KEY_DOMAIN * 0.04  # hot cluster narrower than one server's quarter
+MODEL_CHUNK_BYTES = 16 << 20  # paper default chunk for the throughput model
+DEFAULT_RECORDS = 40_000
+DEFAULT_WINDOW = 2_000
+SEED = 13
+
+
+def _stream(n_records):
+    """Hot cluster starting at 20% of the domain, drifting to 80%."""
+    gen = DriftingKeyGenerator(
+        key_lo=0,
+        key_hi=KEY_DOMAIN,
+        mu=KEY_DOMAIN * 0.2,
+        sigma=SIGMA,
+        drift_per_record=(KEY_DOMAIN * 0.6) / n_records,
+        seed=SEED,
+    )
+    return gen.records(n_records)
+
+
+def _build(adaptive, window):
+    cfg = small_config(
+        key_lo=0,
+        key_hi=KEY_DOMAIN,
+        n_nodes=4,
+        chunk_bytes=32_768,
+        tuple_size=SYNTHETIC_TUPLE_BYTES,
+        frequency_buckets=1024,
+        rebalance_check_every=max(1, window // 2),
+    )
+    return Waterwheel(cfg, adaptive_partitioning=adaptive)
+
+
+def run_one(data, adaptive, window):
+    """Ingest ``data``; returns (sustained tuples/s, window rows, system)."""
+    ww = _build(adaptive, window)
+    cfg = ww.config
+    topology = PipelineTopology(
+        n_nodes=cfg.n_nodes,
+        dispatchers_per_node=cfg.dispatchers_per_node,
+        indexing_per_node=cfg.indexing_per_node,
+    )
+    rows = []
+    elapsed = 0.0
+    for start in range(0, len(data), window):
+        chunk = data[start : start + window]
+        counts = [0.0] * cfg.n_indexing_servers
+        for t in chunk:
+            # The share the live partition routes to each server *right
+            # now* -- rebalances taking effect mid-window show up here.
+            counts[ww.shared_partition.current.server_for(t.key)] += 1.0
+            ww.insert(t)
+        rate = system_insertion_rate(
+            cfg.costs,
+            topology,
+            SYNTHETIC_TUPLE_BYTES,
+            MODEL_CHUNK_BYTES,
+            shares=counts,
+        )
+        elapsed += len(chunk) / rate
+        rows.append(
+            {
+                "window": len(rows),
+                "max_share": max(counts) / sum(counts),
+                "modeled_tuples_per_s": rate,
+            }
+        )
+    return len(data) / elapsed, rows, ww
+
+
+def run_experiment(n_records=DEFAULT_RECORDS, window=DEFAULT_WINDOW):
+    data = _stream(n_records)
+    on_rate, on_rows, on = run_one(data, True, window)
+    off_rate, off_rows, off = run_one(data, False, window)
+
+    # Equivalence guard: migration must not change what queries see.
+    t_hi = data[-1].ts + 1.0
+    res_on = on.query(0, KEY_DOMAIN, 0.0, t_hi)
+    res_off = off.query(0, KEY_DOMAIN, 0.0, t_hi)
+    key_ts = lambda rs: sorted((t.key, t.ts, t.payload) for t in rs.tuples)
+    if key_ts(res_on) != key_ts(res_off) or len(res_on.tuples) != len(data):
+        raise AssertionError("rebalancing changed query results")
+
+    return {
+        "records": n_records,
+        "window": window,
+        "sigma": SIGMA,
+        "rebalances": on.balancer.rebalance_count,
+        "migrated_tuples": on.balancer.migrated_tuples,
+        "enabled_tuples_per_s": on_rate,
+        "disabled_tuples_per_s": off_rate,
+        "speedup": on_rate / off_rate,
+        "enabled_windows": on_rows,
+        "disabled_windows": off_rows,
+    }
+
+
+def _parse_args(argv):
+    records = DEFAULT_RECORDS
+    window = DEFAULT_WINDOW
+    out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_ingest.json",
+    )
+    it = iter(argv)
+    for arg in it:
+        if arg == "--records":
+            records = int(next(it))
+        elif arg == "--window":
+            window = int(next(it))
+        elif arg == "--out":
+            out = next(it)
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+    return records, window, out
+
+
+def main():
+    records, window, out = _parse_args(sys.argv[1:])
+    result = run_experiment(records, window)
+    pick = lambda rows: rows[:: max(1, len(rows) // 8)]
+    print_table(
+        f"Skew drift: moving hot range, {records} tuples "
+        f"({result['rebalances']} rebalances)",
+        ["window", "enabled max share", "disabled max share"],
+        [
+            (er["window"], er["max_share"], dr["max_share"])
+            for er, dr in zip(
+                pick(result["enabled_windows"]), pick(result["disabled_windows"])
+            )
+        ],
+    )
+    print_table(
+        "Sustained modeled ingest throughput",
+        ["balancer", "tuples/s", "speedup"],
+        [
+            ("enabled", result["enabled_tuples_per_s"], result["speedup"]),
+            ("disabled", result["disabled_tuples_per_s"], 1.0),
+        ],
+    )
+    # ingest_throughput.py owns the top-level keys of this file; merge
+    # under our own key instead of clobbering its results.
+    merged = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+    merged["skew_drift"] = {
+        k: v
+        for k, v in result.items()
+        if k not in ("enabled_windows", "disabled_windows")
+    }
+    with open(out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+    print(
+        f"\nwrote {out} (skew_drift speedup {result['speedup']:.2f}x, "
+        f"{result['rebalances']} rebalances)"
+    )
+    return result
+
+
+def test_skew_drift_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(n_records=12_000, window=1_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["rebalances"] >= 1
+    assert result["speedup"] >= 1.3
+
+
+if __name__ == "__main__":
+    from _common import bench_entry
+
+    bench_entry(main)

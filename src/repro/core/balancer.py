@@ -6,19 +6,38 @@ load under the current partition, and -- when any server deviates from the
 mean by more than the rebalance threshold (20% in the paper) -- installs a
 new partition whose boundaries equalize the observed frequency mass.
 
-The new partition is persisted to the metadata server and pushed to the
-indexing servers via :meth:`IndexingServer.reassign`; servers keep their
-in-flight data, so data regions may transiently overlap until the next
-flush (handled by the coordinator through actual-region metadata).
+Install protocol (live migration without torn state):
+
+1. **Reassign first.**  Every indexing server is handed its new interval
+   over the ``balancer->indexing`` RPC edge.  Per the configured migration
+   mode servers either keep their in-flight data (``"overlap"`` -- their
+   *actual* data regions transiently overlap neighbours until the next
+   flush, published to the metadata server for the coordinator) or flush
+   displaced trees immediately (``"flush"``).
+2. **Commit last.**  Only after every reassign succeeded does the shared
+   partition advance (bumping the partition *epoch*) and the new
+   boundaries + epoch land in the metadata server as one atomic
+   ``multi_put``.  A reassign that fails mid-install -- dead server,
+   injected fault surviving the edge's retries -- rolls the already
+   reassigned servers back to their old intervals and aborts: dispatch
+   never observes a half-installed partition.
+
+Rebalancing *defers* (rather than half-runs) whenever it cannot proceed
+safely: while paused by the supervisor during a repair, while a previous
+install is still in flight, while any indexing server is quarantined or
+failing health probes, or when a dispatcher's histogram cannot be fetched.
+Deferral is cheap -- the trigger simply fires again next period.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.core.config import WaterwheelConfig
 from repro.core.dispatcher import Dispatcher, SharedPartition
-from repro.core.indexing_server import IndexingServer
+from repro.core.indexing_server import IndexingServer, ServerDownError
 from repro.core.partitioning import (
     KeyPartition,
     aggregate_histograms,
@@ -26,6 +45,9 @@ from repro.core.partitioning import (
     partition_loads,
 )
 from repro.metastore import MetadataStore
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _trace
+from repro.rpc import MessagePlane, RpcError
 
 
 class PartitionBalancer:
@@ -39,19 +61,83 @@ class PartitionBalancer:
         indexing_servers: Sequence[IndexingServer],
         metastore: MetadataStore,
         enabled: bool = True,
+        *,
+        plane: Optional[MessagePlane] = None,
+        quarantined: Optional[Set[int]] = None,
+        health: Optional[Callable[[int], bool]] = None,
     ):
+        """``quarantined`` is a live set of indexing-server ids currently
+        buffering to the log only (shared with the facade, read each
+        trigger check); ``health`` is an optional per-server liveness
+        predicate (the supervisor's detector verdict)."""
         self.config = config
         self._shared = shared_partition
         self._dispatchers = list(dispatchers)
         self._indexing_servers = list(indexing_servers)
         self._metastore = metastore
         self.enabled = enabled
+        self._plane = plane if plane is not None else MessagePlane("inline")
+        self._ep_dispatch = self._plane.endpoint(
+            "balancer->dispatcher", self._dispatchers
+        )
+        self._ep_index = self._plane.endpoint(
+            "balancer->indexing", self._indexing_servers
+        )
+        self._quarantined: Set[int] = (
+            quarantined if quarantined is not None else set()
+        )
+        self._health = health
+        #: Serializes installs; trigger checks that lose the race defer.
+        self._install_lock = threading.Lock()
+        #: Pause nesting depth (supervisor holds >= 1 during repairs).
+        self._pause_depth = 0
+        self._pause_lock = threading.Lock()
         self.rebalance_count = 0
+        self.deferred_count = 0
+        self.aborted_count = 0
+        self.migrated_tuples = 0
+        #: Why the most recent trigger check deferred (None = it didn't).
+        self.last_deferral: Optional[str] = None
+        reg = _obs.registry()
+        self._m_rebalances = reg.counter("balancer.rebalances")
+        self._m_deferred = reg.counter("balancer.deferred")
+        self._m_aborted = reg.counter("balancer.aborted")
+        self._m_migrated = reg.counter("balancer.migrated_tuples")
+        self._m_install_wall = reg.histogram("balancer.install_wall")
+
+    # --- supervisor integration -------------------------------------------------
+
+    def pause(self) -> None:
+        """Suspend rebalancing (nested: every pause needs a resume).
+
+        The supervisor pauses the balancer around repairs so a recovering
+        server's assignment is never moved mid-replay."""
+        with self._pause_lock:
+            self._pause_depth += 1
+
+    def resume(self) -> None:
+        """Lift one :meth:`pause`; rebalancing restarts when depth is 0."""
+        with self._pause_lock:
+            if self._pause_depth > 0:
+                self._pause_depth -= 1
+
+    @property
+    def paused(self) -> bool:
+        """True while at least one pause is outstanding."""
+        return self._pause_depth > 0
+
+    # --- observation ------------------------------------------------------------
 
     def global_histogram(self) -> List[float]:
-        """Aggregated key-frequency histogram across dispatchers."""
+        """Aggregated key-frequency histogram across dispatchers (RPC).
+
+        Raises :class:`~repro.rpc.RpcError` when a dispatcher cannot be
+        reached past the edge policy's retries."""
         return aggregate_histograms(
-            [d.sampler.histogram() for d in self._dispatchers]
+            [
+                self._ep_dispatch.call(d, "sample_histogram")
+                for d in range(len(self._dispatchers))
+            ]
         )
 
     def current_deviation(self) -> float:
@@ -62,14 +148,50 @@ class PartitionBalancer:
         loads = partition_loads(self._shared.current, histogram)
         return load_deviation(loads)
 
+    # --- trigger ----------------------------------------------------------------
+
+    def _defer(self, reason: str) -> None:
+        self.deferred_count += 1
+        self.last_deferral = reason
+        if _obs.ENABLED:
+            self._m_deferred.inc()
+
+    def _unavailable_server(self) -> Optional[int]:
+        """An indexing server id that must not receive a reassign, if any.
+
+        A repartition hands *every* server a new interval, so one
+        quarantined or unhealthy server defers the whole install -- moving
+        its boundaries while its replay is pending could strand logged
+        tuples outside the interval their log partition maps to."""
+        for server_id in range(len(self._indexing_servers)):
+            if server_id in self._quarantined:
+                return server_id
+            if self._health is not None and not self._health(server_id):
+                return server_id
+        return None
+
     def maybe_rebalance(self) -> Optional[KeyPartition]:
         """Check the trigger and repartition if needed.
 
-        Returns the new partition when one was installed, else None.
+        Returns the new partition when one was installed, else None (no
+        skew, nothing sampled, or the check deferred/aborted -- see
+        ``last_deferral`` / ``aborted_count``).
         """
         if not self.enabled:
             return None
-        histogram = self.global_histogram()
+        self.last_deferral = None
+        if self.paused:
+            self._defer("paused")
+            return None
+        unavailable = self._unavailable_server()
+        if unavailable is not None:
+            self._defer(f"server {unavailable} unavailable")
+            return None
+        try:
+            histogram = self.global_histogram()
+        except (RpcError, ServerDownError):
+            self._defer("histogram unavailable")
+            return None
         if not any(histogram):
             return None
         current = self._shared.current
@@ -85,14 +207,76 @@ class PartitionBalancer:
         )
         if candidate == current:
             return None
-        self._install(candidate)
-        return candidate
+        if not self._install_lock.acquire(blocking=False):
+            self._defer("install in progress")
+            return None
+        try:
+            installed = self._install(candidate)
+        finally:
+            self._install_lock.release()
+        return candidate if installed else None
 
-    def _install(self, partition: KeyPartition) -> None:
-        self._shared.update(partition)
-        for server_id, interval in enumerate(partition.intervals()):
-            self._indexing_servers[server_id].reassign(interval)
-        self._metastore.put("/partition/boundaries", list(partition.boundaries))
-        for dispatcher in self._dispatchers:
-            dispatcher.rotate_sample_window()
-        self.rebalance_count += 1
+    # --- install ----------------------------------------------------------------
+
+    def _install(self, partition: KeyPartition) -> bool:
+        """Reassign-first / commit-last; returns False on an abort."""
+        n_servers = len(self._indexing_servers)
+        new_intervals = partition.padded_intervals(n_servers)
+        old_intervals = self._shared.current.padded_intervals(n_servers)
+        migration = self.config.rebalance_migration
+        started = time.perf_counter()
+        with _trace.span("rebalance", servers=n_servers) as sp:
+            migrated = 0
+            for server_id in range(n_servers):
+                try:
+                    migrated += self._ep_index.call(
+                        server_id, "reassign",
+                        new_intervals[server_id], migration,
+                    )
+                except (RpcError, ServerDownError):
+                    self._rollback(server_id, old_intervals)
+                    self.aborted_count += 1
+                    if _obs.ENABLED:
+                        self._m_aborted.inc()
+                    if sp is not None:
+                        sp.attrs["aborted_at"] = server_id
+                    return False
+            epoch = self._shared.update(partition)
+            self._metastore.multi_put(
+                [
+                    ("/partition/boundaries", list(partition.boundaries)),
+                    ("/partition/epoch", epoch),
+                ]
+            )
+            for d in range(len(self._dispatchers)):
+                try:
+                    self._ep_dispatch.call(d, "rotate_sample_window")
+                except (RpcError, ServerDownError):
+                    # Best effort: a stale window means at worst one extra
+                    # (idempotent) rebalance next period.
+                    pass
+            self.rebalance_count += 1
+            self.migrated_tuples += migrated
+            if _obs.ENABLED:
+                self._m_rebalances.inc()
+                if migrated:
+                    self._m_migrated.inc(migrated)
+                self._m_install_wall.observe(time.perf_counter() - started)
+            if sp is not None:
+                sp.attrs["epoch"] = epoch
+                sp.attrs["migrated"] = migrated
+        return True
+
+    def _rollback(self, failed_at: int, old_intervals: List) -> None:
+        """Return servers ``[0, failed_at)`` to their pre-install intervals.
+
+        Best effort: a server that dies before its rollback reaches it
+        re-syncs its assignment from the committed metastore boundaries on
+        recovery, so a lost rollback cannot strand a divergent interval."""
+        for server_id in range(failed_at):
+            try:
+                self._ep_index.call(
+                    server_id, "reassign", old_intervals[server_id], "overlap"
+                )
+            except (RpcError, ServerDownError):
+                pass

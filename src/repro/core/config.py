@@ -42,6 +42,14 @@ class WaterwheelConfig:
     rebalance_threshold: float = 0.2  # indexing-server load deviation trigger
     sample_every: int = 64  # dispatcher key-frequency sampling stride
     frequency_buckets: int = 1024
+    #: Inserts between balancer trigger checks (the aggregation period).
+    rebalance_check_every: int = 10_000
+    #: What an indexing server does with in-flight data that a repartition
+    #: moved away: "overlap" keeps it in memory (the paper's design -- the
+    #: server's *actual* region overlaps neighbours until the next flush),
+    #: "flush" writes it out immediately so the moved interval becomes a
+    #: globally readable chunk and the overlap window closes at once.
+    rebalance_migration: str = "overlap"
 
     # --- queries ------------------------------------------------------------------
     sketch_granularity: float = 1.0  # temporal mini-range width (seconds)
@@ -94,6 +102,12 @@ class WaterwheelConfig:
             raise ValueError("need at least one node")
         if not 0 < self.rebalance_threshold:
             raise ValueError("rebalance_threshold must be positive")
+        if self.rebalance_check_every < 1:
+            raise ValueError("rebalance_check_every must be >= 1")
+        if self.rebalance_migration not in ("overlap", "flush"):
+            raise ValueError(
+                f"unknown rebalance_migration {self.rebalance_migration!r}"
+            )
         if self.result_cache_bytes < 0:
             raise ValueError("result_cache_bytes must be >= 0")
         if self.scheduler_max_concurrency < 1:

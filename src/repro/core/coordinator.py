@@ -101,10 +101,20 @@ class QueryCoordinator:
             for stage in ("decompose", "fresh", "dispatch", "merge")
         }
         self._m_partial = reg.counter("coordinator.partial_queries")
+        self._m_fresh_pruned = reg.counter("coordinator.fresh_pruned")
         self._catalog = RTree(max_entries=16)
         self._catalog_regions: Dict[str, Region] = {}
+        #: Each indexing server's published *actual* key interval (assigned
+        #: plus any transient post-repartition overlap, Section III-D).
+        #: Fed by the ``/partition/actual/`` watch; used to prune fresh
+        #: scans without a round trip to every server.  Servers that never
+        #: published (absent here) are conservatively always consulted.
+        self._actual_intervals: Dict[int, KeyInterval] = {}
         self._bootstrap_catalog()
         self._unwatch = metastore.watch("/chunks/", self._on_chunk_event)
+        self._unwatch_actual = metastore.watch(
+            "/partition/actual/", self._on_actual_event
+        )
 
     # --- catalog maintenance -----------------------------------------------------
 
@@ -124,6 +134,21 @@ class QueryCoordinator:
             self._catalog_regions[info["chunk_id"]] = region
         if entries:
             self._catalog = str_pack(entries, max_entries=16)
+        for key, value in self.metastore.items_prefix("/partition/actual/"):
+            self._on_actual_event(key, value)
+
+    def _on_actual_event(self, key: str, value) -> None:
+        try:
+            server_id = int(key.rsplit("/", 1)[-1])
+        except ValueError:
+            return
+        with self._catalog_lock:
+            if value is None:
+                self._actual_intervals.pop(server_id, None)
+            else:
+                self._actual_intervals[server_id] = KeyInterval(
+                    value[0], value[1]
+                )
 
     def _on_chunk_event(self, key: str, value: Optional[dict]) -> None:
         chunk_id = key.rsplit("/", 1)[-1]
@@ -151,6 +176,7 @@ class QueryCoordinator:
     def close(self) -> None:
         """Detach from the metadata store (used when failing over)."""
         self._unwatch()
+        self._unwatch_actual()
 
     def heartbeat(self) -> dict:
         """Liveness probe answered over the message plane (supervision)."""
@@ -183,7 +209,20 @@ class QueryCoordinator:
         """Split a query into (fresh subqueries, chunk subqueries)."""
         fresh: List[SubQuery] = []
         region = query.region()
+        with self._catalog_lock:
+            actual_intervals = dict(self._actual_intervals)
+        pruned = 0
         for server in self.indexing_servers:
+            # Published actual intervals prune the fan-out: a server whose
+            # possible in-memory key span (assignment + any transient
+            # repartition overlap) misses the query needs no round trip.
+            # The interval is maintained conservatively -- widened on every
+            # out-of-interval ingest before the data is queryable -- so a
+            # pruned server can not hold matching tuples.
+            known = actual_intervals.get(server.server_id)
+            if known is not None and not known.overlaps(query.keys):
+                pruned += 1
+                continue
             live = self._ep_fresh.call(server.server_id, "fresh_region")
             if live is None or not live.overlaps(region):
                 continue
@@ -202,6 +241,8 @@ class QueryCoordinator:
                     attr_ranges=query.attr_ranges,
                 )
             )
+        if pruned and _obs.ENABLED:
+            self._m_fresh_pruned.inc(pruned)
         chunks: List[SubQuery] = []
         # Snapshot the R-tree search under the lock: the metastore watch
         # mutates the catalog from whatever thread registers a chunk, and

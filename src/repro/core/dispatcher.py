@@ -9,6 +9,7 @@ partitioning (Section III-D).
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from typing import Dict, List, Sequence, Tuple
 
@@ -20,18 +21,41 @@ from repro.obs import metrics as _obs
 
 
 class SharedPartition:
-    """Mutable holder for the current global key partition.
+    """Mutable holder for the current global key partition and its epoch.
 
-    Dispatchers read it on every tuple; the balancer swaps in a new
-    partition atomically (a single attribute assignment).
+    Dispatchers read it on every tuple while the balancer may be
+    installing a new partition from another thread, so the partition and
+    its epoch live in one ``(partition, epoch)`` tuple attribute: readers
+    always see a consistent pair (one attribute load), never a new
+    partition with an old epoch or vice versa.  The epoch increases by one
+    per installed partition; the ingest path compares epochs around a
+    dispatch to detect that it routed under a since-replaced partition.
     """
 
     def __init__(self, partition: KeyPartition):
-        self.current = partition
+        self._state: Tuple[KeyPartition, int] = (partition, 0)
+        self._lock = threading.Lock()  # serializes the epoch bump
 
-    def update(self, partition: KeyPartition) -> None:
-        """Atomically swap in a new partition."""
-        self.current = partition
+    @property
+    def current(self) -> KeyPartition:
+        """The installed partition (consistent snapshot)."""
+        return self._state[0]
+
+    @property
+    def epoch(self) -> int:
+        """Install counter: bumped by every :meth:`update`."""
+        return self._state[1]
+
+    def snapshot(self) -> Tuple[KeyPartition, int]:
+        """The (partition, epoch) pair as one consistent read."""
+        return self._state
+
+    def update(self, partition: KeyPartition) -> int:
+        """Atomically swap in a new partition; returns its epoch."""
+        with self._lock:
+            state = (partition, self._state[1] + 1)
+            self._state = state
+        return state[1]
 
 
 class Dispatcher:
@@ -160,6 +184,14 @@ class Dispatcher:
         out = self.route_batch(batch)
         self.observe_batch(batch)
         return out
+
+    def sample_histogram(self) -> List[float]:
+        """This dispatcher's key-frequency histogram (balancer probe).
+
+        Answered over the ``balancer->dispatcher`` edge so histogram
+        collection sees the same RPC weather as the data path.
+        """
+        return self.sampler.histogram()
 
     def rotate_sample_window(self) -> None:
         """Age out the older sampling window."""

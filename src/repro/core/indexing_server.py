@@ -14,6 +14,7 @@ by replaying the durable log from its last checkpointed offset (Section V).
 from __future__ import annotations
 
 import operator as _operator
+import threading
 import time as _time
 from itertools import compress as _compress
 from typing import List, Optional, Tuple
@@ -57,6 +58,16 @@ class IndexingServer:
         self.dfs = dfs
         self.metastore = metastore
         self.assigned = assigned
+        #: The key interval this server's in-memory data may actually span:
+        #: the assigned interval plus whatever it still holds from before a
+        #: repartition (or received under a since-replaced partition).  Kept
+        #: current in the metadata store (``/partition/actual/<id>``) so the
+        #: coordinator can prune fresh scans without consulting every server
+        #: while still seeing transient overlaps (Section III-D).
+        self.actual = assigned
+        #: Serializes actual-interval read-modify-writes: ingest widens on
+        #: its own thread while a balancer reassign widens on another.
+        self._actual_lock = threading.RLock()
         self.alive = True
         self.max_ts_seen: Optional[float] = None
         self._last_offset: Optional[int] = None
@@ -77,6 +88,7 @@ class IndexingServer:
             "ingest.flush_bytes", scale=1024.0, unit="bytes"
         )
         self._m_fresh_scans = reg.counter("ingest.fresh_scans")
+        self._publish_actual()
 
     # --- construction helpers -------------------------------------------------
 
@@ -100,6 +112,53 @@ class IndexingServer:
     def _offset_key(self) -> str:
         return f"/indexing/{self.server_id}/offset"
 
+    # --- actual-region metadata -----------------------------------------------
+
+    @property
+    def _actual_key(self) -> str:
+        return f"/partition/actual/{self.server_id}"
+
+    def _publish_actual(self) -> None:
+        self.metastore.put(
+            self._actual_key, [self.actual.lo, self.actual.hi]
+        )
+
+    def _set_actual(self, interval: KeyInterval) -> None:
+        with self._actual_lock:
+            if interval.lo != self.actual.lo or interval.hi != self.actual.hi:
+                self.actual = interval
+                self._publish_actual()
+
+    def _cover_keys(self, key_lo: int, key_hi: int) -> None:
+        """Widen the actual interval to cover the closed [key_lo, key_hi]."""
+        with self._actual_lock:
+            a = self.actual
+            if a.is_empty():
+                self._set_actual(KeyInterval(key_lo, key_hi + 1))
+            else:
+                self._set_actual(
+                    KeyInterval(min(a.lo, key_lo), max(a.hi, key_hi + 1))
+                )
+
+    def _recompute_actual(self) -> None:
+        """Re-derive the actual interval from the assignment plus whatever
+        the live trees still hold.  Only called from the ingest thread
+        (flush paths) or on a quiesced server (fail/recover): unlike the
+        widen-only paths this may *shrink* the interval, which must never
+        race an in-flight insert."""
+        with self._actual_lock:
+            lo, hi = self.assigned.lo, self.assigned.hi
+            for tree in (self._tree, self._late_tree):
+                if tree is None or len(tree) == 0:
+                    continue
+                kb = tree.key_bounds()
+                if hi <= lo:  # empty assignment: the data alone defines it
+                    lo, hi = kb[0], kb[1] + 1
+                else:
+                    lo = min(lo, kb[0])
+                    hi = max(hi, kb[1] + 1)
+            self._set_actual(KeyInterval(lo, hi))
+
     # --- ingestion ---------------------------------------------------------------
 
     def ingest(self, t: DataTuple, offset: Optional[int] = None) -> Optional[str]:
@@ -122,6 +181,16 @@ class IndexingServer:
             if self.max_ts_seen is None
             else self.max_ts_seen - _SEVERELY_LATE_FACTOR * self.config.late_delta
         )
+        # A tuple routed under a since-replaced partition (or one this
+        # server kept through a repartition) can land outside the actual
+        # interval; widening keeps the published metadata covering every
+        # in-memory key, which the coordinator's fresh-scan pruning relies
+        # on.  Two comparisons on the hot path, a publish only on growth --
+        # and always *before* the insert, so a concurrent decompose never
+        # prunes a server already holding a matching tuple.
+        a = self.actual
+        if t.key < a.lo or t.key >= a.hi:
+            self._cover_keys(t.key, t.key)
         if late_cutoff is not None and t.ts < late_cutoff:
             self._ingest_late(t)
         else:
@@ -204,11 +273,15 @@ class IndexingServer:
             else:
                 main_run = run if isinstance(run, list) else list(run)
             if main_run:
-                self._tree.insert_run(sorted(main_run, key=by_key))
+                srt = sorted(main_run, key=by_key)
+                self._cover_keys(srt[0].key, srt[-1].key)
+                self._tree.insert_run(srt)
                 self._bytes_in_memory += main_total
             if late_run:
+                srt = sorted(late_run, key=by_key)
+                self._cover_keys(srt[0].key, srt[-1].key)
                 self._ensure_late_tree()
-                self._late_tree.insert_run(sorted(late_run, key=by_key))
+                self._late_tree.insert_run(srt)
                 self._late_bytes += late_total
             self.max_ts_seen = overall_max
             self._last_offset = (
@@ -231,14 +304,18 @@ class IndexingServer:
 
         def commit_main() -> None:
             if main_pending:
-                self._tree.insert_run(sorted(main_pending, key=by_key))
+                srt = sorted(main_pending, key=by_key)
+                self._cover_keys(srt[0].key, srt[-1].key)
+                self._tree.insert_run(srt)
                 self._bytes_in_memory += sum(t.size for t in main_pending)
                 main_pending.clear()
 
         def commit_late() -> None:
             if late_pending:
+                srt = sorted(late_pending, key=by_key)
+                self._cover_keys(srt[0].key, srt[-1].key)
                 self._ensure_late_tree()
-                self._late_tree.insert_run(sorted(late_pending, key=by_key))
+                self._late_tree.insert_run(srt)
                 self._late_bytes += sum(t.size for t in late_pending)
                 late_pending.clear()
 
@@ -257,6 +334,7 @@ class IndexingServer:
                     self._late_tree = None
                     self._late_bytes = 0
                     late_bytes = 0
+                    self._recompute_actual()
             else:
                 main_pending.append(t)
                 main_bytes += t.size
@@ -303,6 +381,7 @@ class IndexingServer:
             self._flush_tree(self._late_tree, late=True)
             self._late_tree = None
             self._late_bytes = 0
+            self._recompute_actual()
 
     # --- flushing ------------------------------------------------------------------
 
@@ -316,6 +395,10 @@ class IndexingServer:
             self._bytes_in_memory = 0
             if self._last_offset is not None:
                 self.metastore.put(self._offset_key, self._last_offset + 1)
+            # The flushed data is globally readable now; the actual
+            # interval collapses back towards the assignment (any overlap
+            # window from a repartition closes here, Section III-D).
+            self._recompute_actual()
         return chunk_id
 
     def flush_all(self) -> List[str]:
@@ -330,6 +413,7 @@ class IndexingServer:
                 out.append(late)
             self._late_tree = None
             self._late_bytes = 0
+            self._recompute_actual()
         return out
 
     def _flush_tree(self, tree: TemplateBTree, late: bool) -> Optional[str]:
@@ -429,15 +513,58 @@ class IndexingServer:
 
     # --- repartitioning --------------------------------------------------------------
 
-    def reassign(self, interval: KeyInterval) -> None:
+    def reassign(
+        self, interval: KeyInterval, migration: Optional[str] = None
+    ) -> int:
         """Adopt a new assigned key interval (adaptive key partitioning).
 
-        In-memory data keeps its old extent -- the *actual* interval reported
-        by :meth:`fresh_region` may overlap neighbours until the next flush,
-        which is exactly the transient the metadata server must expose for
-        query correctness (Section III-D).
+        ``migration`` (default: the config's ``rebalance_migration``)
+        decides what happens to in-flight data the new interval no longer
+        covers:
+
+        * ``"overlap"`` -- keep it (the paper's design): the *actual*
+          interval may overlap neighbours until the next flush, which is
+          exactly the transient the metadata server must expose for query
+          correctness (Section III-D).
+        * ``"flush"`` -- hand it off immediately: the in-memory trees are
+          flushed so the moved keys become globally readable chunks and
+          the overlap window closes at once.
+
+        Returns the number of in-flight tuples migrated (flushed); 0 in
+        overlap mode.  Idempotent, so a balancer may safely retry a
+        reassign whose acknowledgement was lost in flight.
         """
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
+        mode = migration or self.config.rebalance_migration
+        if mode not in ("overlap", "flush"):
+            raise ValueError(f"unknown migration mode {mode!r}")
         self.assigned = interval
+        migrated = 0
+        if mode == "flush" and self.in_memory_tuples:
+            bounds = []
+            for tree in (self._tree, self._late_tree):
+                if tree is not None and len(tree) > 0:
+                    bounds.append(tree.key_bounds())
+            outside = any(
+                kb[0] < interval.lo or kb[1] >= interval.hi for kb in bounds
+            )
+            if outside:
+                migrated = self.in_memory_tuples
+                self.flush_all()  # recomputes the actual interval
+        if migrated == 0:
+            # Widen-only here: an insert may be in flight under the old
+            # assignment, so the actual interval never shrinks on this
+            # path -- only :meth:`flush` (same thread as ingest) and
+            # :meth:`fail`/:meth:`recover` (quiesced) collapse it.
+            with self._actual_lock:
+                if interval.is_empty():
+                    pass
+                elif self.actual.is_empty():
+                    self._set_actual(interval)
+                else:
+                    self._set_actual(self.actual.union_hull(interval))
+        return migrated
 
     # --- fresh-data queries -------------------------------------------------------------
 
@@ -549,6 +676,10 @@ class IndexingServer:
         self._bytes_in_memory = 0
         self._late_bytes = 0
         self.max_ts_seen = None
+        # The volatile data that widened the actual interval is gone; the
+        # published region collapses to the bare assignment so queries do
+        # not keep consulting a region this server no longer holds.
+        self._set_actual(self.assigned)
 
     def recover(self, log: DurableLog, topic: str) -> int:
         """Relaunch and rebuild the in-memory tree by replaying the durable
@@ -556,10 +687,30 @@ class IndexingServer:
 
         A no-op on an alive server (returns 0): replaying the log on top
         of live in-memory state would duplicate every unflushed tuple.
+
+        Before replaying, the assignment is re-synced from the metadata
+        store's committed partition: if this server died mid-rebalance
+        (after adopting a new interval the balancer then rolled back, or
+        before a rollback reached it), its last in-memory assignment may
+        disagree with what was actually installed.
         """
         if self.alive:
             return 0
         self.alive = True
+        boundaries = self.metastore.get("/partition/boundaries")
+        if boundaries is not None:
+            from repro.core.partitioning import KeyPartition
+
+            committed = KeyPartition(
+                self.config.key_lo, self.config.key_hi, boundaries
+            )
+            if self.server_id < committed.n_intervals:
+                self.assigned = committed.interval(self.server_id)
+            else:
+                self.assigned = KeyInterval(
+                    self.config.key_hi, self.config.key_hi
+                )
+            self._set_actual(self.assigned)
         start = self.metastore.get(self._offset_key, 0)
         replayed = 0
         for offset, t in log.replay(topic, self.server_id, start):

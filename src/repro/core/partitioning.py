@@ -139,6 +139,24 @@ class KeyPartition:
         """All per-server key intervals, in server order."""
         return [self.interval(i) for i in range(self.n_intervals)]
 
+    def padded_intervals(self, n_servers: int) -> List[KeyInterval]:
+        """Per-server intervals padded with empty ones to ``n_servers``.
+
+        A skew-fitted partition can have fewer cuts than there are servers
+        (duplicate quantiles collapse); servers past the last interval get
+        the empty ``[key_hi, key_hi)`` so every server always holds a
+        well-defined assignment.
+        """
+        if n_servers < self.n_intervals:
+            raise ValueError(
+                f"partition has {self.n_intervals} intervals but only "
+                f"{n_servers} servers"
+            )
+        out = self.intervals()
+        empty = KeyInterval(self.key_hi, self.key_hi)
+        out.extend(empty for _ in range(n_servers - len(out)))
+        return out
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, KeyPartition)

@@ -43,7 +43,8 @@ from repro.storage import SimulatedDFS
 
 _TOPIC = "tuples"
 
-#: How many inserts between balancer trigger checks.
+#: Legacy default for inserts between balancer trigger checks; the live
+#: value is ``WaterwheelConfig.rebalance_check_every``.
 _BALANCE_CHECK_EVERY = 10_000
 
 
@@ -89,11 +90,17 @@ class Waterwheel:
             cfg.key_lo, cfg.key_hi, cfg.n_indexing_servers
         )
         self.shared_partition = SharedPartition(partition)
-        self.metastore.put("/partition/boundaries", list(partition.boundaries))
+        self.metastore.multi_put(
+            [
+                ("/partition/boundaries", list(partition.boundaries)),
+                ("/partition/epoch", self.shared_partition.epoch),
+            ]
+        )
 
         indexing_placement = self.cluster.place_round_robin(
             "indexing", cfg.n_indexing_servers
         )
+        assigned = partition.padded_intervals(cfg.n_indexing_servers)
         self.indexing_servers: List[IndexingServer] = [
             IndexingServer(
                 server_id,
@@ -101,9 +108,7 @@ class Waterwheel:
                 cfg,
                 self.dfs,
                 self.metastore,
-                partition.interval(server_id)
-                if server_id < partition.n_intervals
-                else KeyInterval(cfg.key_hi, cfg.key_hi),
+                assigned[server_id],
             )
             for server_id in range(cfg.n_indexing_servers)
         ]
@@ -126,6 +131,12 @@ class Waterwheel:
         ]
         self._dispatcher_rr = itertools.cycle(range(cfg.n_dispatchers))
 
+        #: Indexing servers whose key interval is quarantined: their tuples
+        #: are appended to the durable log (durable, hence acknowledged)
+        #: but not delivered; recovery replays them from the checkpoint.
+        #: Shared (live) with the balancer, which defers rebalances while
+        #: any server sits in it.
+        self._quarantined: set = set()
         self.balancer = PartitionBalancer(
             cfg,
             self.shared_partition,
@@ -133,6 +144,9 @@ class Waterwheel:
             self.indexing_servers,
             self.metastore,
             enabled=adaptive_partitioning,
+            plane=self.plane,
+            quarantined=self._quarantined,
+            health=self._indexing_healthy,
         )
 
         if dispatch_policy is None:
@@ -162,10 +176,6 @@ class Waterwheel:
 
         self.tuples_inserted = 0
         self._since_balance_check = 0
-        #: Indexing servers whose key interval is quarantined: their tuples
-        #: are appended to the durable log (durable, hence acknowledged)
-        #: but not delivered; recovery replays them from the checkpoint.
-        self._quarantined: set = set()
         #: The optional supervision loop (see :meth:`supervise`).
         self.supervisor = None
         reg = _obs.registry()
@@ -176,8 +186,21 @@ class Waterwheel:
             "ingest.batch_size", scale=1.0, unit="tuples"
         )
         self._m_quarantined = reg.counter("dispatch.quarantined")
+        self._m_stale_epoch = reg.counter("dispatch.stale_epoch")
 
     # --- ingestion ---------------------------------------------------------------
+
+    def _indexing_healthy(self, server_id: int) -> bool:
+        """Balancer health predicate: False while the supervisor's failure
+        detector has an outstanding verdict against the server (rebalances
+        defer rather than hand a new interval to a suspect target)."""
+        if self.supervisor is None:
+            return True
+        try:
+            verdict = self.supervisor.detector.health("indexing", server_id)
+        except ValueError:  # no watch registered for indexing servers
+            return True
+        return verdict.value == "alive"
 
     def insert(self, t: DataTuple) -> Optional[str]:
         """Ingest one tuple end-to-end; returns a chunk id on flush."""
@@ -185,6 +208,7 @@ class Waterwheel:
         # stays within the <5% ingest-throughput budget.
         sampled = _obs.ENABLED and (self.tuples_inserted & 63) == 0
         started = _time.perf_counter() if sampled else 0.0
+        epoch0 = self.shared_partition.epoch
         server_id, offset = self._ep_dispatch.call(
             next(self._dispatcher_rr), "dispatch", t
         )
@@ -207,8 +231,14 @@ class Waterwheel:
             self._m_inserted.inc()
             if sampled:
                 self._m_insert_wall.observe(_time.perf_counter() - started)
+            # The partition epoch advanced between routing and delivery (a
+            # concurrent rebalance): the tuple still goes to the server
+            # whose log partition holds it -- replay correctness demands
+            # log-partition correspondence -- it is just counted.
+            if self.shared_partition.epoch != epoch0:
+                self._m_stale_epoch.inc()
         self._since_balance_check += 1
-        if self._since_balance_check >= _BALANCE_CHECK_EVERY:
+        if self._since_balance_check >= self.config.rebalance_check_every:
             self._since_balance_check = 0
             self.balancer.maybe_rebalance()
         return chunk_id
@@ -253,14 +283,15 @@ class Waterwheel:
         # Split at balance-check boundaries so the balancer fires at the
         # exact tuple counts the per-tuple path would have fired at --
         # routing after a mid-batch repartition stays identical.
+        check_every = self.config.rebalance_check_every
         start = 0
         while start < n:
-            take = min(n - start, _BALANCE_CHECK_EVERY - self._since_balance_check)
+            take = min(n - start, check_every - self._since_balance_check)
             sub = batch if take == n else batch[start : start + take]
             chunk_ids.extend(self._ingest_batch(sub))
             start += take
             self._since_balance_check += take
-            if self._since_balance_check >= _BALANCE_CHECK_EVERY:
+            if self._since_balance_check >= check_every:
                 self._since_balance_check = 0
                 self.balancer.maybe_rebalance()
         self.tuples_inserted += n
@@ -274,6 +305,7 @@ class Waterwheel:
         """Route, log, sample and index one balance-window-aligned batch."""
         n_disp = len(self.dispatchers)
         rr0 = next(self._dispatcher_rr)
+        epoch0 = self.shared_partition.epoch
         per_server = self._ep_dispatch.call(rr0, "route_batch", batch)
         # The per-tuple path hands tuple i to dispatcher (rr0 + i) % n_disp;
         # give each dispatcher its round-robin slice so every frequency
@@ -306,6 +338,10 @@ class Waterwheel:
                 self._quarantine(server_id)
                 if _obs.ENABLED:
                     self._m_quarantined.inc(len(run))
+        # A concurrent rebalance advanced the epoch mid-batch: deliveries
+        # still follow the routing (= log-partition) decision, counted only.
+        if _obs.ENABLED and self.shared_partition.epoch != epoch0:
+            self._m_stale_epoch.inc()
         return chunk_ids
 
     def compact_log(self) -> int:

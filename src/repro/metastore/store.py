@@ -100,6 +100,23 @@ class MetadataStore:
         self._notify(key, value)
         return version
 
+    def multi_put(self, items: List[Tuple[str, Any]]) -> None:
+        """Write several keys as one unit.
+
+        Every entry (and its journal line) lands before any watch fires,
+        so a watcher triggered by the first key already sees the rest --
+        multi-key metadata like the partition boundaries + epoch pair is
+        never observed torn.  Watches then fire in item order.
+        """
+        items = list(items)
+        for key, value in items:
+            current = self._entries.get(key)
+            version = 1 if current is None else current.version + 1
+            self._entries[key] = Entry(value, version)
+            self._log("put", key, value)
+        for key, value in items:
+            self._notify(key, value)
+
     def get(self, key: str, default: Any = None) -> Any:
         """The key's current value, or ``default`` when absent."""
         entry = self._entries.get(key)

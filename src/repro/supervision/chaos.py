@@ -35,6 +35,7 @@ from typing import List, Optional
 
 from repro.core.config import WaterwheelConfig, small_config
 from repro.core.indexing_server import ServerDownError as _IndexingDown
+from repro.core.model import DataTuple
 from repro.core.query_server import ServerDownError as _QueryDown
 from repro.core.system import Waterwheel
 from repro.core.verify import verify_system
@@ -51,10 +52,14 @@ DELAY_EDGES = (
     "supervisor->indexing",
     "supervisor->query_server",
     "supervisor->coordinator",
+    "balancer->dispatcher",
+    "balancer->indexing",
 )
 
 #: Edges that may receive drop/fail rules (see module docstring for why
-#: the ingest edges are excluded).
+#: the ingest edges are excluded).  The balancer edges are safe to break:
+#: a lost histogram defers the trigger and a failed reassign aborts the
+#: install with a rollback -- no half-installed partition either way.
 BREAK_EDGES = (
     "coordinator->indexing",
     "coordinator->query_server",
@@ -62,9 +67,14 @@ BREAK_EDGES = (
     "supervisor->indexing",
     "supervisor->query_server",
     "supervisor->coordinator",
+    "balancer->dispatcher",
+    "balancer->indexing",
 )
 
 #: Weighted event palette: crashes dominate, network weather rides along.
+#: ``rebalance`` forces a balancer trigger check; ``rebalance_break`` arms
+#: enough reassign failures to survive the edge's retries, then triggers --
+#: an indexing server effectively dying mid-install.
 _EVENT_KINDS = (
     ["kill_indexing"] * 3
     + ["kill_query"] * 2
@@ -75,6 +85,8 @@ _EVENT_KINDS = (
     + ["rpc_delay"]
     + ["rpc_drop"]
     + ["rpc_fail"]
+    + ["rebalance"] * 2
+    + ["rebalance_break"]
 )
 
 _QUERY_ERRORS = (RpcError, _IndexingDown, _QueryDown)
@@ -113,6 +125,9 @@ class ChaosReport:
     tuples_replayed: int = 0
     replicas_restored: int = 0
     replicas_scrubbed: int = 0
+    rebalances: int = 0
+    rebalances_deferred: int = 0
+    rebalances_aborted: int = 0
     events: List[ChaosEvent] = field(default_factory=list)
     problems: List[str] = field(default_factory=list)
 
@@ -212,9 +227,43 @@ def _fire(
             times=times,
         )
         event.detail = f"{edge} x{times}"
+    elif kind == "rebalance":
+        installed = ww.balancer.maybe_rebalance()
+        if installed is not None:
+            event.detail = f"installed epoch {ww.shared_partition.epoch}"
+        else:
+            event.detail = ww.balancer.last_deferral or "no skew"
+    elif kind == "rebalance_break":
+        # 3 consecutive fail faults defeat the edge's default 2 retries,
+        # so if an install is attempted its reassign fails mid-flight and
+        # the balancer must roll back (a server dying mid-rebalance).
+        ww.faults.inject(edge="balancer->indexing", fail=True, times=3)
+        installed = ww.balancer.maybe_rebalance()
+        if installed is not None:
+            event.detail = "install survived injected faults"
+        elif ww.balancer.last_deferral:
+            event.detail = f"deferred: {ww.balancer.last_deferral}"
+        else:
+            event.detail = "install aborted or no skew"
     else:  # pragma: no cover - schedule only emits known kinds
         event.fired, event.detail = False, "unknown kind"
     return event
+
+
+def _skew(data, cfg: WaterwheelConfig, rng: random.Random):
+    """Remap ~30% of a uniform stream onto a drifting hot key cluster."""
+    span = cfg.key_hi - cfg.key_lo
+    n = len(data)
+    out = []
+    for i, t in enumerate(data):
+        if rng.random() < 0.3:
+            centre = cfg.key_lo + span * (0.2 + 0.6 * i / max(1, n - 1))
+            key = int(centre + rng.gauss(0.0, span * 0.01))
+            key = min(cfg.key_hi - 1, max(cfg.key_lo, key))
+            out.append(DataTuple(key, t.ts, t.payload, t.size))
+        else:
+            out.append(t)
+    return out
 
 
 def run_chaos(
@@ -237,12 +286,17 @@ def run_chaos(
     ``ChaosReport.problems`` with every violated invariant (empty = pass).
     """
     rng = random.Random(seed)
-    cfg = config or small_config(n_nodes=5)
+    cfg = config or small_config(n_nodes=5, rebalance_check_every=500)
     report = ChaosReport(seed=seed, steps=steps, transport=transport or "inline")
 
     data = uniform_records(
         records, key_lo=cfg.key_lo, key_hi=cfg.key_hi, seed=seed ^ 0x5EED
     )
+    # Skew the stream: ~30% of keys are remapped onto a narrow hot cluster
+    # whose centre drifts across the domain, so the balancer's trigger
+    # genuinely fires (and re-fires) during the fault schedule instead of
+    # rebalancing being dead code under a uniform workload.
+    data = _skew(data, cfg, random.Random(seed ^ 0xD81F7))
     offered = {(t.key, t.ts) for t in data}
     acked: set = set()
 
@@ -252,6 +306,13 @@ def run_chaos(
         schedule.setdefault(step, []).append(rng.choice(_EVENT_KINDS))
 
     ww = Waterwheel(cfg, transport=transport)
+    # On a concurrent transport a dropped message is lost in flight; the
+    # caller's deadline is the only thing that turns the loss into a
+    # redispatch.  The query fan-out edges default to timeout=None (wait
+    # forever), so arm finite deadlines on the edges this schedule breaks
+    # -- otherwise one injected drop hangs a query instead of degrading it.
+    ww.plane.set_policy("coordinator->query_server", timeout=0.25)
+    ww.plane.set_policy("coordinator->indexing", timeout=0.25)
     supervisor = ww.supervise(**(supervisor_kwargs or {}))
     try:
         per_step = max(1, records // steps)
@@ -332,6 +393,36 @@ def run_chaos(
             report.problems.append(
                 f"quarantine not drained: {sorted(ww.quarantined_servers)}"
             )
+
+        # Partition install protocol audit: the committed metastore state,
+        # the dispatchers' shared partition and every server's assignment
+        # must agree -- an aborted or half-installed rebalance would tear
+        # exactly these apart.
+        report.rebalances = ww.balancer.rebalance_count
+        report.rebalances_deferred = ww.balancer.deferred_count
+        report.rebalances_aborted = ww.balancer.aborted_count
+        committed = ww.metastore.get("/partition/boundaries")
+        if committed != list(ww.shared_partition.current.boundaries):
+            report.problems.append(
+                f"committed boundaries {committed} != shared partition "
+                f"{ww.shared_partition.current.boundaries}"
+            )
+        committed_epoch = ww.metastore.get("/partition/epoch")
+        if committed_epoch != ww.shared_partition.epoch:
+            report.problems.append(
+                f"committed epoch {committed_epoch} != shared epoch "
+                f"{ww.shared_partition.epoch}"
+            )
+        expected = ww.shared_partition.current.padded_intervals(
+            len(ww.indexing_servers)
+        )
+        for server in ww.indexing_servers:
+            want = expected[server.server_id]
+            if server.assigned != want:
+                report.problems.append(
+                    f"indexing server {server.server_id} assigned "
+                    f"{server.assigned}, partition says {want}"
+                )
 
         audit = verify_system(ww)
         report.tuples_in_log = audit.tuples_in_log

@@ -112,18 +112,31 @@ class Supervisor:
         self.polls += 1
         if _obs.ENABLED:
             self._m_polls.inc()
-        for tr in report.transitions:
-            if tr.health is not Health.DEAD:
-                continue
-            repair = self._repair(tr)
-            if repair is not None:
-                report.repairs.append(repair)
-                self.repairs.append(repair)
-                report.tuples_replayed += repair.tuples_replayed
-                # Repaired = healthy: clear the detector verdict so a
-                # fresh death produces a fresh DEAD transition (and a
-                # fresh repair) even before the next successful beat.
-                self.detector.reset(tr.kind, tr.index)
+        dead = [tr for tr in report.transitions if tr.health is Health.DEAD]
+        if dead:
+            # Freeze rebalancing for the duration of the repairs: moving a
+            # recovering server's key interval mid-replay could strand
+            # logged tuples outside the interval its log partition maps to.
+            # resume() runs only after every repair verified (the repaired
+            # component answers its liveness probe again).
+            balancer = getattr(self.system, "balancer", None)
+            if balancer is not None:
+                balancer.pause()
+            try:
+                for tr in dead:
+                    repair = self._repair(tr)
+                    if repair is None:
+                        continue
+                    report.repairs.append(repair)
+                    self.repairs.append(repair)
+                    report.tuples_replayed += repair.tuples_replayed
+                    # Repaired = healthy: clear the detector verdict so a
+                    # fresh death produces a fresh DEAD transition (and a
+                    # fresh repair) even before the next successful beat.
+                    self.detector.reset(tr.kind, tr.index)
+            finally:
+                if balancer is not None:
+                    balancer.resume()
         if self.repair_storage:
             report.replicas_scrubbed = self.system.dfs.scrub()
             report.replicas_restored = self.system.dfs.re_replicate()
@@ -152,6 +165,12 @@ class Supervisor:
             # server's interval; recovery replays the durable log from the
             # flush checkpoint, draining the buffered suffix.
             replayed = system.recover_indexing_server(tr.index)
+            # Verify before the balancer resumes: the server must be
+            # answering probes again with its quarantine lifted, otherwise
+            # leave it DEAD so the next poll re-detects and re-repairs.
+            server = system.indexing_servers[tr.index]
+            if not server.alive or tr.index in system.quarantined_servers:
+                return None
             if _obs.ENABLED:
                 self._m_recoveries["indexing"].inc()
                 self._m_replayed.inc(replayed)

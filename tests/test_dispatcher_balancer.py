@@ -122,6 +122,52 @@ class TestBalancer:
         self._feed(dispatchers, (rng.randrange(0, 100) for _ in range(4000)))
         assert balancer.maybe_rebalance() is None
 
+    def test_epoch_bumps_on_update_and_snapshot_is_one_read(self):
+        cfg, shared, *_ = build_stack()
+        assert shared.epoch == 0
+        part, epoch = shared.snapshot()
+        assert (part, epoch) == (shared.current, 0)
+        new = KeyPartition(cfg.key_lo, cfg.key_hi, [1000])
+        assert shared.update(new) == 1
+        assert shared.snapshot() == (new, 1)
+
+    def test_install_commits_epoch_with_boundaries(self):
+        cfg, shared, servers, dispatchers, balancer, log, metastore = build_stack(
+            sample_every=1
+        )
+        rng = random.Random(8)
+        self._feed(dispatchers, (rng.randrange(0, 300) for _ in range(4000)))
+        assert balancer.maybe_rebalance() is not None
+        assert metastore.get("/partition/epoch") == shared.epoch == 1
+
+    def test_defers_while_quarantined(self):
+        cfg, shared, servers, dispatchers, balancer, log, metastore = build_stack(
+            sample_every=1
+        )
+        quarantined = {2}
+        balancer._quarantined = quarantined
+        rng = random.Random(9)
+        self._feed(dispatchers, (rng.randrange(0, 300) for _ in range(4000)))
+        assert balancer.maybe_rebalance() is None
+        assert balancer.rebalance_count == 0
+        assert balancer.deferred_count == 1
+        assert balancer.last_deferral == "server 2 unavailable"
+        quarantined.clear()
+        assert balancer.maybe_rebalance() is not None
+
+    def test_defers_while_unhealthy(self):
+        cfg, shared, servers, dispatchers, balancer, log, metastore = build_stack(
+            sample_every=1
+        )
+        healthy = {"ok": False}
+        balancer._health = lambda sid: healthy["ok"]
+        rng = random.Random(10)
+        self._feed(dispatchers, (rng.randrange(0, 300) for _ in range(4000)))
+        assert balancer.maybe_rebalance() is None
+        assert balancer.last_deferral == "server 0 unavailable"
+        healthy["ok"] = True
+        assert balancer.maybe_rebalance() is not None
+
     def test_deviation_improves_after_rebalance(self):
         cfg, shared, servers, dispatchers, balancer, *_ = build_stack(sample_every=1)
         rng = random.Random(6)
