@@ -9,15 +9,29 @@ partition, and walks each indexing server's template with a leaf-to-leaf
 cursor, so its advantage grows with batch size until flush costs (identical
 in both paths) dominate.
 
+Two further sections ride along:
+
+* ``flush_stall`` -- p50/p99 per-insert latency and sustained throughput
+  under flush-heavy settings (tiny chunks, slowed DFS writes), sync vs
+  async flush mode.  This is the seal-and-swap pipeline's headline: in
+  sync mode every chunk write stalls the ingest thread for the full write
+  latency, in async mode the tree is sealed and handed to the background
+  executor, so the insert-latency tail collapses (paper Figures 7-9).
+* ``compression`` -- the same stream flushed with ``compress_chunks`` off
+  and on: stored chunk bytes, compression ratio, and the ingest-rate cost
+  of deflating on the flush path.
+
 Writes ``BENCH_ingest.json`` at the repo root: per-batch-size rows plus a
-headline ``speedup`` (best batch size over the loop).  The two paths are
-also cross-checked for equivalent system state (same flush counts, same
+headline ``speedup`` (best batch size over the loop), with the stall and
+compression sections under their own keys.  The two paths are also
+cross-checked for equivalent system state (same flush counts, same
 chunks) before any timing is trusted.
 
 Usage::
 
     python benchmarks/ingest_throughput.py [--records N] [--batch B1,B2,...]
-        [--repeats R] [--out PATH]
+        [--repeats R] [--out PATH] [--compress]
+        [--stall-records N] [--stall-write-sleep S] [--compress-records N]
 
 CI smoke runs use small ``--records`` to keep runtime negligible.
 """
@@ -38,11 +52,25 @@ from repro import DataTuple, Waterwheel, WaterwheelConfig
 DEFAULT_RECORDS = 100_000
 DEFAULT_BATCH_SIZES = (2048, 4096, 8192, 16384, 32768)
 DEFAULT_REPEATS = 3
+DEFAULT_STALL_RECORDS = 4_000
+DEFAULT_STALL_WRITE_SLEEP = 0.002
+DEFAULT_COMPRESS_RECORDS = 20_000
 
 #: Steady-state ingest setting: 3 nodes (6 indexing servers) with 128 KB
 #: chunks, so a 100k-tuple run flushes a few dozen chunks -- the regime the
 #: batched path is built for.
 BENCH_CONFIG = dict(n_nodes=3, chunk_bytes=1 << 17)
+
+#: Flush-heavy stall setting: one indexing server, ~56-tuple chunks and a
+#: slowed DFS write, so a flush lands every few dozen inserts and the p99
+#: insert latency is dominated by whatever the flush path does to ingest.
+STALL_CONFIG = dict(
+    n_nodes=1,
+    dispatchers_per_node=1,
+    indexing_per_node=1,
+    query_servers_per_node=1,
+    chunk_bytes=2048,
+)
 
 
 def make_stream(n, seed=7, late_fraction=0.01):
@@ -61,15 +89,15 @@ def make_stream(n, seed=7, late_fraction=0.01):
     return out
 
 
-def run_loop(stream):
-    ww = Waterwheel(WaterwheelConfig(**BENCH_CONFIG))
+def run_loop(stream, config=None):
+    ww = Waterwheel(WaterwheelConfig(**(config or BENCH_CONFIG)))
     started = time.perf_counter()
     ww.insert_many(stream)
     return time.perf_counter() - started, ww
 
 
-def run_batched(stream, batch_size):
-    ww = Waterwheel(WaterwheelConfig(**BENCH_CONFIG))
+def run_batched(stream, batch_size, config=None):
+    ww = Waterwheel(WaterwheelConfig(**(config or BENCH_CONFIG)))
     started = time.perf_counter()
     for i in range(0, len(stream), batch_size):
         ww.insert_batch(stream[i : i + batch_size])
@@ -91,21 +119,118 @@ def check_equivalent(a, b):
         raise AssertionError("chunk sets diverge")
 
 
-def run_experiment(n_records, batch_sizes, repeats):
+def run_flush_stall_once(stream, write_sleep, flush_mode):
+    """Per-insert latency + throughput for one flush mode under stall
+    pressure; throughput includes draining the pipeline, so async cannot
+    hide unfinished writes."""
+    ww = Waterwheel(
+        WaterwheelConfig(
+            **STALL_CONFIG, dfs_write_sleep=write_sleep, flush_mode=flush_mode
+        )
+    )
+    try:
+        latencies = []
+        started = time.perf_counter()
+        for t in stream:
+            t0 = time.perf_counter()
+            ww.insert(t)
+            latencies.append(time.perf_counter() - t0)
+        insert_wall = time.perf_counter() - started
+        ww.drain_flushes()
+        total_wall = time.perf_counter() - started
+    finally:
+        ww.close()
+    latencies.sort()
+
+    def pct(p):
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))] * 1e6
+
+    return {
+        "flush_mode": flush_mode,
+        "p50_insert_us": pct(0.50),
+        "p99_insert_us": pct(0.99),
+        "max_insert_us": latencies[-1] * 1e6,
+        "insert_tuples_per_s": len(stream) / insert_wall,
+        "sustained_tuples_per_s": len(stream) / total_wall,
+    }
+
+
+def run_flush_stall(n_records, write_sleep, repeats):
+    """Sync vs async insert-latency tail under flush-heavy settings."""
+    stream = make_stream(n_records, seed=13)
+    modes = {}
+    for mode in ("sync", "async"):
+        best = run_flush_stall_once(stream, write_sleep, mode)
+        for _ in range(repeats - 1):
+            again = run_flush_stall_once(stream, write_sleep, mode)
+            if again["p99_insert_us"] < best["p99_insert_us"]:
+                best = again
+        modes[mode] = best
+    return {
+        "records": n_records,
+        "write_sleep_s": write_sleep,
+        "config": dict(STALL_CONFIG),
+        "sync": modes["sync"],
+        "async": modes["async"],
+        "p99_ratio_sync_over_async": (
+            modes["sync"]["p99_insert_us"] / modes["async"]["p99_insert_us"]
+        ),
+        "sustained_ratio_async_over_sync": (
+            modes["async"]["sustained_tuples_per_s"]
+            / modes["sync"]["sustained_tuples_per_s"]
+        ),
+    }
+
+
+def run_compression(n_records):
+    """The same stream flushed raw and deflated: stored bytes vs rate."""
+    stream = make_stream(n_records, seed=7)
+    rows = {}
+    for compress in (False, True):
+        ww = Waterwheel(
+            WaterwheelConfig(**BENCH_CONFIG, compress_chunks=compress)
+        )
+        try:
+            started = time.perf_counter()
+            ww.insert_many(stream)
+            ww.flush_all()
+            wall = time.perf_counter() - started
+            nbytes = sum(
+                ww.metastore.get(key)["bytes"]
+                for key in ww.metastore.list_prefix("/chunks/")
+            )
+        finally:
+            ww.close()
+        rows["compressed" if compress else "raw"] = {
+            "chunk_bytes": nbytes,
+            "tuples_per_s": n_records / wall,
+        }
+    return {
+        "records": n_records,
+        "raw": rows["raw"],
+        "compressed": rows["compressed"],
+        "compression_ratio": (
+            rows["raw"]["chunk_bytes"] / rows["compressed"]["chunk_bytes"]
+        ),
+    }
+
+
+def run_experiment(n_records, batch_sizes, repeats, compress=False):
+    config = dict(BENCH_CONFIG, compress_chunks=compress)
     stream = make_stream(n_records)
-    loop_s, loop_ww = run_loop(stream)
+    loop_s, loop_ww = run_loop(stream, config)
     for _ in range(repeats - 1):
-        s, _ = run_loop(stream)
+        s, _ = run_loop(stream, config)
         loop_s = min(loop_s, s)
     loop_rate = n_records / loop_s
 
     rows = []
     best = None
     for batch_size in batch_sizes:
-        bat_s, bat_ww = run_batched(stream, batch_size)
+        bat_s, bat_ww = run_batched(stream, batch_size, config)
         check_equivalent(loop_ww, bat_ww)
         for _ in range(repeats - 1):
-            s, _ = run_batched(stream, batch_size)
+            s, _ = run_batched(stream, batch_size, config)
             bat_s = min(bat_s, s)
         rate = n_records / bat_s
         speedup = loop_s / bat_s
@@ -122,7 +247,7 @@ def run_experiment(n_records, batch_sizes, repeats):
     return {
         "records": n_records,
         "repeats": repeats,
-        "config": dict(BENCH_CONFIG),
+        "config": config,
         "loop_tuples_per_s": loop_rate,
         "rows": rows,
         "best_batch_size": best["batch_size"] if best else None,
@@ -134,6 +259,10 @@ def _parse_args(argv):
     records = DEFAULT_RECORDS
     batch_sizes = list(DEFAULT_BATCH_SIZES)
     repeats = DEFAULT_REPEATS
+    compress = False
+    stall_records = DEFAULT_STALL_RECORDS
+    stall_write_sleep = DEFAULT_STALL_WRITE_SLEEP
+    compress_records = DEFAULT_COMPRESS_RECORDS
     out = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "BENCH_ingest.json",
@@ -146,16 +275,42 @@ def _parse_args(argv):
             batch_sizes = [int(b) for b in next(it).split(",")]
         elif arg == "--repeats":
             repeats = int(next(it))
+        elif arg == "--compress":
+            compress = True
+        elif arg == "--stall-records":
+            stall_records = int(next(it))
+        elif arg == "--stall-write-sleep":
+            stall_write_sleep = float(next(it))
+        elif arg == "--compress-records":
+            compress_records = int(next(it))
         elif arg == "--out":
             out = next(it)
         else:
             raise SystemExit(f"unknown argument {arg!r}")
-    return records, batch_sizes, repeats, out
+    return (
+        records,
+        batch_sizes,
+        repeats,
+        compress,
+        stall_records,
+        stall_write_sleep,
+        compress_records,
+        out,
+    )
 
 
 def main():
-    records, batch_sizes, repeats, out = _parse_args(sys.argv[1:])
-    result = run_experiment(records, batch_sizes, repeats)
+    (
+        records,
+        batch_sizes,
+        repeats,
+        compress,
+        stall_records,
+        stall_write_sleep,
+        compress_records,
+        out,
+    ) = _parse_args(sys.argv[1:])
+    result = run_experiment(records, batch_sizes, repeats, compress=compress)
     print_table(
         f"Ingest throughput, {records} tuples (wall clock, best of {repeats})",
         ["path", "batch", "tuples/s", "speedup"],
@@ -170,6 +325,42 @@ def main():
             for row in result["rows"]
         ],
     )
+
+    stall = run_flush_stall(stall_records, stall_write_sleep, repeats)
+    print_table(
+        f"Flush stall, {stall_records} tuples, "
+        f"{stall_write_sleep * 1e3:.1f} ms DFS writes (best of {repeats})",
+        ["flush_mode", "p50 us", "p99 us", "max us", "insert/s", "sustained/s"],
+        [
+            (
+                mode,
+                stall[mode]["p50_insert_us"],
+                stall[mode]["p99_insert_us"],
+                stall[mode]["max_insert_us"],
+                stall[mode]["insert_tuples_per_s"],
+                stall[mode]["sustained_tuples_per_s"],
+            )
+            for mode in ("sync", "async")
+        ],
+    )
+    print(f"  p99 insert latency: sync/async = "
+          f"{stall['p99_ratio_sync_over_async']:.2f}x")
+
+    comp = run_compression(compress_records)
+    print_table(
+        f"Chunk compression, {compress_records} tuples",
+        ["chunks", "stored bytes", "tuples/s"],
+        [
+            ("raw", comp["raw"]["chunk_bytes"], comp["raw"]["tuples_per_s"]),
+            (
+                "compressed",
+                comp["compressed"]["chunk_bytes"],
+                comp["compressed"]["tuples_per_s"],
+            ),
+        ],
+    )
+    print(f"  compression ratio: {comp['compression_ratio']:.2f}x")
+
     # Other harnesses (skew_drift.py) own their namespaced keys of this
     # file; merge over the existing content instead of clobbering them.
     merged = {}
@@ -180,10 +371,13 @@ def main():
         except (OSError, ValueError):
             merged = {}
     merged.update(result)
+    merged["flush_stall"] = stall
+    merged["compression"] = comp
     with open(out, "w") as fh:
         json.dump(merged, fh, indent=2)
     print(f"\nwrote {out} (headline speedup {result['speedup']:.2f}x "
-          f"at batch {result['best_batch_size']})")
+          f"at batch {result['best_batch_size']}, flush-stall p99 "
+          f"{stall['p99_ratio_sync_over_async']:.2f}x)")
     return result
 
 

@@ -14,7 +14,10 @@ results before any timing is trusted.
 Usage::
 
     python benchmarks/query_transport.py [--records N] [--queries Q]
-        [--repeats R] [--sleep S] [--out PATH]
+        [--repeats R] [--sleep S] [--compress] [--out PATH]
+
+``--compress`` flushes deflated chunks, so the timed cold reads pay the
+inflate cost on the query path too.
 
 CI smoke runs use small ``--records`` / ``--sleep`` to keep runtime low.
 """
@@ -64,9 +67,10 @@ def make_queries(n_queries, now, seed=17):
     return specs
 
 
-def build_system(stream, transport, read_sleep):
+def build_system(stream, transport, read_sleep, compress=False):
     ww = Waterwheel(
-        small_config(dfs_read_sleep=read_sleep), transport=transport
+        small_config(dfs_read_sleep=read_sleep, compress_chunks=compress),
+        transport=transport,
     )
     ww.insert_many(stream)
     return ww
@@ -93,13 +97,13 @@ def check_equivalent(res_a, res_b):
             raise AssertionError("unexpected partial result on healthy cluster")
 
 
-def run_experiment(n_records, n_queries, repeats, read_sleep):
+def run_experiment(n_records, n_queries, repeats, read_sleep, compress=False):
     stream = make_stream(n_records)
     now = max(t.ts for t in stream)
     specs = make_queries(n_queries, now)
 
     systems = {
-        name: build_system(stream, name, read_sleep)
+        name: build_system(stream, name, read_sleep, compress)
         for name in ("inline", "threaded")
     }
     try:
@@ -129,6 +133,7 @@ def run_experiment(n_records, n_queries, repeats, read_sleep):
             "n_nodes": systems["inline"].config.n_nodes,
             "chunk_bytes": systems["inline"].config.chunk_bytes,
             "dfs_read_sleep": read_sleep,
+            "compress_chunks": compress,
         },
         "chunk_count": chunk_count,
         "rows": [
@@ -149,6 +154,7 @@ def _parse_args(argv):
     queries = DEFAULT_QUERIES
     repeats = DEFAULT_REPEATS
     sleep = DEFAULT_READ_SLEEP
+    compress = False
     out = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "BENCH_query.json",
@@ -163,16 +169,18 @@ def _parse_args(argv):
             repeats = int(next(it))
         elif arg == "--sleep":
             sleep = float(next(it))
+        elif arg == "--compress":
+            compress = True
         elif arg == "--out":
             out = next(it)
         else:
             raise SystemExit(f"unknown argument {arg!r}")
-    return records, queries, repeats, sleep, out
+    return records, queries, repeats, sleep, compress, out
 
 
 def main():
-    records, queries, repeats, sleep, out = _parse_args(sys.argv[1:])
-    result = run_experiment(records, queries, repeats, sleep)
+    records, queries, repeats, sleep, compress, out = _parse_args(sys.argv[1:])
+    result = run_experiment(records, queries, repeats, sleep, compress)
     print_table(
         f"Cold-cache query batch, {queries} queries over "
         f"{result['chunk_count']} chunks (wall clock, best of {repeats})",

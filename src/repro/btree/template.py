@@ -337,6 +337,40 @@ class TemplateBTree:
         self._size = 0
         self._since_check = 0
 
+    def spawn(self) -> "TemplateBTree":
+        """A fresh empty tree sharing this tree's configuration and
+        *current* separators -- the seal-and-swap handoff.
+
+        Where :meth:`reset_leaves` recycles the template by emptying the
+        leaves in place, ``spawn`` leaves this tree untouched (it becomes
+        the sealed immutable snapshot a background flush serializes) and
+        returns the tree that takes over ingestion, built on the same
+        template so the Section III-B recycle still holds.
+        """
+        if _obs.ENABLED:
+            self._sync_insert_counter()
+        clone = TemplateBTree.__new__(TemplateBTree)
+        # Mirrors __init__ minus the uniform-boundary install (the live
+        # separators go straight in, skipping one throwaway template build).
+        clone.key_lo = self.key_lo
+        clone.key_hi = self.key_hi
+        clone.n_leaves = self.n_leaves
+        clone.fanout = self.fanout
+        clone.sketch_granularity = self.sketch_granularity
+        clone.skew_threshold = self.skew_threshold
+        clone.check_every = self.check_every
+        clone.record_timings = self.record_timings
+        clone.stats = TreeStats()
+        clone._size = 0
+        clone._since_check = 0
+        clone._height = 1
+        clone._leaves = []
+        clone._root = None
+        clone.last_leaf_id = None
+        clone._obs_synced = 0
+        clone._install_template(self.separators)
+        return clone
+
     # --- queries ----------------------------------------------------------------
 
     def range_query(

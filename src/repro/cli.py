@@ -64,6 +64,8 @@ def _build_system(args, key_lo: int, key_hi: int, tuple_size: int) -> Waterwheel
             chunk_bytes=args.chunk_kb * 1024,
             tuple_size=tuple_size,
             result_cache_bytes=getattr(args, "result_cache_kb", 0) * 1024,
+            compress_chunks=getattr(args, "compress", False),
+            flush_mode=getattr(args, "flush_mode", None) or "sync",
         ),
         transport=getattr(args, "transport", None),
     )
@@ -297,6 +299,12 @@ def cmd_chaos(args) -> int:
     """``chaos``: seeded chaos runs; exit 1 if any run violates an invariant."""
     from repro.supervision import run_chaos
 
+    # Mirrors run_chaos's default config, plus the requested flush mode.
+    config = None
+    if getattr(args, "flush_mode", None) == "async":
+        config = small_config(
+            n_nodes=5, rebalance_check_every=500, flush_mode="async"
+        )
     reports = []
     failures = 0
     for run in range(args.runs):
@@ -307,6 +315,7 @@ def cmd_chaos(args) -> int:
             steps=args.steps,
             events=args.events,
             transport=args.transport,
+            config=config,
         )
         reports.append(report)
         print(report.summary())
@@ -434,6 +443,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="message-plane transport (default: inline, or "
                  "$REPRO_TRANSPORT when set)",
         )
+        p.add_argument(
+            "--compress", action="store_true",
+            help="deflate chunk payloads on flush (compress_chunks)",
+        )
+        p.add_argument(
+            "--flush-mode",
+            default=None,
+            choices=("sync", "async"),
+            help="chunk flush pipeline: sync = inline on the ingest "
+                 "thread (default), async = seal-and-swap with a "
+                 "background flush executor",
+        )
 
     demo = sub.add_parser("demo", help="end-to-end walkthrough")
     add_common(demo)
@@ -506,6 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("inline", "threaded"),
         help="message-plane transport (default: inline, or "
              "$REPRO_TRANSPORT when set)",
+    )
+    chaos.add_argument(
+        "--flush-mode",
+        default=None,
+        choices=("sync", "async"),
+        help="run the schedule against the sync (default) or async "
+             "seal-and-swap flush pipeline",
     )
     chaos.add_argument("--verbose", action="store_true",
                        help="print every fault event")

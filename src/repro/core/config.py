@@ -35,6 +35,19 @@ class WaterwheelConfig:
     compress_chunks: bool = False  # deflate leaf blocks at flush time
     leaf_target_tuples: int = 512  # desired tuples per leaf at flush time
     max_template_leaves: int = 4096
+    #: Flush pipeline mode.  "sync" (default) serializes and replicates the
+    #: chunk inline on the ingest thread -- deterministic, but every flush
+    #: is a full ingest stall.  "async" *seals* the full tree (immutable
+    #: snapshot; the retained template spawns the new active tree
+    #: immediately) and hands it to a background flush executor, so ingest
+    #: never blocks on DFS writes (Sections III-A/III-B).
+    flush_mode: str = "sync"
+    #: Async mode only: cap on sealed-but-uncommitted bytes across the
+    #: deployment.  A seal that would exceed it blocks the ingest thread
+    #: until the executor drains (bounded-memory backpressure instead of
+    #: unbounded queueing); one sealed tree is always admitted when the
+    #: pipeline is idle, so a cap below ``chunk_bytes`` cannot deadlock.
+    flush_inflight_bytes: int = 64 << 20
 
     # --- adaptivity ------------------------------------------------------------
     skew_threshold: float = 0.2  # template update trigger (Eq. 1)
@@ -92,6 +105,11 @@ class WaterwheelConfig:
     #: prices); used by transport benchmarks so concurrent fan-out has
     #: genuine I/O waiting to overlap.
     dfs_read_sleep: float = 0.0
+    #: When > 0, every DFS chunk write sleeps this many real seconds --
+    #: the write-side twin of ``dfs_read_sleep``.  Used by the flush-stall
+    #: benchmark (and flush-heavy tests) so a sync flush genuinely stalls
+    #: the ingest thread while the async pipeline overlaps the wait.
+    dfs_write_sleep: float = 0.0
 
     def __post_init__(self):
         if self.key_hi <= self.key_lo:
@@ -108,6 +126,12 @@ class WaterwheelConfig:
             raise ValueError(
                 f"unknown rebalance_migration {self.rebalance_migration!r}"
             )
+        if self.flush_mode not in ("sync", "async"):
+            raise ValueError(f"unknown flush_mode {self.flush_mode!r}")
+        if self.flush_inflight_bytes < 1:
+            raise ValueError("flush_inflight_bytes must be >= 1")
+        if self.dfs_write_sleep < 0:
+            raise ValueError("dfs_write_sleep must be >= 0")
         if self.result_cache_bytes < 0:
             raise ValueError("result_cache_bytes must be >= 0")
         if self.scheduler_max_concurrency < 1:

@@ -1,0 +1,248 @@
+"""Background flush executor: the write stage of the seal-and-swap pipeline.
+
+The paper's central ingestion claim (Sections III-A/III-B, Figures 7-9) is
+that an indexing server keeps accepting tuples at full rate *while* the
+previous tree is serialized and shipped to the DFS.  This module is the
+background half of that pipeline: with ``flush_mode="async"`` a full tree
+is *sealed* -- swapped out whole as an immutable snapshot while a spawn of
+the same template takes over ingestion -- and submitted here as a
+:class:`FlushTask`.  A single worker thread serializes each sealed tree,
+replicates the chunk, registers its region in the metastore, checkpoints
+the replay offset and only then retires the snapshot, in submission order,
+so per-server chunk sequence numbers and offset checkpoints commit in the
+same order the data arrived.
+
+Backpressure instead of unbounded queueing: sealed-but-uncommitted bytes
+are capped (``flush_inflight_bytes``).  A seal that would exceed the cap
+blocks the ingest thread until the worker drains -- except that one task
+is always admitted when the pipeline is idle, so a cap smaller than one
+chunk cannot deadlock.
+
+Task lifecycle::
+
+    pending --> inflight --> committed            (normal path)
+                   |   \\--> failed --> pending    (supervisor retry)
+    pending / inflight / failed --> cancelled     (server crash; the
+                                                   durable log still holds
+                                                   every sealed tuple)
+
+A sealed-but-uncommitted tree stays query-visible on its server and its
+offsets stay below the replay checkpoint, so a crash anywhere in this
+pipeline loses nothing: recovery replays the log suffix the commit never
+checkpointed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from typing import Optional
+
+from repro.obs import metrics as _obs
+
+
+class FlushTask:
+    """One sealed tree waiting for (or undergoing) its background write."""
+
+    __slots__ = (
+        "server",
+        "tree",
+        "late",
+        "seq",
+        "chunk_id",
+        "nbytes",
+        "offset_ranges",
+        "state",
+        "error",
+        "attempts",
+    )
+
+    def __init__(self, server, tree, late, seq, chunk_id, nbytes, offset_ranges):
+        self.server = server
+        self.tree = tree
+        self.late = late
+        self.seq = seq
+        self.chunk_id = chunk_id
+        #: Logical bytes sealed (the server's flush-threshold accounting),
+        #: charged against the executor's in-flight cap.
+        self.nbytes = nbytes
+        #: Disjoint ascending ``[lo, hi)`` log-offset ranges held by the
+        #: sealed tree, folded into the replay checkpoint at commit time.
+        self.offset_ranges = offset_ranges
+        self.state = "pending"
+        self.error: Optional[BaseException] = None
+        self.attempts = 0
+
+    @property
+    def uncommitted(self) -> bool:
+        """Still holding data the chunk store does not durably have."""
+        return self.state in ("pending", "inflight", "failed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlushTask({self.chunk_id}, {self.state}, {self.nbytes}B, "
+            f"offsets={self.offset_ranges})"
+        )
+
+
+class FlushExecutor:
+    """Bounded background executor draining sealed trees to the DFS.
+
+    One executor is shared by every indexing server of a deployment (the
+    cap bounds deployment-wide sealed memory); the single worker thread
+    preserves per-server commit order.  The commit itself runs on the
+    owning server (:meth:`IndexingServer._execute_flush`) under that
+    server's seal lock, so a concurrent crash sees either a fully
+    committed chunk or none of it.
+    """
+
+    def __init__(self, max_inflight_bytes: int):
+        if max_inflight_bytes < 1:
+            raise ValueError("max_inflight_bytes must be >= 1")
+        self.max_inflight_bytes = max_inflight_bytes
+        self._cv = threading.Condition()
+        self._queue: deque = deque()
+        self._inflight_bytes = 0  # queued + executing (uncommitted) bytes
+        self._busy = 0  # tasks popped from the queue but not yet finished
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        reg = _obs.registry()
+        self._m_queue_depth = reg.histogram(
+            "flush.queue_depth", scale=1.0, unit="tasks"
+        )
+        self._m_inflight = reg.histogram(
+            "flush.inflight_bytes", scale=1024.0, unit="bytes"
+        )
+        self._m_backpressure = reg.histogram("flush.backpressure_wall")
+        self._m_commit_wall = reg.histogram("flush.commit_wall")
+        self._m_failures = reg.counter("flush.failures")
+        self._m_retries = reg.counter("flush.retries")
+
+    # --- submission (ingest thread) ------------------------------------------
+
+    def submit(self, task: FlushTask) -> None:
+        """Enqueue a sealed tree; blocks while the in-flight byte cap is
+        exceeded (backpressure), unless the pipeline is idle."""
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("flush executor is closed")
+            waited_since = None
+            while (
+                self._inflight_bytes > 0
+                and self._inflight_bytes + task.nbytes > self.max_inflight_bytes
+                and not self._closed
+            ):
+                if waited_since is None:
+                    waited_since = _time.perf_counter()
+                self._cv.wait()
+            if _obs.ENABLED and waited_since is not None:
+                self._m_backpressure.observe(
+                    _time.perf_counter() - waited_since
+                )
+            self._enqueue(task)
+
+    def resubmit(self, task: FlushTask) -> None:
+        """Re-queue a previously failed task (the supervisor's retry).
+
+        Skips the backpressure wait: the sealed bytes are resident either
+        way, and a supervisor blocked on the cap could not drive the very
+        retries that would drain it."""
+        with self._cv:
+            if self._closed:
+                return
+            if _obs.ENABLED:
+                self._m_retries.inc()
+            self._enqueue(task)
+
+    def _enqueue(self, task: FlushTask) -> None:
+        """Queue a task and kick the worker; caller holds the lock."""
+        self._inflight_bytes += task.nbytes
+        self._queue.append(task)
+        if _obs.ENABLED:
+            self._m_queue_depth.observe(len(self._queue))
+            self._m_inflight.observe(self._inflight_bytes)
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="waterwheel-flush", daemon=True
+            )
+            self._thread.start()
+        self._cv.notify_all()
+
+    # --- the worker -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue and self._closed:
+                    return
+                task = self._queue.popleft()
+                self._busy += 1
+            started = _time.perf_counter() if _obs.ENABLED else 0.0
+            committed = False
+            try:
+                committed = task.server._execute_flush(task)
+            except BaseException as exc:  # pragma: no cover - defensive:
+                # _execute_flush parks its own failures; this only guards
+                # the worker thread against an unexpected escape.
+                task.error = exc
+                if task.state != "cancelled":
+                    task.state = "failed"
+            finally:
+                with self._cv:
+                    self._busy -= 1
+                    self._inflight_bytes -= task.nbytes
+                    self._cv.notify_all()
+            if _obs.ENABLED:
+                if committed:
+                    self._m_commit_wall.observe(_time.perf_counter() - started)
+                elif task.state == "failed":
+                    self._m_failures.inc()
+
+    # --- draining & shutdown ---------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued task has been processed (committed,
+        failed or cancelled); returns False on timeout.  A ``failed`` task
+        leaves the queue -- it stays sealed on its server until a
+        :meth:`resubmit` (or a crash cancels it)."""
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        with self._cv:
+            while self._queue or self._busy:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cv.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        """Stop accepting work and let the worker finish what is queued.
+
+        Does not wait for the queue: anything uncommitted stays in its
+        server's sealed list (and in the durable log), exactly like a
+        crash -- call :meth:`drain` first for a clean shutdown.
+        Idempotent."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+
+    # --- introspection ----------------------------------------------------------
+
+    @property
+    def inflight_bytes(self) -> int:
+        """Bytes sealed but not yet committed/failed/cancelled."""
+        with self._cv:
+            return self._inflight_bytes
+
+    @property
+    def depth(self) -> int:
+        """Tasks queued or executing right now."""
+        with self._cv:
+            return len(self._queue) + self._busy

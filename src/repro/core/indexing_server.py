@@ -1,14 +1,33 @@
 """Indexing server: in-memory template B+ tree, chunk flushes, recovery.
 
 Each indexing server owns one key interval of the global partition
-(Section III-A).  It accumulates dispatched tuples in a template B+ tree and
-flushes them as an immutable chunk once the configured chunk size is
+(Section III-A).  It accumulates dispatched tuples in a template B+ tree
+and flushes them as an immutable chunk once the configured chunk size is
 reached; the template survives the flush.  It answers subqueries over its
 fresh (not yet flushed) data, tracks its *actual* key interval (which can
 exceed the assigned one right after a repartition, Section III-D), buffers
 severely late tuples separately so ordinary chunks keep tight temporal
 boundaries (Section IV-D), and recovers its in-memory state after a failure
 by replaying the durable log from its last checkpointed offset (Section V).
+
+Flushing runs in one of two modes (``WaterwheelConfig.flush_mode``):
+
+* ``"sync"`` (default): the chunk is serialized, replicated and registered
+  inline on the ingest thread -- deterministic, but every flush is a full
+  ingest stall.
+* ``"async"``: the full tree is *sealed* -- swapped out whole as an
+  immutable snapshot while :meth:`TemplateBTree.spawn` puts an empty tree
+  on the same template in its place -- and a background
+  :class:`~repro.core.flush.FlushExecutor` commits it (write, replicate,
+  register, checkpoint) off the ingest thread, exactly the pipelining of
+  Sections III-A/III-B.  Sealed data stays query-visible until its chunk
+  commits, and its log offsets keep the replay checkpoint pinned, so a
+  crash mid-flush loses nothing.
+
+Both modes mint chunk sequence numbers at seal time and run the same
+commit bookkeeping (:meth:`IndexingServer._commit_flush` ->
+:meth:`_advance_checkpoint`), so they produce identical chunk ids and
+metastore state for identical input.
 """
 
 from __future__ import annotations
@@ -21,12 +40,13 @@ from typing import List, Optional, Tuple
 
 from repro.btree.template import TemplateBTree
 from repro.core.config import WaterwheelConfig
+from repro.core.flush import FlushExecutor, FlushTask
 from repro.core.model import DataTuple, KeyInterval, Region, SubQuery, TimeInterval
 from repro.messaging import DurableLog
 from repro.metastore import MetadataStore
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _trace
-from repro.storage import SimulatedDFS, serialize_chunk
+from repro.storage import ChunkWriteError, SimulatedDFS, serialize_chunk
 
 #: Tuples more than this many Delta-t behind the newest timestamp go to the
 #: separate late buffer instead of the main tree.
@@ -40,6 +60,29 @@ class ServerDownError(RuntimeError):
     """Raised when a failed server is asked to do work."""
 
 
+def _note_range(ranges: List[List[int]], lo: int, hi: int) -> None:
+    """Append ``[lo, hi)`` to an ascending disjoint range list, coalescing
+    with the last range when contiguous (offsets arrive monotonically per
+    server, so this is O(1) amortised)."""
+    if ranges and ranges[-1][1] >= lo:
+        if hi > ranges[-1][1]:
+            ranges[-1][1] = hi
+    else:
+        ranges.append([lo, hi])
+
+
+def _merge_ranges(ranges) -> List[List[int]]:
+    """Normalise ``[lo, hi)`` ranges: sorted, disjoint, coalesced."""
+    out: List[List[int]] = []
+    for lo, hi in sorted(ranges):
+        if out and lo <= out[-1][1]:
+            if hi > out[-1][1]:
+                out[-1][1] = hi
+        else:
+            out.append([lo, hi])
+    return out
+
+
 class IndexingServer:
     """One indexing server of the deployment."""
 
@@ -51,6 +94,7 @@ class IndexingServer:
         dfs: SimulatedDFS,
         metastore: MetadataStore,
         assigned: KeyInterval,
+        flush_executor: Optional[FlushExecutor] = None,
     ):
         self.server_id = server_id
         self.node_id = node_id
@@ -75,6 +119,26 @@ class IndexingServer:
         self._late_bytes = 0
         self._tree = self._new_tree(assigned)
         self._late_tree: Optional[TemplateBTree] = None
+        #: Disjoint ascending ``[lo, hi)`` log-offset ranges held by each
+        #: live tree, consumed at seal time for exact checkpointing: the
+        #: replay checkpoint only ever advances through offsets durably
+        #: committed to chunks and below everything still in memory.
+        self._tree_offsets: List[List[int]] = []
+        self._late_offsets: List[List[int]] = []
+        #: Sealed-but-uncommitted flush tasks, oldest first (async mode).
+        #: Their trees stay query-visible until the background commit.
+        self._sealed: List[FlushTask] = []
+        #: Serializes seal/commit/crash transitions: the ingest thread
+        #: seals and :meth:`fail` cancels while the flush worker commits.
+        self._seal_lock = threading.RLock()
+        #: Set by a background commit when retiring sealed data may shrink
+        #: the actual interval; the ingest thread (which owns shrinks --
+        #: see :meth:`_recompute_actual`) applies it at its next call.
+        self._actual_refresh_pending = False
+        self._flush_executor = flush_executor
+        if config.flush_mode == "async" and flush_executor is None:
+            # Standalone (facade-less) use: own executor per server.
+            self._flush_executor = FlushExecutor(config.flush_inflight_bytes)
         self.flush_count = 0
         self.tuples_ingested = 0
         # Pre-resolved instruments: ingest() pays one flag check + one
@@ -87,6 +151,7 @@ class IndexingServer:
         self._m_flush_bytes = reg.histogram(
             "ingest.flush_bytes", scale=1024.0, unit="bytes"
         )
+        self._m_sealed = reg.counter("flush.sealed")
         self._m_fresh_scans = reg.counter("ingest.fresh_scans")
         self._publish_actual()
 
@@ -111,6 +176,12 @@ class IndexingServer:
     @property
     def _offset_key(self) -> str:
         return f"/indexing/{self.server_id}/offset"
+
+    @property
+    def _flushed_key(self) -> str:
+        """Flushed ``[lo, hi)`` offset ranges above the checkpoint (data
+        durable in chunks that replay must skip)."""
+        return f"/indexing/{self.server_id}/flushed_offsets"
 
     # --- actual-region metadata -----------------------------------------------
 
@@ -142,15 +213,15 @@ class IndexingServer:
 
     def _recompute_actual(self) -> None:
         """Re-derive the actual interval from the assignment plus whatever
-        the live trees still hold.  Only called from the ingest thread
-        (flush paths) or on a quiesced server (fail/recover): unlike the
-        widen-only paths this may *shrink* the interval, which must never
-        race an in-flight insert."""
+        the live trees (active, late, sealed) still hold.  Only called
+        from the ingest thread (flush paths, post-drain refresh) or on a
+        quiesced server (fail/recover): unlike the widen-only paths this
+        may *shrink* the interval, which must never race an in-flight
+        insert.  A background flush commit therefore only flags
+        ``_actual_refresh_pending`` instead of calling this directly."""
         with self._actual_lock:
             lo, hi = self.assigned.lo, self.assigned.hi
-            for tree in (self._tree, self._late_tree):
-                if tree is None or len(tree) == 0:
-                    continue
+            for tree in self.in_memory_trees():
                 kb = tree.key_bounds()
                 if hi <= lo:  # empty assignment: the data alone defines it
                     lo, hi = kb[0], kb[1] + 1
@@ -159,16 +230,25 @@ class IndexingServer:
                     hi = max(hi, kb[1] + 1)
             self._set_actual(KeyInterval(lo, hi))
 
+    def _maybe_refresh_actual(self) -> None:
+        """Apply an actual-interval shrink a background commit requested;
+        runs on the ingest thread (or a quiesced drain) only."""
+        if self._actual_refresh_pending:
+            self._actual_refresh_pending = False
+            self._recompute_actual()
+
     # --- ingestion ---------------------------------------------------------------
 
     def ingest(self, t: DataTuple, offset: Optional[int] = None) -> Optional[str]:
-        """Insert one tuple; returns the chunk id if this triggered a flush.
+        """Insert one tuple; returns the chunk id if this triggered a flush
+        (in async mode: a *seal* -- the chunk commits in the background).
 
         ``offset`` is the tuple's position in this server's durable log
-        partition; checkpointed at flush time for recovery.
+        partition; checkpointed when its chunk commits, for recovery.
         """
         if not self.alive:
             raise ServerDownError(f"indexing server {self.server_id} is down")
+        self._maybe_refresh_actual()
         if self.max_ts_seen is None or t.ts > self.max_ts_seen:
             self.max_ts_seen = t.ts
         self.tuples_ingested += 1
@@ -192,12 +272,14 @@ class IndexingServer:
         if t.key < a.lo or t.key >= a.hi:
             self._cover_keys(t.key, t.key)
         if late_cutoff is not None and t.ts < late_cutoff:
-            self._ingest_late(t)
+            self._ingest_late(t, offset)
         else:
             self._tree.insert(t)
             self._bytes_in_memory += t.size
+            if offset is not None:
+                _note_range(self._tree_offsets, offset, offset + 1)
         if self._bytes_in_memory >= self.config.chunk_bytes:
-            return self.flush()
+            return self._commit_flush(late=False)
         return None
 
     def ingest_run(
@@ -219,6 +301,7 @@ class IndexingServer:
             raise ServerDownError(f"indexing server {self.server_id} is down")
         if not run:
             return []
+        self._maybe_refresh_actual()
         cfg = self.config
         chunk_bytes = cfg.chunk_bytes
         late_window = _SEVERELY_LATE_FACTOR * cfg.late_delta
@@ -272,6 +355,8 @@ class IndexingServer:
                 main_run = [t for i, t in enumerate(run) if i not in late_set]
             else:
                 main_run = run if isinstance(run, list) else list(run)
+            if first_offset is not None:
+                self._note_run_offsets(first_offset, n, late_idx)
             if main_run:
                 srt = sorted(main_run, key=by_key)
                 self._cover_keys(srt[0].key, srt[-1].key)
@@ -301,6 +386,11 @@ class IndexingServer:
         main_bytes = self._bytes_in_memory
         late_bytes = self._late_bytes
         n_late = 0
+        # The whole run is already durable in the log: a flush failing
+        # mid-run must not abort the remaining inserts, or those tuples
+        # would be stranded (logged but never in memory, and an *alive*
+        # server never replays).  Finish the run, then surface the error.
+        flush_error: Optional[ChunkWriteError] = None
 
         def commit_main() -> None:
             if main_pending:
@@ -320,34 +410,42 @@ class IndexingServer:
                 late_pending.clear()
 
         for i, t in enumerate(run):
+            offset = first_offset + i if first_offset is not None else None
             if max_ts is None or t.ts > max_ts:
                 max_ts = t.ts
             if t.ts < max_ts - late_window:
                 late_pending.append(t)
                 late_bytes += t.size
                 n_late += 1
+                if offset is not None:
+                    _note_range(self._late_offsets, offset, offset + 1)
                 if late_bytes >= chunk_bytes:
                     commit_late()
-                    chunk_id = self._flush_tree(self._late_tree, late=True)
+                    try:
+                        chunk_id = self._commit_flush(late=True)
+                    except ChunkWriteError as exc:
+                        flush_error, chunk_id = exc, None
                     if chunk_id is not None:
                         chunk_ids.append(chunk_id)
-                    self._late_tree = None
-                    self._late_bytes = 0
-                    late_bytes = 0
-                    self._recompute_actual()
+                    # 0 after a successful flush, the retained backlog
+                    # after a failed one.
+                    late_bytes = self._late_bytes
             else:
                 main_pending.append(t)
                 main_bytes += t.size
+                if offset is not None:
+                    _note_range(self._tree_offsets, offset, offset + 1)
                 if main_bytes >= chunk_bytes:
                     commit_main()
                     self.max_ts_seen = max_ts
-                    self._last_offset = (
-                        first_offset + i if first_offset is not None else None
-                    )
-                    chunk_id = self.flush()
+                    self._last_offset = offset
+                    try:
+                        chunk_id = self._commit_flush(late=False)
+                    except ChunkWriteError as exc:
+                        flush_error, chunk_id = exc, None
                     if chunk_id is not None:
                         chunk_ids.append(chunk_id)
-                    main_bytes = 0
+                    main_bytes = self._bytes_in_memory
         commit_main()
         commit_late()
         self.max_ts_seen = max_ts
@@ -359,7 +457,45 @@ class IndexingServer:
             self._m_ingested.inc(len(run))
             if n_late:
                 self._m_late.inc(n_late)
+        if flush_error is not None:
+            raise flush_error
         return chunk_ids
+
+    def _note_run_offsets(
+        self, first_offset: int, n: int, late_idx: List[int]
+    ) -> None:
+        """Record a flush-free run's offsets: the gaps between late
+        indices go to the main tree's ranges, the contiguous late runs to
+        the late buffer's -- both emitted in ascending order."""
+        if not late_idx:
+            _note_range(self._tree_offsets, first_offset, first_offset + n)
+            return
+        pos = 0
+        for i in late_idx:
+            if i > pos:
+                _note_range(
+                    self._tree_offsets, first_offset + pos, first_offset + i
+                )
+            pos = i + 1
+        if pos < n:
+            _note_range(
+                self._tree_offsets, first_offset + pos, first_offset + n
+            )
+        start = prev_i = late_idx[0]
+        for i in late_idx[1:]:
+            if i != prev_i + 1:
+                _note_range(
+                    self._late_offsets,
+                    first_offset + start,
+                    first_offset + prev_i + 1,
+                )
+                start = i
+            prev_i = i
+        _note_range(
+            self._late_offsets,
+            first_offset + start,
+            first_offset + prev_i + 1,
+        )
 
     def _ensure_late_tree(self) -> None:
         if self._late_tree is None:
@@ -371,98 +507,288 @@ class IndexingServer:
                 sketch_granularity=self.config.sketch_granularity,
             )
 
-    def _ingest_late(self, t: DataTuple) -> None:
+    def _ingest_late(self, t: DataTuple, offset: Optional[int] = None) -> None:
         if _obs.ENABLED:
             self._m_late.inc()
         self._ensure_late_tree()
         self._late_tree.insert(t)
         self._late_bytes += t.size
+        if offset is not None:
+            _note_range(self._late_offsets, offset, offset + 1)
         if self._late_bytes >= self.config.chunk_bytes:
-            self._flush_tree(self._late_tree, late=True)
-            self._late_tree = None
-            self._late_bytes = 0
-            self._recompute_actual()
+            self._commit_flush(late=True)
 
     # --- flushing ------------------------------------------------------------------
 
     def flush(self) -> Optional[str]:
-        """Serialize the main tree to a chunk; no-op when empty."""
+        """Flush the main tree -- inline in sync mode, seal-and-submit in
+        async mode; no-op when empty."""
         if not self.alive:
             raise ServerDownError(f"indexing server {self.server_id} is down")
-        chunk_id = self._flush_tree(self._tree, late=False)
-        if chunk_id is not None:
-            self._tree.reset_leaves()
-            self._bytes_in_memory = 0
-            if self._last_offset is not None:
-                self.metastore.put(self._offset_key, self._last_offset + 1)
-            # The flushed data is globally readable now; the actual
-            # interval collapses back towards the assignment (any overlap
-            # window from a repartition closes here, Section III-D).
-            self._recompute_actual()
-        return chunk_id
+        return self._commit_flush(late=False)
 
     def flush_all(self) -> List[str]:
-        """Flush both the main tree and any late buffer (shutdown/tests)."""
+        """Flush the main tree and any late buffer (shutdown/tests), both
+        through the same :meth:`_commit_flush` path."""
+        if not self.alive:
+            raise ServerDownError(f"indexing server {self.server_id} is down")
         out = []
-        main = self.flush()
-        if main:
-            out.append(main)
-        if self._late_tree is not None and len(self._late_tree) > 0:
-            late = self._flush_tree(self._late_tree, late=True)
-            if late:
-                out.append(late)
-            self._late_tree = None
-            self._late_bytes = 0
-            self._recompute_actual()
+        for late in (False, True):
+            chunk_id = self._commit_flush(late)
+            if chunk_id is not None:
+                out.append(chunk_id)
         return out
 
-    def _flush_tree(self, tree: TemplateBTree, late: bool) -> Optional[str]:
-        if len(tree) == 0:
+    def _commit_flush(self, late: bool) -> Optional[str]:
+        """Seal the main or late tree and push it through the flush path.
+
+        The single commit path for *every* flush -- threshold flushes,
+        late-buffer overflow, ``flush_all`` -- so offset-checkpoint and
+        actual-region bookkeeping cannot diverge between the main tree
+        and the late buffer.  Sync mode serializes, replicates and
+        registers inline (the tree resets only after the write succeeds:
+        a failed DFS put propagates with the data intact for a retry).
+        Async mode swaps the full tree out as a sealed snapshot, spawns
+        an empty tree on the same template, and lets the background
+        executor commit in arrival order; returns the chunk id the commit
+        will use.
+        """
+        tree = self._late_tree if late else self._tree
+        if tree is None or len(tree) == 0:
             return None
+        if self._flush_executor is None:
+            return self._flush_sync(tree, late)
+        with self._seal_lock:
+            nbytes = self._late_bytes if late else self._bytes_in_memory
+            offset_ranges = self._late_offsets if late else self._tree_offsets
+            seq, chunk_id = self._alloc_chunk(late)
+            task = FlushTask(
+                self, tree, late, seq, chunk_id, nbytes, offset_ranges
+            )
+            self._sealed.append(task)
+            if late:
+                self._late_tree = None
+                self._late_bytes = 0
+                self._late_offsets = []
+            else:
+                self._tree = tree.spawn()
+                self._bytes_in_memory = 0
+                self._tree_offsets = []
+            if _obs.ENABLED:
+                self._m_sealed.inc()
+        # Submit outside the seal lock: backpressure may park the ingest
+        # thread here while the worker needs the lock to commit (and so
+        # free capacity).
+        self._flush_executor.submit(task)
+        self._maybe_refresh_actual()
+        return chunk_id
+
+    def _flush_sync(self, tree: TemplateBTree, late: bool) -> str:
+        """Inline flush on the calling (ingest) thread: write first, then
+        reset -- a failed write leaves the tree (and its offsets) intact."""
+        offset_ranges = self._late_offsets if late else self._tree_offsets
+        seq, chunk_id = self._alloc_chunk(late)
         leaves = [(leaf.keys, leaf.tuples) for leaf in tree.leaves()]
-        return self._write_chunk(
+        self._write_and_register(
+            chunk_id,
             leaves,
             tree.key_bounds(),
             tree.time_bounds(),
             len(tree),
-            late=late,
-            suffix_tag="",
+            late,
+        )
+        with self._seal_lock:
+            if late:
+                self._late_tree = None
+                self._late_bytes = 0
+                self._late_offsets = []
+            else:
+                tree.reset_leaves()
+                self._bytes_in_memory = 0
+                self._tree_offsets = []
+            self._advance_checkpoint(offset_ranges)
+        # The flushed data is globally readable now; the actual interval
+        # collapses back towards the assignment (any overlap window from a
+        # repartition closes here, Section III-D).
+        self._recompute_actual()
+        return chunk_id
+
+    def _execute_flush(self, task: FlushTask) -> bool:
+        """Commit one sealed tree (flush-worker thread, async mode).
+
+        Serialization runs outside the seal lock (the CPU-heavy part; the
+        sealed tree is immutable), then write-replicate-register-checkpoint
+        runs under it, so a concurrent :meth:`fail` observes either a
+        fully committed chunk or none of it.  On error the task parks as
+        ``failed`` for a supervisor retry: the sealed tree stays
+        query-visible, its offsets keep the checkpoint pinned, and the
+        durable log still holds every tuple -- nothing is lost either way.
+        """
+        with self._seal_lock:
+            if task.state == "cancelled":
+                return False
+            task.state = "inflight"
+            task.attempts += 1
+        tree = task.tree
+        started = _time.perf_counter() if _obs.ENABLED else 0.0
+        try:
+            with _trace.span(
+                "flush",
+                server=self.server_id,
+                chunk=task.chunk_id,
+                tuples=len(tree),
+                mode="async",
+            ):
+                leaves = [(leaf.keys, leaf.tuples) for leaf in tree.leaves()]
+                blob, sidecar = self._serialize_leaves(leaves)
+                with self._seal_lock:
+                    if task.state == "cancelled":
+                        return False
+                    self._store_chunk(
+                        task.chunk_id,
+                        blob,
+                        sidecar,
+                        tree.key_bounds(),
+                        tree.time_bounds(),
+                        len(tree),
+                        task.late,
+                    )
+                    self._advance_checkpoint(
+                        task.offset_ranges, exclude=task
+                    )
+                    task.state = "committed"
+                    self._sealed.remove(task)
+                    # Retiring sealed data may shrink the actual interval;
+                    # the ingest thread applies the shrink (racing its
+                    # widen-before-insert from here would be unsound).
+                    self._actual_refresh_pending = True
+            if _obs.ENABLED:
+                self._m_flush_wall.observe(_time.perf_counter() - started)
+            return True
+        except Exception as exc:
+            with self._seal_lock:
+                if task.state != "cancelled":
+                    task.state = "failed"
+                    task.error = exc
+            # Roll back a half-applied write so a retry starts clean (the
+            # DFS is immutable: a leftover blob would collide with it).
+            if self.metastore.get(f"/chunks/{task.chunk_id}") is None:
+                for obj_id in (task.chunk_id, f"{task.chunk_id}.sidx"):
+                    if self.dfs.exists(obj_id):
+                        try:
+                            self.dfs.delete(obj_id)
+                        except Exception:  # pragma: no cover - best effort
+                            pass
+            return False
+
+    def retry_failed_flushes(self) -> int:
+        """Resubmit sealed trees whose background write failed; returns
+        the number requeued (the supervisor's storage-repair pass calls
+        this each cycle, so a transient DFS failure self-heals)."""
+        if self._flush_executor is None or not self.alive:
+            return 0
+        requeued: List[FlushTask] = []
+        with self._seal_lock:
+            for task in self._sealed:
+                if task.state == "failed":
+                    task.state = "pending"
+                    task.error = None
+                    requeued.append(task)
+        for task in requeued:
+            self._flush_executor.resubmit(task)
+        return len(requeued)
+
+    def finish_flushes(self) -> None:
+        """Post-drain bookkeeping on the control thread: apply any
+        actual-interval shrink the background commits requested."""
+        self._maybe_refresh_actual()
+
+    def _alloc_chunk(self, late: bool, suffix_tag: str = "") -> Tuple[int, str]:
+        """Allocate the next chunk sequence number at seal time, so sync
+        and async pipelines mint identical chunk ids for identical data.
+        A crash returns the contiguous unused tail (see :meth:`fail`)."""
+        seq = self.metastore.get(self._seq_key, 0)
+        self.metastore.put(self._seq_key, seq + 1)
+        suffix = ("L" if late else "") + suffix_tag
+        return seq, f"chunk-{self.server_id}-{seq}{suffix}"
+
+    def _retained_floor(self, exclude: Optional[FlushTask] = None) -> float:
+        """The smallest log offset still held only in memory (live trees
+        and uncommitted sealed tasks); the replay checkpoint must never
+        advance past it.  Caller holds the seal lock."""
+        floor = float("inf")
+        for ranges in (self._tree_offsets, self._late_offsets):
+            if ranges:
+                floor = min(floor, ranges[0][0])
+        for task in self._sealed:
+            if task is exclude or not task.uncommitted:
+                continue
+            if task.offset_ranges:
+                floor = min(floor, task.offset_ranges[0][0])
+        return floor
+
+    def _advance_checkpoint(
+        self, flushed_now, exclude: Optional[FlushTask] = None
+    ) -> None:
+        """Fold freshly flushed offset ranges into the replay checkpoint.
+
+        The checkpoint (``/indexing/<id>/offset``) is where recovery
+        starts replaying; it only advances through offsets that are (a)
+        durable in committed chunks and (b) below every offset still held
+        in memory.  Flushed ranges stuck above the checkpoint -- the main
+        tree flushed while the late buffer holds an older offset, or an
+        async commit landing while older sealed data is still in flight --
+        are persisted at ``/indexing/<id>/flushed_offsets`` so recovery
+        skips them during replay instead of double-ingesting.  Caller
+        holds the seal lock.
+        """
+        if not flushed_now:
+            return
+        ckpt = self.metastore.get(self._offset_key, 0)
+        ranges = _merge_ranges(
+            [list(r) for r in (self.metastore.get(self._flushed_key) or [])]
+            + [list(r) for r in flushed_now]
+        )
+        floor = self._retained_floor(exclude)
+        residual: List[List[int]] = []
+        for lo, hi in ranges:
+            if lo <= ckpt < hi and hi <= floor:
+                ckpt = hi
+            elif hi > ckpt:
+                residual.append([lo, hi])
+        self.metastore.multi_put(
+            [(self._offset_key, ckpt), (self._flushed_key, residual)]
         )
 
-    def _write_chunk(
-        self,
-        leaves,
-        key_bounds,
-        time_bounds,
-        n_tuples: int,
-        late: bool,
-        suffix_tag: str,
-    ) -> str:
-        """Serialize leaf runs into a chunk, replicate it, build sidecars,
-        register the region -- shared by flushes and bulk loads."""
-        flush_started = _time.perf_counter() if _obs.ENABLED else 0.0
-        seq = self.metastore.get(self._seq_key, 0)
-        suffix = ("L" if late else "") + suffix_tag
-        chunk_id = f"chunk-{self.server_id}-{seq}{suffix}"
-        self.metastore.put(self._seq_key, seq + 1)
-
-        with _trace.span(
-            "flush", server=self.server_id, chunk=chunk_id, tuples=n_tuples
-        ):
-            blob = serialize_chunk(
-                leaves,
-                self.config.sketch_granularity,
-                compress=self.config.compress_chunks,
-            )
-            self.dfs.put(chunk_id, blob)
+    def _serialize_leaves(self, leaves):
+        """Encode leaf runs into the chunk blob (plus the optional
+        secondary-index sidecar) -- the CPU-heavy half of a flush, safe
+        outside any lock for a sealed (immutable) tree."""
+        blob = serialize_chunk(
+            leaves,
+            self.config.sketch_granularity,
+            compress=self.config.compress_chunks,
+        )
+        sidecar = None
         if self.config.secondary_specs:
-            from repro.secondary import ChunkSecondaryIndex, sidecar_id
+            from repro.secondary import ChunkSecondaryIndex
 
             sidecar = ChunkSecondaryIndex.build(
                 self.config.secondary_specs, leaves
-            )
-            self.dfs.put(sidecar_id(chunk_id), sidecar.to_bytes())
+            ).to_bytes()
+        return blob, sidecar
 
+    def _store_chunk(
+        self, chunk_id, blob, sidecar, key_bounds, time_bounds, n_tuples, late
+    ) -> None:
+        """Replicate a serialized chunk and register its region -- the
+        commit point: once the metastore record lands, the chunk is
+        globally readable and its tuples durable outside the log."""
+        self.dfs.put(chunk_id, blob)
+        if sidecar is not None:
+            from repro.secondary import sidecar_id
+
+            self.dfs.put(sidecar_id(chunk_id), sidecar)
         self.metastore.put(
             f"/chunks/{chunk_id}",
             {
@@ -480,8 +806,23 @@ class IndexingServer:
         self.flush_count += 1
         if _obs.ENABLED:
             self._m_flushes.inc()
-            self._m_flush_wall.observe(_time.perf_counter() - flush_started)
             self._m_flush_bytes.observe(len(blob))
+
+    def _write_and_register(
+        self, chunk_id, leaves, key_bounds, time_bounds, n_tuples: int, late: bool
+    ) -> str:
+        """Inline serialize + store (sync flushes and bulk loads), traced
+        and timed as one flush."""
+        started = _time.perf_counter() if _obs.ENABLED else 0.0
+        with _trace.span(
+            "flush", server=self.server_id, chunk=chunk_id, tuples=n_tuples
+        ):
+            blob, sidecar = self._serialize_leaves(leaves)
+            self._store_chunk(
+                chunk_id, blob, sidecar, key_bounds, time_bounds, n_tuples, late
+            )
+        if _obs.ENABLED:
+            self._m_flush_wall.observe(_time.perf_counter() - started)
         return chunk_id
 
     def bulk_load_chunk(self, records: List[DataTuple]) -> Optional[str]:
@@ -489,7 +830,9 @@ class IndexingServer:
         a chunk, bypassing the in-memory tree (backfill ingestion).
 
         The batch should cover a bounded time window (it becomes one data
-        region); records are re-sorted by key into leaf runs.
+        region); records are re-sorted by key into leaf runs.  Always
+        synchronous: bulk-loaded data never rides the durable log, so
+        there is nothing for the async pipeline's crash-safety to protect.
         """
         if not self.alive:
             raise ServerDownError(f"indexing server {self.server_id} is down")
@@ -502,13 +845,14 @@ class IndexingServer:
             run = data[start : start + leaf_size]
             leaves.append(([t.key for t in run], run))
         ts_values = [t.ts for t in records]
-        return self._write_chunk(
+        _seq, chunk_id = self._alloc_chunk(late=False, suffix_tag="B")
+        return self._write_and_register(
+            chunk_id,
             leaves,
             (data[0].key, data[-1].key),
             (min(ts_values), max(ts_values)),
             len(records),
             late=False,
-            suffix_tag="B",
         )
 
     # --- repartitioning --------------------------------------------------------------
@@ -528,7 +872,8 @@ class IndexingServer:
           correctness (Section III-D).
         * ``"flush"`` -- hand it off immediately: the in-memory trees are
           flushed so the moved keys become globally readable chunks and
-          the overlap window closes at once.
+          the overlap window closes at once (in async flush mode: closes
+          when the seal commits).
 
         Returns the number of in-flight tuples migrated (flushed); 0 in
         overlap mode.  Idempotent, so a balancer may safely retry a
@@ -542,10 +887,7 @@ class IndexingServer:
         self.assigned = interval
         migrated = 0
         if mode == "flush" and self.in_memory_tuples:
-            bounds = []
-            for tree in (self._tree, self._late_tree):
-                if tree is not None and len(tree) > 0:
-                    bounds.append(tree.key_bounds())
+            bounds = [tree.key_bounds() for tree in self.in_memory_trees()]
             outside = any(
                 kb[0] < interval.lo or kb[1] >= interval.hi for kb in bounds
             )
@@ -568,20 +910,28 @@ class IndexingServer:
 
     # --- fresh-data queries -------------------------------------------------------------
 
+    def in_memory_trees(self) -> List[TemplateBTree]:
+        """Every non-empty tree still holding in-memory data: the active
+        main tree, the late buffer, and any sealed-but-uncommitted
+        snapshots (query-visible until their chunks commit)."""
+        with self._seal_lock:
+            trees = [self._tree, self._late_tree]
+            trees.extend(t.tree for t in self._sealed if t.uncommitted)
+        return [t for t in trees if t is not None and len(t) > 0]
+
     def fresh_region(self) -> Optional[Region]:
         """The key x time region queries must consult for in-memory data.
 
         The left temporal edge is widened by Delta-t so tuples up to
         Delta-t late stay visible without notifying the coordinator on
-        every arrival (Section IV-D).
+        every arrival (Section IV-D).  Covers sealed trees too: sealed
+        data is not globally readable until its chunk commits.
         """
         if not self.alive:
             return None
         bounds: List[Tuple[int, int]] = []
         t_lo = None
-        for tree in (self._tree, self._late_tree):
-            if tree is None or len(tree) == 0:
-                continue
+        for tree in self.in_memory_trees():
             kb = tree.key_bounds()
             tb = tree.time_bounds()
             bounds.append(kb)
@@ -596,7 +946,8 @@ class IndexingServer:
         )
 
     def query_fresh(self, sq: SubQuery) -> Tuple[List[DataTuple], int]:
-        """Execute a subquery over in-memory data.
+        """Execute a subquery over in-memory data (active, late and
+        sealed trees).
 
         Returns (tuples, tuples_examined); the caller prices the work.
         """
@@ -606,9 +957,7 @@ class IndexingServer:
             self._m_fresh_scans.inc()
         out: List[DataTuple] = []
         examined = 0
-        for tree in (self._tree, self._late_tree):
-            if tree is None or len(tree) == 0:
-                continue
+        for tree in self.in_memory_trees():
             got, stats = tree.range_query(
                 sq.keys.lo,
                 sq.keys.hi - 1,
@@ -664,18 +1013,46 @@ class IndexingServer:
         }
 
     def fail(self) -> None:
-        """Crash: all volatile state (the in-memory trees) is lost.
+        """Crash: all volatile state -- the in-memory trees *and* every
+        sealed-but-uncommitted snapshot -- is lost.
+
+        Sealed tasks are cancelled under the seal lock, so an in-flight
+        background commit either completed entirely (chunk registered,
+        checkpoint advanced) or aborts without writing; the checkpoint
+        never advanced past a cancelled task's offsets, so recovery's
+        replay re-ingests exactly what was lost.  Unused chunk sequence
+        numbers from the cancelled contiguous tail are returned, keeping
+        post-recovery chunk ids identical to a sync-mode run.
 
         Idempotent -- killing an already-dead server changes nothing.
         """
         if not self.alive:
             return
         self.alive = False
-        self._tree = self._new_tree(self.assigned)
-        self._late_tree = None
-        self._bytes_in_memory = 0
-        self._late_bytes = 0
-        self.max_ts_seen = None
+        with self._seal_lock:
+            cancelled = set()
+            for task in self._sealed:
+                if task.uncommitted:
+                    task.state = "cancelled"
+                    cancelled.add(task.seq)
+            self._sealed = []
+            if cancelled:
+                # Only the contiguous tail: a cancelled seq below an
+                # already-committed one must stay burned (the DFS is an
+                # immutable store; reusing it would collide).
+                next_seq = self.metastore.get(self._seq_key, 0)
+                while next_seq - 1 in cancelled:
+                    next_seq -= 1
+                    cancelled.discard(next_seq)
+                self.metastore.put(self._seq_key, next_seq)
+            self._tree = self._new_tree(self.assigned)
+            self._late_tree = None
+            self._bytes_in_memory = 0
+            self._late_bytes = 0
+            self._tree_offsets = []
+            self._late_offsets = []
+            self._actual_refresh_pending = False
+            self.max_ts_seen = None
         # The volatile data that widened the actual interval is gone; the
         # published region collapses to the bare assignment so queries do
         # not keep consulting a region this server no longer holds.
@@ -687,6 +1064,10 @@ class IndexingServer:
 
         A no-op on an alive server (returns 0): replaying the log on top
         of live in-memory state would duplicate every unflushed tuple.
+        Offsets inside the persisted flushed ranges
+        (``/indexing/<id>/flushed_offsets``) are skipped -- that data is
+        already durable in committed chunks; replaying it would duplicate
+        it.
 
         Before replaying, the assignment is re-synced from the metadata
         store's committed partition: if this server died mid-rebalance
@@ -712,9 +1093,23 @@ class IndexingServer:
                 )
             self._set_actual(self.assigned)
         start = self.metastore.get(self._offset_key, 0)
+        skip = self.metastore.get(self._flushed_key) or []
+        si = 0
         replayed = 0
         for offset, t in log.replay(topic, self.server_id, start):
-            self.ingest(t, offset)
+            while si < len(skip) and offset >= skip[si][1]:
+                si += 1
+            if si < len(skip) and skip[si][0] <= offset:
+                continue  # durable in a committed chunk already
+            try:
+                self.ingest(t, offset)
+            except ChunkWriteError:
+                # The insert itself landed (the flush fires *after* it);
+                # only the chunk write failed, and a failed sync flush
+                # leaves the tree -- and its offsets -- intact for a later
+                # retry.  Aborting the replay here would strand the rest
+                # of the log suffix behind a transient storage fault.
+                pass
             replayed += 1
         return replayed
 
@@ -722,13 +1117,18 @@ class IndexingServer:
 
     @property
     def in_memory_tuples(self) -> int:
-        """Tuples currently buffered (main + late trees)."""
-        total = len(self._tree)
-        if self._late_tree is not None:
-            total += len(self._late_tree)
-        return total
+        """Tuples currently buffered (main + late + sealed trees)."""
+        return sum(len(tree) for tree in self.in_memory_trees())
 
     @property
     def bytes_in_memory(self) -> int:
-        """Logical bytes currently buffered."""
-        return self._bytes_in_memory + self._late_bytes
+        """Logical bytes currently buffered (including sealed trees)."""
+        with self._seal_lock:
+            sealed = sum(t.nbytes for t in self._sealed if t.uncommitted)
+        return self._bytes_in_memory + self._late_bytes + sealed
+
+    @property
+    def sealed_tasks(self) -> List[FlushTask]:
+        """Snapshot of sealed-but-uncommitted flush tasks (oldest first)."""
+        with self._seal_lock:
+            return list(self._sealed)

@@ -28,6 +28,7 @@ from repro.core.config import WaterwheelConfig
 from repro.core.coordinator import QueryCoordinator
 from repro.core.dispatch import DispatchPolicy, LadaDispatch
 from repro.core.dispatcher import Dispatcher, SharedPartition
+from repro.core.flush import FlushExecutor
 from repro.core.indexing_server import IndexingServer, ServerDownError
 from repro.core.model import DataTuple, KeyInterval, Predicate, Query, QueryResult, TimeInterval
 from repro.core.partitioning import KeyPartition
@@ -39,7 +40,7 @@ from repro.obs import metrics as _obs
 from repro.obs import tracing as _tracing
 from repro.rpc import FaultInjector, MessagePlane, Transport
 from repro.simulation import Cluster
-from repro.storage import SimulatedDFS
+from repro.storage import ChunkWriteError, SimulatedDFS
 
 _TOPIC = "tuples"
 
@@ -82,6 +83,7 @@ class Waterwheel:
             self.cluster, cfg.costs, cfg.replication,
             spill_dir=cfg.dfs_spill_dir,
             read_sleep=cfg.dfs_read_sleep,
+            write_sleep=cfg.dfs_write_sleep,
         )
         self.log = DurableLog()
         self.log.create_topic(_TOPIC, cfg.n_indexing_servers)
@@ -101,6 +103,15 @@ class Waterwheel:
             "indexing", cfg.n_indexing_servers
         )
         assigned = partition.padded_intervals(cfg.n_indexing_servers)
+        # One executor for the whole deployment: the in-flight byte cap
+        # bounds total sealed memory, and the single worker preserves
+        # per-server commit order.  None in sync mode -- servers then
+        # flush inline on the ingest thread, exactly the seed behaviour.
+        self.flush_executor: Optional[FlushExecutor] = (
+            FlushExecutor(cfg.flush_inflight_bytes)
+            if cfg.flush_mode == "async"
+            else None
+        )
         self.indexing_servers: List[IndexingServer] = [
             IndexingServer(
                 server_id,
@@ -109,6 +120,7 @@ class Waterwheel:
                 self.dfs,
                 self.metastore,
                 assigned[server_id],
+                flush_executor=self.flush_executor,
             )
             for server_id in range(cfg.n_indexing_servers)
         ]
@@ -322,6 +334,7 @@ class Waterwheel:
                     (rr0 + d) % n_disp, "observe_batch", batch[d::n_disp]
                 )
         chunk_ids: List[str] = []
+        flush_error: Optional[ChunkWriteError] = None
         for server_id in sorted(per_server):
             run, first_offset = per_server[server_id]
             if self._quarantined and server_id in self._quarantined:
@@ -338,10 +351,18 @@ class Waterwheel:
                 self._quarantine(server_id)
                 if _obs.ENABLED:
                     self._m_quarantined.inc(len(run))
+            except ChunkWriteError as exc:
+                # The run was delivered and is retained in memory (see
+                # IndexingServer.ingest_run); only a chunk write failed.
+                # The other servers' runs are already durable in the log,
+                # so deliver them too, then surface the error.
+                flush_error = exc
         # A concurrent rebalance advanced the epoch mid-batch: deliveries
         # still follow the routing (= log-partition) decision, counted only.
         if _obs.ENABLED and self.shared_partition.epoch != epoch0:
             self._m_stale_epoch.inc()
+        if flush_error is not None:
+            raise flush_error
         return chunk_ids
 
     def compact_log(self) -> int:
@@ -370,12 +391,43 @@ class Waterwheel:
         return dropped
 
     def flush_all(self) -> List[str]:
-        """Force-flush every indexing server (tests / shutdown)."""
+        """Force-flush every indexing server (tests / shutdown).
+
+        In async flush mode this also drains the background pipeline, so
+        on return every chunk id in the result is committed and globally
+        readable -- same postcondition as sync mode.
+        """
         out: List[str] = []
         for server in self.indexing_servers:
             if server.alive:
                 out.extend(self._ep_index.call(server.server_id, "flush_all"))
+        self.drain_flushes()
         return out
+
+    def drain_flushes(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the background flush pipeline to empty (async mode).
+
+        Returns True once nothing is queued or executing (trivially, in
+        sync mode), False on timeout.  Tasks that *failed* are not waited
+        for -- they stay sealed on their servers until
+        :meth:`retry_failed_flushes` or a crash cancels them.
+        """
+        if self.flush_executor is None:
+            return True
+        ok = self.flush_executor.drain(timeout)
+        for server in self.indexing_servers:
+            if server.alive:
+                server.finish_flushes()
+        return ok
+
+    def retry_failed_flushes(self) -> int:
+        """Resubmit sealed trees whose background write failed; returns
+        the number requeued.  The supervisor calls this every poll so a
+        transient DFS outage self-heals once it lifts."""
+        requeued = 0
+        for server in self.indexing_servers:
+            requeued += server.retry_failed_flushes()
+        return requeued
 
     def bulk_load(self, records) -> List[str]:
         """Backfill historical records straight into chunks.
@@ -644,6 +696,11 @@ class Waterwheel:
             self.supervisor.stop()
         if self._scheduler is not None:
             self._scheduler.close()
+        if self.flush_executor is not None:
+            # Bounded: anything still uncommitted after the grace period
+            # stays in the durable log, exactly like a crash.
+            self.flush_executor.drain(timeout=5.0)
+            self.flush_executor.close()
         self.plane.close()
 
     # --- observability --------------------------------------------------------------------

@@ -122,9 +122,10 @@ def verify_system(system) -> VerificationReport:
     for server in system.indexing_servers:
         if not server.alive:
             continue
-        for tree in (server._tree, server._late_tree):
-            if tree is not None:
-                memory_rows.extend((t.key, t.ts) for t in tree.all_tuples())
+        # Active, late *and* sealed-but-uncommitted trees: sealed data has
+        # left the active tree but is not yet durable in a chunk.
+        for tree in server.in_memory_trees():
+            memory_rows.extend((t.key, t.ts) for t in tree.all_tuples())
     report.tuples_in_memory = len(memory_rows)
 
     # --- 4. conservation: log == chunks + memory ---------------------------

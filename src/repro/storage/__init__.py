@@ -12,6 +12,7 @@ from repro.storage.dfs import (
     ChunkLocation,
     ChunkNotFound,
     ChunkUnavailable,
+    ChunkWriteError,
     ReplicaUnavailableError,
     SimulatedDFS,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ChunkLocation",
     "ChunkNotFound",
     "ChunkUnavailable",
+    "ChunkWriteError",
     "ReplicaUnavailableError",
     "SimulatedDFS",
 ]

@@ -50,6 +50,16 @@ class ChunkCorrupt(ChunkUnavailable):
     """
 
 
+class ChunkWriteError(RuntimeError):
+    """A chunk write failed before the blob was durably stored.
+
+    Only raised by injected write faults (:meth:`SimulatedDFS.inject_put_faults`,
+    the chaos harness's ``flush_break`` event): the store is left exactly
+    as if the put never happened, so the writer may retry under a fresh or
+    identical chunk id.
+    """
+
+
 #: HDFS-flavoured alias: the error a reader sees when no replica answers.
 ReplicaUnavailableError = ChunkUnavailable
 
@@ -73,6 +83,7 @@ class SimulatedDFS:
         replication: int = 3,
         spill_dir: Optional[str] = None,
         read_sleep: float = 0.0,
+        write_sleep: float = 0.0,
     ):
         """``spill_dir`` (optional) keeps chunk bytes on the local disk
         instead of in memory -- useful for experiments whose total chunk
@@ -84,13 +95,23 @@ class SimulatedDFS:
         pricing it in simulated seconds.  The in-memory store otherwise
         hides the I/O shape HDFS has (the paper observes 2-50 ms per
         access); transport benchmarks switch this on so concurrent
-        subquery fan-out has real waiting to overlap."""
+        subquery fan-out has real waiting to overlap.
+
+        ``write_sleep`` is the write-side twin: every :meth:`put` sleeps
+        that long, so flush-heavy benchmarks see a genuine ingest stall
+        in sync flush mode and genuine overlap in async mode."""
         if replication < 1:
             raise ValueError("replication must be >= 1")
         self._cluster = cluster
         self._costs = costs or CostModel()
         self._replication = replication
         self._read_sleep = read_sleep
+        self._write_sleep = write_sleep
+        #: Injected write faults: the next ``_put_fault_budget`` puts
+        #: raise :class:`ChunkWriteError` (after hanging ``_put_fault_hang``
+        #: seconds, modelling a write that stalls before erroring).
+        self._put_fault_budget = 0
+        self._put_fault_hang = 0.0
         self._blocks: Dict[str, bytes] = {}
         self._locations: Dict[str, ChunkLocation] = {}
         #: (chunk_id, node) -> that replica's divergent bytes.  Healthy
@@ -146,6 +167,15 @@ class SimulatedDFS:
         """Store a chunk; returns its location and the write cost in seconds."""
         if chunk_id in self._locations:
             raise ValueError(f"chunk {chunk_id!r} already exists (immutable store)")
+        if self._put_fault_budget > 0:
+            self._put_fault_budget -= 1
+            if self._put_fault_hang:
+                _sleep(self._put_fault_hang)
+            raise ChunkWriteError(
+                f"injected DFS write failure for {chunk_id!r}"
+            )
+        if self._write_sleep:
+            _sleep(self._write_sleep)
         replicas = self._cluster.pick_replica_nodes(
             self._replication, seed=stable_hash64(chunk_id)
         )
@@ -282,6 +312,23 @@ class SimulatedDFS:
             (self._m_local_reads if local else self._m_remote_reads).inc()
             self._m_read_cost.observe(cost)
         return cost
+
+    # --- write-fault injection -----------------------------------------------
+
+    def inject_put_faults(self, times: int = 1, hang: float = 0.0) -> None:
+        """Make the next ``times`` puts raise :class:`ChunkWriteError`
+        (the chaos harness's ``flush_break``).  ``hang`` makes each
+        failing put sleep that long first -- a write that stalls before
+        the error surfaces, the slow-DFS half of the palette entry."""
+        if times < 0:
+            raise ValueError("times must be >= 0")
+        self._put_fault_budget = times
+        self._put_fault_hang = hang
+
+    def clear_put_faults(self) -> None:
+        """Disarm any remaining injected write faults (chaos heal)."""
+        self._put_fault_budget = 0
+        self._put_fault_hang = 0.0
 
     # --- corruption & repair -------------------------------------------------
 

@@ -14,8 +14,10 @@ then heals everything and audits the end state:
 * no corrupt or fabricated bytes ever surfaced in a query result.
 
 Fault kinds: indexing-server / query-server / coordinator crashes, DFS
-node failures and revivals, replica bit-flips, and RPC delay/drop/fail
-rules on message-plane edges.  Drop/fail rules are only armed on query and
+node failures and revivals, replica bit-flips, chunk-write failures
+(``flush_break``: the next few DFS puts fail, sometimes after a hang --
+a flush dying mid-write), and RPC delay/drop/fail rules on message-plane
+edges.  Drop/fail rules are only armed on query and
 supervisor edges: the ingest path hands durability to the log *before*
 delivery, and this reproduction pushes tuples to indexing servers instead
 of having them pull from the log (the paper's design), so an injected
@@ -40,6 +42,7 @@ from repro.core.query_server import ServerDownError as _QueryDown
 from repro.core.system import Waterwheel
 from repro.core.verify import verify_system
 from repro.rpc import RpcError
+from repro.storage import ChunkWriteError
 from repro.workloads import uniform_records
 
 #: Edges that may receive delay rules (any edge is safe to slow down).
@@ -87,9 +90,15 @@ _EVENT_KINDS = (
     + ["rpc_fail"]
     + ["rebalance"] * 2
     + ["rebalance_break"]
+    + ["flush_break"] * 2
 )
 
 _QUERY_ERRORS = (RpcError, _IndexingDown, _QueryDown)
+
+#: Ingest additionally sees DFS write failures: sync mode surfaces an
+#: injected put fault to the caller (the tuple is already durable in the
+#: log); async mode parks the sealed tree for a supervisor retry instead.
+_INGEST_ERRORS = _QUERY_ERRORS + (ChunkWriteError,)
 
 
 @dataclass
@@ -128,6 +137,7 @@ class ChaosReport:
     rebalances: int = 0
     rebalances_deferred: int = 0
     rebalances_aborted: int = 0
+    flushes_retried: int = 0
     events: List[ChaosEvent] = field(default_factory=list)
     problems: List[str] = field(default_factory=list)
 
@@ -233,6 +243,18 @@ def _fire(
             event.detail = f"installed epoch {ww.shared_partition.epoch}"
         else:
             event.detail = ww.balancer.last_deferral or "no skew"
+    elif kind == "flush_break":
+        # The next 1-3 chunk writes fail (sometimes after a hang): a flush
+        # dying mid-write.  Sync mode surfaces the failure to ingest with
+        # the tree intact; async mode parks the sealed tree as failed
+        # until the supervisor's retry pass -- either way the durable log
+        # still holds every tuple, so the end-state audit must balance.
+        times = rng.randint(1, 3)
+        hang = 0.002 if rng.random() < 0.5 else 0.0
+        ww.dfs.inject_put_faults(times=times, hang=hang)
+        event.detail = f"next {times} DFS writes fail" + (
+            " after a hang" if hang else ""
+        )
     elif kind == "rebalance_break":
         # 3 consecutive fail faults defeat the edge's default 2 retries,
         # so if an install is attempted its reassign fails mid-flight and
@@ -327,7 +349,7 @@ def run_chaos(
             if rng.random() < 0.5:
                 try:
                     ww.insert_batch(batch)
-                except _QUERY_ERRORS:
+                except _INGEST_ERRORS:
                     report.tuples_unacked += len(batch)
                 else:
                     report.tuples_acked += len(batch)
@@ -336,7 +358,7 @@ def run_chaos(
                 for t in batch:
                     try:
                         ww.insert(t)
-                    except _QUERY_ERRORS:
+                    except _INGEST_ERRORS:
                         report.tuples_unacked += 1
                     else:
                         report.tuples_acked += 1
@@ -366,9 +388,11 @@ def run_chaos(
             report.tuples_replayed += poll.tuples_replayed
             report.replicas_restored += poll.replicas_restored
             report.replicas_scrubbed += poll.replicas_scrubbed
+            report.flushes_retried += poll.flushes_retried
 
         # --- heal everything, then audit the end state ---------------------
         ww.faults.clear()
+        ww.dfs.clear_put_faults()
         for node in sorted(ww.cluster.failed_nodes):
             ww.cluster.revive(node)
         for poll in supervisor.poll_until_quiet():
@@ -376,6 +400,11 @@ def run_chaos(
             report.tuples_replayed += poll.tuples_replayed
             report.replicas_restored += poll.replicas_restored
             report.replicas_scrubbed += poll.replicas_scrubbed
+            report.flushes_retried += poll.flushes_retried
+        # Let the async flush pipeline settle before auditing: the
+        # conservation check reads chunks and in-memory trees as two
+        # snapshots, so a commit landing between them would false-positive.
+        ww.drain_flushes()
 
         for server in ww.indexing_servers:
             if not server.alive:

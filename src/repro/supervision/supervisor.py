@@ -54,6 +54,7 @@ class PollReport:
     tuples_replayed: int = 0
     replicas_restored: int = 0
     replicas_scrubbed: int = 0
+    flushes_retried: int = 0
 
     @property
     def quiet(self) -> bool:
@@ -63,6 +64,7 @@ class PollReport:
             or self.repairs
             or self.replicas_restored
             or self.replicas_scrubbed
+            or self.flushes_retried
         )
 
 
@@ -140,6 +142,10 @@ class Supervisor:
         if self.repair_storage:
             report.replicas_scrubbed = self.system.dfs.scrub()
             report.replicas_restored = self.system.dfs.re_replicate()
+            # Sealed trees whose background write failed are repairable
+            # storage state too: requeue them now that the DFS fault may
+            # have lifted.  (No-op in sync flush mode.)
+            report.flushes_retried = self.system.retry_failed_flushes()
         return report
 
     def poll_until_quiet(self, max_polls: int = 10) -> List[PollReport]:

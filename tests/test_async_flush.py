@@ -1,0 +1,440 @@
+"""Asynchronous seal-and-swap flush pipeline: equivalence, backpressure,
+crash-safety.
+
+The headline property: ``flush_mode="async"`` is observationally
+equivalent to ``flush_mode="sync"`` -- same query results at every
+checkpoint, same chunk ids and contents, same metastore end state --
+across ingest (both paths), queries, kill/recover, log compaction and
+rebalancing, on both transports.  The remaining tests pin the pieces that
+make that hold: sealed-but-unflushed data stays query-visible, the replay
+checkpoint never passes an unflushed offset (also a regression for the
+sync-mode late-buffer bug), backpressure bounds sealed bytes without
+deadlocking, and a crash mid-flush loses nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import small_config
+from repro.core.flush import FlushExecutor, FlushTask
+from repro.core.indexing_server import IndexingServer
+from repro.core.model import DataTuple, KeyInterval
+from repro.core.system import Waterwheel
+from repro.core.verify import verify_system
+from repro.messaging import DurableLog
+from repro.metastore import MetadataStore
+from repro.simulation import Cluster
+from repro.storage import ChunkWriteError, SimulatedDFS
+from repro.workloads import uniform_records
+
+
+def build_server(**config_overrides):
+    cfg = small_config(**config_overrides)
+    cluster = Cluster(cfg.n_nodes, seed=cfg.seed)
+    dfs = SimulatedDFS(cluster, cfg.costs, cfg.replication)
+    metastore = MetadataStore()
+    server = IndexingServer(0, 0, cfg, dfs, metastore, KeyInterval(0, 10_000))
+    return server, dfs, metastore, cfg
+
+
+def _fill_and_flush(server, cfg, n_extra=5):
+    """Ingest just past one chunk threshold; returns (chunk_id, offsets)."""
+    per_chunk = cfg.chunk_bytes // 32
+    chunk_id = None
+    offset = 0
+    for i in range(per_chunk + n_extra):
+        got = server.ingest(
+            DataTuple(i % 10_000, float(i), payload=i, size=32), offset=offset
+        )
+        offset += 1
+        if got:
+            chunk_id = got
+    return chunk_id, offset
+
+
+# --- sync == async equivalence ------------------------------------------------
+
+
+def _skewed_stream(cfg, n, seed):
+    """Uniform stream with a drifting hot band so the balancer really fires."""
+    data = uniform_records(n, key_lo=cfg.key_lo, key_hi=cfg.key_hi, seed=seed)
+    span = cfg.key_hi - cfg.key_lo
+    out = []
+    for i, t in enumerate(data):
+        if i % 3 == 0:
+            centre = cfg.key_lo + span * (0.2 + 0.6 * i / max(1, n - 1))
+            key = min(cfg.key_hi - 1, max(cfg.key_lo, int(centre) + i % 97))
+            out.append(DataTuple(key, t.ts, t.payload, t.size))
+        else:
+            out.append(t)
+    return out
+
+
+def _snapshot(ww, lo, hi, t_lo, t_hi):
+    res = ww.query(lo, hi, t_lo, t_hi)
+    assert not res.partial
+    return sorted((t.key, t.ts) for t in res.tuples)
+
+
+def _run_scenario(flush_mode, transport):
+    """One seeded life: mixed ingest, queries, a kill/recover, compaction,
+    rebalancing, final flush -- returns every observable along the way."""
+    cfg = small_config(
+        n_nodes=4,
+        flush_mode=flush_mode,
+        rebalance_check_every=400,
+        dfs_write_sleep=0.0005,
+    )
+    data = _skewed_stream(cfg, 2_400, seed=99)
+    obs = []
+    ww = Waterwheel(cfg, transport=transport)
+    try:
+        steps = 8
+        per = len(data) // steps
+        for step in range(steps):
+            batch = data[step * per : (step + 1) * per]
+            if step % 2 == 0:
+                ww.insert_batch(batch)
+            else:
+                for t in batch:
+                    ww.insert(t)
+            if step == 3:
+                # Crash with seals potentially in flight; recovery replays
+                # the log suffix the commits never checkpointed.
+                ww.kill_indexing_server(1)
+                obs.append(("recovered", ww.recover_indexing_server(1) > 0))
+            if step == 5:
+                ww.drain_flushes()
+                ww.compact_log()
+            # Quiesce the pipeline before comparing query results: a
+            # commit landing mid-query moves tuples between the fresh and
+            # chunk branches, which is exactly what must NOT change the
+            # result -- but the comparison itself needs a stable point.
+            ww.drain_flushes()
+            t_hi = max(t.ts for t in data[: (step + 1) * per]) + 1.0
+            obs.append(
+                _snapshot(ww, cfg.key_lo, cfg.key_hi - 1, 0.0, t_hi)
+            )
+            qlo = cfg.key_lo + 123 + step * 977
+            obs.append(_snapshot(ww, qlo, qlo + 3_000, t_hi * 0.25, t_hi))
+        ww.flush_all()
+        audit = verify_system(ww)
+        obs.append(("audit", audit.problems))
+        chunk_ids = sorted(ww.dfs.chunk_ids())
+        obs.append(("chunks", chunk_ids))
+        obs.append(
+            (
+                "chunk_records",
+                [
+                    (
+                        cid,
+                        rec["key_lo"],
+                        rec["key_hi"],
+                        rec["t_lo"],
+                        rec["t_hi"],
+                        rec["n_tuples"],
+                        rec["late"],
+                    )
+                    for cid in chunk_ids
+                    for rec in [ww.metastore.get(f"/chunks/{cid}")]
+                    if rec is not None
+                ],
+            )
+        )
+        obs.append(
+            (
+                "checkpoints",
+                [
+                    ww.metastore.get(f"/indexing/{s.server_id}/offset", 0)
+                    for s in ww.indexing_servers
+                ],
+            )
+        )
+        obs.append(("rebalances", ww.balancer.rebalance_count))
+        obs.append(("in_memory", ww.in_memory_tuples))
+        t_end = max(t.ts for t in data) + cfg.late_delta + 1.0
+        obs.append(_snapshot(ww, cfg.key_lo, cfg.key_hi - 1, 0.0, t_end))
+    finally:
+        ww.close()
+    return obs
+
+
+@pytest.mark.parametrize("transport", ["inline", "threaded"])
+def test_sync_async_equivalence(transport):
+    sync_obs = _run_scenario("sync", transport)
+    async_obs = _run_scenario("async", transport)
+    assert len(sync_obs) == len(async_obs)
+    for i, (a, b) in enumerate(zip(sync_obs, async_obs)):
+        assert a == b, f"observation {i} diverged between sync and async"
+    # The scenario genuinely exercised its moving parts.
+    labels = dict(o for o in sync_obs if isinstance(o, tuple) and len(o) == 2)
+    assert labels["audit"] == []
+    assert labels["in_memory"] == 0
+    assert len(labels["chunks"]) > 3
+
+
+# --- sealed visibility & checkpointing ----------------------------------------
+
+
+def test_sealed_data_stays_query_visible_until_commit():
+    server, dfs, metastore, cfg = build_server(flush_mode="async")
+    dfs.inject_put_faults(times=1)  # the commit fails; the seal parks
+    chunk_id, offset = _fill_and_flush(server, cfg)
+    assert chunk_id is not None
+    server._flush_executor.drain(timeout=5.0)
+    # The write failed: no chunk, task parked, data still in memory ...
+    assert not dfs.exists(chunk_id)
+    [task] = server.sealed_tasks
+    assert task.state == "failed" and task.uncommitted
+    assert server.in_memory_tuples == offset
+    # ... query-visible through the fresh branch ...
+    from tests.test_indexing_server import sq
+
+    got, _ = server.query_fresh(sq(0, 9_999, 0.0, float(offset)))
+    assert len(got) == offset
+    # ... and the replay checkpoint never moved past it.
+    assert metastore.get("/indexing/0/offset", 0) == 0
+    # Heal + retry: the supervisor path requeues, the commit lands, and
+    # only then does the checkpoint advance and the fresh copy retire.
+    assert server.retry_failed_flushes() == 1
+    assert server._flush_executor.drain(timeout=5.0)
+    assert dfs.exists(chunk_id)
+    assert metastore.exists(f"/chunks/{chunk_id}")
+    sealed_n = metastore.get(f"/chunks/{chunk_id}")["n_tuples"]
+    assert server.in_memory_tuples == offset - sealed_n
+    assert metastore.get("/indexing/0/offset", 0) == sealed_n
+
+
+def test_checkpoint_pinned_by_late_buffer():
+    """Regression (also present in sync mode): flushing the main tree while
+    the late buffer holds an *older* offset must not checkpoint past it --
+    the seed code checkpointed ``last_offset + 1`` and a kill+recover then
+    silently dropped the late tuple."""
+    server, dfs, metastore, cfg = build_server()
+    offset = 0
+    for i in range(10):  # establish max_ts ~ 109
+        server.ingest(
+            DataTuple(100 + i, 100.0 + i, payload=i, size=32), offset=offset
+        )
+        offset += 1
+    late_offset = offset  # severely late: ts far below max - 4 * late_delta
+    server.ingest(
+        DataTuple(500, 1.0, payload="late", size=32), offset=late_offset
+    )
+    offset += 1
+    chunk_id = None
+    while chunk_id is None:
+        chunk_id = server.ingest(
+            DataTuple(offset % 10_000, 110.0 + offset, payload=offset, size=32),
+            offset=offset,
+        )
+        offset += 1
+    # The main tree flushed, but the checkpoint may not pass the late
+    # tuple still in memory; the flushed ranges above it are persisted
+    # for replay to skip.
+    assert metastore.get("/indexing/0/offset", 0) == late_offset
+    residual = metastore.get("/indexing/0/flushed_offsets")
+    assert residual == [[late_offset + 1, offset]]
+    # Once the late buffer flushes too, the checkpoint catches up.
+    server.flush_all()
+    assert metastore.get("/indexing/0/offset", 0) == offset
+    assert metastore.get("/indexing/0/flushed_offsets") == []
+
+
+def test_recovery_skips_flushed_ranges():
+    """Replay after a partial flush re-ingests only the unflushed offsets:
+    the persisted flushed ranges are skipped, so nothing duplicates."""
+    server, dfs, metastore, cfg = build_server()
+    log = DurableLog()
+    log.create_topic("tuples", 1)
+    offset = 0
+    tuples = []
+    for i in range(10):
+        tuples.append(DataTuple(100 + i, 100.0 + i, payload=i, size=32))
+    tuples.append(DataTuple(500, 1.0, payload="late", size=32))
+    per_chunk = cfg.chunk_bytes // 32
+    for j in range(per_chunk):
+        tuples.append(
+            DataTuple(j % 10_000, 110.0 + j, payload=j, size=32)
+        )
+    for t in tuples:
+        log.append("tuples", 0, t)
+        server.ingest(t, offset=offset)
+        offset += 1
+    assert server.flush_count >= 1  # the main tree flushed mid-stream
+    in_memory_before = server.in_memory_tuples
+    server.fail()
+    replayed = server.recover(log, "tuples")
+    # Exactly the unflushed tuples come back -- the flushed ranges were
+    # skipped, so flushed data exists once (in its chunk), not twice.
+    assert replayed == in_memory_before
+    assert server.in_memory_tuples == in_memory_before
+    from tests.test_indexing_server import sq
+
+    got, _ = server.query_fresh(sq(500, 500, 0.0, 2.0))
+    assert len(got) == 1  # the late tuple survived the crash
+
+
+def test_template_survives_seal():
+    """The retained template spawns the next active tree: same separators,
+    no rebuilt boundaries, ingestion resumes immediately."""
+    server, dfs, metastore, cfg = build_server(flush_mode="async")
+    dfs.inject_put_faults(times=1)  # park the seal so we can inspect it
+    chunk_id, offset = _fill_and_flush(server, cfg)
+    assert chunk_id is not None
+    server._flush_executor.drain(timeout=5.0)
+    [task] = server.sealed_tasks
+    # The spawned active tree carries the sealed tree's separators exactly
+    # as they stood at seal time (including any skew adaptation) -- no
+    # uniform-boundary rebuild, so ingestion resumes on a trained template.
+    assert server._tree.separators == task.tree.separators
+    assert len(server._tree) > 0  # the post-threshold extras kept landing
+    dfs.clear_put_faults()
+    assert server.retry_failed_flushes() == 1
+    assert server._flush_executor.drain(timeout=5.0)
+    assert dfs.exists(chunk_id)
+
+
+# --- executor backpressure ----------------------------------------------------
+
+
+class _GateServer:
+    """Stand-in server whose commits wait on an explicit gate."""
+
+    def __init__(self):
+        self.gate = threading.Semaphore(0)
+        self.committed = []
+
+    def _execute_flush(self, task):
+        assert self.gate.acquire(timeout=5.0)
+        task.state = "committed"
+        self.committed.append(task.chunk_id)
+        return True
+
+
+def _task(server, chunk_id, nbytes):
+    return FlushTask(server, None, False, 0, chunk_id, nbytes, [])
+
+
+def test_backpressure_blocks_until_capacity_frees():
+    server = _GateServer()
+    ex = FlushExecutor(max_inflight_bytes=100)
+    ex.submit(_task(server, "c0", 80))
+    done = threading.Event()
+
+    def second():
+        ex.submit(_task(server, "c1", 80))  # 80 + 80 > 100: must wait
+        done.set()
+
+    thread = threading.Thread(target=second, daemon=True)
+    thread.start()
+    assert not done.wait(0.15)  # parked on the cap
+    server.gate.release()  # first commit completes, capacity frees
+    assert done.wait(5.0)
+    server.gate.release()
+    assert ex.drain(timeout=5.0)
+    assert server.committed == ["c0", "c1"]
+    ex.close()
+
+
+def test_oversized_seal_admitted_when_idle():
+    """A cap smaller than one chunk must not deadlock: the executor always
+    admits a task when nothing is in flight."""
+    server = _GateServer()
+    server.gate.release()
+    ex = FlushExecutor(max_inflight_bytes=10)
+    ex.submit(_task(server, "big", 1_000_000))  # returns without blocking
+    assert ex.drain(timeout=5.0)
+    assert server.committed == ["big"]
+    ex.close()
+
+
+def test_ingest_overlaps_slow_chunk_writes():
+    """End to end: with writes slowed and the cap at one chunk, ingest
+    still completes and every chunk commits -- the pipeline throttles,
+    never wedges."""
+    cfg = small_config(
+        flush_mode="async",
+        flush_inflight_bytes=8192,  # one chunk in flight at a time
+        dfs_write_sleep=0.002,
+    )
+    ww = Waterwheel(cfg)
+    try:
+        data = uniform_records(1_500, key_hi=cfg.key_hi, seed=11)
+        ww.insert_many(data)
+        assert ww.drain_flushes(timeout=30.0)
+        ww.flush_all()
+        assert ww.in_memory_tuples == 0
+        res = ww.query(0, cfg.key_hi - 1, 0.0, max(t.ts for t in data) + 1)
+        assert len(res.tuples) == len(data)
+    finally:
+        ww.close()
+
+
+# --- crash safety -------------------------------------------------------------
+
+
+def test_kill_mid_flush_loses_nothing():
+    """Crash a server while flushes are parked mid-pipeline: the replay
+    checkpoint never covered them, so recovery rebuilds every tuple."""
+    cfg = small_config(flush_mode="async")
+    ww = Waterwheel(cfg)
+    try:
+        # Every chunk write fails: seals pile up uncommitted.
+        ww.dfs.inject_put_faults(times=1_000)
+        data = uniform_records(1_200, key_hi=cfg.key_hi, seed=23)
+        ww.insert_many(data)
+        ww.drain_flushes()
+        sid = next(
+            s.server_id for s in ww.indexing_servers if s.sealed_tasks
+        )
+        # Compaction is guarded by flush *completion*: nothing committed,
+        # so nothing may be truncated out from under the pending replay.
+        assert ww.compact_log() == 0
+        ww.kill_indexing_server(sid)
+        assert ww.recover_indexing_server(sid) > 0
+        # Heal the DFS; retries drain the re-sealed data.
+        ww.dfs.clear_put_faults()
+        ww.retry_failed_flushes()
+        ww.flush_all()
+        audit = verify_system(ww)
+        assert audit.problems == []
+        res = ww.query(0, cfg.key_hi - 1, 0.0, max(t.ts for t in data) + 1)
+        assert sorted((t.key, t.ts) for t in res.tuples) == sorted(
+            (t.key, t.ts) for t in data
+        )
+    finally:
+        ww.close()
+
+
+def test_failed_sync_flush_keeps_data_for_retry():
+    """Sync mode writes before resetting: a failed DFS put surfaces the
+    error with the tree (and its offsets) intact, and the next threshold
+    crossing retries cleanly."""
+    server, dfs, metastore, cfg = build_server()
+    dfs.inject_put_faults(times=1)
+    per_chunk = cfg.chunk_bytes // 32
+    # The threshold-crossing tuple is inserted first; its flush then fails.
+    with pytest.raises(ChunkWriteError):
+        for i in range(per_chunk + 5):
+            server.ingest(
+                DataTuple(i % 10_000, float(i), payload=i, size=32), offset=i
+            )
+    assert server.in_memory_tuples == per_chunk  # nothing lost
+    assert metastore.get("/indexing/0/offset", 0) == 0
+    chunk_id = server.flush()  # budget exhausted: this one succeeds
+    assert chunk_id is not None and dfs.exists(chunk_id)
+    assert metastore.get("/indexing/0/offset", 0) == per_chunk
+
+
+def test_config_validates_flush_settings():
+    with pytest.raises(ValueError):
+        small_config(flush_mode="pipelined")
+    with pytest.raises(ValueError):
+        small_config(flush_inflight_bytes=0)
+    with pytest.raises(ValueError):
+        small_config(dfs_write_sleep=-1.0)
