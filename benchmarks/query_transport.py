@@ -149,12 +149,115 @@ def run_experiment(n_records, n_queries, repeats, read_sleep, compress=False):
     }
 
 
+#: ``cold_scan`` I/O-path modes: the legacy whole-blob fetch baseline,
+#: ranged span-batch reads, and ranged reads with the fetch pipeline and
+#: assignment-aware prefetcher on.  All run on the threaded transport so
+#: pipelining has workers to overlap on.
+COLD_SCAN_MODES = (
+    ("whole_blob", dict(ranged_reads=False)),
+    (
+        "ranged",
+        dict(ranged_reads=True, fetch_pipeline_depth=0, prefetch_lookahead=0),
+    ),
+    (
+        "ranged_pipelined",
+        dict(ranged_reads=True, fetch_pipeline_depth=2, prefetch_lookahead=1),
+    ),
+)
+
+
+def make_selective_queries(n_queries, now, seed=23):
+    """Narrow key ranges over deep time windows: every query touches many
+    historical chunks but needs only a few leaves from each -- the shape
+    where whole-blob fetching wastes the most wire and where the
+    prefetcher has a queue of per-chunk subqueries to look ahead into."""
+    rng = random.Random(seed)
+    specs = []
+    while len(specs) < n_queries:
+        lo = rng.randrange(0, 9_500)
+        hi = min(lo + rng.randrange(200, 500), 10_000)
+        t_lo = rng.uniform(0.0, now * 0.1)
+        specs.append((lo, hi, t_lo, now))
+    return specs
+
+
+def run_cold_scan(n_records, n_queries, repeats, read_sleep, compress=False):
+    """Cold selective queries: bytes on the wire and wall clock for
+    whole-blob vs ranged vs ranged+pipelined reads (threaded transport)."""
+    stream = make_stream(n_records)
+    now = max(t.ts for t in stream)
+    specs = make_selective_queries(n_queries, now)
+
+    walls = {}
+    bytes_served = {}
+    reference = None
+    chunk_count = 0
+    config_row = {}
+    for mode, overrides in COLD_SCAN_MODES:
+        ww = Waterwheel(
+            small_config(
+                dfs_read_sleep=read_sleep,
+                compress_chunks=compress,
+                **overrides,
+            ),
+            transport="threaded",
+        )
+        try:
+            ww.insert_many(stream)
+            served_before = ww.dfs.total_bytes_served
+            wall, results = run_batch(ww, specs)
+            bytes_served[mode] = ww.dfs.total_bytes_served - served_before
+            if reference is None:
+                reference = results
+            else:
+                check_equivalent(reference, results)
+            for _ in range(repeats - 1):
+                s, _ = run_batch(ww, specs)
+                wall = min(wall, s)
+            walls[mode] = wall
+            chunk_count = ww.chunk_count
+            config_row = {
+                "n_nodes": ww.config.n_nodes,
+                "chunk_bytes": ww.config.chunk_bytes,
+                "dfs_read_sleep": read_sleep,
+                "compress_chunks": compress,
+                "leaf_coalesce_gap_bytes": ww.config.leaf_coalesce_gap_bytes,
+            }
+        finally:
+            ww.close()
+
+    base = "whole_blob"
+    return {
+        "records": n_records,
+        "queries": n_queries,
+        "repeats": repeats,
+        "transport": "threaded",
+        "config": config_row,
+        "chunk_count": chunk_count,
+        "rows": [
+            {
+                "mode": mode,
+                "bytes_transferred": bytes_served[mode],
+                "batch_wall_s": walls[mode],
+                "bytes_reduction_vs_whole_blob": (
+                    bytes_served[base] / bytes_served[mode]
+                ),
+                "speedup_vs_whole_blob": walls[base] / walls[mode],
+            }
+            for mode, _overrides in COLD_SCAN_MODES
+        ],
+        "bytes_reduction": bytes_served[base] / bytes_served["ranged_pipelined"],
+        "speedup": walls[base] / walls["ranged_pipelined"],
+    }
+
+
 def _parse_args(argv):
     records = DEFAULT_RECORDS
     queries = DEFAULT_QUERIES
     repeats = DEFAULT_REPEATS
     sleep = DEFAULT_READ_SLEEP
     compress = False
+    section = "both"
     out = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "BENCH_query.json",
@@ -171,32 +274,20 @@ def _parse_args(argv):
             sleep = float(next(it))
         elif arg == "--compress":
             compress = True
+        elif arg == "--section":
+            section = next(it)
+            if section not in ("both", "query_transport", "cold_scan"):
+                raise SystemExit(f"unknown section {section!r}")
         elif arg == "--out":
             out = next(it)
         else:
             raise SystemExit(f"unknown argument {arg!r}")
-    return records, queries, repeats, sleep, compress, out
+    return records, queries, repeats, sleep, compress, section, out
 
 
-def main():
-    records, queries, repeats, sleep, compress, out = _parse_args(sys.argv[1:])
-    result = run_experiment(records, queries, repeats, sleep, compress)
-    print_table(
-        f"Cold-cache query batch, {queries} queries over "
-        f"{result['chunk_count']} chunks (wall clock, best of {repeats})",
-        ["transport", "batch wall (s)", "queries/s", "speedup"],
-        [
-            (
-                row["transport"],
-                row["batch_wall_s"],
-                row["queries_per_s"],
-                row["speedup_vs_inline"],
-            )
-            for row in result["rows"]
-        ],
-    )
-    # BENCH_query.json is shared with concurrent_queries.py: each
-    # benchmark owns one top-level section and preserves the other's.
+def _merge_sections(out, sections):
+    """BENCH_query.json is shared with concurrent_queries.py: each
+    benchmark owns one top-level section and preserves the others'."""
     merged = {}
     if os.path.exists(out):
         try:
@@ -206,11 +297,66 @@ def main():
             existing = {}
         if isinstance(existing, dict) and "rows" not in existing:
             merged.update(existing)
-    merged["query_transport"] = result
+    merged.update(sections)
     with open(out, "w") as fh:
         json.dump(merged, fh, indent=2)
-    print(f"\nwrote {out} (threaded speedup {result['speedup']:.2f}x)")
-    return result
+
+
+def main():
+    records, queries, repeats, sleep, compress, section, out = _parse_args(
+        sys.argv[1:]
+    )
+    sections = {}
+    if section in ("both", "query_transport"):
+        result = run_experiment(records, queries, repeats, sleep, compress)
+        sections["query_transport"] = result
+        print_table(
+            f"Cold-cache query batch, {queries} queries over "
+            f"{result['chunk_count']} chunks (wall clock, best of {repeats})",
+            ["transport", "batch wall (s)", "queries/s", "speedup"],
+            [
+                (
+                    row["transport"],
+                    row["batch_wall_s"],
+                    row["queries_per_s"],
+                    row["speedup_vs_inline"],
+                )
+                for row in result["rows"]
+            ],
+        )
+    if section in ("both", "cold_scan"):
+        cold = run_cold_scan(records, queries, repeats, sleep, compress)
+        sections["cold_scan"] = cold
+        print_table(
+            f"Cold selective scans, {queries} queries over "
+            f"{cold['chunk_count']} chunks (threaded transport, "
+            f"best of {repeats})",
+            ["mode", "bytes on wire", "batch wall (s)", "bytes x", "speedup"],
+            [
+                (
+                    row["mode"],
+                    row["bytes_transferred"],
+                    row["batch_wall_s"],
+                    row["bytes_reduction_vs_whole_blob"],
+                    row["speedup_vs_whole_blob"],
+                )
+                for row in cold["rows"]
+            ],
+        )
+    _merge_sections(out, sections)
+    summary = []
+    if "query_transport" in sections:
+        summary.append(
+            f"threaded speedup {sections['query_transport']['speedup']:.2f}x"
+        )
+    if "cold_scan" in sections:
+        summary.append(
+            f"cold-scan bytes reduction "
+            f"{sections['cold_scan']['bytes_reduction']:.2f}x, "
+            f"speedup {sections['cold_scan']['speedup']:.2f}x"
+        )
+    print(f"\nwrote {out} ({'; '.join(summary)})")
+    return sections
 
 
 if __name__ == "__main__":

@@ -56,17 +56,23 @@ def _make_workload(name: str, n: int, seed: int):
 
 
 def _build_system(args, key_lo: int, key_hi: int, tuple_size: int) -> Waterwheel:
+    overrides = dict(
+        key_lo=key_lo,
+        key_hi=key_hi,
+        n_nodes=args.nodes,
+        chunk_bytes=args.chunk_kb * 1024,
+        tuple_size=tuple_size,
+        result_cache_bytes=getattr(args, "result_cache_kb", 0) * 1024,
+        compress_chunks=getattr(args, "compress", False),
+        flush_mode=getattr(args, "flush_mode", None) or "sync",
+        ranged_reads=not getattr(args, "whole_blob_reads", False),
+    )
+    if getattr(args, "pipeline_depth", None) is not None:
+        overrides["fetch_pipeline_depth"] = args.pipeline_depth
+    if getattr(args, "prefetch_lookahead", None) is not None:
+        overrides["prefetch_lookahead"] = args.prefetch_lookahead
     return Waterwheel(
-        small_config(
-            key_lo=key_lo,
-            key_hi=key_hi,
-            n_nodes=args.nodes,
-            chunk_bytes=args.chunk_kb * 1024,
-            tuple_size=tuple_size,
-            result_cache_bytes=getattr(args, "result_cache_kb", 0) * 1024,
-            compress_chunks=getattr(args, "compress", False),
-            flush_mode=getattr(args, "flush_mode", None) or "sync",
-        ),
+        small_config(**overrides),
         transport=getattr(args, "transport", None),
     )
 
@@ -454,6 +460,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="chunk flush pipeline: sync = inline on the ingest "
                  "thread (default), async = seal-and-swap with a "
                  "background flush executor",
+        )
+        p.add_argument(
+            "--whole-blob-reads", action="store_true",
+            help="disable ranged DFS reads on the query path (legacy "
+                 "whole-chunk fetches; the equivalence baseline)",
+        )
+        p.add_argument(
+            "--pipeline-depth", type=int, default=None,
+            help="ranged leaf spans kept in flight per subquery "
+                 "(fetch_pipeline_depth; 0 = one multi-range access)",
+        )
+        p.add_argument(
+            "--prefetch-lookahead", type=int, default=None,
+            help="queued subqueries whose chunk prefixes are prefetched "
+                 "per assignment (prefetch_lookahead; 0 disables)",
         )
 
     demo = sub.add_parser("demo", help="end-to-end walkthrough")

@@ -72,6 +72,24 @@ class WaterwheelConfig:
     secondary_specs: tuple = ()
     late_delta: float = 5.0  # Delta-t late-arrival visibility window
     cache_bytes: int = 1 << 30  # per query server (paper: 1 GB)
+    #: Query-side ranged DFS reads: a cold prefix transfers only the prefix
+    #: bytes and candidate leaves are fetched as coalesced span batches.
+    #: False restores the legacy whole-blob fetch path (the equivalence
+    #: baseline: identical results, ~chunk-size more bytes on the wire).
+    ranged_reads: bool = True
+    #: Candidate leaf blocks whose directory entries sit within this many
+    #: bytes of each other merge into one ranged read (the gap bytes ride
+    #: along instead of paying another access floor).
+    leaf_coalesce_gap_bytes: int = 1024
+    #: Ranged leaf spans kept in flight on the ``query_server->dfs`` edge
+    #: while the current span is decoded and filtered (double-buffering);
+    #: 0 fetches every span in one multi-range access up front.  Only
+    #: concurrent transports can overlap -- inline stays serial.
+    fetch_pipeline_depth: int = 2
+    #: Subqueries queued behind the one just assigned whose chunk prefixes
+    #: the dispatcher warms on the target server (assignment-aware
+    #: prefetch, via the dispatch policy's preference lists); 0 disables.
+    prefetch_lookahead: int = 1
 
     # --- multi-query scheduling -----------------------------------------------------
     #: Coordinator-level subquery result cache over immutable chunks;
@@ -134,6 +152,12 @@ class WaterwheelConfig:
             raise ValueError("dfs_write_sleep must be >= 0")
         if self.result_cache_bytes < 0:
             raise ValueError("result_cache_bytes must be >= 0")
+        if self.leaf_coalesce_gap_bytes < 0:
+            raise ValueError("leaf_coalesce_gap_bytes must be >= 0")
+        if self.fetch_pipeline_depth < 0:
+            raise ValueError("fetch_pipeline_depth must be >= 0")
+        if self.prefetch_lookahead < 0:
+            raise ValueError("prefetch_lookahead must be >= 0")
         if self.scheduler_max_concurrency < 1:
             raise ValueError("scheduler_max_concurrency must be >= 1")
         if self.scheduler_queue_limit < 1:

@@ -562,6 +562,16 @@ class QueryCoordinator:
         policy = self.policy.fresh()
         if self.plane.concurrent:
             pol = self.plane.policy("coordinator->query_server")
+            prefetch = None
+            if self.config.ranged_reads and self.config.prefetch_lookahead > 0:
+                # Assignment-aware warm-up: the policy's preference lists
+                # predict which subqueries a slot runs next; the server
+                # starts their prefix reads while executing the current one.
+                def prefetch(slot, sqs):
+                    self.query_servers[slot].prefetch_prefixes(
+                        [sq.chunk_id for sq in sqs if sq.chunk_id is not None]
+                    )
+
             return run_dispatch_concurrent(
                 chunk_sqs,
                 self.query_servers,
@@ -573,6 +583,8 @@ class QueryCoordinator:
                 retries=pol.retries,
                 on_timeout=self._ep_chunk.note_timeout,
                 on_retry=self._ep_chunk.note_retry,
+                prefetch=prefetch,
+                lookahead=self.config.prefetch_lookahead,
             )
         slot_of = {id(s): slot for slot, s in enumerate(self.query_servers)}
         return run_dispatch(

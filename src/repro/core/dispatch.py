@@ -84,6 +84,20 @@ class DispatchPolicy:
         if this server has nothing (more) to do."""
         raise NotImplementedError
 
+    def peek(
+        self,
+        server_slot: int,
+        pending: "set[int]",
+        subqueries: Sequence[SubQuery],
+        k: int,
+    ) -> List[int]:
+        """Up to ``k`` pending subquery indices this server is likely to
+        run next (after its current assignment) -- the prefetcher's
+        lookahead into the policy's preference order.  Best-effort: a
+        policy that cannot predict returns nothing (the base default).
+        """
+        return []
+
     def assign(
         self,
         idle_slots: Sequence[int],
@@ -127,6 +141,10 @@ class RoundRobinDispatch(DispatchPolicy):
             queue.pop(0)
         return None
 
+    def peek(self, server_slot, pending, subqueries, k):
+        queue = self._assigned.get(server_slot, [])
+        return [i for i in queue if i in pending][:k]
+
 
 class HashingDispatch(DispatchPolicy):
     """Static: subqueries hash-partitioned by chunk id.
@@ -152,6 +170,10 @@ class HashingDispatch(DispatchPolicy):
             queue.pop(0)
         return None
 
+    def peek(self, server_slot, pending, subqueries, k):
+        queue = self._assigned.get(server_slot, [])
+        return [i for i in queue if i in pending][:k]
+
 
 class SharedQueueDispatch(DispatchPolicy):
     """Dynamic: idle servers take the next pending subquery in order.
@@ -165,6 +187,11 @@ class SharedQueueDispatch(DispatchPolicy):
         if not pending:
             return None
         return min(pending)
+
+    def peek(self, server_slot, pending, subqueries, k):
+        # Any idle server takes the next pending subquery, so the queue
+        # head is the best guess for everyone.
+        return sorted(pending)[:k]
 
 
 class LadaDispatch(DispatchPolicy):
@@ -207,6 +234,15 @@ class LadaDispatch(DispatchPolicy):
             if idx in pending:
                 return idx
         return None
+
+    def peek(self, server_slot, pending, subqueries, k):
+        out = []
+        for idx in self._preference.get(server_slot, []):
+            if idx in pending:
+                out.append(idx)
+                if len(out) >= k:
+                    break
+        return out
 
     def assign(self, idle_slots, servers, pending, subqueries):
         """Resolve a bidding wave by global preference rank: the (server,
@@ -373,6 +409,8 @@ def run_dispatch_concurrent(
     retries: int = 0,
     on_timeout: Optional[Callable[[], None]] = None,
     on_retry: Optional[Callable[[], None]] = None,
+    prefetch: Optional[Callable[[int, List[SubQuery]], None]] = None,
+    lookahead: int = 1,
 ) -> DispatchOutcome:
     """Completion-driven dispatch over an asynchronous ``submit``.
 
@@ -391,6 +429,12 @@ def run_dispatch_concurrent(
     The returned makespan is the largest per-server accumulated simulated
     cost -- the same quantity the virtual-time loop tracks, modulo wave
     alignment (assignment order here follows real completions).
+
+    ``prefetch``, when given, is called right after each assignment with
+    ``(slot, subqueries)`` -- up to ``lookahead`` still-pending subqueries
+    the policy predicts that slot will run next (:meth:`DispatchPolicy.peek`)
+    -- so the server can warm their chunk prefixes while it executes the
+    one just submitted.  Best-effort: predictions may go to other servers.
     """
     results: List[Optional[SubQueryResult]] = [None] * len(subqueries)
     if not subqueries:
@@ -450,6 +494,10 @@ def run_dispatch_concurrent(
                 call.add_done_callback(
                     lambda c, _t=token: completions.put((_t, c))
                 )
+                if prefetch is not None and lookahead > 0 and pending:
+                    ahead = policy.peek(slot, pending, subqueries, lookahead)
+                    if ahead:
+                        prefetch(slot, [subqueries[i] for i in ahead])
         if not outstanding:
             if not pending:
                 break

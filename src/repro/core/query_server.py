@@ -14,9 +14,10 @@ misses plus CPU proportional to tuples examined.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from typing import Optional
 
@@ -24,8 +25,15 @@ from repro.core.config import WaterwheelConfig
 from repro.core.model import DataTuple, SubQuery
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _trace
-from repro.rpc import MessagePlane
-from repro.storage import ChunkReader, SimulatedDFS
+from repro.rpc import MessagePlane, RpcError
+from repro.storage import ChunkReader, SimulatedDFS, coalesce_entries
+
+#: Wall-clock bound on waiting for a pipelined span fetch when the DFS
+#: edge has no explicit timeout: a submit dropped in flight (fault
+#: injection) would otherwise never complete.  Generous -- a real span
+#: read is milliseconds; expiry falls back to a synchronous ranged read
+#: that applies the edge's own retry policy.
+_PIPELINE_FALLBACK_TIMEOUT = 5.0
 
 
 class ServerDownError(RuntimeError):
@@ -120,10 +128,25 @@ class QueryServer:
         # (exists / read_cost / live_replicas) stay direct control-plane.
         self.plane = plane or MessagePlane()
         self._ep_dfs = self.plane.endpoint("query_server->dfs", [dfs])
+        # Prefetch rides the same edge on its own lane (a second endpoint
+        # gets its own worker under threaded transports), so background
+        # warm-ups never queue ahead of a subquery's foreground fetches.
+        self._ep_dfs_bg = self.plane.endpoint("query_server->dfs", [dfs])
         self.alive = True
         self.cache = LRUCache(config.cache_bytes)
         self._readers: Dict[str, ChunkReader] = {}
         self._sidecars: Dict[str, object] = {}
+        #: Hot slot for the most recent reader whose prefix the cache
+        #: refused (tiny caches): repeated subqueries against that chunk
+        #: reuse the parsed prefix instead of re-fetching it every call.
+        self._transient_reader: Optional[Tuple[str, ChunkReader]] = None
+        #: chunk id -> in-flight ``get_prefix`` Call started by the
+        #: assignment-aware prefetcher.  Written by the coordinator's
+        #: dispatch thread, consumed by this server's worker -- hence the
+        #: lock.
+        self._prefetch_inflight: Dict[str, object] = {}
+        self._prefetch_lock = threading.Lock()
+        self.prefetch_hits_total = 0
         self._extractors = {
             spec.name: spec.extractor for spec in config.secondary_specs
         }
@@ -144,6 +167,8 @@ class QueryServer:
         self._m_leaves_skipped = reg.counter("query_server.leaves_skipped")
         self._m_cost_sim = reg.histogram("subquery.cost_sim")
         self._m_wall = reg.histogram("subquery.wall")
+        self._m_prefetch_hits = reg.counter("query_server.prefetch_hits")
+        self._m_pipeline_depth = reg.histogram("query_server.pipeline_depth")
 
     def _fetch(self, name: str) -> bytes:
         """Data-plane DFS read via the ``query_server->dfs`` edge.
@@ -154,6 +179,56 @@ class QueryServer:
         letting it abort the whole query.
         """
         return self._ep_dfs.call(0, "get_bytes", name)
+
+    def _fetch_prefix(self, chunk_id: str) -> bytes:
+        """Prefix-only data-plane read (ranged mode).
+
+        Consumes an in-flight prefetch when one already landed -- the
+        assignment-aware warm-up paid the access while this server was
+        scanning the previous subquery; a prefetch still in flight (or
+        errored) is ignored rather than waited on, so a message lost
+        under fault injection can never wedge the query path.
+        """
+        call = None
+        with self._prefetch_lock:
+            pending = self._prefetch_inflight.get(chunk_id)
+            if pending is not None and pending.done():
+                call = self._prefetch_inflight.pop(chunk_id)
+        if call is not None and call.response.ok:
+            self.prefetch_hits_total += 1
+            if _obs.ENABLED:
+                self._m_prefetch_hits.inc()
+            return call.response.value
+        return self._ep_dfs.call(0, "get_prefix", chunk_id)
+
+    def prefetch_prefixes(self, chunk_ids: Iterable[str]) -> int:
+        """Assignment-aware warm-up: start prefix reads for chunks whose
+        subqueries are queued behind the one executing (called by the
+        concurrent dispatch loop with the policy's lookahead).  Each read
+        rides the ``query_server->dfs`` edge asynchronously, overlapping
+        the current subquery's decode/filter work; returns the number of
+        reads put in flight.  No-op on inline transports (nothing can
+        overlap) and in whole-blob mode.
+        """
+        if not (self.alive and self.config.ranged_reads and self.plane.concurrent):
+            return 0
+        issued = 0
+        with self._prefetch_lock:
+            for chunk_id in chunk_ids:
+                if chunk_id in self._prefetch_inflight:
+                    continue
+                if (
+                    self._prefix_key(chunk_id) in self.cache
+                    and chunk_id in self._readers
+                ):
+                    continue
+                if not self.dfs.exists(chunk_id):
+                    continue
+                self._prefetch_inflight[chunk_id] = self._ep_dfs_bg.submit(
+                    0, "get_prefix", chunk_id
+                )
+                issued += 1
+        return issued
 
     # --- cache plumbing ---------------------------------------------------------
 
@@ -228,14 +303,32 @@ class QueryServer:
         if self.cache.touch(prefix_key) and chunk_id in self._readers:
             result.cache_hits += 1
             return self._readers[chunk_id]
+        transient = self._transient_reader
+        if transient is not None and transient[0] == chunk_id:
+            # The prefix never fit the cache, but this reader was parsed
+            # moments ago: reuse it (no bytes move, nothing to charge)
+            # instead of re-fetching and re-parsing per subquery.
+            result.cache_hits += 1
+            return transient[1]
         result.cache_misses += 1
-        data = self._fetch(chunk_id)
-        reader = ChunkReader(data, source=lambda: self._fetch(chunk_id))
-        # The cache charges this unit prefix_bytes, so keep only the prefix:
-        # retaining the whole blob would hold chunk-sized allocations the
-        # accounting never sees.  Leaf blocks are pinned separately when
-        # their cache units are admitted.
-        reader.drop_block_bytes()
+        if self.config.ranged_reads:
+            # One ranged access transfers exactly the prefix; dropped leaf
+            # blocks re-fetch through charged ranged reads later.
+            data = self._fetch_prefix(chunk_id)
+            reader = ChunkReader(
+                data,
+                range_source=lambda off, length: self._ep_dfs.call(
+                    0, "get_range", chunk_id, off, length
+                ),
+            )
+        else:
+            data = self._fetch(chunk_id)
+            reader = ChunkReader(data, source=lambda: self._fetch(chunk_id))
+            # The cache charges this unit prefix_bytes, so keep only the
+            # prefix: retaining the whole blob would hold chunk-sized
+            # allocations the accounting never sees.  Leaf blocks are
+            # pinned separately when their cache units are admitted.
+            reader.drop_block_bytes()
         result.cost += self.dfs.read_cost(
             chunk_id, reader.prefix_bytes, self.node_id
         )
@@ -244,10 +337,12 @@ class QueryServer:
         if prefix_key in self.cache:
             self._readers[chunk_id] = reader
         else:
-            # The prefix itself didn't fit (e.g. tiny cache): serve this
-            # subquery from a transient reader rather than retaining bytes
-            # the cache never charged for.
+            # The prefix itself didn't fit (e.g. tiny cache): serve from
+            # a transient reader rather than retaining bytes the cache
+            # never charged for, but keep it in the hot slot so the next
+            # subquery against the same chunk reuses the parse.
             self._readers.pop(chunk_id, None)
+            self._transient_reader = (chunk_id, reader)
         return reader
 
     def prefetch_prefix(self, chunk_id: str) -> float:
@@ -257,6 +352,107 @@ class QueryServer:
         result = SubQueryResult()
         self._reader_for(chunk_id, result)
         return result.cost
+
+    # --- ranged leaf fetching -------------------------------------------------
+
+    def _scan_ranged(
+        self, chunk_id, reader, hits, to_fetch, result, scan_batch
+    ) -> None:
+        """Fetch missing leaf blocks as coalesced span batches and scan.
+
+        Blocks already on hand (cache hits whose bytes are still pinned)
+        scan first; the rest coalesce into spans -- adjacent directory
+        entries within ``leaf_coalesce_gap_bytes`` share one ranged read.
+        With ``fetch_pipeline_depth`` > 0 on a concurrent transport the
+        spans are double-buffered: the next span is in flight on the DFS
+        edge while the current one is decoded and filtered.  Inline
+        transports fetch every span in one multi-range access (serial but
+        byte-identical).
+        """
+        for entry in to_fetch:
+            self._evict(
+                self.cache.add(
+                    self._leaf_key(chunk_id, entry.index), entry.block_length
+                )
+            )
+        ready = []
+        missing = []
+        for entry in hits + to_fetch:
+            (ready if reader.has_block(entry) else missing).append(entry)
+        spans = coalesce_entries(missing, self.config.leaf_coalesce_gap_bytes)
+        depth = self.config.fetch_pipeline_depth
+        pipelined = depth > 0 and self.plane.concurrent and len(spans) > 1
+        if spans and not pipelined:
+            with _trace.span(
+                "leaf_fetch",
+                leaves=len(missing),
+                spans=len(spans),
+                bytes=sum(s.length for s in spans),
+            ):
+                datas = self._ep_dfs.call(
+                    0,
+                    "get_ranges",
+                    chunk_id,
+                    [(s.offset, s.length) for s in spans],
+                )
+                total = sum(s.length for s in spans)
+                result.cost += self.dfs.read_cost(chunk_id, total, self.node_id)
+                result.bytes_read += total
+                for span, data in zip(spans, datas):
+                    reader.pin_span(span.offset, data)
+        scan_batch(ready)
+        if not spans:
+            return
+        if pipelined:
+            self._scan_pipelined(chunk_id, reader, spans, depth, result, scan_batch)
+        else:
+            for span in spans:
+                scan_batch(span.entries)
+
+    def _scan_pipelined(
+        self, chunk_id, reader, spans, depth, result, scan_batch
+    ) -> None:
+        """Double-buffered span execution: up to ``depth`` ranged reads in
+        flight on the ``query_server->dfs`` edge while completed spans are
+        decoded and filtered on this worker."""
+        if _obs.ENABLED:
+            self._m_pipeline_depth.observe(min(depth, len(spans)))
+        pol = self.plane.policy("query_server->dfs")
+        wait = pol.timeout if pol.timeout else _PIPELINE_FALLBACK_TIMEOUT
+        inflight = deque()
+        next_span = 0
+
+        def pump():
+            nonlocal next_span
+            while next_span < len(spans) and len(inflight) < depth:
+                span = spans[next_span]
+                next_span += 1
+                inflight.append(
+                    (
+                        span,
+                        self._ep_dfs.submit(
+                            0, "get_range", chunk_id, span.offset, span.length
+                        ),
+                    )
+                )
+
+        pump()
+        while inflight:
+            span, call = inflight.popleft()
+            try:
+                data = call.result(wait)
+            except RpcError:
+                # Lost or faulted in flight: fall back to a synchronous
+                # ranged read, which applies the edge's own retry policy
+                # (and surfaces a persistent failure as RpcError).
+                data = self._ep_dfs.call(
+                    0, "get_range", chunk_id, span.offset, span.length
+                )
+            result.cost += self.dfs.read_cost(chunk_id, span.length, self.node_id)
+            result.bytes_read += span.length
+            reader.pin_span(span.offset, data)
+            pump()  # keep the next span in flight while this one decodes
+            scan_batch(span.entries)
 
     # --- execution -----------------------------------------------------------------
 
@@ -283,8 +479,15 @@ class QueryServer:
                 # attribute values.
                 allowed_leaves = None
                 if sq.attr_equals or sq.attr_ranges:
+                    # Piggybacking (sidecar bytes riding the prefix fetch's
+                    # access) only holds on the whole-blob path: a ranged
+                    # prefix read transfers exactly the prefix, so the
+                    # sidecar pays its own access floor.
                     sidecar = self._sidecar_for(
-                        sq.chunk_id, result, piggyback=prefix_was_cold
+                        sq.chunk_id,
+                        result,
+                        piggyback=prefix_was_cold
+                        and not self.config.ranged_reads,
                     )
                     if sidecar is not None:
                         allowed_leaves = sidecar.candidate_leaves(
@@ -322,34 +525,11 @@ class QueryServer:
                     prune_sp.set_attr("leaf_cache_hits", len(hits))
                     prune_sp.set_attr("leaf_cache_misses", len(to_fetch))
 
-            if to_fetch:
-                with _trace.span(
-                    "leaf_fetch", leaves=len(to_fetch), bytes=fetch_bytes
-                ):
-                    # One ranged DFS access covering every missing block.
-                    result.cost += self.dfs.read_cost(
-                        sq.chunk_id, fetch_bytes, self.node_id
-                    )
-                    result.bytes_read += fetch_bytes
-                    for entry in to_fetch:
-                        self._evict(
-                            self.cache.add(
-                                self._leaf_key(sq.chunk_id, entry.index),
-                                entry.block_length,
-                            )
-                        )
-
-            # Pin the blocks this scan needs (one shared fetch for whatever
-            # the prefix-only reader no longer holds); after the scan, keep
-            # only the ones whose cache unit survived admission, so retained
-            # bytes track the cache's charges.
-            scan_entries = hits + to_fetch
-            if scan_entries:
-                reader.retain_blocks(scan_entries)
-
             examined = 0
-            with _trace.span("leaf_scan") as scan_sp:
-                for entry in scan_entries:
+
+            def scan_batch(entries):
+                nonlocal examined
+                for entry in entries:
                     result.leaves_read += 1
                     for t in reader.read_leaf(entry):
                         examined += 1
@@ -365,6 +545,37 @@ class QueryServer:
                             )
                         ):
                             result.tuples.append(t)
+
+            scan_entries = hits + to_fetch
+            with _trace.span("leaf_scan") as scan_sp:
+                if self.config.ranged_reads:
+                    self._scan_ranged(
+                        sq.chunk_id, reader, hits, to_fetch, result, scan_batch
+                    )
+                else:
+                    if to_fetch:
+                        with _trace.span(
+                            "leaf_fetch", leaves=len(to_fetch), bytes=fetch_bytes
+                        ):
+                            # One ranged DFS access covering every missing
+                            # block (priced, not transferred: the bytes ride
+                            # the whole-blob re-fetch below).
+                            result.cost += self.dfs.read_cost(
+                                sq.chunk_id, fetch_bytes, self.node_id
+                            )
+                            result.bytes_read += fetch_bytes
+                            for entry in to_fetch:
+                                self._evict(
+                                    self.cache.add(
+                                        self._leaf_key(sq.chunk_id, entry.index),
+                                        entry.block_length,
+                                    )
+                                )
+                    # Pin the blocks this scan needs (one shared fetch for
+                    # whatever the prefix-only reader no longer holds).
+                    if scan_entries:
+                        reader.retain_blocks(scan_entries)
+                    scan_batch(scan_entries)
                 if scan_sp is not None:
                     scan_sp.set_attr("leaves_read", result.leaves_read)
                     scan_sp.set_attr("tuples_examined", examined)
@@ -399,6 +610,9 @@ class QueryServer:
         self.cache = LRUCache(self.config.cache_bytes)
         self._readers.clear()
         self._sidecars.clear()
+        self._transient_reader = None
+        with self._prefetch_lock:
+            self._prefetch_inflight.clear()
 
     # --- failure ----------------------------------------------------------------------
 
@@ -420,6 +634,9 @@ class QueryServer:
         self.cache = LRUCache(self.config.cache_bytes)
         self._readers.clear()
         self._sidecars.clear()
+        self._transient_reader = None
+        with self._prefetch_lock:
+            self._prefetch_inflight.clear()
 
     def recover(self) -> None:
         """Bring the server back (with a cold cache); no-op when alive."""

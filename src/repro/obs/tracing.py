@@ -11,9 +11,9 @@ query produces a tree::
         subquery               <- one per chunk subquery
           chunk_prefix         <- header+directory+sketch load (or cache hit)
           bloom_prune          <- per-leaf temporal-sketch pruning
-          leaf_fetch           <- ranged DFS read of the missing blocks
-            dfs_read           <- the actual DFS data-plane access
           leaf_scan            <- decode + key/time/predicate filtering
+            leaf_fetch         <- span-batch (or whole-blob) read of the
+              dfs_read_ranges     missing blocks, over the DFS data plane
       merge                    <- result transfer + latency folding
 
 Tracing is **off by default** and costs one module-attribute read per

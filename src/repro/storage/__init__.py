@@ -5,6 +5,9 @@ from repro.storage.chunk import (
     ChunkMeta,
     ChunkReader,
     LeafEntry,
+    LeafSpan,
+    coalesce_entries,
+    prefix_length,
     serialize_chunk,
 )
 from repro.storage.dfs import (
@@ -22,6 +25,9 @@ __all__ = [
     "ChunkMeta",
     "ChunkReader",
     "LeafEntry",
+    "LeafSpan",
+    "coalesce_entries",
+    "prefix_length",
     "serialize_chunk",
     "ChunkCorrupt",
     "ChunkLocation",

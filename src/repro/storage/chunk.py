@@ -56,6 +56,64 @@ _DIR_ENTRY = struct.Struct("<qqqqqqqQ")
 _PAIR = struct.Struct("<qd")
 
 
+def prefix_length(data: bytes) -> int:
+    """Byte length of the chunk's prefix (header + directory + sketches).
+
+    The first leaf block starts exactly where the prefix ends, so only the
+    header and the first directory entry are needed -- a ranged reader (or
+    the DFS serving one) can discover how many bytes to transfer without
+    touching the rest of the blob.  ``data`` must start at chunk offset 0
+    and cover at least the header plus one directory entry.
+    """
+    magic, version, _flags, n_leaves = _HEADER.unpack_from(data, 0)[:4]
+    if magic != _MAGIC:
+        raise ValueError("not a chunk: bad magic")
+    if version != _VERSION:
+        raise ValueError(f"unsupported chunk version {version}")
+    if n_leaves == 0:
+        return _HEADER.size
+    first = _DIR_ENTRY.unpack_from(data, _HEADER.size)
+    return first[3]  # block_offset of leaf 0: where the prefix ends
+
+
+@dataclass
+class LeafSpan:
+    """One coalesced byte range covering consecutive leaf blocks."""
+
+    offset: int
+    length: int
+    entries: "List[LeafEntry]"
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+def coalesce_entries(
+    entries: "Sequence[LeafEntry]", gap_bytes: int = 0
+) -> "List[LeafSpan]":
+    """Merge directory entries into ranged-read spans.
+
+    Entries are sorted by block offset; an entry whose block starts within
+    ``gap_bytes`` of the previous span's end joins that span (the gap bytes
+    ride along in one access instead of paying another access floor).
+    """
+    spans: "List[LeafSpan]" = []
+    for entry in sorted(entries, key=lambda e: e.block_offset):
+        if spans and entry.block_offset - spans[-1].end <= gap_bytes:
+            last = spans[-1]
+            last.length = (
+                max(last.end, entry.block_offset + entry.block_length)
+                - last.offset
+            )
+            last.entries.append(entry)
+        else:
+            spans.append(
+                LeafSpan(entry.block_offset, entry.block_length, [entry])
+            )
+    return spans
+
+
 @dataclass(frozen=True)
 class ChunkMeta:
     """Decoded header: the chunk's data region and size facts."""
@@ -200,12 +258,15 @@ class ChunkReader:
     :meth:`retain_block` to pin individual leaf blocks, so the bytes it
     actually retains match what the cache charges for.  ``source`` is an
     optional zero-argument callable returning the full chunk bytes, used
-    to lazily re-fetch blocks that were dropped.
+    to lazily re-fetch blocks that were dropped; ``range_source`` is its
+    ranged sibling -- ``range_source(offset, length)`` returns exactly
+    those bytes, so a re-fetch transfers one block instead of the blob.
     """
 
-    def __init__(self, data: bytes, source=None):
+    def __init__(self, data: bytes, source=None, range_source=None):
         self._data = data
         self._source = source
+        self._range_source = range_source
         self._blocks: "dict[int, bytes]" = {}
         (
             magic,
@@ -320,12 +381,22 @@ class ChunkReader:
         end = start + entry.block_length
         if len(self._data) >= end:
             return self._data[start:end]
+        if self._range_source is not None:
+            return self._range_source(start, entry.block_length)
         if self._source is None:
             raise ValueError(
                 "leaf block bytes were dropped and no re-fetch source is set"
             )
         data = self._source()
         return data[start:end]
+
+    def has_block(self, entry: LeafEntry) -> bool:
+        """True when the leaf's stored bytes are on hand (pinned or still
+        inside the retained data) -- reading it transfers nothing."""
+        return (
+            entry.index in self._blocks
+            or len(self._data) >= entry.block_offset + entry.block_length
+        )
 
     @property
     def retained_bytes(self) -> int:
@@ -359,6 +430,12 @@ class ChunkReader:
                 data = self._data
             elif self._source is not None:
                 data = self._source()
+            elif self._range_source is not None:
+                for e in missing:
+                    self._blocks[e.index] = self._range_source(
+                        e.block_offset, e.block_length
+                    )
+                return
             else:
                 raise ValueError(
                     "leaf block bytes were dropped and no re-fetch source is set"
@@ -367,6 +444,22 @@ class ChunkReader:
             self._blocks[e.index] = data[
                 e.block_offset : e.block_offset + e.block_length
             ]
+
+    def pin_span(self, offset: int, data: bytes) -> List[int]:
+        """Pin every leaf block fully contained in ``data`` (the chunk
+        bytes starting at absolute ``offset`` -- one coalesced ranged
+        read); returns the newly pinned leaf indices."""
+        end = offset + len(data)
+        pinned: List[int] = []
+        for entry in self._entries:
+            if entry.index in self._blocks:
+                continue
+            lo = entry.block_offset
+            hi = lo + entry.block_length
+            if lo >= offset and hi <= end:
+                self._blocks[entry.index] = data[lo - offset : hi - offset]
+                pinned.append(entry.index)
+        return pinned
 
     def release_block(self, index: int) -> None:
         """Unpin one leaf block's bytes (cache eviction)."""

@@ -24,7 +24,7 @@ import itertools
 import zlib
 from dataclasses import dataclass
 from time import sleep as _sleep
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hashing import stable_hash64
 from repro.obs import metrics as _obs
@@ -127,6 +127,10 @@ class SimulatedDFS:
             self._spill_dir = spill_dir
         self.total_bytes_written = 0
         self.total_bytes_read = 0
+        #: Bytes actually returned by data-plane reads (the wire truth);
+        #: ``total_bytes_read`` is what callers *charged* via
+        #: :meth:`read_cost` -- the two agree when every read is ranged.
+        self.total_bytes_served = 0
         reg = _obs.registry()
         self._m_writes = reg.counter("dfs.writes")
         self._m_bytes_written = reg.counter("dfs.bytes_written")
@@ -136,6 +140,9 @@ class SimulatedDFS:
         self._m_remote_reads = reg.counter("dfs.remote_reads")
         self._m_write_cost = reg.histogram("dfs.write_cost_sim")
         self._m_read_cost = reg.histogram("dfs.read_cost_sim")
+        self._m_ranged_reads = reg.counter("dfs.ranged_reads")
+        self._m_coalesced_spans = reg.counter("dfs.coalesced_spans")
+        self._m_range_bytes = reg.counter("dfs.range_bytes")
         self._m_checksum_failures = reg.counter("dfs.checksum_failures")
         self._m_read_repairs = reg.counter("dfs.read_repairs")
         self._m_re_replications = reg.counter("dfs.re_replications")
@@ -249,51 +256,142 @@ class SimulatedDFS:
             return override
         return self._canonical_bytes(chunk_id)
 
-    def get_bytes(self, chunk_id: str) -> bytes:
-        """Data plane: the chunk's raw bytes (no cost accounting).
+    def _healthy_bytes(self, chunk_id: str) -> Tuple[bytes, List[int]]:
+        """Resolve the chunk to one checksum-verified replica copy.
 
         Each live replica's copy is verified against the checksum recorded
         at write time; a corrupted copy is skipped and the read falls back
         to the next replica.  Once a healthy copy is found, every corrupted
         copy encountered on the way is overwritten from it (read repair).
-        Raises :class:`ChunkCorrupt` when *every* live replica fails its
-        checksum -- corrupt bytes never reach the caller.
+        Returns ``(data, repaired_nodes)``; raises :class:`ChunkCorrupt`
+        when *every* live replica fails its checksum -- corrupt bytes never
+        reach a caller -- and :class:`ChunkUnavailable` when no replica is
+        on an alive node.  One call models one file access: every
+        data-plane read (whole-blob or ranged) funnels through it.
+        """
+        location = self.location(chunk_id)
+        replicas = self.live_replicas(chunk_id)
+        if not replicas:
+            raise ChunkUnavailable(
+                f"all replicas of {chunk_id!r} are on failed nodes"
+            )
+        if self._read_sleep:
+            _sleep(self._read_sleep)
+        data = None
+        bad_nodes: List[int] = []
+        for node in replicas:
+            candidate = self._replica_bytes(chunk_id, node)
+            if zlib.crc32(candidate) == location.checksum:
+                data = candidate
+                break
+            bad_nodes.append(node)
+            if _obs.ENABLED:
+                self._m_checksum_failures.inc()
+        if data is None:
+            raise ChunkCorrupt(
+                f"every live replica of {chunk_id!r} fails its checksum "
+                f"(nodes {bad_nodes})"
+            )
+        for node in bad_nodes:
+            # Read repair: the healthy copy replaces the corrupt one.
+            self._replica_overrides.pop((chunk_id, node), None)
+            if _obs.ENABLED:
+                self._m_read_repairs.inc()
+        return data, bad_nodes
+
+    def get_bytes(self, chunk_id: str) -> bytes:
+        """Data plane: the chunk's raw bytes (no cost accounting).
+
+        Replica resolution, checksum verification and read repair per
+        :meth:`_healthy_bytes`.
         """
         with _trace.span("dfs_read", chunk=chunk_id) as sp:
-            location = self.location(chunk_id)
-            replicas = self.live_replicas(chunk_id)
-            if not replicas:
-                raise ChunkUnavailable(
-                    f"all replicas of {chunk_id!r} are on failed nodes"
-                )
-            if self._read_sleep:
-                _sleep(self._read_sleep)
-            data = None
-            bad_nodes: List[int] = []
-            for node in replicas:
-                candidate = self._replica_bytes(chunk_id, node)
-                if zlib.crc32(candidate) == location.checksum:
-                    data = candidate
-                    break
-                bad_nodes.append(node)
-                if _obs.ENABLED:
-                    self._m_checksum_failures.inc()
-            if data is None:
-                raise ChunkCorrupt(
-                    f"every live replica of {chunk_id!r} fails its checksum "
-                    f"(nodes {bad_nodes})"
-                )
-            for node in bad_nodes:
-                # Read repair: the healthy copy replaces the corrupt one.
-                self._replica_overrides.pop((chunk_id, node), None)
-                if _obs.ENABLED:
-                    self._m_read_repairs.inc()
+            data, bad_nodes = self._healthy_bytes(chunk_id)
+            self.total_bytes_served += len(data)
             if sp is not None:
                 sp.set_attr("bytes", len(data))
                 sp.set_attr("spilled", self._spill_dir is not None)
                 if bad_nodes:
                     sp.set_attr("read_repaired", len(bad_nodes))
             return data
+
+    def get_prefix(self, chunk_id: str) -> bytes:
+        """Data plane: just the chunk's self-describing prefix (header +
+        directory + sketches) in one access.
+
+        The ranged analogue of opening the file and reading sequentially
+        until the directory says the leaf blocks begin: the prefix length
+        lives in the first directory entry, so the server can stop there
+        without the caller knowing the length up front.  Same replica /
+        checksum / read-repair semantics as :meth:`get_bytes`.
+        """
+        from repro.storage.chunk import prefix_length
+
+        with _trace.span("dfs_read_prefix", chunk=chunk_id) as sp:
+            data, bad_nodes = self._healthy_bytes(chunk_id)
+            out = data[: prefix_length(data)]
+            self.total_bytes_served += len(out)
+            if _obs.ENABLED:
+                self._m_ranged_reads.inc()
+                self._m_range_bytes.inc(len(out))
+            if sp is not None:
+                sp.set_attr("bytes", len(out))
+                if bad_nodes:
+                    sp.set_attr("read_repaired", len(bad_nodes))
+            return out
+
+    def get_range(self, chunk_id: str, offset: int, length: int) -> bytes:
+        """Data plane: ``length`` bytes of the chunk starting at
+        ``offset`` -- one file access (one latency floor), transferring
+        only the requested range.  Same replica / checksum / read-repair
+        semantics as :meth:`get_bytes`; the whole replica copy is still
+        verified, mirroring HDFS reading full checksum windows.
+        """
+        with _trace.span(
+            "dfs_read_range", chunk=chunk_id, offset=offset, length=length
+        ):
+            data, _bad = self._healthy_bytes(chunk_id)
+            if offset < 0 or length < 0 or offset + length > len(data):
+                raise ValueError(
+                    f"range [{offset}, {offset + length}) outside "
+                    f"{chunk_id!r} (size {len(data)})"
+                )
+            out = data[offset : offset + length]
+            self.total_bytes_served += len(out)
+            if _obs.ENABLED:
+                self._m_ranged_reads.inc()
+                self._m_coalesced_spans.inc()
+                self._m_range_bytes.inc(len(out))
+            return out
+
+    def get_ranges(
+        self, chunk_id: str, spans: Sequence[Tuple[int, int]]
+    ) -> List[bytes]:
+        """Data plane: several ``(offset, length)`` ranges of one chunk in
+        a single file access (one latency floor shared by every span --
+        the payoff of coalescing).  Returns the spans' bytes in order.
+        """
+        with _trace.span(
+            "dfs_read_ranges", chunk=chunk_id, spans=len(spans)
+        ) as sp:
+            data, _bad = self._healthy_bytes(chunk_id)
+            out: List[bytes] = []
+            for offset, length in spans:
+                if offset < 0 or length < 0 or offset + length > len(data):
+                    raise ValueError(
+                        f"range [{offset}, {offset + length}) outside "
+                        f"{chunk_id!r} (size {len(data)})"
+                    )
+                out.append(data[offset : offset + length])
+            served = sum(len(b) for b in out)
+            self.total_bytes_served += served
+            if _obs.ENABLED:
+                self._m_ranged_reads.inc()
+                self._m_coalesced_spans.inc(len(spans))
+                self._m_range_bytes.inc(served)
+            if sp is not None:
+                sp.set_attr("bytes", served)
+            return out
 
     def read_cost(self, chunk_id: str, nbytes: int, reader_node: int) -> float:
         """Seconds to read ``nbytes`` of the chunk from ``reader_node``.

@@ -1,0 +1,482 @@
+"""Ranged DFS reads + pipelined leaf fetching: equivalence and accounting.
+
+The ``ranged_reads`` knob rewires the query read path from whole-blob
+chunk fetches to a prefix read plus coalesced leaf-span batches, with an
+optional in-flight pipeline (``fetch_pipeline_depth``) and an
+assignment-aware prefetcher (``prefetch_lookahead``) on concurrent
+transports.  The equivalence contract under test: for the same workload,
+ranged on/off -- at any pipeline depth, on either transport, at any cache
+size, across compaction, corruption, and server kill/recover -- must
+produce identical query results, partial flags, and chunk-cache hit/miss
+counts.  Costs and bytes legitimately differ (that is the point), but
+with ranged reads on every byte charged by the cost model must actually
+have crossed the wire: ``SimulatedDFS.total_bytes_served`` is the wire
+truth the charged ``total_bytes_read`` is audited against.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import make_tuples
+from repro import Waterwheel, obs, small_config
+from repro.core.compaction import ChunkCompactor
+from repro.simulation import Cluster, CostModel
+from repro.storage import (
+    ChunkReader,
+    ChunkUnavailable,
+    SimulatedDFS,
+    coalesce_entries,
+    prefix_length,
+)
+from repro.storage.chunk import LeafEntry, serialize_chunk
+from repro.supervision import run_chaos
+
+#: The three I/O-path modes the query path supports.  ``ranged_pipelined``
+#: exercises both the span pipeline and the prefetcher (both no-op on the
+#: inline transport, by design -- nothing can overlap there).
+MODES = {
+    "whole_blob": dict(ranged_reads=False),
+    "ranged": dict(
+        ranged_reads=True, fetch_pipeline_depth=0, prefetch_lookahead=0
+    ),
+    "ranged_pipelined": dict(
+        ranged_reads=True, fetch_pipeline_depth=2, prefetch_lookahead=1
+    ),
+}
+
+#: Mixed shapes: full scan, selective key over deep time, mid-size boxes.
+QUERY_SPECS = [
+    (0, 10_000, 0.0, 10.0),
+    (1_200, 1_500, 0.0, 10.0),
+    (4_000, 7_000, 1.0, 3.5),
+    (9_000, 9_999, 0.5, 9.0),
+]
+
+
+def _entry(index, offset, length):
+    return LeafEntry(
+        index=index,
+        first_key=0,
+        last_key=0,
+        n_tuples=0,
+        block_offset=offset,
+        block_length=length,
+        sketch_offset=0,
+        sketch_length=0,
+        block_crc32=0,
+    )
+
+
+def _sample_chunk(n_leaves=4, per_leaf=50, compress=False):
+    tuples = make_tuples(n_leaves * per_leaf, seed=7)
+    tuples.sort(key=lambda t: t.key)
+    leaves = []
+    for i in range(n_leaves):
+        run = tuples[i * per_leaf : (i + 1) * per_leaf]
+        leaves.append(([t.key for t in run], run))
+    return serialize_chunk(leaves, compress=compress)
+
+
+class TestCoalesce:
+    def test_adjacent_entries_merge(self):
+        spans = coalesce_entries([_entry(0, 0, 100), _entry(1, 100, 50)])
+        assert len(spans) == 1
+        assert (spans[0].offset, spans[0].length) == (0, 150)
+        assert [e.index for e in spans[0].entries] == [0, 1]
+
+    def test_gap_splits_without_budget(self):
+        spans = coalesce_entries(
+            [_entry(0, 0, 100), _entry(1, 150, 10)], gap_bytes=49
+        )
+        assert [(s.offset, s.length) for s in spans] == [(0, 100), (150, 10)]
+
+    def test_gap_merges_within_budget(self):
+        spans = coalesce_entries(
+            [_entry(0, 0, 100), _entry(1, 150, 10)], gap_bytes=50
+        )
+        assert [(s.offset, s.length) for s in spans] == [(0, 160)]
+        assert spans[0].end == 160
+
+    def test_input_order_is_irrelevant(self):
+        forward = coalesce_entries([_entry(0, 0, 10), _entry(1, 200, 10)])
+        backward = coalesce_entries([_entry(1, 200, 10), _entry(0, 0, 10)])
+        assert [(s.offset, s.length) for s in forward] == [
+            (s.offset, s.length) for s in backward
+        ]
+
+    def test_empty(self):
+        assert coalesce_entries([]) == []
+
+
+class TestPrefixLength:
+    def test_matches_reader_prefix(self):
+        blob = _sample_chunk()
+        assert prefix_length(blob) == ChunkReader(blob).prefix_bytes
+        assert 0 < prefix_length(blob) < len(blob)
+
+    def test_empty_chunk_prefix_is_whole_blob(self):
+        blob = serialize_chunk([])
+        assert prefix_length(blob) == len(blob)
+
+
+@pytest.fixture
+def dfs():
+    return SimulatedDFS(Cluster(6, seed=1), CostModel(), replication=3)
+
+
+@pytest.fixture
+def obs_on():
+    """Metric-asserting tests flip the observability switch on."""
+    obs.enable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestDfsRangedReads:
+    def test_get_prefix_serves_exact_prefix(self, dfs):
+        blob = _sample_chunk()
+        dfs.put("c1", blob)
+        served = dfs.total_bytes_served
+        prefix = dfs.get_prefix("c1")
+        assert prefix == blob[: prefix_length(blob)]
+        assert dfs.total_bytes_served - served == len(prefix)
+
+    def test_get_range_slices(self, dfs):
+        dfs.put("c1", b"0123456789")
+        assert dfs.get_range("c1", 2, 5) == b"23456"
+        assert dfs.get_range("c1", 0, 10) == b"0123456789"
+
+    def test_get_range_bounds(self, dfs):
+        dfs.put("c1", b"0123456789")
+        with pytest.raises(ValueError):
+            dfs.get_range("c1", -1, 2)
+        with pytest.raises(ValueError):
+            dfs.get_range("c1", 8, 3)
+        with pytest.raises(ValueError):
+            dfs.get_range("c1", 0, -1)
+
+    def test_get_ranges_one_access_many_spans(self, dfs, obs_on):
+        dfs.put("c1", b"abcdefghij")
+        served = dfs.total_bytes_served
+        ranged = dfs._m_ranged_reads.value
+        spans = dfs._m_coalesced_spans.value
+        out = dfs.get_ranges("c1", [(0, 2), (4, 3), (9, 1)])
+        assert out == [b"ab", b"efg", b"j"]
+        assert dfs.total_bytes_served - served == 6
+        # One ranged access serving three spans.
+        assert dfs._m_ranged_reads.value - ranged == 1
+        assert dfs._m_coalesced_spans.value - spans == 3
+
+    def test_get_ranges_bounds(self, dfs):
+        dfs.put("c1", b"abcd")
+        with pytest.raises(ValueError):
+            dfs.get_ranges("c1", [(0, 2), (3, 2)])
+
+    def test_ranged_read_repairs_corrupt_replica(self, dfs):
+        blob = _sample_chunk()
+        dfs.put("c1", blob)
+        node = dfs.corrupt_replica("c1")
+        assert dfs.get_prefix("c1") == blob[: prefix_length(blob)]
+        assert node not in dfs.corrupted_replicas("c1")
+        assert dfs.get_range("c1", 0, len(blob)) == blob
+
+    def test_ranged_read_unavailable_when_all_replicas_dead(self, dfs):
+        dfs.put("c1", b"data")
+        for node in dfs.location("c1").replicas:
+            dfs._cluster.kill(node)
+        with pytest.raises(ChunkUnavailable):
+            dfs.get_range("c1", 0, 2)
+        with pytest.raises(ChunkUnavailable):
+            dfs.get_prefix("c1")
+
+
+# --- whole-system equivalence -------------------------------------------------
+
+
+def _build(transport="inline", n=3_000, **overrides):
+    ww = Waterwheel(small_config(**overrides), transport=transport)
+    ww.insert_many(make_tuples(n))
+    return ww
+
+
+def _observe(ww, *, cold=True, passes=2):
+    """Run the query battery ``passes`` times (cold then warm) and return
+    the comparable signature: results, partial flags, cache hit/miss."""
+    if cold:
+        for server in ww.query_servers:
+            server.clear_cache()
+    out = []
+    for _ in range(passes):
+        for spec in QUERY_SPECS:
+            r = ww.query(*spec)
+            out.append(
+                {
+                    "tuples": sorted((t.key, t.ts, t.payload) for t in r.tuples),
+                    "partial": r.partial,
+                    "cache_hits": r.cache_hits,
+                    "cache_misses": r.cache_misses,
+                }
+            )
+    return out
+
+
+def _strip_cache_counts(sig):
+    return [
+        {"tuples": row["tuples"], "partial": row["partial"]} for row in sig
+    ]
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("cache_bytes", [1 << 20, 4096, 64])
+    def test_inline_modes_identical_with_cache_accounting(self, cache_bytes):
+        """Ranged on/off x pipeline depth produce identical results AND
+        identical cache hit/miss counts at every cache size -- including
+        tiny caches where every prefix rides the transient-reader slot."""
+        signatures = {}
+        for mode, overrides in MODES.items():
+            ww = _build(cache_bytes=cache_bytes, **overrides)
+            try:
+                signatures[mode] = _observe(ww)
+            finally:
+                ww.close()
+        assert signatures["ranged"] == signatures["whole_blob"]
+        assert signatures["ranged_pipelined"] == signatures["whole_blob"]
+        assert any(row["tuples"] for row in signatures["whole_blob"])
+
+    def test_threaded_modes_identical_results(self):
+        """Same battery under the threaded plane: results and partial
+        flags must match whole-blob exactly (cache hit totals are
+        assignment-dependent there, so only the cold-pass miss totals --
+        one per subquery -- are comparable)."""
+        signatures = {}
+        for mode, overrides in MODES.items():
+            ww = _build(transport="threaded", **overrides)
+            try:
+                signatures[mode] = _observe(ww)
+            finally:
+                ww.close()
+        base = _strip_cache_counts(signatures["whole_blob"])
+        assert _strip_cache_counts(signatures["ranged"]) == base
+        assert _strip_cache_counts(signatures["ranged_pipelined"]) == base
+
+    def test_equivalence_survives_compaction(self):
+        signatures = {}
+        for mode, overrides in MODES.items():
+            ww = _build(**overrides)
+            try:
+                ChunkCompactor(ww).rollup()
+                signatures[mode] = _observe(ww)
+            finally:
+                ww.close()
+        assert signatures["ranged"] == signatures["whole_blob"]
+        assert signatures["ranged_pipelined"] == signatures["whole_blob"]
+
+    def test_equivalence_survives_corruption_with_read_repair(self):
+        signatures = {}
+        for mode, overrides in MODES.items():
+            ww = _build(**overrides)
+            try:
+                chunk_ids = [
+                    key[len("/chunks/"):]
+                    for key in ww.metastore.list_prefix("/chunks/")
+                ]
+                for chunk_id in chunk_ids:
+                    ww.dfs.corrupt_replica(chunk_id)
+                signatures[mode] = _observe(ww)
+                for chunk_id in chunk_ids:
+                    assert ww.dfs.corrupted_replicas(chunk_id) == []
+            finally:
+                ww.close()
+        assert signatures["ranged"] == signatures["whole_blob"]
+        assert signatures["ranged_pipelined"] == signatures["whole_blob"]
+
+    def test_equivalence_across_server_kill_and_recover(self):
+        signatures = {}
+        for mode, overrides in MODES.items():
+            ww = _build(**overrides)
+            try:
+                sig = []
+                ww.kill_query_server(0)
+                sig.append(_observe(ww, cold=False, passes=1))
+                ww.recover_query_server(0)
+                sig.append(_observe(ww, passes=1))
+                signatures[mode] = [_strip_cache_counts(s) for s in sig]
+                # Recovered cluster serves complete results again.
+                assert not any(row["partial"] for row in sig[-1])
+            finally:
+                ww.close()
+        assert signatures["ranged"] == signatures["whole_blob"]
+        assert signatures["ranged_pipelined"] == signatures["whole_blob"]
+
+
+class TestWireAccounting:
+    def test_ranged_bytes_on_wire_equal_bytes_charged(self):
+        """With ranged reads on (and the prefetcher off), every read on
+        the query path is exact: the DFS serves precisely the bytes the
+        cost model charges."""
+        ww = _build(ranged_reads=True, fetch_pipeline_depth=0,
+                    prefetch_lookahead=0)
+        try:
+            for server in ww.query_servers:
+                server.clear_cache()
+            served = ww.dfs.total_bytes_served
+            charged = ww.dfs.total_bytes_read
+            for spec in QUERY_SPECS:
+                ww.query(*spec)
+            assert (
+                ww.dfs.total_bytes_served - served
+                == ww.dfs.total_bytes_read - charged
+                > 0
+            )
+        finally:
+            ww.close()
+
+    def test_whole_blob_overserves(self):
+        """The legacy path ships entire blobs while charging only for the
+        prefix and scanned leaves -- the accounting gap ranged reads
+        close."""
+        ww = _build(ranged_reads=False)
+        try:
+            for server in ww.query_servers:
+                server.clear_cache()
+            served = ww.dfs.total_bytes_served
+            charged = ww.dfs.total_bytes_read
+            ww.query(1_200, 1_500, 0.0, 10.0)  # selective: few leaves
+            assert (
+                ww.dfs.total_bytes_served - served
+                > ww.dfs.total_bytes_read - charged
+                > 0
+            )
+        finally:
+            ww.close()
+
+    def test_tiny_cache_does_not_churn_prefix_fetches(self):
+        """Transient-reader regression: with a cache too small to admit
+        even the prefix, back-to-back subqueries against the same chunk
+        reuse the parsed reader instead of re-fetching the prefix from
+        the DFS on every call."""
+        ww = _build(n=800, cache_bytes=64, ranged_reads=True,
+                    fetch_pipeline_depth=0, prefetch_lookahead=0)
+        try:
+            spec = QUERY_SPECS[1]
+            ww.query(*spec)  # parse prefixes once (transient slot warm)
+            served = ww.dfs.total_bytes_served
+            first = ww.query(*spec)
+            if ww.chunk_count == 1:
+                # Single chunk: the transient reader alone absorbs the
+                # repeat -- no prefix bytes move at all.
+                assert ww.dfs.total_bytes_served == served
+                assert first.cache_hits > 0
+        finally:
+            ww.close()
+
+
+class TestPipelineAndPrefetch:
+    def test_prefetch_noop_inline_and_whole_blob(self):
+        ww = _build(n=500)
+        try:
+            chunk_ids = [
+                key[len("/chunks/"):]
+                for key in ww.metastore.list_prefix("/chunks/")
+            ]
+            assert ww.query_servers[0].prefetch_prefixes(chunk_ids) == 0
+        finally:
+            ww.close()
+        ww = _build(n=500, transport="threaded", ranged_reads=False)
+        try:
+            assert ww.query_servers[0].prefetch_prefixes(["c"]) == 0
+        finally:
+            ww.close()
+
+    def test_prefetched_prefix_is_consumed(self):
+        """A landed prefetch satisfies the next prefix fetch without a
+        second data-plane read, and the results are unchanged."""
+        baseline = _build(n=1_500)
+        try:
+            expected = _strip_cache_counts(_observe(baseline, passes=1))
+        finally:
+            baseline.close()
+
+        ww = _build(n=1_500, transport="threaded", ranged_reads=True,
+                    fetch_pipeline_depth=2, prefetch_lookahead=1)
+        try:
+            for server in ww.query_servers:
+                server.clear_cache()
+            chunk_ids = [
+                key[len("/chunks/"):]
+                for key in ww.metastore.list_prefix("/chunks/")
+            ]
+            server = ww.query_servers[0]
+            issued = server.prefetch_prefixes(chunk_ids)
+            assert issued == len(chunk_ids) > 0
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                with server._prefetch_lock:
+                    if all(c.done() for c in server._prefetch_inflight.values()):
+                        break
+                time.sleep(0.005)
+            served = ww.dfs.total_bytes_served
+            for chunk_id in chunk_ids:
+                server.prefetch_prefix(chunk_id)
+            assert server.prefetch_hits_total == len(chunk_ids)
+            # Consuming landed prefetches moves no further bytes.
+            assert ww.dfs.total_bytes_served == served
+            got = _strip_cache_counts(_observe(ww, cold=False, passes=1))
+            assert got == expected
+        finally:
+            ww.close()
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_pipeline_depths_agree(self, depth):
+        base = _build(n=2_000, ranged_reads=True, fetch_pipeline_depth=0,
+                      prefetch_lookahead=0, transport="threaded")
+        try:
+            expected = _strip_cache_counts(_observe(base, passes=1))
+        finally:
+            base.close()
+        ww = _build(n=2_000, ranged_reads=True, fetch_pipeline_depth=depth,
+                    prefetch_lookahead=0, transport="threaded")
+        try:
+            got = _strip_cache_counts(_observe(ww, passes=1))
+            assert got == expected
+        finally:
+            ww.close()
+
+
+class TestChaosWithRangedReads:
+    """The chaos harness's full fault palette (crashes, bit-flips, RPC
+    weather) with the ranged read path, pipeline and prefetcher all on."""
+
+    @staticmethod
+    def _config():
+        return small_config(
+            n_nodes=5,
+            rebalance_check_every=500,
+            ranged_reads=True,
+            fetch_pipeline_depth=2,
+            prefetch_lookahead=1,
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chaos_inline(self, seed):
+        report = run_chaos(
+            seed=seed, records=1_200, steps=6, events=5, config=self._config()
+        )
+        assert report.ok, report.problems
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chaos_threaded(self, seed):
+        report = run_chaos(
+            seed=seed,
+            records=1_200,
+            steps=6,
+            events=5,
+            transport="threaded",
+            config=self._config(),
+        )
+        assert report.ok, report.problems
